@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! `locktune-baselines` — the comparison policies of paper §2.3.
+//!
+//! Every baseline runs on the *same* lock manager as the self-tuning
+//! algorithm; only the policy differs:
+//!
+//! * [`StaticPolicy`] — pre-DB2 9: fixed `LOCKLIST`, fixed
+//!   `MAXLOCKS` (historical default 10 %), no growth. This is the
+//!   configuration whose collapse Figures 7–8 demonstrate.
+//! * [`SqlServerModel`] — Microsoft SQL Server 2005 as documented:
+//!   2500 locks initially, dynamic growth up to 60 % of engine memory,
+//!   unconditional escalation when lock memory passes 40 % of engine
+//!   memory or one statement holds 5000 row locks; no documented
+//!   shrink.
+//! * [`OracleItl`] — Oracle's on-page locking: a lock byte per row and
+//!   a finite Interested-Transaction-List per page. No lock memory to
+//!   tune at all; the cost surfaces as ITL waits (page-level blocking
+//!   once the ITL is full) and permanent on-disk overhead.
+
+pub mod oracle_itl;
+pub mod sqlserver;
+pub mod static_policy;
+
+pub use oracle_itl::OracleItl;
+pub use sqlserver::SqlServerModel;
+pub use static_policy::StaticPolicy;

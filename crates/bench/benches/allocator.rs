@@ -1,0 +1,75 @@
+//! Block-pool microbenchmarks: the §2.2 allocation discipline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use locktune_memalloc::{LockMemoryPool, PoolConfig};
+
+fn bench_alloc_free(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocator");
+    let n: u64 = 100_000;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("allocate_100k_then_free_lifo", |b| {
+        b.iter_batched(
+            || LockMemoryPool::with_bytes(PoolConfig::default(), 16 << 20),
+            |mut pool| {
+                let mut held = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    held.push(pool.allocate().unwrap());
+                }
+                while let Some(h) = held.pop() {
+                    pool.free(h).unwrap();
+                }
+                pool
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("allocate_100k_then_free_fifo", |b| {
+        b.iter_batched(
+            || LockMemoryPool::with_bytes(PoolConfig::default(), 16 << 20),
+            |mut pool| {
+                let mut held = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    held.push(pool.allocate().unwrap());
+                }
+                for h in held.drain(..) {
+                    pool.free(h).unwrap();
+                }
+                pool
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_resize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocator_resize");
+    g.bench_function("grow_shrink_512_blocks", |b| {
+        b.iter_batched(
+            || LockMemoryPool::with_bytes(PoolConfig::default(), 1 << 20),
+            |mut pool| {
+                pool.grow_blocks(512);
+                pool.try_shrink_blocks(512).unwrap();
+                pool
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("tail_scan_half_used_1k_blocks", |b| {
+        // The shrink-candidate scan the tuner pays every interval.
+        let mut pool = LockMemoryPool::with_bytes(PoolConfig::default(), 128 * 1024 * 1024);
+        let half = pool.total_slots() / 2;
+        for _ in 0..half {
+            pool.allocate().unwrap();
+        }
+        b.iter(|| pool.freeable_blocks());
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_alloc_free, bench_resize
+);
+criterion_main!(benches);

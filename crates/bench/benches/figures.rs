@@ -1,0 +1,29 @@
+//! `cargo bench --bench figures` — regenerates every table and figure
+//! of the paper and prints paper-vs-measured rows (harness = false:
+//! this is a reproduction run, not a timing run).
+
+use std::path::PathBuf;
+
+use locktune_bench::experiments;
+
+fn main() {
+    let out_dir = PathBuf::from("results");
+    let mut failures = 0;
+    for report in experiments::all() {
+        print!("{}", report.render());
+        if let Err(e) = report.write_csv(&out_dir) {
+            eprintln!("  (csv write failed: {e})");
+        } else if !report.series.is_empty() {
+            println!("  -> results/{}.csv", report.id);
+        }
+        println!();
+        if !report.all_pass() {
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("figures: all experiments match the paper's shape");
+    } else {
+        println!("figures: {failures} experiment(s) diverged — see DIFF lines above");
+    }
+}

@@ -1,0 +1,145 @@
+//! Lock manager microbenchmarks: acquire/release rates that bound the
+//! simulated system's capacity.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use locktune_lockmgr::{
+    AppId, LockManager, LockManagerConfig, LockMode, NoTuning, ResourceId, RowId,
+    SharedLockManager, TableId,
+};
+use locktune_memalloc::{LockMemoryPool, PoolConfig};
+
+fn manager(bytes: u64) -> LockManager {
+    let pool = LockMemoryPool::with_bytes(PoolConfig::default(), bytes);
+    LockManager::new(pool, LockManagerConfig::default())
+}
+
+fn bench_uncontended_acquire_release(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_throughput");
+    let n: u64 = 10_000;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("acquire_release_10k_rows_single_app", |b| {
+        b.iter_batched(
+            || manager(64 << 20),
+            |mut m| {
+                let mut h = NoTuning { max_locks_percent: 98.0 };
+                let app = AppId(1);
+                m.lock(app, ResourceId::Table(TableId(0)), LockMode::IX, &mut h).unwrap();
+                for r in 0..n {
+                    m.lock(app, ResourceId::Row(TableId(0), RowId(r)), LockMode::X, &mut h)
+                        .unwrap();
+                }
+                m.unlock_all(app, &mut h);
+                m
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("shared_read_locks_8_apps", |b| {
+        b.iter_batched(
+            || manager(64 << 20),
+            |mut m| {
+                let mut h = NoTuning { max_locks_percent: 98.0 };
+                for a in 0..8u32 {
+                    m.lock(AppId(a), ResourceId::Table(TableId(0)), LockMode::IS, &mut h).unwrap();
+                }
+                // All apps share the same 1250 rows.
+                for a in 0..8u32 {
+                    for r in 0..(n / 8) {
+                        m.lock(AppId(a), ResourceId::Row(TableId(0), RowId(r)), LockMode::S, &mut h)
+                            .unwrap();
+                    }
+                }
+                for a in 0..8u32 {
+                    m.unlock_all(AppId(a), &mut h);
+                }
+                m
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("reentrant_hits", |b| {
+        let mut m = manager(64 << 20);
+        let mut h = NoTuning { max_locks_percent: 98.0 };
+        let app = AppId(1);
+        m.lock(app, ResourceId::Table(TableId(0)), LockMode::IX, &mut h).unwrap();
+        m.lock(app, ResourceId::Row(TableId(0), RowId(1)), LockMode::X, &mut h).unwrap();
+        b.iter(|| {
+            m.lock(app, ResourceId::Row(TableId(0), RowId(1)), LockMode::X, &mut h).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_escalation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("escalation");
+    for rows in [1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(rows));
+        g.bench_function(format!("collapse_{rows}_rows"), |b| {
+            b.iter_batched(
+                || {
+                    let mut m = manager(64 << 20);
+                    let mut h = NoTuning { max_locks_percent: 98.0 };
+                    let app = AppId(1);
+                    m.lock(app, ResourceId::Table(TableId(0)), LockMode::IX, &mut h).unwrap();
+                    for r in 0..rows {
+                        m.lock(app, ResourceId::Row(TableId(0), RowId(r)), LockMode::X, &mut h)
+                            .unwrap();
+                    }
+                    m
+                },
+                |mut m| {
+                    // Dropping the cap forces an escalation on the next
+                    // row request.
+                    let mut tight = NoTuning { max_locks_percent: 0.0001 };
+                    let app = AppId(1);
+                    m.lock(app, ResourceId::Row(TableId(0), RowId(u64::MAX - 1)), LockMode::X, &mut tight)
+                        .unwrap();
+                    m
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_shared_wrapper(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shared_manager");
+    g.bench_function("mutex_wrapped_acquire_release_4_threads", |b| {
+        b.iter_batched(
+            || SharedLockManager::new(manager(64 << 20)),
+            |mgr| {
+                let handles: Vec<_> = (0..4u32)
+                    .map(|t| {
+                        let mgr = mgr.clone();
+                        std::thread::spawn(move || {
+                            let mut h = NoTuning { max_locks_percent: 98.0 };
+                            let app = AppId(t);
+                            let table = TableId(t);
+                            mgr.lock(app, ResourceId::Table(table), LockMode::IX, &mut h).unwrap();
+                            for r in 0..1000u64 {
+                                mgr.lock(app, ResourceId::Row(table, RowId(r)), LockMode::X, &mut h)
+                                    .unwrap();
+                            }
+                            mgr.unlock_all(app, &mut h);
+                        })
+                    })
+                    .collect();
+                for t in handles {
+                    t.join().unwrap();
+                }
+                mgr
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_uncontended_acquire_release, bench_escalation, bench_shared_wrapper
+);
+criterion_main!(benches);

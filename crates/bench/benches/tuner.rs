@@ -1,0 +1,58 @@
+//! Tuner microbenchmarks: the control loop must cost microseconds, not
+//! milliseconds, since DB2 runs it inside the engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locktune_core::{
+    lock_percent_per_application, LockMemorySnapshot, LockMemoryTuner, OverflowState, SyncGrowth,
+    TunerParams,
+};
+
+const MIB: u64 = 1024 * 1024;
+
+fn snapshot() -> LockMemorySnapshot {
+    LockMemorySnapshot {
+        allocated_bytes: 100 * MIB,
+        used_bytes: 80 * MIB,
+        lmoc_bytes: 100 * MIB,
+        num_applications: 130,
+        escalations_since_last: 0,
+        overflow: OverflowState {
+            database_memory_bytes: 5120 * MIB,
+            sum_heap_bytes: 4600 * MIB,
+            lock_memory_from_overflow_bytes: 0,
+            overflow_free_bytes: 520 * MIB,
+        },
+    }
+}
+
+fn bench_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tuner");
+    g.bench_function("tick_decision", |b| {
+        let mut t = LockMemoryTuner::new(TunerParams::default());
+        let s = snapshot();
+        b.iter(|| t.tick(&s));
+    });
+    g.bench_function("sync_growth_admission", |b| {
+        let params = TunerParams::default();
+        let s = snapshot();
+        b.iter(|| {
+            SyncGrowth::new(&params).request(131_072, s.allocated_bytes, 130, &s.overflow)
+        });
+    });
+    g.bench_function("app_percent_curve", |b| {
+        let params = TunerParams::default();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.001) % 1.0;
+            lock_percent_per_application(&params, x)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tick
+);
+criterion_main!(benches);

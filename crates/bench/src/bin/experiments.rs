@@ -1,0 +1,71 @@
+//! Experiment driver: regenerate any (or all) of the paper's tables
+//! and figures.
+//!
+//! ```text
+//! cargo run --release -p locktune-bench --bin experiments -- all
+//! cargo run --release -p locktune-bench --bin experiments -- fig9 fig11
+//! ```
+//!
+//! CSV series land in `results/<id>.csv`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use locktune_bench::{experiments, Report};
+
+fn run_one(id: &str) -> Option<Report> {
+    match id {
+        "table1" => Some(experiments::table1()),
+        "curve" => Some(experiments::curve_experiment()),
+        "fig6" => Some(experiments::fig6()),
+        "fig7" => Some(experiments::fig7()),
+        "fig8" => Some(experiments::fig8()),
+        "fig9" => Some(experiments::fig9()),
+        "fig10" => Some(experiments::fig10()),
+        "fig11" => Some(experiments::fig11()),
+        "fig12" => Some(experiments::fig12()),
+        "constrained" => Some(experiments::constrained()),
+        "twodss" => Some(experiments::two_dss()),
+        "cmp" => Some(experiments::cmp()),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ["table1", "curve", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "constrained", "twodss", "cmp"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
+
+    let out_dir = PathBuf::from("results");
+    let mut failures = 0;
+    for id in &ids {
+        let Some(report) = run_one(id) else {
+            eprintln!("unknown experiment: {id}");
+            failures += 1;
+            continue;
+        };
+        print!("{}", report.render());
+        if let Err(e) = report.write_csv(&out_dir) {
+            eprintln!("  (csv write failed: {e})");
+        } else if !report.series.is_empty() {
+            println!("  -> results/{}.csv", report.id);
+        }
+        println!();
+        if !report.all_pass() {
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("all experiments match the paper's shape");
+        ExitCode::SUCCESS
+    } else {
+        println!("{failures} experiment(s) diverged from the paper — see DIFF lines above");
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,110 @@
+//! Paper-vs-measured reporting.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use locktune_metrics::{write_csv, TimeSeries};
+
+/// One paper claim checked against a measurement.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What the paper reports.
+    pub paper: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the shape/claim holds.
+    pub pass: bool,
+}
+
+impl Check {
+    /// Build a check.
+    pub fn new(paper: impl Into<String>, measured: impl Into<String>, pass: bool) -> Self {
+        Check { paper: paper.into(), measured: measured.into(), pass }
+    }
+}
+
+/// A full experiment report: headline, checks and the series behind
+/// the figure.
+#[derive(Debug)]
+pub struct Report {
+    /// Experiment id, e.g. `fig9`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Claim checks.
+    pub checks: Vec<Check>,
+    /// Series to write to CSV (the figure's data).
+    pub series: Vec<TimeSeries>,
+}
+
+impl Report {
+    /// Create an empty report.
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        Report { id, title, checks: Vec::new(), series: Vec::new() }
+    }
+
+    /// Add a check.
+    pub fn check(&mut self, paper: impl Into<String>, measured: impl Into<String>, pass: bool) {
+        self.checks.push(Check::new(paper, measured, pass));
+    }
+
+    /// All checks passed?
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for c in &self.checks {
+            let mark = if c.pass { "PASS" } else { "DIFF" };
+            let _ = writeln!(out, "  [{mark}] paper:    {}", c.paper);
+            let _ = writeln!(out, "         measured: {}", c.measured);
+        }
+        out
+    }
+
+    /// Write the series as `<dir>/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        if self.series.is_empty() {
+            return Ok(());
+        }
+        fs::create_dir_all(dir)?;
+        let refs: Vec<&TimeSeries> = self.series.iter().collect();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &refs)?;
+        fs::write(dir.join(format!("{}.csv", self.id)), buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locktune_sim::SimTime;
+
+    #[test]
+    fn render_contains_marks() {
+        let mut r = Report::new("figX", "test");
+        r.check("a", "b", true);
+        r.check("c", "d", false);
+        let text = r.render();
+        assert!(text.contains("PASS"));
+        assert!(text.contains("DIFF"));
+        assert!(!r.all_pass());
+    }
+
+    #[test]
+    fn csv_roundtrip(){
+        let dir = std::env::temp_dir().join("locktune-report-test");
+        let mut r = Report::new("figtest", "t");
+        let mut s = TimeSeries::new("v");
+        s.push(SimTime::ZERO, 1.0);
+        r.series.push(s);
+        r.write_csv(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("figtest.csv")).unwrap();
+        assert!(text.starts_with("time_s,v"));
+    }
+}

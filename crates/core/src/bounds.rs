@@ -1,0 +1,125 @@
+//! Minimum and maximum lock memory bounds (paper §3.2).
+
+use crate::params::TunerParams;
+
+/// The effective bounds on lock memory at a tuning point.
+///
+/// Both depend on runtime state: the minimum scales with the number of
+/// connected applications, the maximum with `databaseMemory`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockMemoryBounds {
+    /// `minLockMemory = MAX(2 MB, 500 × locksize × num_applications)`,
+    /// rounded up to whole blocks.
+    pub min_bytes: u64,
+    /// `maxLockMemory = 0.20 × databaseMemory`, rounded up to whole
+    /// blocks.
+    pub max_bytes: u64,
+}
+
+impl LockMemoryBounds {
+    /// Compute the bounds for the current application count and
+    /// database memory.
+    pub fn compute(params: &TunerParams, num_applications: u64, database_memory_bytes: u64) -> Self {
+        let per_app = params
+            .min_locks_per_application
+            .saturating_mul(params.lock_struct_bytes)
+            .saturating_mul(num_applications);
+        let min_raw = params.min_lock_memory_floor_bytes.max(per_app);
+        let max_raw = (params.max_lock_memory_fraction * database_memory_bytes as f64) as u64;
+        let min_bytes = params.round_up_to_block(min_raw);
+        // The max must never fall below the min, or clamping would
+        // invert; a pathologically small databaseMemory keeps min as max.
+        let max_bytes = params.round_up_to_block(max_raw).max(min_bytes);
+        LockMemoryBounds { min_bytes, max_bytes }
+    }
+
+    /// Clamp `bytes` into `[min, max]`.
+    pub fn clamp(&self, bytes: u64) -> u64 {
+        bytes.clamp(self.min_bytes, self.max_bytes)
+    }
+
+    /// Fraction of the maximum currently used, `[0, 1]` (input `x/100`
+    /// of the `lockPercentPerApplication` curve).
+    pub fn used_fraction_of_max(&self, used_bytes: u64) -> f64 {
+        if self.max_bytes == 0 {
+            0.0
+        } else {
+            (used_bytes as f64 / self.max_bytes as f64).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MIB;
+
+    fn params() -> TunerParams {
+        TunerParams::default()
+    }
+
+    #[test]
+    fn two_mb_floor_dominates_for_few_applications() {
+        // 500 locks × 64 B × 10 apps = 320 000 B < 2 MB.
+        let b = LockMemoryBounds::compute(&params(), 10, 1024 * MIB);
+        assert_eq!(b.min_bytes, 2 * MIB);
+    }
+
+    #[test]
+    fn per_application_term_dominates_for_many_applications() {
+        // 500 × 64 × 130 = 4 160 000 B > 2 MB; rounded up to blocks.
+        let b = LockMemoryBounds::compute(&params(), 130, 1024 * MIB);
+        let raw = 500 * 64 * 130u64;
+        assert_eq!(b.min_bytes, raw.div_ceil(131_072) * 131_072);
+        assert!(b.min_bytes > 2 * MIB);
+    }
+
+    #[test]
+    fn max_is_twenty_percent_of_database_memory() {
+        // Paper's testbed: 5.11 GB databaseMemory.
+        let db = (5.11 * 1024.0 * 1024.0 * 1024.0) as u64;
+        let b = LockMemoryBounds::compute(&params(), 130, db);
+        let expected = (0.20 * db as f64) as u64;
+        assert!(b.max_bytes >= expected && b.max_bytes < expected + 131_072);
+    }
+
+    #[test]
+    fn bounds_are_block_aligned() {
+        let b = LockMemoryBounds::compute(&params(), 130, 5 * 1024 * MIB);
+        assert_eq!(b.min_bytes % 131_072, 0);
+        assert_eq!(b.max_bytes % 131_072, 0);
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        let b = LockMemoryBounds { min_bytes: 100, max_bytes: 200 };
+        assert_eq!(b.clamp(50), 100);
+        assert_eq!(b.clamp(150), 150);
+        assert_eq!(b.clamp(500), 200);
+    }
+
+    #[test]
+    fn tiny_database_never_inverts_bounds() {
+        // databaseMemory so small that 20% < minLockMemory.
+        let b = LockMemoryBounds::compute(&params(), 1, 4 * MIB);
+        assert!(b.max_bytes >= b.min_bytes);
+        assert_eq!(b.clamp(0), b.min_bytes);
+        assert_eq!(b.clamp(u64::MAX), b.max_bytes);
+    }
+
+    #[test]
+    fn zero_applications_uses_floor() {
+        let b = LockMemoryBounds::compute(&params(), 0, 1024 * MIB);
+        assert_eq!(b.min_bytes, 2 * MIB);
+    }
+
+    #[test]
+    fn used_fraction_of_max() {
+        let b = LockMemoryBounds { min_bytes: 0, max_bytes: 1000 };
+        assert_eq!(b.used_fraction_of_max(0), 0.0);
+        assert_eq!(b.used_fraction_of_max(500), 0.5);
+        assert_eq!(b.used_fraction_of_max(2000), 1.0);
+        let degenerate = LockMemoryBounds { min_bytes: 0, max_bytes: 0 };
+        assert_eq!(degenerate.used_fraction_of_max(10), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! The `lockPercentPerApplication` attenuation curve (paper §3.5,
+//! Table 1).
+//!
+//! `lockPercentPerApplication(x) = P · (1 − (x/100)ᵉ)`, where `x` is the
+//! percentage of `maxLockMemory` currently in use, `P = 98` and `e = 3`.
+//! The cubic was chosen because it stays near `P` while memory is ample
+//! and attenuates aggressively once lock memory is more than ~75 % used;
+//! the paper states the value drops to 1 at `x = 100`, so we clamp the
+//! raw curve (which reaches 0) at the configured floor.
+
+use crate::params::TunerParams;
+
+/// Evaluate the adaptive per-application cap.
+///
+/// * `used_fraction_of_max` — lock memory in use as a fraction of
+///   `maxLockMemory`, clamped into `[0, 1]`.
+///
+/// Returns a percentage in `[app_percent_min, app_percent_max]`.
+pub fn lock_percent_per_application(params: &TunerParams, used_fraction_of_max: f64) -> f64 {
+    let x = if used_fraction_of_max.is_nan() {
+        // A NaN fraction (e.g. 0/0 from an unconfigured database) means
+        // "no pressure": be maximally permissive.
+        0.0
+    } else {
+        used_fraction_of_max.clamp(0.0, 1.0)
+    };
+    let raw = params.app_percent_max * (1.0 - x.powf(params.app_percent_exponent));
+    raw.clamp(params.app_percent_min, params.app_percent_max)
+}
+
+/// Sweep the curve at integer percentages 0..=100; used by the `curve`
+/// experiment to print §3.5's figure.
+pub fn curve_table(params: &TunerParams) -> Vec<(u32, f64)> {
+    (0..=100)
+        .map(|pct| (pct, lock_percent_per_application(params, pct as f64 / 100.0)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> TunerParams {
+        TunerParams::default()
+    }
+
+    #[test]
+    fn ample_memory_is_nearly_unconstrained() {
+        // "initially hardly unconstrained (98%)"
+        assert_eq!(lock_percent_per_application(&p(), 0.0), 98.0);
+    }
+
+    #[test]
+    fn full_memory_drops_to_floor() {
+        // "dropping down to 1 when lock memory is 100% of its maximum size"
+        assert_eq!(lock_percent_per_application(&p(), 1.0), 1.0);
+    }
+
+    #[test]
+    fn matches_formula_at_interior_points() {
+        // 98(1 - (x/100)^3)
+        let cases = [
+            (0.25, 98.0 * (1.0 - 0.25f64.powi(3))),
+            (0.50, 98.0 * (1.0 - 0.5f64.powi(3))),
+            (0.75, 98.0 * (1.0 - 0.75f64.powi(3))),
+            (0.90, 98.0 * (1.0 - 0.9f64.powi(3))),
+        ];
+        for (x, expected) in cases {
+            let got = lock_percent_per_application(&p(), x);
+            assert!((got - expected).abs() < 1e-9, "x={x}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn aggressive_attenuation_beyond_three_quarters() {
+        // Paper: "aggressive attenuation when lock memory is more than
+        // 75% used". The slope steepens: the drop from 75%->100% exceeds
+        // the drop from 0%->75%.
+        let at = |x| lock_percent_per_application(&p(), x);
+        let early_drop = at(0.0) - at(0.75);
+        let late_drop = at(0.75) - at(1.0);
+        assert!(late_drop > early_drop, "late {late_drop} vs early {early_drop}");
+    }
+
+    #[test]
+    fn monotonically_non_increasing() {
+        let mut prev = f64::INFINITY;
+        for pct in 0..=1000 {
+            let v = lock_percent_per_application(&p(), pct as f64 / 1000.0);
+            assert!(v <= prev + 1e-12, "curve increased at {pct}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn out_of_range_inputs_are_clamped() {
+        assert_eq!(lock_percent_per_application(&p(), -0.5), 98.0);
+        assert_eq!(lock_percent_per_application(&p(), 2.0), 1.0);
+        assert_eq!(lock_percent_per_application(&p(), f64::NAN), 98.0);
+    }
+
+    #[test]
+    fn curve_table_covers_0_to_100() {
+        let t = curve_table(&p());
+        assert_eq!(t.len(), 101);
+        assert_eq!(t[0], (0, 98.0));
+        assert_eq!(t[100].0, 100);
+        assert_eq!(t[100].1, 1.0);
+    }
+
+    #[test]
+    fn custom_exponent_changes_shape() {
+        let linear = TunerParams { app_percent_exponent: 1.0, ..TunerParams::default() };
+        let v = lock_percent_per_application(&linear, 0.5);
+        assert!((v - 49.0).abs() < 1e-9);
+    }
+}

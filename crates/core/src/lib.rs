@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+
+//! `locktune-core` — the adaptive lock-memory tuning algorithm from
+//! *"Optimizing Concurrency Through Automated Lock Memory Tuning in
+//! DB2"* (Lightstone, Eaton, Lee, Storm — ICDE 2007), as shipped in
+//! DB2 9's Self-Tuning Memory Manager (STMM).
+//!
+//! The algorithm combines four mechanisms (paper §3):
+//!
+//! 1. **Asynchronous tuning** ([`tuner::LockMemoryTuner::tick`]): at
+//!    each STMM interval, size the lock memory so 50–60 % of the lock
+//!    structures are free. The 50→60 % spread is hysteresis — sizes in
+//!    the band are left alone so minor demand wiggles never resize.
+//! 2. **Synchronous growth** ([`sync_growth`]): a spike that exhausts
+//!    the free list grows the pool *immediately* out of database
+//!    overflow memory, bounded by `LMOmax = 0.65 × overflow` and
+//!    `maxLockMemory = 0.20 × databaseMemory`.
+//! 3. **Slow shrink**: when more than 60 % is free, release 5 % of the
+//!    current size per interval ([`params::TunerParams::delta_reduce`]).
+//! 4. **Escalation-doubling**: if overflow is constrained and locks are
+//!    escalating anyway, double the lock memory each interval while the
+//!    escalations continue.
+//!
+//! A second adaptive control tunes the per-application lock cap
+//! (`MAXLOCKS`, called `lockPercentPerApplication` in the paper): the
+//! continuous curve `P·(1−(x/100)³)` keeps it near 98 % while lock
+//! memory is far from its maximum and collapses it towards 1 % as the
+//! maximum nears ([`curve`]).
+//!
+//! Everything in this crate is pure and deterministic: the tuner reads
+//! a [`snapshot::LockMemorySnapshot`] and emits a
+//! [`decision::TuningDecision`]; applying decisions to an actual pool
+//! and rebalancing the donor heaps is the `locktune-memory` crate's job.
+//!
+//! # Example
+//!
+//! One tuning interval on a constrained pool (80 % used — below the
+//! 50 % free objective — so the tuner grows to twice the usage):
+//!
+//! ```
+//! use locktune_core::{
+//!     LockMemorySnapshot, LockMemoryTuner, OverflowState, TunerParams, TuningReason,
+//! };
+//!
+//! let mut tuner = LockMemoryTuner::new(TunerParams::default());
+//! let snapshot = LockMemorySnapshot {
+//!     allocated_bytes: 100 << 20,
+//!     used_bytes: 80 << 20,
+//!     lmoc_bytes: 100 << 20,
+//!     num_applications: 130,
+//!     escalations_since_last: 0,
+//!     overflow: OverflowState {
+//!         database_memory_bytes: 5 << 30,
+//!         sum_heap_bytes: 4 << 30,
+//!         lock_memory_from_overflow_bytes: 0,
+//!         overflow_free_bytes: 512 << 20,
+//!     },
+//! };
+//! let decision = tuner.tick(&snapshot);
+//! assert_eq!(decision.reason, TuningReason::GrowForFreeTarget);
+//! assert_eq!(decision.target_bytes, 160 << 20); // 2x used = 50% free
+//! ```
+
+pub mod app_percent;
+pub mod bounds;
+pub mod curve;
+pub mod decision;
+pub mod feedback;
+pub mod optimizer_view;
+pub mod params;
+pub mod snapshot;
+pub mod sync_growth;
+pub mod tuner;
+
+pub use app_percent::AppPercentController;
+pub use bounds::LockMemoryBounds;
+pub use curve::lock_percent_per_application;
+pub use decision::{TuningDecision, TuningReason};
+pub use feedback::{choose_locking, LockingStrategy, OptimizerFeedback};
+pub use optimizer_view::OptimizerView;
+pub use params::TunerParams;
+pub use snapshot::{LockMemorySnapshot, OverflowState};
+pub use sync_growth::{DenyReason, SyncGrant, SyncGrowth};
+pub use tuner::LockMemoryTuner;

@@ -1,0 +1,78 @@
+//! The SQL compiler's stable view of lock memory (paper §3.6).
+//!
+//! With self-tuning enabled the instantaneous lock memory and
+//! `lockPercentPerApplication` fluctuate; compiling an access plan
+//! against a momentary low would bake lock escalation into the plan and
+//! pre-empt the runtime tuner. The query optimizer is therefore shown a
+//! crude but stable approximation: 10 % of `databaseMemory`, and the
+//! unconstrained per-application cap.
+
+use crate::params::TunerParams;
+
+/// What the SQL compiler sees when costing locking strategies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerView {
+    /// `sqlCompilerLockMem = 0.10 × databaseMemory`.
+    pub lock_memory_bytes: u64,
+    /// The per-application percentage exposed to plan costing.
+    pub lock_percent_per_application: f64,
+}
+
+impl OptimizerView {
+    /// Compute the stable view for the given database memory.
+    pub fn compute(params: &TunerParams, database_memory_bytes: u64) -> Self {
+        OptimizerView {
+            lock_memory_bytes: (params.sql_compiler_fraction * database_memory_bytes as f64) as u64,
+            lock_percent_per_application: params.app_percent_max,
+        }
+    }
+
+    /// Estimated row locks a single statement may plan for before the
+    /// compiler would choose table-level locking.
+    pub fn plannable_row_locks(&self, params: &TunerParams) -> u64 {
+        let app_bytes =
+            self.lock_memory_bytes as f64 * self.lock_percent_per_application / 100.0;
+        (app_bytes / params.lock_struct_bytes as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MIB;
+
+    #[test]
+    fn view_is_ten_percent_of_database_memory() {
+        let p = TunerParams::default();
+        let v = OptimizerView::compute(&p, 5120 * MIB);
+        assert_eq!(v.lock_memory_bytes, 512 * MIB);
+        assert_eq!(v.lock_percent_per_application, 98.0);
+    }
+
+    #[test]
+    fn view_is_independent_of_instantaneous_state() {
+        // Same database memory -> same view, regardless of what the
+        // tuner is doing right now (the whole point of §3.6).
+        let p = TunerParams::default();
+        let a = OptimizerView::compute(&p, 1000 * MIB);
+        let b = OptimizerView::compute(&p, 1000 * MIB);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plannable_row_locks() {
+        let p = TunerParams::default();
+        let v = OptimizerView::compute(&p, 5120 * MIB);
+        let locks = v.plannable_row_locks(&p);
+        // 512 MiB × 0.98 / 64 B ≈ 8.2 M row locks.
+        assert!(locks > 8_000_000 && locks < 8_500_000, "{locks}");
+    }
+
+    #[test]
+    fn zero_database_memory() {
+        let p = TunerParams::default();
+        let v = OptimizerView::compute(&p, 0);
+        assert_eq!(v.lock_memory_bytes, 0);
+        assert_eq!(v.plannable_row_locks(&p), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Synchronous (real-time) growth admission (paper §3.3).
+//!
+//! When a lock request arrives and every block in the pool is full, the
+//! lock manager does **not** wait for the next STMM interval: it grows
+//! the pool immediately out of database overflow memory, block by
+//! block, as long as two limits hold:
+//!
+//! * total lock memory stays within `maxLockMemory`;
+//! * lock memory taken from overflow stays within
+//!   `LMOmax = C1 × overflow` *and* within what is physically free.
+//!
+//! When neither limit leaves room the request is denied and the caller
+//! escalates locks instead.
+
+use crate::bounds::LockMemoryBounds;
+use crate::params::TunerParams;
+use crate::snapshot::OverflowState;
+
+/// Admission control for the synchronous growth path.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncGrowth<'a> {
+    params: &'a TunerParams,
+}
+
+/// Outcome of a synchronous growth request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncGrant {
+    /// Grow by this many bytes (whole blocks, ≥ one block).
+    Granted {
+        /// Bytes granted (a whole number of blocks).
+        bytes: u64,
+    },
+    /// No room: the caller must escalate.
+    Denied(DenyReason),
+}
+
+/// Why synchronous growth was denied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenyReason {
+    /// Lock memory already at `maxLockMemory`.
+    AtMaxLockMemory,
+    /// Overflow policy (`LMOmax`) or physical free space exhausted.
+    OverflowConstrained,
+}
+
+impl<'a> SyncGrowth<'a> {
+    /// Create the admission controller.
+    pub fn new(params: &'a TunerParams) -> Self {
+        SyncGrowth { params }
+    }
+
+    /// Decide how many bytes (whole blocks) the pool may grow right now
+    /// to satisfy a demand of `wanted_bytes` more lock memory.
+    ///
+    /// * `current_bytes` — current pool allocation;
+    /// * `num_applications` — connections (for the min bound — unused in
+    ///   the grant itself but kept for bound symmetry);
+    /// * `overflow` — state of the overflow area.
+    pub fn request(
+        &self,
+        wanted_bytes: u64,
+        current_bytes: u64,
+        num_applications: u64,
+        overflow: &OverflowState,
+    ) -> SyncGrant {
+        let bounds =
+            LockMemoryBounds::compute(self.params, num_applications, overflow.database_memory_bytes);
+        let max_room = bounds.max_bytes.saturating_sub(current_bytes);
+        if max_room == 0 {
+            return SyncGrant::Denied(DenyReason::AtMaxLockMemory);
+        }
+        let overflow_room = overflow.overflow_headroom(self.params.overflow_consumption_fraction);
+        // Round the headroom *down* to whole blocks: a partial block
+        // cannot be allocated.
+        let overflow_room_blocks = overflow_room / self.params.block_bytes * self.params.block_bytes;
+        if overflow_room_blocks == 0 {
+            return SyncGrant::Denied(DenyReason::OverflowConstrained);
+        }
+        let want = self.params.round_up_to_block(wanted_bytes.max(1));
+        let grant = want.min(max_room).min(overflow_room_blocks);
+        // max_room is block-aligned only if current is; align down and
+        // guarantee at least one block when any room exists.
+        let grant = (grant / self.params.block_bytes * self.params.block_bytes)
+            .max(self.params.block_bytes.min(overflow_room_blocks.min(max_room)));
+        if grant == 0 {
+            SyncGrant::Denied(DenyReason::OverflowConstrained)
+        } else {
+            SyncGrant::Granted { bytes: grant }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MIB;
+
+    fn params() -> TunerParams {
+        TunerParams::default()
+    }
+
+    fn roomy_overflow() -> OverflowState {
+        OverflowState {
+            database_memory_bytes: 5120 * MIB,
+            sum_heap_bytes: 4600 * MIB,
+            lock_memory_from_overflow_bytes: 0,
+            overflow_free_bytes: 520 * MIB,
+        }
+    }
+
+    #[test]
+    fn grants_block_rounded_demand() {
+        let p = params();
+        let g = SyncGrowth::new(&p);
+        match g.request(100_000, 8 * MIB, 130, &roomy_overflow()) {
+            SyncGrant::Granted { bytes } => {
+                assert_eq!(bytes, 131_072, "100 KB demand rounds to one block");
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grant_capped_by_max_lock_memory() {
+        let p = params();
+        let g = SyncGrowth::new(&p);
+        let db = 5120 * MIB;
+        let max = (0.20 * db as f64) as u64;
+        // Current already within one block of max.
+        let current = p.round_up_to_block(max) - p.block_bytes;
+        match g.request(100 * MIB, current, 130, &roomy_overflow()) {
+            SyncGrant::Granted { bytes } => assert_eq!(bytes, p.block_bytes),
+            other => panic!("expected single-block grant, got {other:?}"),
+        }
+        // Exactly at max: denied.
+        let at_max = p.round_up_to_block(max);
+        assert_eq!(
+            g.request(p.block_bytes, at_max, 130, &roomy_overflow()),
+            SyncGrant::Denied(DenyReason::AtMaxLockMemory)
+        );
+    }
+
+    #[test]
+    fn grant_capped_by_lmo_max() {
+        let p = params();
+        let g = SyncGrowth::new(&p);
+        // Overflow pool of 10 MB with LMO already at 6 MB: LMOmax = 6.5 MB,
+        // so only 0.5 MB of policy room = 4 blocks.
+        let o = OverflowState {
+            database_memory_bytes: 5120 * MIB,
+            sum_heap_bytes: 5110 * MIB,
+            lock_memory_from_overflow_bytes: 6 * MIB,
+            overflow_free_bytes: 4 * MIB,
+        };
+        match g.request(64 * MIB, 8 * MIB, 130, &o) {
+            SyncGrant::Granted { bytes } => {
+                let lmo_max = (0.65 * 10.0 * MIB as f64) as u64;
+                let room = lmo_max - 6 * MIB;
+                assert_eq!(bytes, room / p.block_bytes * p.block_bytes);
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn denied_when_overflow_physically_empty() {
+        let p = params();
+        let g = SyncGrowth::new(&p);
+        let o = OverflowState { overflow_free_bytes: 0, ..roomy_overflow() };
+        assert_eq!(
+            g.request(MIB, 8 * MIB, 130, &o),
+            SyncGrant::Denied(DenyReason::OverflowConstrained)
+        );
+    }
+
+    #[test]
+    fn denied_when_overflow_below_one_block() {
+        let p = params();
+        let g = SyncGrowth::new(&p);
+        let o = OverflowState { overflow_free_bytes: 1000, ..roomy_overflow() };
+        assert_eq!(
+            g.request(MIB, 8 * MIB, 130, &o),
+            SyncGrant::Denied(DenyReason::OverflowConstrained)
+        );
+    }
+
+    #[test]
+    fn c1_keeps_a_reserve() {
+        // Even with the whole overflow area free, at most 65% of it is
+        // grantable (the paper keeps the rest as a last reserve).
+        let p = params();
+        let g = SyncGrowth::new(&p);
+        let o = OverflowState {
+            database_memory_bytes: 5120 * MIB,
+            sum_heap_bytes: 5020 * MIB, // 100 MB overflow pool
+            lock_memory_from_overflow_bytes: 0,
+            overflow_free_bytes: 100 * MIB,
+        };
+        match g.request(u64::MAX / 4, 8 * MIB, 130, &o) {
+            SyncGrant::Granted { bytes } => {
+                let lmo_max = (0.65 * 100.0 * MIB as f64) as u64;
+                assert!(bytes <= lmo_max);
+                assert!(bytes >= lmo_max - p.block_bytes);
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grants_are_block_multiples() {
+        let p = params();
+        let g = SyncGrowth::new(&p);
+        for want in [1u64, 1000, 131_072, 131_073, 999_999] {
+            if let SyncGrant::Granted { bytes } = g.request(want, 8 * MIB, 130, &roomy_overflow()) {
+                assert_eq!(bytes % p.block_bytes, 0, "want={want}");
+                assert!(bytes >= p.block_bytes);
+            }
+        }
+    }
+}

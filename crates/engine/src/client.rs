@@ -1,0 +1,122 @@
+//! Simulated client (application connection) state.
+
+use locktune_lockmgr::AppId;
+use locktune_workload::{ClientGenerator, TxnPlan};
+
+/// Where a client is in its transaction lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ClientState {
+    /// Not participating (beyond the scheduled client count).
+    Dormant,
+    /// Thinking; a `Wake`/`Step` event is scheduled.
+    Thinking,
+    /// Acquiring locks; `step` is the next plan step.
+    Executing { step: usize },
+    /// Blocked on a lock at `step`.
+    Waiting { step: usize },
+}
+
+/// One simulated application connection.
+pub(crate) struct Client {
+    /// Lock manager identity.
+    pub app: AppId,
+    /// Transaction generator (None for the DSS client, which gets an
+    /// explicit plan).
+    pub generator: Option<ClientGenerator>,
+    /// The in-flight transaction.
+    pub plan: Option<TxnPlan>,
+    /// Lifecycle state.
+    pub state: ClientState,
+    /// Participates in the workload (schedule-controlled).
+    pub active: bool,
+    /// DSS (reporting query) client: runs its plan once, then stops.
+    pub is_dss: bool,
+    /// Event-staleness guard: events carry the epoch they were
+    /// scheduled in; aborts and phase changes bump it.
+    pub epoch: u64,
+    /// When the current lock wait began (for wait-time histograms).
+    pub waiting_since: Option<locktune_sim::SimTime>,
+    /// When the in-flight transaction began executing.
+    pub txn_start: Option<locktune_sim::SimTime>,
+    /// Monotonic count of waits this client has entered; lets a
+    /// wait-timeout event recognise that *its* wait already ended.
+    pub wait_seq: u64,
+}
+
+impl Client {
+    /// Create an OLTP client.
+    pub fn oltp(app: AppId, generator: ClientGenerator) -> Self {
+        Client {
+            app,
+            generator: Some(generator),
+            plan: None,
+            state: ClientState::Dormant,
+            active: false,
+            is_dss: false,
+            epoch: 0,
+            waiting_since: None,
+            txn_start: None,
+            wait_seq: 0,
+        }
+    }
+
+    /// Create the DSS client slot.
+    pub fn dss(app: AppId) -> Self {
+        Client {
+            app,
+            generator: None,
+            plan: None,
+            state: ClientState::Dormant,
+            active: false,
+            is_dss: true,
+            epoch: 0,
+            waiting_since: None,
+            txn_start: None,
+            wait_seq: 0,
+        }
+    }
+
+    /// Is the client mid-transaction (holding or awaiting locks)?
+    pub fn in_txn(&self) -> bool {
+        matches!(self.state, ClientState::Executing { .. } | ClientState::Waiting { .. })
+    }
+
+    /// Reset to dormant, invalidating scheduled events.
+    pub fn reset(&mut self) {
+        self.epoch += 1;
+        self.plan = None;
+        self.state = ClientState::Dormant;
+        self.waiting_since = None;
+        self.txn_start = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locktune_sim::SimRng;
+    use locktune_workload::OltpSpec;
+
+    #[test]
+    fn lifecycle_flags() {
+        let gen = ClientGenerator::new(OltpSpec::tpcc_like(), SimRng::seed_from_u64(1));
+        let mut c = Client::oltp(AppId(1), gen);
+        assert!(!c.in_txn());
+        c.state = ClientState::Executing { step: 3 };
+        assert!(c.in_txn());
+        c.state = ClientState::Waiting { step: 3 };
+        assert!(c.in_txn());
+        let e = c.epoch;
+        c.reset();
+        assert_eq!(c.epoch, e + 1);
+        assert!(!c.in_txn());
+        assert!(c.plan.is_none());
+    }
+
+    #[test]
+    fn dss_client_shape() {
+        let c = Client::dss(AppId(999));
+        assert!(c.is_dss);
+        assert!(c.generator.is_none());
+    }
+}

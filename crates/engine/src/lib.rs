@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! `locktune-engine` — the database engine simulator.
+//!
+//! Ties everything together into one discrete-event run loop:
+//! simulated OLTP/DSS clients (from `locktune-workload`) drive the lock
+//! manager (`locktune-lockmgr`), whose memory pool is governed by a
+//! pluggable [`Policy`] — the paper's self-tuning algorithm
+//! (`locktune-core` + `locktune-memory`) or one of the §2.3 baselines
+//! (`locktune-baselines`). Per-second samples land in
+//! `locktune-metrics` series, from which the bench harness regenerates
+//! every figure of the paper.
+//!
+//! The engine is fully deterministic: one seed fixes the workload, the
+//! event interleaving and therefore every output series.
+
+pub mod client;
+pub mod engine;
+pub mod policy;
+pub mod result;
+pub mod scenario;
+
+pub use engine::{Engine, EngineConfig};
+pub use policy::Policy;
+pub use result::RunResult;
+pub use scenario::Scenario;

@@ -1,0 +1,89 @@
+//! End-to-end engine tests on small scenarios.
+
+use locktune_baselines::StaticPolicy;
+use locktune_core::TunerParams;
+use locktune_engine::{Policy, Scenario};
+
+#[test]
+fn smoke_self_tuning_commits_without_escalation() {
+    let r = Scenario::smoke(Policy::SelfTuning(TunerParams::default()), 60, 20, 7).run();
+    assert!(r.committed > 100, "committed {}", r.committed);
+    assert_eq!(r.total_escalations(), 0, "self-tuning avoids escalation");
+    assert_eq!(r.oom_failures, 0);
+    assert!(r.peak_lock_bytes() >= 2.0 * 1024.0 * 1024.0, "at least the 2 MB floor");
+}
+
+#[test]
+fn smoke_is_deterministic() {
+    let a = Scenario::smoke(Policy::SelfTuning(TunerParams::default()), 30, 10, 42).run();
+    let b = Scenario::smoke(Policy::SelfTuning(TunerParams::default()), 30, 10, 42).run();
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.aborted, b.aborted);
+    assert_eq!(a.final_stats, b.final_stats);
+    let pa: Vec<_> = a.lock_bytes.iter().collect();
+    let pb: Vec<_> = b.lock_bytes.iter().collect();
+    assert_eq!(pa, pb, "lock-memory series must be byte-identical");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = Scenario::smoke(Policy::SelfTuning(TunerParams::default()), 30, 10, 1).run();
+    let b = Scenario::smoke(Policy::SelfTuning(TunerParams::default()), 30, 10, 2).run();
+    assert_ne!(a.committed, b.committed);
+}
+
+#[test]
+fn tiny_static_locklist_escalates() {
+    // 64 KiB of lock memory for 20 busy clients: the static policy must
+    // escalate (and may deny requests outright).
+    let policy = Policy::Static(StaticPolicy { locklist_bytes: 64 * 1024, maxlocks_percent: 10.0 });
+    let r = Scenario::smoke(policy, 60, 20, 7).run();
+    assert!(r.total_escalations() > 0, "static tiny LOCKLIST must escalate");
+    // Lock memory never grew.
+    assert!(r.peak_lock_bytes() <= (64.0f64 * 1024.0 / 131_072.0).ceil() * 131_072.0);
+}
+
+#[test]
+fn static_policy_throughput_below_self_tuning() {
+    let tuned = Scenario::smoke(Policy::SelfTuning(TunerParams::default()), 60, 20, 7).run();
+    let policy = Policy::Static(StaticPolicy { locklist_bytes: 64 * 1024, maxlocks_percent: 10.0 });
+    let fixed = Scenario::smoke(policy, 60, 20, 7).run();
+    assert!(
+        fixed.committed < tuned.committed,
+        "static {} vs tuned {}",
+        fixed.committed,
+        tuned.committed
+    );
+}
+
+#[test]
+fn sqlserver_policy_grows_dynamically() {
+    // 200 clients hold ~7.5k lock structures — beyond the 2500-lock
+    // (2-block) initial allocation, so the model must grow on demand.
+    let r = Scenario::smoke(Scenario::sqlserver_policy(), 60, 200, 7).run();
+    assert!(r.committed > 100);
+    assert!(r.peak_lock_bytes() > 2.0 * 131_072.0, "grew past the initial allocation");
+}
+
+#[test]
+fn lock_series_are_consistent() {
+    let r = Scenario::smoke(Policy::SelfTuning(TunerParams::default()), 30, 10, 3).run();
+    // used <= allocated at every sample.
+    for ((_, alloc), (_, used)) in r.lock_bytes.iter().zip(r.lock_used_bytes.iter()) {
+        assert!(used <= alloc + 1e-9, "used {used} > allocated {alloc}");
+    }
+    // Escalation counter is monotone.
+    let mut prev = -1.0;
+    for (_, v) in r.escalations.iter() {
+        assert!(v >= prev);
+        prev = v;
+    }
+}
+
+#[test]
+fn throughput_series_covers_run() {
+    let r = Scenario::smoke(Policy::SelfTuning(TunerParams::default()), 30, 10, 3).run();
+    assert!(!r.throughput.is_empty());
+    let total_windows: f64 = r.throughput.iter().map(|(_, v)| v).sum();
+    assert!(total_windows > 0.0, "some committed throughput recorded");
+}

@@ -1,0 +1,220 @@
+//! Deadlock detection over the wait-for graph.
+//!
+//! The lock manager exposes `wait_edges()`; this module finds cycles
+//! and picks victims. DB2 runs its detector on a timer; the simulation
+//! engine does the same (an event every detection interval).
+
+use crate::app::AppId;
+use crate::hash::{FxHashMap, FxHashSet};
+
+/// A deadlock victim and the cycle it was chosen from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Victim {
+    /// Application to abort.
+    pub app: AppId,
+    /// The cycle (in wait-for order) the victim participates in.
+    pub cycle: Vec<AppId>,
+}
+
+/// Cycle detector with deterministic victim selection.
+#[derive(Debug, Default)]
+pub struct DeadlockDetector;
+
+impl DeadlockDetector {
+    /// Create a detector.
+    pub fn new() -> Self {
+        DeadlockDetector
+    }
+
+    /// Find deadlock victims in the wait-for graph given as edges
+    /// `(waiter, waited-for)`.
+    ///
+    /// Strategy: iteratively find a cycle, select the victim with the
+    /// **highest AppId** in the cycle (deterministic "youngest
+    /// connection" heuristic), remove it from the graph, and repeat
+    /// until acyclic. Returns victims in selection order.
+    pub fn find_victims(&self, edges: &[(AppId, AppId)]) -> Vec<Victim> {
+        let mut adj: FxHashMap<AppId, Vec<AppId>> = FxHashMap::default();
+        for &(from, to) in edges {
+            adj.entry(from).or_default().push(to);
+            adj.entry(to).or_default();
+        }
+        for targets in adj.values_mut() {
+            targets.sort();
+            targets.dedup();
+        }
+        let mut victims = Vec::new();
+        let mut removed: FxHashSet<AppId> = FxHashSet::default();
+        while let Some(cycle) = find_cycle(&adj, &removed) {
+            let victim = *cycle.iter().max().expect("cycle is non-empty");
+            removed.insert(victim);
+            victims.push(Victim { app: victim, cycle });
+        }
+        victims
+    }
+}
+
+/// DFS cycle search, skipping removed nodes. Returns the first cycle
+/// found (deterministic: nodes visited in sorted order).
+fn find_cycle(
+    adj: &FxHashMap<AppId, Vec<AppId>>,
+    removed: &FxHashSet<AppId>,
+) -> Option<Vec<AppId>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut nodes: Vec<AppId> = adj.keys().copied().filter(|a| !removed.contains(a)).collect();
+    nodes.sort();
+    let mut color: FxHashMap<AppId, Color> =
+        nodes.iter().map(|&n| (n, Color::White)).collect();
+    let mut stack: Vec<AppId> = Vec::new();
+
+    fn dfs(
+        node: AppId,
+        adj: &FxHashMap<AppId, Vec<AppId>>,
+        removed: &FxHashSet<AppId>,
+        color: &mut FxHashMap<AppId, Color>,
+        stack: &mut Vec<AppId>,
+    ) -> Option<Vec<AppId>> {
+        color.insert(node, Color::Gray);
+        stack.push(node);
+        if let Some(next) = adj.get(&node) {
+            for &n in next {
+                if removed.contains(&n) {
+                    continue;
+                }
+                match color.get(&n).copied().unwrap_or(Color::White) {
+                    Color::Gray => {
+                        // Cycle: slice of the stack from n to the top.
+                        let start = stack.iter().position(|&s| s == n).expect("gray on stack");
+                        return Some(stack[start..].to_vec());
+                    }
+                    Color::White => {
+                        if let Some(c) = dfs(n, adj, removed, color, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+        }
+        stack.pop();
+        color.insert(node, Color::Black);
+        None
+    }
+
+    for &n in &nodes {
+        if color[&n] == Color::White {
+            if let Some(c) = dfs(n, adj, removed, &mut color, &mut stack) {
+                return Some(c);
+            }
+            stack.clear();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u32) -> AppId {
+        AppId(n)
+    }
+
+    #[test]
+    fn no_edges_no_victims() {
+        let d = DeadlockDetector::new();
+        assert!(d.find_victims(&[]).is_empty());
+    }
+
+    #[test]
+    fn chain_is_not_a_deadlock() {
+        let d = DeadlockDetector::new();
+        let edges = [(a(1), a(2)), (a(2), a(3)), (a(3), a(4))];
+        assert!(d.find_victims(&edges).is_empty());
+    }
+
+    #[test]
+    fn two_cycle_picks_youngest() {
+        let d = DeadlockDetector::new();
+        let edges = [(a(1), a(2)), (a(2), a(1))];
+        let v = d.find_victims(&edges);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].app, a(2));
+        assert_eq!(v[0].cycle.len(), 2);
+    }
+
+    #[test]
+    fn three_cycle() {
+        let d = DeadlockDetector::new();
+        let edges = [(a(5), a(3)), (a(3), a(9)), (a(9), a(5))];
+        let v = d.find_victims(&edges);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].app, a(9));
+    }
+
+    #[test]
+    fn self_wait_is_a_cycle() {
+        // Should not occur in practice (the manager never makes an app
+        // wait on itself), but the detector must not loop forever.
+        let d = DeadlockDetector::new();
+        let v = d.find_victims(&[(a(1), a(1))]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].app, a(1));
+    }
+
+    #[test]
+    fn multiple_independent_cycles() {
+        let d = DeadlockDetector::new();
+        let edges = [
+            (a(1), a(2)),
+            (a(2), a(1)),
+            (a(10), a(11)),
+            (a(11), a(10)),
+        ];
+        let v = d.find_victims(&edges);
+        let victims: Vec<AppId> = v.iter().map(|x| x.app).collect();
+        assert_eq!(victims.len(), 2);
+        assert!(victims.contains(&a(2)));
+        assert!(victims.contains(&a(11)));
+    }
+
+    #[test]
+    fn overlapping_cycles_resolved_incrementally() {
+        // 1 -> 2 -> 1 and 2 -> 3 -> 2: killing 3 alone leaves 1<->2;
+        // killing 2 breaks both. The detector may need one or two
+        // victims depending on order; the end state must be acyclic.
+        let d = DeadlockDetector::new();
+        let edges = [(a(1), a(2)), (a(2), a(1)), (a(2), a(3)), (a(3), a(2))];
+        let v = d.find_victims(&edges);
+        assert!(!v.is_empty() && v.len() <= 2);
+        // Verify the surviving graph is acyclic by re-running with
+        // victims removed.
+        let removed: Vec<AppId> = v.iter().map(|x| x.app).collect();
+        let remaining: Vec<(AppId, AppId)> = edges
+            .iter()
+            .copied()
+            .filter(|(x, y)| !removed.contains(x) && !removed.contains(y))
+            .collect();
+        assert!(d.find_victims(&remaining).is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let d = DeadlockDetector::new();
+        let edges = [
+            (a(4), a(7)),
+            (a(7), a(2)),
+            (a(2), a(4)),
+            (a(9), a(4)),
+        ];
+        let v1 = d.find_victims(&edges);
+        let v2 = d.find_victims(&edges);
+        assert_eq!(v1, v2);
+        assert_eq!(v1[0].app, a(7), "highest id in the cycle");
+    }
+}

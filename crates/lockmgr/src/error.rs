@@ -1,0 +1,41 @@
+//! Lock manager errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::resource::ResourceId;
+
+/// Errors surfaced by lock manager operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// The application does not hold the named lock.
+    NotHeld(ResourceId),
+    /// The application has no row locks that escalation could collapse.
+    NothingToEscalate,
+    /// Lock memory exhausted, synchronous growth denied and escalation
+    /// could not free enough memory.
+    OutOfLockMemory,
+    /// A row lock was requested without the matching table intent lock.
+    MissingIntent(ResourceId),
+    /// The application is already waiting on another resource (a
+    /// simulated client can block on only one lock at a time).
+    AlreadyWaiting(ResourceId),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::NotHeld(r) => write!(f, "lock on {r} not held"),
+            LockError::NothingToEscalate => write!(f, "no row locks to escalate"),
+            LockError::OutOfLockMemory => write!(f, "out of lock memory"),
+            LockError::MissingIntent(r) => {
+                write!(f, "row lock on {r} requested without table intent lock")
+            }
+            LockError::AlreadyWaiting(r) => {
+                write!(f, "application already waiting on {r}")
+            }
+        }
+    }
+}
+
+impl Error for LockError {}

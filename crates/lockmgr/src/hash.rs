@@ -1,0 +1,122 @@
+//! A fast, non-cryptographic hasher for the lock table.
+//!
+//! The lock table is keyed by small integer-like ids and sits on the
+//! hottest path in the system; SipHash's HashDoS resistance buys
+//! nothing here (keys are internal, not attacker-controlled). This is
+//! the FxHash algorithm used by rustc (public domain), implemented
+//! locally to stay within the approved dependency set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` alias using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` alias using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-fx hash state.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"abc"), hash_of(&"abc"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&(1u32, 2u64)), hash_of(&(2u32, 1u64)));
+    }
+
+    #[test]
+    fn handles_unaligned_byte_strings() {
+        assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 4]));
+        assert_ne!(hash_of(&[0u8; 7][..]), hash_of(&[0u8; 9][..]));
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, "v");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&999));
+    }
+
+    #[test]
+    fn reasonable_distribution_over_sequential_keys() {
+        // Sequential ids must not collide in the low bits the HashMap
+        // actually uses.
+        let mut low_bits = FxHashSet::default();
+        for i in 0u64..4096 {
+            low_bits.insert(hash_of(&i) & 0xFFF);
+        }
+        assert!(low_bits.len() > 2048, "low-bit diversity {}", low_bits.len());
+    }
+}

@@ -1,0 +1,80 @@
+//! The policy boundary between the lock manager and the memory tuner.
+//!
+//! The lock manager is mechanism: it stores locks, queues waiters and
+//! performs escalations. *When* memory may grow and *how much* one
+//! application may hold is policy, supplied through [`TuningHooks`]:
+//!
+//! * the self-tuning engine routes these calls into
+//!   `locktune-core`'s tuner and the STMM memory model;
+//! * the baseline policies (static `LOCKLIST`, SQL Server model, …)
+//!   implement the same trait with their own rules, so every policy
+//!   runs on the identical lock manager.
+
+use locktune_memalloc::PoolStats;
+
+use crate::resource::TableId;
+use crate::AppId;
+
+/// Callbacks the lock manager makes at its policy points.
+pub trait TuningHooks {
+    /// Called once per lock-structure request. Returns the current
+    /// `lockPercentPerApplication` (percent of total lock memory one
+    /// application may hold before escalating).
+    fn on_lock_request(&mut self, pool: &PoolStats) -> f64;
+
+    /// The pool is exhausted: how many bytes may it grow *right now*
+    /// (synchronously)? Return 0 to deny; the lock manager will then
+    /// escalate. Return value is rounded down to whole blocks by the
+    /// caller.
+    fn sync_growth(&mut self, wanted_bytes: u64, pool: &PoolStats) -> u64;
+
+    /// The pool was resized (synchronously or by the tuning interval).
+    fn on_pool_resized(&mut self, pool: &PoolStats);
+
+    /// An escalation completed.
+    fn on_escalation(&mut self, app: AppId, table: TableId, exclusive: bool) {
+        let _ = (app, table, exclusive);
+    }
+}
+
+/// A fixed policy: constant `MAXLOCKS` percentage and no growth —
+/// the pre-DB2 9 static configuration the paper's Figure 7/8
+/// experiment uses.
+#[derive(Debug, Clone, Copy)]
+pub struct NoTuning {
+    /// Fixed `MAXLOCKS` percentage (DB2's historical default was 10).
+    pub max_locks_percent: f64,
+}
+
+impl Default for NoTuning {
+    fn default() -> Self {
+        NoTuning { max_locks_percent: 10.0 }
+    }
+}
+
+impl TuningHooks for NoTuning {
+    fn on_lock_request(&mut self, _pool: &PoolStats) -> f64 {
+        self.max_locks_percent
+    }
+
+    fn sync_growth(&mut self, _wanted_bytes: u64, _pool: &PoolStats) -> u64 {
+        0
+    }
+
+    fn on_pool_resized(&mut self, _pool: &PoolStats) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locktune_memalloc::{LockMemoryPool, PoolConfig};
+
+    #[test]
+    fn no_tuning_denies_growth_and_fixes_cap() {
+        let pool = LockMemoryPool::with_bytes(PoolConfig::default(), 1 << 20);
+        let stats = pool.stats();
+        let mut h = NoTuning::default();
+        assert_eq!(h.on_lock_request(&stats), 10.0);
+        assert_eq!(h.sync_growth(1 << 20, &stats), 0);
+    }
+}

@@ -1,0 +1,874 @@
+//! The lock manager proper.
+//!
+//! All operations are atomic with respect to the simulated clients: the
+//! discrete-event engine calls one operation at a time, so compound
+//! actions (escalation = upgrade table lock + release row locks +
+//! re-process queues) never expose intermediate states. Grants produced
+//! as a side effect of releases are delivered through a notification
+//! queue ([`LockManager::take_notifications`]) so the engine can wake
+//! the blocked clients.
+
+use locktune_memalloc::{LockMemoryPool, PoolError, SlotHandle};
+
+use crate::app::{AppId, AppLockState};
+use crate::error::LockError;
+use crate::hash::FxHashMap;
+use crate::hooks::TuningHooks;
+use crate::mode::LockMode;
+use crate::resource::{ResourceId, TableId};
+use crate::stats::LockStats;
+use crate::table::{EscalationTicket, Granted, LockHead, WaitKind, Waiter};
+
+/// Structural configuration of the lock manager.
+#[derive(Debug, Clone, Copy)]
+pub struct LockManagerConfig {
+    /// Lock structures charged to the first holder of a resource (DB2
+    /// charges roughly double for the first lock: lock object plus
+    /// request block).
+    pub first_holder_slots: u32,
+    /// Lock structures charged to each additional holder.
+    pub extra_holder_slots: u32,
+    /// Require a covering table intent lock before row locks (on by
+    /// default; disable only in focused unit tests).
+    pub enforce_intents: bool,
+}
+
+impl Default for LockManagerConfig {
+    fn default() -> Self {
+        LockManagerConfig { first_holder_slots: 2, extra_holder_slots: 1, enforce_intents: true }
+    }
+}
+
+/// Per-application escalation preference (paper §6.1 future work:
+/// "application policies to bias when lock escalations are a preferred
+/// strategy over lock memory growth").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EscalationBias {
+    /// Default: grow lock memory; escalate only when forced.
+    #[default]
+    PreferGrowth,
+    /// Opt into early escalation once this many row locks are held on
+    /// one table, trading concurrency for lock memory that the other
+    /// heaps (caching, sorting) can use.
+    PreferEscalation {
+        /// Row locks held on a single table before escalating.
+        table_row_threshold: u64,
+    },
+}
+
+/// Result of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// Granted immediately (new holding or in-place conversion).
+    Granted,
+    /// The application already held a covering lock on this resource.
+    AlreadyHeld,
+    /// A held table lock covers the requested row lock; no row lock was
+    /// taken.
+    CoveredByTableLock,
+    /// Queued; the engine will be notified on grant.
+    Queued,
+    /// Granted, but only after escalating this application's row locks
+    /// on `table` into a single table lock.
+    GrantedAfterEscalation {
+        /// Escalated table.
+        table: TableId,
+        /// Whether the escalated table lock is exclusive.
+        exclusive: bool,
+    },
+    /// Queued on the escalated table lock; the escalation (and the
+    /// original request) completes when the table lock is granted.
+    QueuedWithEscalation {
+        /// Table being escalated.
+        table: TableId,
+    },
+}
+
+/// Notification that a queued request was granted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantNotice {
+    /// Application whose wait completed.
+    pub app: AppId,
+    /// Resource granted.
+    pub resource: ResourceId,
+    /// True when the grant completed a pending escalation.
+    pub completed_escalation: bool,
+}
+
+/// Summary returned by `unlock_all` / `abort`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnlockReport {
+    /// Holdings released.
+    pub released_locks: u64,
+    /// Lock structure slots returned to the pool.
+    pub freed_slots: u64,
+}
+
+/// The DB2-style lock manager.
+#[derive(Debug)]
+pub struct LockManager {
+    config: LockManagerConfig,
+    heads: FxHashMap<ResourceId, LockHead>,
+    apps: FxHashMap<AppId, AppLockState>,
+    pool: LockMemoryPool,
+    stats: LockStats,
+    seq: u64,
+    notifications: Vec<GrantNotice>,
+    biases: FxHashMap<AppId, EscalationBias>,
+}
+
+impl LockManager {
+    /// Create a lock manager over the given memory pool.
+    pub fn new(pool: LockMemoryPool, config: LockManagerConfig) -> Self {
+        LockManager {
+            config,
+            heads: FxHashMap::default(),
+            apps: FxHashMap::default(),
+            pool,
+            stats: LockStats::default(),
+            seq: 0,
+            notifications: Vec::new(),
+            biases: FxHashMap::default(),
+        }
+    }
+
+    /// Register an application's escalation preference (§6.1). The
+    /// default is [`EscalationBias::PreferGrowth`].
+    pub fn set_escalation_bias(&mut self, app: AppId, bias: EscalationBias) {
+        self.biases.insert(app, bias);
+    }
+
+    /// The effective bias for an application.
+    pub fn escalation_bias(&self, app: AppId) -> EscalationBias {
+        self.biases.get(&app).copied().unwrap_or_default()
+    }
+
+    /// The underlying memory pool.
+    pub fn pool(&self) -> &LockMemoryPool {
+        &self.pool
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    /// Per-application state, if the application is known.
+    pub fn app(&self, app: AppId) -> Option<&AppLockState> {
+        self.apps.get(&app)
+    }
+
+    /// Number of resources with live lock heads.
+    pub fn locked_resources(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Drain grant notifications produced since the last call.
+    pub fn take_notifications(&mut self) -> Vec<GrantNotice> {
+        std::mem::take(&mut self.notifications)
+    }
+
+    /// Resize the pool towards `target_bytes` (whole blocks,
+    /// best-effort shrink). Returns the resulting pool size in bytes.
+    pub fn resize_pool_to_bytes(&mut self, target_bytes: u64, hooks: &mut dyn TuningHooks) -> u64 {
+        let blocks = target_bytes / self.pool.config().block_bytes;
+        let before = self.pool.total_blocks();
+        let after = self.pool.resize_to_blocks(blocks);
+        if after != before {
+            hooks.on_pool_resized(&self.pool.stats());
+        }
+        self.pool.total_bytes()
+    }
+
+    // ==================================================================
+    // Lock acquisition
+    // ==================================================================
+
+    /// Request `mode` on `res` for `app`.
+    pub fn lock(
+        &mut self,
+        app: AppId,
+        res: ResourceId,
+        mode: LockMode,
+        hooks: &mut dyn TuningHooks,
+    ) -> Result<LockOutcome, LockError> {
+        let app_state = self.apps.entry(app).or_default();
+        if let Some(waiting) = app_state.waiting_on() {
+            return Err(LockError::AlreadyWaiting(waiting));
+        }
+
+        // A held table lock may cover the row request entirely.
+        if let ResourceId::Row(table, _) = res {
+            let table_res = ResourceId::Table(table);
+            match app_state.held(&table_res) {
+                Some(h) if h.mode.covers(mode.escalation_table_mode()) => {
+                    self.stats.covered_by_table += 1;
+                    return Ok(LockOutcome::CoveredByTableLock);
+                }
+                Some(h) if self.config.enforce_intents
+                    // Intent must announce the row mode (IS for S, IX for X).
+                    && !h.mode.covers(mode.intent_for_row_mode()) => {
+                        return Err(LockError::MissingIntent(res));
+                    }
+                None if self.config.enforce_intents => {
+                    return Err(LockError::MissingIntent(res));
+                }
+                _ => {}
+            }
+        }
+
+        // §3.5: every lock-structure request refreshes the adaptive cap.
+        let cap_percent = hooks.on_lock_request(&self.pool.stats());
+
+        // Existing holding: re-entrant grant or conversion.
+        if let Some(held) = self.apps[&app].held(&res) {
+            let held_mode = held.mode;
+            if held_mode.covers(mode) {
+                self.apps.get_mut(&app).expect("known app").record_grant(res, mode, 0);
+                self.stats.grants += 1;
+                return Ok(LockOutcome::AlreadyHeld);
+            }
+            let target = held_mode.supremum(mode);
+            let seq = self.next_seq();
+            let head = self.heads.get_mut(&res).expect("held lock has a head");
+            if head.compatible_for(app, target) {
+                head.holder_mut(app).expect("holder entry").mode = target;
+                self.apps.get_mut(&app).expect("known app").record_conversion(res, target);
+                self.stats.conversions += 1;
+                self.stats.grants += 1;
+                return Ok(LockOutcome::Granted);
+            }
+            // Conversions queue at the front: they beat new requests.
+            head.queue.push_front(Waiter {
+                app,
+                mode: target,
+                kind: WaitKind::Conversion,
+                seq,
+                escalation: None,
+            });
+            self.apps.get_mut(&app).expect("known app").set_waiting(Some(res));
+            self.stats.waits += 1;
+            return Ok(LockOutcome::Queued);
+        }
+
+        // New request. FIFO: a non-empty queue means we wait behind it.
+        let head = self.heads.entry(res).or_default();
+        if !head.queue.is_empty() || !head.compatible_for(app, mode) {
+            let seq = self.seq;
+            self.seq += 1;
+            head.queue.push_back(Waiter { app, mode, kind: WaitKind::New, seq, escalation: None });
+            self.apps.get_mut(&app).expect("known app").set_waiting(Some(res));
+            self.stats.waits += 1;
+            return Ok(LockOutcome::Queued);
+        }
+
+        let slots_needed = if head.granted.is_empty() {
+            self.config.first_holder_slots
+        } else {
+            self.config.extra_holder_slots
+        };
+
+        // §6.1 selective escalation: an application that prefers
+        // escalation collapses its row locks as soon as its per-table
+        // threshold is reached, keeping lock memory small.
+        if let ResourceId::Row(req_table, _) = res {
+            if let EscalationBias::PreferEscalation { table_row_threshold } =
+                self.escalation_bias(app)
+            {
+                let rows_held = self.apps[&app].table_holdings(req_table).rows;
+                if rows_held >= table_row_threshold {
+                    self.stats.voluntary_escalations += 1;
+                    return self.escalate_requester_on(app, Some(req_table), res, mode, hooks);
+                }
+            }
+        }
+
+        // MAXLOCKS / lockPercentPerApplication check (row locks only).
+        if res.is_row() {
+            let cap_slots = (cap_percent / 100.0 * self.pool.total_slots() as f64) as u64;
+            let app_slots = self.apps[&app].total_slots();
+            if app_slots + slots_needed as u64 > cap_slots {
+                // The tuned system prefers growing the pool over
+                // escalating (§3.5): ask for enough synchronous growth
+                // to bring this application's share back under the cap.
+                if cap_percent > 0.0 {
+                    let needed_total =
+                        ((app_slots + slots_needed as u64) as f64 * 100.0 / cap_percent).ceil()
+                            as u64;
+                    let total = self.pool.total_slots();
+                    if needed_total > total {
+                        let block = self.pool.config().block_bytes;
+                        let raw = (needed_total - total) * self.pool.config().lock_struct_bytes;
+                        let wanted = raw.div_ceil(block) * block;
+                        self.stats.sync_growth_requests += 1;
+                        let granted = hooks.sync_growth(wanted, &self.pool.stats());
+                        let blocks = granted / self.pool.config().block_bytes;
+                        if blocks > 0 {
+                            self.pool.grow_blocks(blocks);
+                            hooks.on_pool_resized(&self.pool.stats());
+                        }
+                    }
+                }
+                let cap_slots =
+                    (cap_percent / 100.0 * self.pool.total_slots() as f64) as u64;
+                if app_slots + slots_needed as u64 > cap_slots
+                    && self.apps[&app].most_locked_table().is_some()
+                {
+                    return self.escalate_requester(app, res, mode, hooks);
+                }
+            }
+        }
+
+        // Allocate lock structures (synchronous growth, then memory-
+        // pressure escalation, are the fallbacks).
+        let handles = match self.allocate_slots(slots_needed, hooks) {
+            Ok(h) => h,
+            Err(()) => {
+                let reclaimed = self.reclaim_by_escalation(slots_needed as u64, hooks);
+                match (reclaimed, self.allocate_slots(slots_needed, hooks)) {
+                    (true, Ok(h)) => h,
+                    _ => {
+                        // No victim could be escalated in place. DB2's
+                        // last resort is the requester itself: collapse
+                        // its own row locks into a table lock, waiting
+                        // on that table lock if it is contended.
+                        if self.apps[&app].most_locked_table().is_some() {
+                            return self.escalate_requester(app, res, mode, hooks);
+                        }
+                        self.stats.denials += 1;
+                        return Err(LockError::OutOfLockMemory);
+                    }
+                }
+            }
+        };
+
+        let slots = handles.len() as u64;
+        self.heads.entry(res).or_default().granted.push(Granted { app, mode, slots: handles });
+        self.apps.get_mut(&app).expect("known app").record_grant(res, mode, slots);
+        self.stats.grants += 1;
+        Ok(LockOutcome::Granted)
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Allocate `n` lock structures, growing synchronously through the
+    /// hooks when the pool runs dry. On failure every slot already
+    /// taken is returned.
+    fn allocate_slots(
+        &mut self,
+        n: u32,
+        hooks: &mut dyn TuningHooks,
+    ) -> Result<Vec<SlotHandle>, ()> {
+        let mut handles = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            loop {
+                match self.pool.allocate() {
+                    Ok(h) => {
+                        handles.push(h);
+                        break;
+                    }
+                    Err(PoolError::Exhausted) => {
+                        self.stats.sync_growth_requests += 1;
+                        let block = self.pool.config().block_bytes;
+                        let granted = hooks.sync_growth(block, &self.pool.stats());
+                        let blocks = granted / block;
+                        if blocks == 0 {
+                            self.stats.sync_growth_denied += 1;
+                            for h in handles {
+                                self.pool.free(h).expect("just allocated");
+                            }
+                            return Err(());
+                        }
+                        self.pool.grow_blocks(blocks);
+                        hooks.on_pool_resized(&self.pool.stats());
+                    }
+                    Err(e) => unreachable!("allocate cannot fail with {e}"),
+                }
+            }
+        }
+        Ok(handles)
+    }
+
+    // ==================================================================
+    // Escalation
+    // ==================================================================
+
+    /// MAXLOCKS-triggered escalation of the requesting application.
+    fn escalate_requester(
+        &mut self,
+        app: AppId,
+        res: ResourceId,
+        mode: LockMode,
+        hooks: &mut dyn TuningHooks,
+    ) -> Result<LockOutcome, LockError> {
+        self.escalate_requester_on(app, None, res, mode, hooks)
+    }
+
+    /// Escalate the requester on `table` (or its most-locked table).
+    fn escalate_requester_on(
+        &mut self,
+        app: AppId,
+        table: Option<TableId>,
+        res: ResourceId,
+        mode: LockMode,
+        hooks: &mut dyn TuningHooks,
+    ) -> Result<LockOutcome, LockError> {
+        let table = match table {
+            Some(t) => t,
+            None => self.apps[&app].most_locked_table().ok_or(LockError::NothingToEscalate)?,
+        };
+        // The escalated table lock must also cover the pending request
+        // when it targets the same table.
+        let mut target = self.escalation_mode(app, table);
+        if res.table() == table {
+            target = target.supremum(mode.escalation_table_mode());
+        }
+        let table_res = ResourceId::Table(table);
+        let compatible = self
+            .heads
+            .get(&table_res)
+            .map(|h| h.compatible_for(app, target))
+            .unwrap_or(true);
+        if compatible {
+            self.perform_escalation(app, table, target, hooks);
+            if res.table() == table {
+                // The new table lock covers the original row request.
+                return Ok(LockOutcome::GrantedAfterEscalation {
+                    table,
+                    exclusive: target == LockMode::X,
+                });
+            }
+            // Different table: retry the row lock now that memory and
+            // the per-app share have been freed.
+            return match self.lock(app, res, mode, hooks)? {
+                LockOutcome::Granted | LockOutcome::AlreadyHeld => {
+                    Ok(LockOutcome::GrantedAfterEscalation {
+                        table,
+                        exclusive: target == LockMode::X,
+                    })
+                }
+                other => Ok(other),
+            };
+        }
+        // Table lock contended: queue the escalation as a front-of-queue
+        // conversion; the row locks are released when it is granted.
+        let seq = self.next_seq();
+        let head = self.heads.entry(table_res).or_default();
+        head.queue.push_front(Waiter {
+            app,
+            mode: target,
+            kind: WaitKind::Conversion,
+            seq,
+            escalation: Some(EscalationTicket { table }),
+        });
+        self.apps.get_mut(&app).expect("known app").set_waiting(Some(table_res));
+        self.stats.waits += 1;
+        Ok(LockOutcome::QueuedWithEscalation { table })
+    }
+
+    /// The table mode an escalation of `app`'s rows on `table` needs.
+    fn escalation_mode(&self, app: AppId, table: TableId) -> LockMode {
+        let holdings = self.apps[&app].table_holdings(table);
+        if holdings.write_rows > 0 {
+            LockMode::X
+        } else {
+            LockMode::S
+        }
+    }
+
+    /// Memory-pressure escalation: collapse row locks of the heaviest
+    /// applications until at least `needed` structures are free.
+    /// Returns true once enough memory is free.
+    fn reclaim_by_escalation(&mut self, needed: u64, hooks: &mut dyn TuningHooks) -> bool {
+        loop {
+            if self.pool.free_slots() >= needed {
+                return true;
+            }
+            // Candidate: the (app, table) with the most row slots whose
+            // escalation is immediately grantable.
+            let mut best: Option<(u64, AppId, TableId)> = None;
+            for (&app, state) in &self.apps {
+                for table in state.tables_with_rows() {
+                    let holdings = state.table_holdings(table);
+                    let target = if holdings.write_rows > 0 { LockMode::X } else { LockMode::S };
+                    let table_res = ResourceId::Table(table);
+                    let compatible = self
+                        .heads
+                        .get(&table_res)
+                        .map(|h| h.compatible_for(app, target))
+                        .unwrap_or(true);
+                    if !compatible {
+                        continue;
+                    }
+                    // Escalation must net-free memory: it frees the row
+                    // slots (>= 1 row with > 0 slots).
+                    if holdings.slots == 0 {
+                        continue;
+                    }
+                    let key = (holdings.slots, app, table);
+                    if best.map(|(s, a, t)| key > (s, a, t)).unwrap_or(true) {
+                        best = Some(key);
+                    }
+                }
+            }
+            let Some((_, app, table)) = best else {
+                return self.pool.free_slots() >= needed;
+            };
+            let target = self.escalation_mode(app, table);
+            self.perform_escalation(app, table, target, hooks);
+        }
+    }
+
+    /// Execute an escalation: upgrade (or create) the table lock and
+    /// release every row lock `app` holds on `table`.
+    fn perform_escalation(
+        &mut self,
+        app: AppId,
+        table: TableId,
+        target: LockMode,
+        hooks: &mut dyn TuningHooks,
+    ) {
+        let table_res = ResourceId::Table(table);
+        // Upgrade the existing table holding (the intent lock).
+        let head = self.heads.entry(table_res).or_default();
+        match head.holder_mut(app) {
+            Some(g) => {
+                let new_mode = g.mode.supremum(target);
+                g.mode = new_mode;
+                self.apps.get_mut(&app).expect("known app").record_conversion(table_res, new_mode);
+            }
+            None => {
+                // No intent held (enforce_intents off): take the table
+                // lock with zero structures — escalation must free
+                // memory, never consume it while the pool is dry.
+                head.granted.push(Granted { app, mode: target, slots: Vec::new() });
+                self.apps.get_mut(&app).expect("known app").record_grant(table_res, target, 0);
+            }
+        }
+
+        // Release every row lock on the table.
+        let rows: Vec<ResourceId> = self.apps[&app]
+            .held_resources()
+            .filter_map(|(r, _)| match r {
+                ResourceId::Row(t, _) if *t == table => Some(*r),
+                _ => None,
+            })
+            .collect();
+        let mut worklist = Vec::with_capacity(rows.len());
+        let mut released = 0u64;
+        for res in rows {
+            released += 1;
+            self.release_one(app, res);
+            worklist.push(res);
+        }
+        let exclusive = target == LockMode::X;
+        self.stats.escalations += 1;
+        if exclusive {
+            self.stats.exclusive_escalations += 1;
+        }
+        self.stats.rows_escalated += released;
+        hooks.on_escalation(app, table, exclusive);
+        self.process_queues(worklist, hooks);
+    }
+
+    // ==================================================================
+    // Release paths
+    // ==================================================================
+
+    /// Remove `app`'s granted entry on `res` and return its slots to
+    /// the pool. Does *not* process the queue (callers batch that).
+    fn release_one(&mut self, app: AppId, res: ResourceId) -> u64 {
+        let Some(head) = self.heads.get_mut(&res) else { return 0 };
+        let Some(pos) = head.granted.iter().position(|g| g.app == app) else { return 0 };
+        let granted = head.granted.swap_remove(pos);
+        let freed = granted.slots.len() as u64;
+        for h in granted.slots {
+            self.pool.free(h).expect("granted slots are live");
+        }
+        self.apps.get_mut(&app).expect("known app").remove(&res);
+        freed
+    }
+
+    /// Release one lock explicitly (non-2PL callers and tests).
+    pub fn unlock(
+        &mut self,
+        app: AppId,
+        res: ResourceId,
+        hooks: &mut dyn TuningHooks,
+    ) -> Result<UnlockReport, LockError> {
+        if self.apps.get(&app).and_then(|a| a.held(&res)).is_none() {
+            return Err(LockError::NotHeld(res));
+        }
+        let freed = self.release_one(app, res);
+        self.process_queues(vec![res], hooks);
+        Ok(UnlockReport { released_locks: 1, freed_slots: freed })
+    }
+
+    /// Release everything `app` holds (commit under strict 2PL).
+    pub fn unlock_all(&mut self, app: AppId, hooks: &mut dyn TuningHooks) -> UnlockReport {
+        let Some(state) = self.apps.get_mut(&app) else {
+            return UnlockReport::default();
+        };
+        let held = state.drain();
+        let mut report = UnlockReport::default();
+        let mut worklist = Vec::with_capacity(held.len());
+        for (res, _) in held {
+            let Some(head) = self.heads.get_mut(&res) else { continue };
+            if let Some(pos) = head.granted.iter().position(|g| g.app == app) {
+                let granted = head.granted.swap_remove(pos);
+                report.released_locks += 1;
+                report.freed_slots += granted.slots.len() as u64;
+                for h in granted.slots {
+                    self.pool.free(h).expect("granted slots are live");
+                }
+                worklist.push(res);
+            }
+        }
+        self.process_queues(worklist, hooks);
+        report
+    }
+
+    /// Remove `app`'s pending wait, if any. Returns true if a wait was
+    /// cancelled.
+    pub fn cancel_wait(&mut self, app: AppId) -> bool {
+        let Some(state) = self.apps.get_mut(&app) else { return false };
+        let Some(res) = state.waiting_on() else { return false };
+        state.set_waiting(None);
+        if let Some(head) = self.heads.get_mut(&res) {
+            head.remove_waiter(app);
+            if head.is_empty() {
+                self.heads.remove(&res);
+            }
+        }
+        self.stats.cancelled_waits += 1;
+        true
+    }
+
+    /// Abort `app` (deadlock victim): cancel its wait and release all
+    /// its locks.
+    pub fn abort(&mut self, app: AppId, hooks: &mut dyn TuningHooks) -> UnlockReport {
+        self.cancel_wait(app);
+        self.stats.deadlock_aborts += 1;
+        self.unlock_all(app, hooks)
+    }
+
+    // ==================================================================
+    // Queue processing
+    // ==================================================================
+
+    /// Grant queued requests (strict FIFO) on every resource in the
+    /// worklist; escalation tickets completing here may extend the
+    /// worklist with the rows they release.
+    fn process_queues(&mut self, mut worklist: Vec<ResourceId>, hooks: &mut dyn TuningHooks) {
+        while let Some(res) = worklist.pop() {
+            // Not a `while let`: the loop body has three distinct exits
+            // (empty head, incompatible front, allocation failure).
+            #[allow(clippy::while_let_loop)]
+            loop {
+                let Some(head) = self.heads.get_mut(&res) else { break };
+                let Some(front) = head.queue.front() else {
+                    if head.is_empty() {
+                        self.heads.remove(&res);
+                    }
+                    break;
+                };
+                let app = front.app;
+                let kind = front.kind;
+                let escalation = front.escalation;
+                let target = match kind {
+                    WaitKind::Conversion => {
+                        let held = head.holder(app).map(|g| g.mode);
+                        match held {
+                            Some(m) => m.supremum(front.mode),
+                            // Holder vanished (aborted): treat as new.
+                            None => front.mode,
+                        }
+                    }
+                    WaitKind::New => front.mode,
+                };
+                if !head.compatible_for(app, target) {
+                    break;
+                }
+                // Grant the front waiter.
+                let needs_slots = match kind {
+                    WaitKind::Conversion if head.holder(app).is_some() => 0,
+                    _ => {
+                        if head.granted.is_empty() {
+                            self.config.first_holder_slots
+                        } else {
+                            self.config.extra_holder_slots
+                        }
+                    }
+                };
+                let handles = if needs_slots > 0 {
+                    match self.allocate_slots(needs_slots, hooks) {
+                        Ok(h) => h,
+                        // Out of memory: leave the waiter queued; a
+                        // future release or grow will retry.
+                        Err(()) => break,
+                    }
+                } else {
+                    Vec::new()
+                };
+                let head = self.heads.get_mut(&res).expect("head existed");
+                let waiter = head.queue.pop_front().expect("front checked");
+                debug_assert_eq!(waiter.app, app);
+                let slots = handles.len() as u64;
+                match kind {
+                    WaitKind::Conversion if head.holder(app).is_some() => {
+                        head.holder_mut(app).expect("holder").mode = target;
+                        self.apps
+                            .get_mut(&app)
+                            .expect("known app")
+                            .record_conversion(res, target);
+                        self.stats.conversions += 1;
+                    }
+                    _ => {
+                        head.granted.push(Granted { app, mode: target, slots: handles });
+                        self.apps.get_mut(&app).expect("known app").record_grant(res, target, slots);
+                    }
+                }
+                self.apps.get_mut(&app).expect("known app").set_waiting(None);
+                self.stats.queue_grants += 1;
+                let completed_escalation = escalation.is_some();
+                self.notifications.push(GrantNotice {
+                    app,
+                    resource: res,
+                    completed_escalation,
+                });
+                if let Some(ticket) = escalation {
+                    // Complete the deferred escalation: drop the row
+                    // locks the table lock now covers.
+                    let rows: Vec<ResourceId> = self.apps[&app]
+                        .held_resources()
+                        .filter_map(|(r, _)| match r {
+                            ResourceId::Row(t, _) if *t == ticket.table => Some(*r),
+                            _ => None,
+                        })
+                        .collect();
+                    let exclusive = target == LockMode::X;
+                    let released = rows.len() as u64;
+                    for row in rows {
+                        self.release_one(app, row);
+                        worklist.push(row);
+                    }
+                    self.stats.escalations += 1;
+                    if exclusive {
+                        self.stats.exclusive_escalations += 1;
+                    }
+                    self.stats.rows_escalated += released;
+                    hooks.on_escalation(app, ticket.table, exclusive);
+                }
+            }
+        }
+    }
+
+    // ==================================================================
+    // Introspection for deadlock detection & invariants
+    // ==================================================================
+
+    /// Wait-for edges: `(waiter, holder-or-earlier-waiter)` pairs.
+    pub fn wait_edges(&self) -> Vec<(AppId, AppId)> {
+        let mut edges = Vec::new();
+        for head in self.heads.values() {
+            for (i, w) in head.queue.iter().enumerate() {
+                let target = match w.kind {
+                    WaitKind::Conversion => head
+                        .holder(w.app)
+                        .map(|g| g.mode.supremum(w.mode))
+                        .unwrap_or(w.mode),
+                    WaitKind::New => w.mode,
+                };
+                for g in &head.granted {
+                    if g.app != w.app && !target.compatible_with(g.mode) {
+                        edges.push((w.app, g.app));
+                    }
+                }
+                // FIFO: a waiter also waits for everyone ahead of it.
+                for earlier in head.queue.iter().take(i) {
+                    if earlier.app != w.app {
+                        edges.push((w.app, earlier.app));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Applications currently blocked, with the resource they await.
+    pub fn waiting_apps(&self) -> Vec<(AppId, ResourceId)> {
+        let mut v: Vec<(AppId, ResourceId)> = self
+            .apps
+            .iter()
+            .filter_map(|(&a, s)| s.waiting_on().map(|r| (a, r)))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Total slots charged across applications; must equal the pool's
+    /// used count — checked by [`validate`](Self::validate).
+    pub fn charged_slots(&self) -> u64 {
+        self.apps.values().map(|a| a.total_slots()).sum()
+    }
+
+    /// Exhaustive cross-structure invariant check for tests.
+    ///
+    /// # Panics
+    /// Panics on inconsistency.
+    pub fn validate(&self) {
+        self.pool.validate();
+        assert_eq!(
+            self.charged_slots(),
+            self.pool.used_slots(),
+            "app slot accounting must match pool usage"
+        );
+        // Every granted entry matches the app's held map; every pair of
+        // granted modes on a resource is compatible.
+        for (res, head) in &self.heads {
+            for g in &head.granted {
+                let held = self
+                    .apps
+                    .get(&g.app)
+                    .and_then(|a| a.held(res))
+                    .unwrap_or_else(|| panic!("{} granted on {res} but not in app state", g.app));
+                assert_eq!(held.mode, g.mode, "mode mismatch on {res}");
+                assert_eq!(held.slots, g.slots.len() as u64, "slot mismatch on {res}");
+            }
+            for (i, a) in head.granted.iter().enumerate() {
+                for b in head.granted.iter().skip(i + 1) {
+                    assert!(
+                        a.mode.compatible_with(b.mode),
+                        "incompatible co-holders {} ({}) and {} ({}) on {res}",
+                        a.app,
+                        a.mode,
+                        b.app,
+                        b.mode
+                    );
+                }
+            }
+            for w in &head.queue {
+                assert_eq!(
+                    self.apps.get(&w.app).and_then(|a| a.waiting_on()),
+                    Some(*res),
+                    "waiter {} not marked waiting on {res}",
+                    w.app
+                );
+            }
+        }
+        // Every held entry has a matching granted entry.
+        for (app, state) in &self.apps {
+            for (res, _held) in state.held_resources() {
+                let head = self
+                    .heads
+                    .get(res)
+                    .unwrap_or_else(|| panic!("{app} holds {res} but no head exists"));
+                assert!(head.holder(*app).is_some(), "{app} holds {res} but is not granted");
+            }
+        }
+    }
+}

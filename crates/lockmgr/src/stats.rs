@@ -1,0 +1,55 @@
+//! Lock manager statistics.
+
+/// Monotonic counters describing lock manager activity. The experiment
+/// harness samples these to draw the paper's figures (escalations for
+/// Fig. 7, waits explaining the Fig. 8 throughput collapse, …).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Requests granted immediately (including conversions).
+    pub grants: u64,
+    /// Requests that had to queue.
+    pub waits: u64,
+    /// Mode conversions performed.
+    pub conversions: u64,
+    /// Row requests absorbed by an already-held covering table lock.
+    pub covered_by_table: u64,
+    /// Lock escalations performed (row locks collapsed to a table lock).
+    pub escalations: u64,
+    /// Escalations whose resulting table lock was exclusive.
+    pub exclusive_escalations: u64,
+    /// Row locks released by escalations.
+    pub rows_escalated: u64,
+    /// Escalations requested by an application's own bias (§6.1
+    /// selective escalation), included in `escalations`.
+    pub voluntary_escalations: u64,
+    /// Times the pool ran dry and synchronous growth was requested.
+    pub sync_growth_requests: u64,
+    /// Synchronous growth requests that were denied.
+    pub sync_growth_denied: u64,
+    /// Requests denied outright (out of memory after every remedy).
+    pub denials: u64,
+    /// Waiters granted from queues after releases.
+    pub queue_grants: u64,
+    /// Waits cancelled (deadlock victims, timeouts).
+    pub cancelled_waits: u64,
+    /// Deadlock victims aborted.
+    pub deadlock_aborts: u64,
+}
+
+impl LockStats {
+    /// Escalations that were *not* exclusive.
+    pub fn share_escalations(&self) -> u64 {
+        self.escalations - self.exclusive_escalations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_escalations() {
+        let s = LockStats { escalations: 5, exclusive_escalations: 2, ..Default::default() };
+        assert_eq!(s.share_escalations(), 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based stress of the lock manager: arbitrary interleavings
+//! of lock/unlock/abort across many applications must preserve every
+//! cross-structure invariant and never leak lock memory.
+
+use locktune_lockmgr::{
+    AppId, DeadlockDetector, LockError, LockManager, LockManagerConfig, LockMode, LockOutcome,
+    ResourceId, RowId, TableId, TuningHooks,
+};
+use locktune_memalloc::{LockMemoryPool, PoolConfig, PoolStats};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    LockRow { app: u32, table: u32, rowid: u64, exclusive: bool },
+    Commit { app: u32 },
+    Abort { app: u32 },
+    DetectDeadlocks,
+}
+
+fn op_strategy(apps: u32, tables: u32, rows: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0..apps, 0..tables, 0..rows, any::<bool>()).prop_map(
+            |(app, table, rowid, exclusive)| Op::LockRow { app, table, rowid, exclusive }),
+        2 => (0..apps).prop_map(|app| Op::Commit { app }),
+        1 => (0..apps).prop_map(|app| Op::Abort { app }),
+        1 => Just(Op::DetectDeadlocks),
+    ]
+}
+
+/// Growth policy with a hard cap, like the real tuner's bounds.
+struct CappedGrow {
+    max_blocks: u64,
+}
+
+impl TuningHooks for CappedGrow {
+    fn on_lock_request(&mut self, _: &PoolStats) -> f64 {
+        50.0
+    }
+    fn sync_growth(&mut self, wanted: u64, pool: &PoolStats) -> u64 {
+        let room = self.max_blocks.saturating_sub(pool.blocks) * 512;
+        wanted.min(room)
+    }
+    fn on_pool_resized(&mut self, _: &PoolStats) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_workload_preserves_invariants(
+        ops in proptest::collection::vec(op_strategy(6, 3, 8), 1..300)
+    ) {
+        let pool = LockMemoryPool::with_bytes(PoolConfig::new(512, 64), 2 * 512);
+        let mut m = LockManager::new(pool, LockManagerConfig::default());
+        let mut hooks = CappedGrow { max_blocks: 16 };
+        let detector = DeadlockDetector::new();
+
+        for op in ops {
+            match op {
+                Op::LockRow { app, table, rowid, exclusive } => {
+                    let a = AppId(app);
+                    // Skip if this app is blocked (a client can only wait once).
+                    if m.app(a).map(|s| s.waiting_on().is_some()).unwrap_or(false) {
+                        continue;
+                    }
+                    let t = TableId(table);
+                    let (tmode, rmode) = if exclusive {
+                        (LockMode::IX, LockMode::X)
+                    } else {
+                        (LockMode::IS, LockMode::S)
+                    };
+                    match m.lock(a, ResourceId::Table(t), tmode, &mut hooks) {
+                        Ok(LockOutcome::Queued | LockOutcome::QueuedWithEscalation { .. }) => {
+                            continue
+                        }
+                        Ok(_) => {}
+                        Err(LockError::OutOfLockMemory) => continue,
+                        Err(e) => return Err(TestCaseError::fail(format!("table lock: {e}"))),
+                    }
+                    match m.lock(a, ResourceId::Row(t, RowId(rowid)), rmode, &mut hooks) {
+                        Ok(_) => {}
+                        Err(LockError::OutOfLockMemory) => {}
+                        // The table intent may have queued above.
+                        Err(LockError::MissingIntent(_)) => {}
+                        Err(LockError::AlreadyWaiting(_)) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("row lock: {e}"))),
+                    }
+                }
+                Op::Commit { app } => {
+                    let a = AppId(app);
+                    m.cancel_wait(a);
+                    m.unlock_all(a, &mut hooks);
+                }
+                Op::Abort { app } => {
+                    m.abort(AppId(app), &mut hooks);
+                }
+                Op::DetectDeadlocks => {
+                    for v in detector.find_victims(&m.wait_edges()) {
+                        m.abort(v.app, &mut hooks);
+                    }
+                }
+            }
+            m.validate();
+            let _ = m.take_notifications();
+        }
+
+        // Quiesce: resolve any residual deadlocks, then commit everyone.
+        for v in detector.find_victims(&m.wait_edges()) {
+            m.abort(v.app, &mut hooks);
+        }
+        for app in 0..6 {
+            let a = AppId(app);
+            m.cancel_wait(a);
+            m.unlock_all(a, &mut hooks);
+        }
+        m.validate();
+        prop_assert_eq!(m.pool().used_slots(), 0, "all lock memory returned");
+        prop_assert_eq!(m.locked_resources(), 0, "no stale lock heads");
+    }
+
+    /// Escalation equivalence: locking N rows one-by-one under a tight
+    /// cap ends with the app holding exactly one table lock whose mode
+    /// covers every row mode it requested.
+    #[test]
+    fn escalation_collapses_to_covering_table_lock(
+        n_rows in 10u64..60,
+        any_exclusive in any::<bool>(),
+    ) {
+        let pool = LockMemoryPool::with_bytes(PoolConfig::new(512, 64), 8 * 512);
+        let mut m = LockManager::new(pool, LockManagerConfig::default());
+        struct Tight;
+        impl TuningHooks for Tight {
+            fn on_lock_request(&mut self, _: &PoolStats) -> f64 { 20.0 }
+            fn sync_growth(&mut self, _: u64, _: &PoolStats) -> u64 { 0 }
+            fn on_pool_resized(&mut self, _: &PoolStats) {}
+        }
+        let mut hooks = Tight;
+        let a = AppId(1);
+        let t = TableId(1);
+        let (tmode, rmode) = if any_exclusive {
+            (LockMode::IX, LockMode::X)
+        } else {
+            (LockMode::IS, LockMode::S)
+        };
+        m.lock(a, ResourceId::Table(t), tmode, &mut hooks).unwrap();
+        let mut escalated = false;
+        for r in 0..n_rows {
+            match m.lock(a, ResourceId::Row(t, RowId(r)), rmode, &mut hooks) {
+                Ok(LockOutcome::Granted) => {}
+                Ok(LockOutcome::GrantedAfterEscalation { exclusive, .. }) => {
+                    prop_assert_eq!(exclusive, any_exclusive);
+                    escalated = true;
+                }
+                Ok(LockOutcome::CoveredByTableLock) => {
+                    prop_assert!(escalated, "coverage only after escalation");
+                }
+                other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+            }
+            m.validate();
+        }
+        prop_assert!(escalated, "tight cap must escalate within {n_rows} rows");
+        let state = m.app(a).unwrap();
+        prop_assert_eq!(state.held_count(), 1, "rows collapsed into the table lock");
+        let table_mode = state.held(&ResourceId::Table(t)).unwrap().mode;
+        prop_assert!(table_mode.covers(rmode.escalation_table_mode()));
+        m.unlock_all(a, &mut hooks);
+        prop_assert_eq!(m.pool().used_slots(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! A single 128 KiB lock memory block and the handles into it.
+
+/// Sentinel for "no block" in the intrusive lists.
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// Which list a block currently lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ListId {
+    /// The lock structure chain: blocks with at least one free slot.
+    Available,
+    /// The "empty block" list from the paper: blocks with no free slots
+    /// left (the paper's naming is from the free list's point of view).
+    Full,
+    /// Not on any list (slab entry is vacant / recycled).
+    Detached,
+}
+
+/// A stable handle to one allocated lock structure slot.
+///
+/// Handles embed the block's generation so that a handle surviving past
+/// a shrink that recycled its block id is detected as stale instead of
+/// silently corrupting another block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotHandle {
+    pub(crate) block: u32,
+    pub(crate) generation: u32,
+    pub(crate) slot: u32,
+}
+
+impl SlotHandle {
+    /// The block index this handle points into (diagnostic use).
+    pub fn block_index(&self) -> u32 {
+        self.block
+    }
+}
+
+/// One allocation block.
+#[derive(Debug)]
+pub(crate) struct Block {
+    /// Stack of free slot indices; popped on allocate, pushed on free.
+    pub free_slots: Vec<u32>,
+    /// One bit per slot; set while allocated. Guards double frees.
+    pub allocated: Vec<u64>,
+    /// Allocated slots, maintained incrementally — `used()` sits on the
+    /// per-request hot path (pool statistics), so popcounting the
+    /// bitmap there is too slow.
+    used_count: u32,
+    /// Monotonic reuse counter for stale-handle detection.
+    pub generation: u32,
+    /// Intrusive list linkage.
+    pub prev: u32,
+    pub next: u32,
+    /// Which list the block is on.
+    pub list: ListId,
+}
+
+impl Block {
+    /// Create a fresh, fully-free block with `capacity` slots.
+    pub fn new(capacity: u32, generation: u32) -> Self {
+        // Pop order is LIFO, so push descending to hand out slot 0 first.
+        let free_slots: Vec<u32> = (0..capacity).rev().collect();
+        let words = (capacity as usize).div_ceil(64);
+        Block {
+            free_slots,
+            allocated: vec![0; words],
+            used_count: 0,
+            generation,
+            prev: NIL,
+            next: NIL,
+            list: ListId::Detached,
+        }
+    }
+
+    /// Total slots in the block.
+    pub fn capacity(&self) -> u32 {
+        self.free_slots.len() as u32 + self.used_count
+    }
+
+    /// Currently allocated slots.
+    pub fn used(&self) -> u32 {
+        self.used_count
+    }
+
+    /// Recount allocated slots from the bitmap (validation only).
+    pub fn used_recount(&self) -> u32 {
+        self.allocated.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// True when no slot is allocated.
+    pub fn is_fully_free(&self) -> bool {
+        self.used_count == 0
+    }
+
+    /// True when every slot is allocated.
+    pub fn is_full(&self) -> bool {
+        self.free_slots.is_empty()
+    }
+
+    /// Test whether `slot` is currently allocated.
+    pub fn is_allocated(&self, slot: u32) -> bool {
+        let (word, bit) = (slot as usize / 64, slot % 64);
+        self.allocated[word] & (1u64 << bit) != 0
+    }
+
+    /// Mark `slot` allocated.
+    pub fn mark_allocated(&mut self, slot: u32) {
+        let (word, bit) = (slot as usize / 64, slot % 64);
+        debug_assert_eq!(self.allocated[word] & (1u64 << bit), 0);
+        self.allocated[word] |= 1u64 << bit;
+        self.used_count += 1;
+    }
+
+    /// Mark `slot` free.
+    pub fn mark_free(&mut self, slot: u32) {
+        let (word, bit) = (slot as usize / 64, slot % 64);
+        debug_assert_ne!(self.allocated[word] & (1u64 << bit), 0);
+        self.allocated[word] &= !(1u64 << bit);
+        self.used_count -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_is_fully_free() {
+        let b = Block::new(100, 0);
+        assert!(b.is_fully_free());
+        assert!(!b.is_full());
+        assert_eq!(b.capacity(), 100);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.free_slots.len(), 100);
+    }
+
+    #[test]
+    fn slots_hand_out_in_ascending_order() {
+        let mut b = Block::new(4, 0);
+        let order: Vec<u32> = (0..4).map(|_| b.free_slots.pop().unwrap()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bitmap_tracks_allocation() {
+        let mut b = Block::new(130, 0); // spans 3 bitmap words
+        b.mark_allocated(0);
+        b.mark_allocated(64);
+        b.mark_allocated(129);
+        assert!(b.is_allocated(0) && b.is_allocated(64) && b.is_allocated(129));
+        assert!(!b.is_allocated(1));
+        assert_eq!(b.used(), 3);
+        b.mark_free(64);
+        assert!(!b.is_allocated(64));
+        assert_eq!(b.used(), 2);
+        assert!(!b.is_fully_free());
+        b.mark_free(0);
+        b.mark_free(129);
+        assert!(b.is_fully_free());
+    }
+
+    #[test]
+    fn full_detection() {
+        let mut b = Block::new(2, 0);
+        while let Some(s) = b.free_slots.pop() {
+            b.mark_allocated(s);
+        }
+        assert!(b.is_full());
+        assert_eq!(b.used(), 2);
+        assert_eq!(b.capacity(), 2);
+    }
+}

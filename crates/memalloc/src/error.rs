@@ -1,0 +1,54 @@
+//! Pool error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from slot allocation and handle operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// Every block is full: the caller must grow the pool (synchronous
+    /// growth from overflow memory) or escalate.
+    Exhausted,
+    /// A handle referenced a block that no longer exists or was recycled
+    /// (stale generation).
+    StaleHandle,
+    /// A slot was freed twice.
+    DoubleFree,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Exhausted => write!(f, "lock memory pool exhausted"),
+            PoolError::StaleHandle => write!(f, "stale lock slot handle"),
+            PoolError::DoubleFree => write!(f, "lock slot freed twice"),
+        }
+    }
+}
+
+impl Error for PoolError {}
+
+/// Failure to shrink the pool.
+///
+/// Mirrors the paper's all-or-nothing semantics: if the tail scan does
+/// not find enough fully-free blocks, nothing is freed and the request
+/// fails (STMM simply retries at the next tuning interval).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkError {
+    /// Blocks the caller asked to release.
+    pub requested_blocks: u64,
+    /// Fully-free blocks the tail scan found.
+    pub freeable_blocks: u64,
+}
+
+impl fmt::Display for ShrinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot shrink lock pool: requested {} blocks but only {} are fully free",
+            self.requested_blocks, self.freeable_blocks
+        )
+    }
+}
+
+impl Error for ShrinkError {}

@@ -1,0 +1,311 @@
+//! The STMM per-interval controller for lock memory.
+//!
+//! Glue between the pure tuner (`locktune-core`) and the memory set:
+//! at each tuning interval it builds the snapshot, runs the tuner,
+//! funds growth by shrinking donors, applies the resize to the real
+//! pool through a caller-provided closure (the pool lives inside the
+//! lock manager), distributes shrink proceeds, restores the overflow
+//! goal and updates the on-disk configuration (`LMOC`).
+
+use locktune_core::{LockMemorySnapshot, LockMemoryTuner, TunerParams, TuningDecision};
+use locktune_memalloc::PoolStats;
+use locktune_sim::SimDuration;
+
+use crate::database::DatabaseMemory;
+
+/// What one tuning interval did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalReport {
+    /// The tuner's decision.
+    pub decision: TuningDecision,
+    /// Pool size after applying the decision.
+    pub lock_bytes_after: u64,
+    /// Bytes taken from donors/overflow to fund growth.
+    pub funded_bytes: u64,
+    /// Bytes released back by shrinking.
+    pub released_bytes: u64,
+    /// The on-disk configured size after the interval.
+    pub lmoc: u64,
+}
+
+/// The self-tuning memory manager (lock-memory portion).
+#[derive(Debug)]
+pub struct Stmm {
+    tuner: LockMemoryTuner,
+    interval: SimDuration,
+    lmoc: u64,
+    intervals_run: u64,
+}
+
+impl Stmm {
+    /// Create the controller. `interval` is the tuning interval
+    /// (30 seconds in every experiment of the paper; DB2 allows 0.5–10
+    /// minutes).
+    pub fn new(params: TunerParams, interval: SimDuration, initial_lock_bytes: u64) -> Self {
+        Stmm {
+            tuner: LockMemoryTuner::new(params),
+            interval,
+            lmoc: initial_lock_bytes,
+            intervals_run: 0,
+        }
+    }
+
+    /// The tuning interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// The on-disk configured lock memory (`LMOC`).
+    pub fn lmoc(&self) -> u64 {
+        self.lmoc
+    }
+
+    /// Intervals executed.
+    pub fn intervals_run(&self) -> u64 {
+        self.intervals_run
+    }
+
+    /// The embedded tuner (the engine routes per-request and
+    /// synchronous-growth queries through it).
+    pub fn tuner(&self) -> &LockMemoryTuner {
+        &self.tuner
+    }
+
+    /// Mutable tuner access.
+    pub fn tuner_mut(&mut self) -> &mut LockMemoryTuner {
+        &mut self.tuner
+    }
+
+    /// Execute one tuning interval.
+    ///
+    /// `apply_resize(target_bytes) -> actual_bytes` resizes the real
+    /// pool (growth is exact; shrink is best-effort because blocks
+    /// pinned by live locks cannot be freed).
+    pub fn run_interval(
+        &mut self,
+        mem: &mut DatabaseMemory,
+        pool: &PoolStats,
+        num_applications: u64,
+        escalations_since_last: u64,
+        mut apply_resize: impl FnMut(u64) -> u64,
+    ) -> IntervalReport {
+        self.intervals_run += 1;
+        let params = *self.tuner.params();
+        let current = pool.bytes;
+        let snapshot = LockMemorySnapshot {
+            allocated_bytes: current,
+            used_bytes: pool.slots_used * params.lock_struct_bytes,
+            lmoc_bytes: self.lmoc,
+            num_applications,
+            escalations_since_last,
+            overflow: mem.overflow_state(),
+        };
+        let decision = self.tuner.tick(&snapshot);
+
+        let mut funded = 0;
+        let mut released = 0;
+        let mut actual = current;
+
+        if decision.target_bytes > current {
+            let needed = decision.target_bytes - current;
+            let granted = mem.fund_lock_growth(needed);
+            // Whole blocks only; refund the unusable remainder.
+            let aligned = granted / params.block_bytes * params.block_bytes;
+            if aligned < granted {
+                mem.refund_lock(granted - aligned);
+            }
+            funded = aligned;
+            if aligned > 0 {
+                actual = apply_resize(current + aligned);
+            }
+            mem.set_lock_memory(actual);
+        } else if decision.target_bytes < current {
+            actual = apply_resize(decision.target_bytes);
+            released = current.saturating_sub(actual);
+            if released > 0 {
+                mem.note_lock_shrink(released);
+            }
+            mem.set_lock_memory(actual);
+        } else {
+            mem.set_lock_memory(current);
+        }
+
+        // Restore the overflow goal from donor heaps and fold LMO into
+        // the configuration.
+        mem.rebalance_overflow();
+        self.lmoc = actual;
+
+        IntervalReport {
+            decision,
+            lock_bytes_after: actual,
+            funded_bytes: funded,
+            released_bytes: released,
+            lmoc: self.lmoc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::{HeapKind, PerfHeap};
+    use crate::database::MemoryConfig;
+    use locktune_memalloc::{LockMemoryPool, PoolConfig};
+
+    const MIB: u64 = 1024 * 1024;
+    const BLOCK: u64 = 131_072;
+
+    fn setup(lock_bytes: u64) -> (DatabaseMemory, LockMemoryPool, Stmm) {
+        let config = MemoryConfig { total_bytes: 5120 * MIB, overflow_goal_fraction: 0.10 };
+        let pool = LockMemoryPool::with_bytes(PoolConfig::default(), lock_bytes);
+        let lock_actual = pool.total_bytes();
+        let mem = DatabaseMemory::new(
+            config,
+            vec![
+                PerfHeap::new(HeapKind::BufferPool, 3500 * MIB, 500 * MIB, 4000 * MIB),
+                PerfHeap::new(HeapKind::SortHeap, 800 * MIB, 50 * MIB, 400 * MIB),
+                PerfHeap::new(HeapKind::PackageCache, 100 * MIB, 20 * MIB, 100 * MIB),
+            ],
+            lock_actual,
+        );
+        let stmm = Stmm::new(TunerParams::default(), SimDuration::from_secs(30), lock_actual);
+        (mem, pool, stmm)
+    }
+
+    /// Hold `n` slots in the pool.
+    fn occupy(pool: &mut LockMemoryPool, n: u64) {
+        for _ in 0..n {
+            pool.allocate().expect("pool has room");
+        }
+    }
+
+    #[test]
+    fn growth_interval_funds_from_donors() {
+        let (mut mem, mut pool, mut stmm) = setup(8 * MIB);
+        // Use 90% of the pool: tuner must grow to ~2x used.
+        let total = pool.total_slots();
+        occupy(&mut pool, total * 9 / 10);
+        let stats = pool.stats();
+        let report = stmm.run_interval(&mut mem, &stats, 130, 0, |target| {
+            let blocks = target / BLOCK;
+            pool.resize_to_blocks(blocks);
+            pool.total_bytes()
+        });
+        assert!(report.lock_bytes_after > 8 * MIB, "pool grew");
+        assert_eq!(report.lock_bytes_after % BLOCK, 0);
+        assert!(report.funded_bytes > 0);
+        // Sort heap (over-provisioned: 800 vs demand 400) donated.
+        assert!(mem.heap(HeapKind::SortHeap).size < 800 * MIB);
+        assert_eq!(mem.lock_memory(), report.lock_bytes_after);
+        assert_eq!(stmm.lmoc(), report.lock_bytes_after);
+        mem.validate();
+    }
+
+    #[test]
+    fn shrink_interval_releases_gradually() {
+        let (mut mem, mut pool, mut stmm) = setup(100 * MIB);
+        // Nearly empty pool: shrink by ~5% per interval.
+        occupy(&mut pool, 10);
+        let before = pool.total_bytes();
+        let stats = pool.stats();
+        let report = stmm.run_interval(&mut mem, &stats, 10, 0, |target| {
+            pool.resize_to_blocks(target / BLOCK);
+            pool.total_bytes()
+        });
+        let released = before - report.lock_bytes_after;
+        assert!(released > 0, "some memory released");
+        assert!(released <= (0.05 * before as f64) as u64 + BLOCK, "gradual release");
+        mem.validate();
+    }
+
+    #[test]
+    fn interval_restores_overflow_goal_and_clears_lmo() {
+        let (mut mem, mut pool, mut stmm) = setup(8 * MIB);
+        // Simulate mid-interval synchronous growth from overflow.
+        let sync = 64 * MIB;
+        mem.note_lock_sync_growth(sync);
+        pool.grow_blocks(sync / BLOCK);
+        let half = pool.total_slots() / 2;
+        occupy(&mut pool, half);
+        let stats = pool.stats();
+        stmm.run_interval(&mut mem, &stats, 130, 0, |target| {
+            pool.resize_to_blocks(target / BLOCK);
+            pool.total_bytes()
+        });
+        assert_eq!(mem.lock_from_overflow(), 0, "LMO folded into configuration");
+        assert!(
+            mem.overflow_free() >= mem.overflow_goal(),
+            "overflow restored: {} vs goal {}",
+            mem.overflow_free(),
+            mem.overflow_goal()
+        );
+        mem.validate();
+    }
+
+    #[test]
+    fn in_band_interval_changes_nothing() {
+        let (mut mem, mut pool, mut stmm) = setup(100 * MIB);
+        // 45% used => 55% free: inside the [50, 60] band.
+        let total = pool.total_slots();
+        occupy(&mut pool, total * 45 / 100);
+        let stats = pool.stats();
+        let before = pool.total_bytes();
+        let report = stmm.run_interval(&mut mem, &stats, 130, 0, |target| {
+            pool.resize_to_blocks(target / BLOCK);
+            pool.total_bytes()
+        });
+        assert_eq!(report.lock_bytes_after, before);
+        assert_eq!(report.funded_bytes, 0);
+        assert_eq!(report.released_bytes, 0);
+        assert_eq!(stmm.intervals_run(), 1);
+    }
+
+    #[test]
+    fn partial_shrink_tracks_actual_size() {
+        let (mut mem, mut pool, mut stmm) = setup(100 * MIB);
+        // Pin one slot in *every* block so shrinking is impossible.
+        let per_block = pool.config().slots_per_block() as u64;
+        let blocks = pool.total_blocks();
+        let mut held = Vec::new();
+        for _ in 0..blocks {
+            for i in 0..per_block {
+                let h = pool.allocate().unwrap();
+                if i > 0 {
+                    held.push(h);
+                }
+            }
+        }
+        // Free all but one slot per block.
+        for h in held {
+            pool.free(h).unwrap();
+        }
+        assert_eq!(pool.freeable_blocks(), 0);
+        let stats = pool.stats();
+        let before = pool.total_bytes();
+        let report = stmm.run_interval(&mut mem, &stats, 10, 0, |target| {
+            pool.resize_to_blocks(target / BLOCK);
+            pool.total_bytes()
+        });
+        // Shrink was desired but nothing could be freed.
+        assert!(report.decision.target_bytes < before);
+        assert_eq!(report.lock_bytes_after, before);
+        assert_eq!(report.released_bytes, 0);
+        assert_eq!(mem.lock_memory(), before);
+        mem.validate();
+    }
+
+    #[test]
+    fn escalations_trigger_doubling_interval() {
+        let (mut mem, mut pool, mut stmm) = setup(8 * MIB);
+        let all = pool.total_slots();
+        occupy(&mut pool, all);
+        let stats = pool.stats();
+        let before = pool.total_bytes();
+        let report = stmm.run_interval(&mut mem, &stats, 130, 5, |target| {
+            pool.resize_to_blocks(target / BLOCK);
+            pool.total_bytes()
+        });
+        assert!(report.lock_bytes_after >= 2 * before, "doubled under escalations");
+        mem.validate();
+    }
+}

@@ -1,0 +1,90 @@
+//! CSV emission for experiment results.
+//!
+//! Series are step-sampled onto the union of their timestamps so a
+//! figure's several series (lock memory, throughput, escalations) line
+//! up row-by-row for plotting.
+
+use std::io::{self, Write};
+
+use locktune_sim::SimTime;
+
+use crate::series::TimeSeries;
+
+/// Write `series` as CSV: a `time_s` column followed by one column per
+/// series (step interpolation; empty cell before a series' first
+/// sample).
+pub fn write_csv<W: Write>(out: &mut W, series: &[&TimeSeries]) -> io::Result<()> {
+    write!(out, "time_s")?;
+    for s in series {
+        write!(out, ",{}", sanitize(s.name()))?;
+    }
+    writeln!(out)?;
+
+    // Union of timestamps, sorted and deduplicated.
+    let mut times: Vec<u64> = series
+        .iter()
+        .flat_map(|s| s.iter().map(|(t, _)| t.as_micros()))
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+
+    for t in times {
+        let at = SimTime::from_micros(t);
+        write!(out, "{}", at.as_secs_f64())?;
+        for s in series {
+            match s.value_at(at) {
+                Some(v) => write!(out, ",{v}")?,
+                None => write!(out, ",")?,
+            }
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Strip CSV-hostile characters from a column name.
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c == ',' || c == '\n' || c == '\r' { '_' } else { c }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn aligned_columns() {
+        let mut a = TimeSeries::new("alloc");
+        a.push(t(0), 1.0);
+        a.push(t(10), 2.0);
+        let mut b = TimeSeries::new("tps");
+        b.push(t(5), 100.0);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[&a, &b]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "time_s,alloc,tps");
+        assert_eq!(lines[1], "0,1,"); // b has no value yet
+        assert_eq!(lines[2], "5,1,100");
+        assert_eq!(lines[3], "10,2,100");
+    }
+
+    #[test]
+    fn sanitizes_names() {
+        let s = TimeSeries::new("a,b\nc");
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[&s]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("time_s,a_b_c"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "time_s\n");
+    }
+}

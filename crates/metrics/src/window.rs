@@ -1,0 +1,125 @@
+//! Windowed throughput: event counts bucketed into fixed windows.
+
+use locktune_sim::{SimDuration, SimTime};
+
+use crate::series::TimeSeries;
+
+/// Counts events (e.g. transaction commits) into fixed-width windows
+/// and emits a rate series (events per second).
+#[derive(Debug)]
+pub struct ThroughputWindow {
+    width: SimDuration,
+    window_start: SimTime,
+    count: u64,
+    series: TimeSeries,
+}
+
+impl ThroughputWindow {
+    /// Create a window of the given width.
+    ///
+    /// # Panics
+    /// Panics on a zero-width window.
+    pub fn new(name: impl Into<String>, width: SimDuration) -> Self {
+        assert!(!width.is_zero(), "window width must be non-zero");
+        ThroughputWindow {
+            width,
+            window_start: SimTime::ZERO,
+            count: 0,
+            series: TimeSeries::new(name),
+        }
+    }
+
+    /// Record one event at `at`. Events must arrive in time order.
+    pub fn record(&mut self, at: SimTime) {
+        self.roll_to(at);
+        self.count += 1;
+    }
+
+    /// Advance the window to contain `at`, flushing any completed
+    /// windows (including empty ones, which emit rate 0).
+    pub fn roll_to(&mut self, at: SimTime) {
+        while at >= self.window_start + self.width {
+            let rate = self.count as f64 / self.width.as_secs_f64();
+            self.series.push(self.window_start + self.width, rate);
+            self.window_start += self.width;
+            self.count = 0;
+        }
+    }
+
+    /// Flush the current partial window and return the series.
+    pub fn finish(mut self, end: SimTime) -> TimeSeries {
+        self.roll_to(end);
+        if self.count > 0 {
+            let elapsed = end.saturating_since(self.window_start);
+            if !elapsed.is_zero() {
+                let rate = self.count as f64 / elapsed.as_secs_f64();
+                self.series.push(end, rate);
+            }
+        }
+        self.series
+    }
+
+    /// Read-only access to the completed windows so far.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn constant_rate() {
+        let mut w = ThroughputWindow::new("tps", SimDuration::from_secs(10));
+        // 5 events per 10s window over 3 windows.
+        for i in 0..15 {
+            w.record(SimTime::from_secs(i * 2));
+        }
+        let s = w.finish(t(30));
+        let rates: Vec<f64> = s.iter().map(|(_, v)| v).collect();
+        assert_eq!(rates, vec![0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn idle_windows_emit_zero() {
+        let mut w = ThroughputWindow::new("tps", SimDuration::from_secs(1));
+        w.record(t(0));
+        w.record(t(5));
+        let s = w.finish(t(6));
+        let rates: Vec<f64> = s.iter().map(|(_, v)| v).collect();
+        assert_eq!(rates, vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn burst_shows_in_one_window() {
+        let mut w = ThroughputWindow::new("tps", SimDuration::from_secs(2));
+        for _ in 0..10 {
+            w.record(t(3));
+        }
+        let s = w.finish(t(4));
+        let rates: Vec<f64> = s.iter().map(|(_, v)| v).collect();
+        assert_eq!(rates, vec![0.0, 5.0]);
+    }
+
+    #[test]
+    fn partial_final_window_uses_elapsed_time() {
+        let mut w = ThroughputWindow::new("tps", SimDuration::from_secs(10));
+        w.record(t(12));
+        let s = w.finish(t(15));
+        // One full window (0), then 1 event in 5 seconds = 0.2/s.
+        let pts: Vec<(SimTime, f64)> = s.iter().collect();
+        assert_eq!(pts[0], (t(10), 0.0));
+        assert_eq!(pts[1], (t(15), 0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_rejected() {
+        ThroughputWindow::new("x", SimDuration::ZERO);
+    }
+}

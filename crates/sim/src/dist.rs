@@ -1,0 +1,360 @@
+//! Sampling distributions for the workload generators.
+//!
+//! The OLTP/DSS workload models need: exponential inter-arrival and
+//! think times, Zipf-distributed row selection (hot rows contend for
+//! locks the way TPC-C districts do), bounded log-normal lock footprints
+//! and weighted discrete choices over transaction types. All samplers
+//! draw from [`SimRng`] so a scenario's randomness is one seed.
+
+use crate::rng::SimRng;
+
+/// A distribution over `f64` samples.
+pub trait Distribution {
+    /// Draw one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// The distribution mean, used by workload sizing heuristics.
+    fn mean(&self) -> f64;
+}
+
+/// Exponential distribution with the given mean (`1/λ`).
+///
+/// Sampled by inversion: `-mean · ln(1 − u)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution with mean `mean`.
+    ///
+    /// # Panics
+    /// Panics unless `mean` is finite and positive.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+        Exponential { mean }
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // 1 - u is in (0, 1], so ln() is finite.
+        -self.mean * (1.0 - rng.next_f64()).ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Continuous uniform distribution over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Create a uniform distribution over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "uniform requires lo < hi");
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.next_f64()
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// A constant "distribution"; handy for deterministic scenario variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Distribution for Constant {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.0
+    }
+
+    fn mean(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Log-normal distribution parameterized by the *target* mean and a
+/// shape parameter sigma, so callers can say "lock footprint averaging
+/// 25 with a heavy tail" directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+    mean: f64,
+}
+
+impl LogNormal {
+    /// Create a log-normal whose mean is `mean` and whose underlying
+    /// normal has standard deviation `sigma`.
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0` and `sigma >= 0`, all finite.
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "log-normal mean must be positive");
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+        // E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+        let mu = mean.ln() - sigma * sigma / 2.0;
+        LogNormal { mu, sigma, mean }
+    }
+
+    /// Standard normal via Box–Muller (polar form avoided to keep the
+    /// consumption of random numbers fixed at two per sample).
+    fn standard_normal(rng: &mut SimRng) -> f64 {
+        let u1 = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = rng.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * Self::standard_normal(rng)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Zipf distribution over ranks `0..n` with exponent `s`.
+///
+/// Used to pick which rows a transaction locks: low ranks (hot rows) are
+/// chosen far more often, producing the lock contention that makes
+/// escalation catastrophic in Figure 8. Sampling uses the
+/// inverse-CDF-over-precomputed-prefix-sums method: O(log n) per sample,
+/// exact, and deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Cumulative (unnormalized) weights; `cdf[k]` = sum of 1/(i+1)^s for i<=k.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf requires at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // constructor guarantees n > 0
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
+        let total = *self.cdf.last().expect("non-empty cdf");
+        let target = rng.next_f64() * total;
+        // partition_point returns the first index whose cdf exceeds target.
+        self.cdf.partition_point(|&c| c <= target).min(self.cdf.len() - 1)
+    }
+}
+
+/// Weighted choice over a fixed set of alternatives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discrete {
+    cumulative: Vec<f64>,
+}
+
+impl Discrete {
+    /// Create from per-alternative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, any weight is negative/non-finite,
+    /// or all weights are zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "discrete distribution needs weights");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be non-negative");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "at least one weight must be positive");
+        Discrete { cumulative }
+    }
+
+    /// Draw an index in `0..weights.len()`.
+    pub fn sample_index(&self, rng: &mut SimRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let target = rng.next_f64() * total;
+        self.cumulative
+            .partition_point(|&c| c <= target)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(0x5EED)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::new(4.0);
+        let mut r = rng();
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+        assert_eq!(d.mean(), 4.0);
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let d = Exponential::new(0.5);
+        let mut r = rng();
+        assert!((0..10_000).all(|_| d.sample(&mut r) >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_mean() {
+        Exponential::new(0.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_centres() {
+        let d = Uniform::new(2.0, 6.0);
+        let mut r = rng();
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut r);
+            assert!((2.0..6.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 4.0).abs() < 0.02);
+        assert_eq!(d.mean(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_rejects_inverted_range() {
+        Uniform::new(6.0, 2.0);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Constant(3.25);
+        let mut r = rng();
+        assert!((0..100).all(|_| d.sample(&mut r) == 3.25));
+        assert_eq!(d.mean(), 3.25);
+    }
+
+    #[test]
+    fn lognormal_mean_converges() {
+        let d = LogNormal::with_mean(25.0, 0.6);
+        let mut r = rng();
+        let n = 400_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 25.0).abs() / 25.0 < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_degenerates_to_mean() {
+        let d = LogNormal::with_mean(10.0, 0.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!((d.sample(&mut r) - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample_rank(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[999] * 10);
+        // All samples were in range (indexing would have panicked otherwise).
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample_rank(&mut r)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!((*max as f64) / (*min as f64) < 1.15, "counts {counts:?}");
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 1.5);
+        let mut r = rng();
+        assert_eq!(z.sample_rank(&mut r), 0);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn discrete_respects_weights() {
+        let d = Discrete::new(&[1.0, 0.0, 3.0]);
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..100_000 {
+            counts[d.sample_index(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight alternative must never be drawn");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((2.7..3.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn discrete_rejects_all_zero() {
+        Discrete::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn samplers_are_deterministic() {
+        let z = Zipf::new(100, 0.9);
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(z.sample_rank(&mut a), z.sample_rank(&mut b));
+        }
+    }
+}

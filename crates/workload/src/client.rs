@@ -1,0 +1,188 @@
+//! Per-client transaction generation.
+
+use locktune_sim::dist::{Discrete, Distribution, Exponential, LogNormal, Zipf};
+use locktune_sim::{SimDuration, SimRng};
+
+use crate::spec::OltpSpec;
+use crate::txn::{LockStep, TxnPlan};
+
+/// Row selection strategy: a uniform workload (exponent 0) must not
+/// pay the O(rows) CDF precomputation `Zipf` needs — tables in the
+/// paper-scale scenarios have millions of rows.
+#[derive(Debug)]
+enum RowPicker {
+    Uniform(u64),
+    Zipf(Zipf),
+}
+
+impl RowPicker {
+    fn new(rows: u64, exponent: f64) -> Self {
+        if exponent == 0.0 {
+            RowPicker::Uniform(rows)
+        } else {
+            RowPicker::Zipf(Zipf::new(rows as usize, exponent))
+        }
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> u64 {
+        match self {
+            RowPicker::Uniform(n) => rng.next_below(*n),
+            RowPicker::Zipf(z) => z.sample_rank(rng) as u64,
+        }
+    }
+}
+
+/// Generates an endless stream of [`TxnPlan`]s for one client from its
+/// own deterministic random stream.
+#[derive(Debug)]
+pub struct ClientGenerator {
+    rng: SimRng,
+    spec: OltpSpec,
+    mix: Discrete,
+    row_picker: RowPicker,
+    /// Per-profile samplers, index-aligned with `spec.profiles`.
+    footprints: Vec<LogNormal>,
+    thinks: Vec<Exponential>,
+    holds: Vec<Exponential>,
+}
+
+impl ClientGenerator {
+    /// Create a generator for one client.
+    ///
+    /// # Panics
+    /// Panics if the spec is invalid.
+    pub fn new(spec: OltpSpec, rng: SimRng) -> Self {
+        spec.validate().expect("valid workload spec");
+        let weights: Vec<f64> = spec.profiles.iter().map(|p| p.weight).collect();
+        let footprints = spec
+            .profiles
+            .iter()
+            .map(|p| LogNormal::with_mean(p.mean_row_locks, p.lock_sigma))
+            .collect();
+        let thinks = spec
+            .profiles
+            .iter()
+            .map(|p| Exponential::new(p.mean_think.as_secs_f64().max(1e-9)))
+            .collect();
+        let holds = spec
+            .profiles
+            .iter()
+            .map(|p| Exponential::new(p.mean_hold.as_secs_f64().max(1e-9)))
+            .collect();
+        let row_picker = RowPicker::new(spec.rows_per_table, spec.zipf_exponent);
+        ClientGenerator { rng, mix: Discrete::new(&weights), row_picker, footprints, thinks, holds, spec }
+    }
+
+    /// Generate the next transaction plan.
+    pub fn next_txn(&mut self) -> TxnPlan {
+        let pi = self.mix.sample_index(&mut self.rng);
+        let profile = &self.spec.profiles[pi];
+
+        // Lock footprint: at least one row.
+        let n = self.footprints[pi].sample(&mut self.rng).round().max(1.0) as usize;
+
+        // Pick the tables this transaction touches.
+        let mut tables = Vec::with_capacity(profile.tables_touched as usize);
+        while tables.len() < profile.tables_touched as usize {
+            let t = self.rng.next_below(self.spec.tables as u64) as u32;
+            if !tables.contains(&t) {
+                tables.push(t);
+            }
+        }
+
+        let mut steps = Vec::with_capacity(n);
+        for i in 0..n {
+            let table = tables[i % tables.len()];
+            let row = self.row_picker.sample(&mut self.rng);
+            let exclusive = self.rng.chance(profile.write_fraction);
+            steps.push(LockStep { table, row, exclusive });
+        }
+
+        TxnPlan {
+            steps,
+            think_before: SimDuration::from_secs_f64(self.thinks[pi].sample(&mut self.rng)),
+            step_gap: profile.step_gap,
+            hold_after_last: SimDuration::from_secs_f64(self.holds[pi].sample(&mut self.rng)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(seed: u64) -> ClientGenerator {
+        ClientGenerator::new(OltpSpec::tpcc_like(), SimRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn plans_are_well_formed() {
+        let mut g = generator(1);
+        for _ in 0..500 {
+            let p = g.next_txn();
+            assert!(!p.steps.is_empty());
+            for s in &p.steps {
+                assert!(s.table < 9);
+                assert!(s.row < 100_000);
+            }
+            assert!(p.tables().len() <= 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = generator(42);
+        let mut b = generator(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_txn(), b.next_txn());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = generator(1);
+        let mut b = generator(2);
+        let same = (0..50).filter(|_| a.next_txn() == b.next_txn()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn mean_footprint_tracks_spec() {
+        let mut g = generator(7);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| g.next_txn().lock_count()).sum();
+        let mean = total as f64 / n as f64;
+        let expected = OltpSpec::tpcc_like().mean_locks_per_txn();
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn write_transactions_dominate_tpcc_mix() {
+        let mut g = generator(9);
+        let writes = (0..2000).filter(|_| g.next_txn().is_write()).count();
+        // new-order + payment + delivery = 92% of the mix.
+        assert!(writes > 1600, "writes {writes}");
+    }
+
+    #[test]
+    fn hot_rows_recur() {
+        let mut g = generator(11);
+        let mut hits_on_hot = 0usize;
+        let mut total = 0usize;
+        for _ in 0..1000 {
+            for s in g.next_txn().steps {
+                total += 1;
+                if s.row < 100 {
+                    hits_on_hot += 1;
+                }
+            }
+        }
+        // With zipf 0.7 over 100k rows, the hottest 0.1% of rows gets
+        // far more than 0.1% of accesses.
+        let frac = hits_on_hot as f64 / total as f64;
+        assert!(frac > 0.02, "hot fraction {frac}");
+    }
+}

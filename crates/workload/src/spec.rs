@@ -1,0 +1,188 @@
+//! OLTP workload specification: a weighted transaction mix.
+
+use locktune_sim::SimDuration;
+
+/// One transaction type in the mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxnProfile {
+    /// Name (diagnostics).
+    pub name: &'static str,
+    /// Relative frequency in the mix.
+    pub weight: f64,
+    /// Mean row locks per transaction (log-normal).
+    pub mean_row_locks: f64,
+    /// Shape (sigma) of the lock-footprint distribution.
+    pub lock_sigma: f64,
+    /// Fraction of row locks taken exclusive.
+    pub write_fraction: f64,
+    /// Number of distinct tables one transaction touches.
+    pub tables_touched: u32,
+    /// Mean think time before the transaction.
+    pub mean_think: SimDuration,
+    /// Gap between consecutive lock acquisitions.
+    pub step_gap: SimDuration,
+    /// Work between last lock and commit.
+    pub mean_hold: SimDuration,
+}
+
+/// The OLTP workload: tables, skew and the transaction mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OltpSpec {
+    /// Number of tables.
+    pub tables: u32,
+    /// Rows per table.
+    pub rows_per_table: u64,
+    /// Zipf exponent for row selection (0 = uniform).
+    pub zipf_exponent: f64,
+    /// The transaction mix.
+    pub profiles: Vec<TxnProfile>,
+}
+
+impl OltpSpec {
+    /// A TPC-C-flavoured default mix: the five classic transaction
+    /// types with footprints scaled so 130 clients produce the paper's
+    /// lock-memory magnitudes (a few MB at steady state).
+    pub fn tpcc_like() -> Self {
+        OltpSpec {
+            tables: 9,               // TPC-C's table count
+            rows_per_table: 100_000, // scaled-down row domain
+            zipf_exponent: 0.7,      // hot districts/items
+            profiles: vec![
+                TxnProfile {
+                    name: "new-order",
+                    weight: 45.0,
+                    mean_row_locks: 23.0, // order line items + stock
+                    lock_sigma: 0.4,
+                    write_fraction: 0.9,
+                    tables_touched: 4,
+                    mean_think: SimDuration::from_millis(700),
+                    step_gap: SimDuration::from_micros(300),
+                    mean_hold: SimDuration::from_millis(4),
+                },
+                TxnProfile {
+                    name: "payment",
+                    weight: 43.0,
+                    mean_row_locks: 5.0,
+                    lock_sigma: 0.3,
+                    write_fraction: 0.8,
+                    tables_touched: 3,
+                    mean_think: SimDuration::from_millis(600),
+                    step_gap: SimDuration::from_micros(300),
+                    mean_hold: SimDuration::from_millis(2),
+                },
+                TxnProfile {
+                    name: "order-status",
+                    weight: 4.0,
+                    mean_row_locks: 14.0,
+                    lock_sigma: 0.4,
+                    write_fraction: 0.0,
+                    tables_touched: 3,
+                    mean_think: SimDuration::from_millis(800),
+                    step_gap: SimDuration::from_micros(200),
+                    mean_hold: SimDuration::from_millis(2),
+                },
+                TxnProfile {
+                    name: "delivery",
+                    weight: 4.0,
+                    mean_row_locks: 32.0,
+                    lock_sigma: 0.5,
+                    write_fraction: 0.95,
+                    tables_touched: 4,
+                    mean_think: SimDuration::from_millis(900),
+                    step_gap: SimDuration::from_micros(300),
+                    mean_hold: SimDuration::from_millis(5),
+                },
+                TxnProfile {
+                    name: "stock-level",
+                    weight: 4.0,
+                    mean_row_locks: 60.0,
+                    lock_sigma: 0.5,
+                    write_fraction: 0.0,
+                    tables_touched: 2,
+                    mean_think: SimDuration::from_millis(1000),
+                    step_gap: SimDuration::from_micros(200),
+                    mean_hold: SimDuration::from_millis(3),
+                },
+            ],
+        }
+    }
+
+    /// Expected row locks per transaction across the mix (sizing
+    /// heuristic for scenarios).
+    pub fn mean_locks_per_txn(&self) -> f64 {
+        let total_w: f64 = self.profiles.iter().map(|p| p.weight).sum();
+        self.profiles.iter().map(|p| p.weight * p.mean_row_locks).sum::<f64>() / total_w
+    }
+
+    /// Validate the spec.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tables == 0 {
+            return Err("at least one table".into());
+        }
+        if self.rows_per_table == 0 {
+            return Err("at least one row per table".into());
+        }
+        if self.profiles.is_empty() {
+            return Err("at least one transaction profile".into());
+        }
+        for p in &self.profiles {
+            if p.weight < 0.0 || !p.weight.is_finite() {
+                return Err(format!("{}: weight must be non-negative", p.name));
+            }
+            if p.mean_row_locks <= 0.0 {
+                return Err(format!("{}: mean_row_locks must be positive", p.name));
+            }
+            if !(0.0..=1.0).contains(&p.write_fraction) {
+                return Err(format!("{}: write_fraction must be in [0,1]", p.name));
+            }
+            if p.tables_touched == 0 || p.tables_touched > self.tables {
+                return Err(format!("{}: tables_touched out of range", p.name));
+            }
+        }
+        if self.profiles.iter().map(|p| p.weight).sum::<f64>() <= 0.0 {
+            return Err("at least one positive weight".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_is_valid() {
+        let s = OltpSpec::tpcc_like();
+        assert!(s.validate().is_ok());
+        assert_eq!(s.profiles.len(), 5);
+    }
+
+    #[test]
+    fn mean_locks_weighted() {
+        let s = OltpSpec::tpcc_like();
+        let m = s.mean_locks_per_txn();
+        // Dominated by new-order (23) and payment (5).
+        assert!(m > 10.0 && m < 20.0, "got {m}");
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut s = OltpSpec::tpcc_like();
+        s.tables = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = OltpSpec::tpcc_like();
+        s.profiles[0].write_fraction = 1.5;
+        assert!(s.validate().is_err());
+
+        let mut s = OltpSpec::tpcc_like();
+        s.profiles[0].tables_touched = 100;
+        assert!(s.validate().is_err());
+
+        let mut s = OltpSpec::tpcc_like();
+        for p in &mut s.profiles {
+            p.weight = 0.0;
+        }
+        assert!(s.validate().is_err());
+    }
+}

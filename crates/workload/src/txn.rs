@@ -1,0 +1,101 @@
+//! Transaction plans: the unit of work a simulated client executes.
+
+use locktune_sim::SimDuration;
+
+/// One row lock a transaction will take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockStep {
+    /// Table index.
+    pub table: u32,
+    /// Row index within the table.
+    pub row: u64,
+    /// Exclusive (update) or share (read).
+    pub exclusive: bool,
+}
+
+/// A fully materialized transaction: lock steps plus timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnPlan {
+    /// Row locks, in acquisition order.
+    pub steps: Vec<LockStep>,
+    /// Client think time before the transaction starts.
+    pub think_before: SimDuration,
+    /// Gap between consecutive lock acquisitions (per-step work).
+    pub step_gap: SimDuration,
+    /// Work after the last lock before commit.
+    pub hold_after_last: SimDuration,
+}
+
+impl TxnPlan {
+    /// Tables this plan touches (deduplicated, in first-touch order).
+    pub fn tables(&self) -> Vec<u32> {
+        let mut seen = Vec::new();
+        for s in &self.steps {
+            if !seen.contains(&s.table) {
+                seen.push(s.table);
+            }
+        }
+        seen
+    }
+
+    /// Row locks in the plan.
+    pub fn lock_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if any step is exclusive.
+    pub fn is_write(&self) -> bool {
+        self.steps.iter().any(|s| s.exclusive)
+    }
+
+    /// Total duration from first lock to commit.
+    pub fn execution_time(&self) -> SimDuration {
+        if self.steps.is_empty() {
+            return self.hold_after_last;
+        }
+        self.step_gap * (self.steps.len() as u64 - 1) + self.hold_after_last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> TxnPlan {
+        TxnPlan {
+            steps: vec![
+                LockStep { table: 1, row: 10, exclusive: false },
+                LockStep { table: 2, row: 20, exclusive: true },
+                LockStep { table: 1, row: 11, exclusive: false },
+            ],
+            think_before: SimDuration::from_millis(100),
+            step_gap: SimDuration::from_millis(2),
+            hold_after_last: SimDuration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn tables_deduplicated_in_order() {
+        assert_eq!(plan().tables(), vec![1, 2]);
+    }
+
+    #[test]
+    fn classification() {
+        let p = plan();
+        assert_eq!(p.lock_count(), 3);
+        assert!(p.is_write());
+        let read_only = TxnPlan {
+            steps: vec![LockStep { table: 1, row: 1, exclusive: false }],
+            ..plan()
+        };
+        assert!(!read_only.is_write());
+    }
+
+    #[test]
+    fn execution_time() {
+        // 2 gaps of 2ms + 5ms hold = 9ms.
+        assert_eq!(plan().execution_time(), SimDuration::from_millis(9));
+        let empty = TxnPlan { steps: vec![], ..plan() };
+        assert_eq!(empty.execution_time(), SimDuration::from_millis(5));
+    }
+}

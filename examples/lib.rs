@@ -1,0 +1,78 @@
+//! Shared helpers for the runnable examples: tiny terminal plotting so
+//! each example can show the adaptive behaviour without external tools.
+
+use locktune_metrics::TimeSeries;
+
+/// Render a series as an ASCII sparkline with axis labels.
+///
+/// The series is resampled into `width` buckets (mean per bucket) and
+/// drawn with eight-level block characters.
+pub fn sparkline(series: &TimeSeries, width: usize) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let points: Vec<(f64, f64)> =
+        series.iter().map(|(t, v)| (t.as_secs_f64(), v)).collect();
+    if points.is_empty() || width == 0 {
+        return String::from("(no data)");
+    }
+    let t0 = points.first().expect("non-empty").0;
+    let t1 = points.last().expect("non-empty").0.max(t0 + 1e-9);
+    let mut sums = vec![0.0f64; width];
+    let mut counts = vec![0usize; width];
+    for &(t, v) in &points {
+        let bucket = (((t - t0) / (t1 - t0)) * (width as f64 - 1.0)).round() as usize;
+        sums[bucket.min(width - 1)] += v;
+        counts[bucket.min(width - 1)] += 1;
+    }
+    let values: Vec<Option<f64>> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c > 0 { Some(s / c as f64) } else { None })
+        .collect();
+    let lo = values.iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b));
+    let hi = values.iter().flatten().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let span = (hi - lo).max(1e-12);
+    let mut line = String::with_capacity(width * 3);
+    let mut last = lo;
+    for v in values {
+        let v = v.unwrap_or(last);
+        last = v;
+        let idx = (((v - lo) / span) * 7.0).round() as usize;
+        line.push(LEVELS[idx.min(7)]);
+    }
+    format!("{line}\n  [{lo:.1} .. {hi:.1}] over {t0:.0}s..{t1:.0}s")
+}
+
+/// Format a byte count as MiB with one decimal.
+pub fn mib(bytes: f64) -> String {
+    format!("{:.1} MiB", bytes / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locktune_sim::SimTime;
+
+    #[test]
+    fn sparkline_renders() {
+        let mut s = TimeSeries::new("x");
+        for i in 0..100u64 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        let art = sparkline(&s, 20);
+        assert!(art.contains('▁'));
+        assert!(art.contains('█'));
+        // Label shows the plotted (bucket-mean) range over the time span.
+        assert!(art.contains("over 0s..99s"), "{art}");
+    }
+
+    #[test]
+    fn sparkline_empty() {
+        let s = TimeSeries::new("x");
+        assert_eq!(sparkline(&s, 20), "(no data)");
+    }
+
+    #[test]
+    fn mib_format() {
+        assert_eq!(mib(1024.0 * 1024.0 * 2.5), "2.5 MiB");
+    }
+}

@@ -1,0 +1,38 @@
+//! OLTP surge (the paper's §5.2, Figure 10): a steady 50-client load
+//! jumps to 130 clients; the self-tuning lock memory adapts within a
+//! tuning interval with no escalations.
+//!
+//! ```text
+//! cargo run --release -p locktune-examples --bin oltp_surge
+//! ```
+
+use locktune_engine::Scenario;
+use locktune_examples::{mib, sparkline};
+use locktune_sim::SimTime;
+use locktune_workload::{PhaseChange, Schedule};
+
+fn main() {
+    // A shortened Figure-10 schedule so the example runs in seconds.
+    let mut scenario = Scenario::fig10_surge();
+    scenario.schedule = Schedule::new(
+        vec![
+            (SimTime::ZERO, PhaseChange::SetClients(50)),
+            (SimTime::from_secs(180), PhaseChange::SetClients(130)),
+        ],
+        SimTime::from_secs(360),
+    );
+    println!("running: 50 clients for 180s, then a 2.6x surge to 130 (simulated time)...");
+    let r = scenario.run();
+
+    let before = r.lock_bytes.value_at(SimTime::from_secs(179)).unwrap_or(0.0);
+    let after = r.lock_bytes.value_at(SimTime::from_secs(359)).unwrap_or(0.0);
+    println!("\nlock memory allocation over time:");
+    println!("  {}", sparkline(&r.lock_bytes, 60));
+    println!("\nthroughput (committed tx/s):");
+    println!("  {}", sparkline(&r.throughput, 60));
+    println!("\nbefore surge: {}", mib(before));
+    println!("after surge:  {} ({:.2}x)", mib(after), after / before.max(1.0));
+    println!("escalations:  {}", r.total_escalations());
+    println!("committed:    {}", r.committed);
+    assert_eq!(r.total_escalations(), 0, "the tuned system must not escalate");
+}

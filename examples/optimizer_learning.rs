@@ -1,0 +1,57 @@
+//! Learned optimizer feedback (the paper's §6.1 future work) on top of
+//! the §3.6 stable compiler view.
+//!
+//! The SQL compiler decides row-vs-table locking against a *stable*
+//! estimate (`sqlCompilerLockMem = 10 %` of database memory) so plans
+//! don't flap with the tuner. §6.1 proposes learning on top: compare
+//! the compile-time row estimates against runtime actuals and correct
+//! future plans.
+//!
+//! ```text
+//! cargo run -p locktune-examples --bin optimizer_learning
+//! ```
+
+use locktune_core::{choose_locking, LockingStrategy, OptimizerFeedback, OptimizerView, TunerParams};
+
+const GIB: u64 = 1 << 30;
+
+fn main() {
+    let params = TunerParams::default();
+    let db = 5 * GIB;
+    let view = OptimizerView::compute(&params, db);
+    let budget = view.plannable_row_locks(&params);
+    println!("stable compiler view: {} MiB of lock memory", view.lock_memory_bytes >> 20);
+    println!("row-lock budget per statement: {budget} locks\n");
+
+    // A statement the optimizer thinks locks ~60% of the budget.
+    let estimate = budget * 6 / 10;
+    println!("statement estimate: {estimate} row locks");
+    println!(
+        "choice without feedback: {:?}",
+        choose_locking(&params, db, estimate, None)
+    );
+
+    // In production the statement repeatedly locks ~2.5x the estimate
+    // (stale statistics, skewed predicates...). The feedback loop
+    // learns the correction.
+    let mut feedback = OptimizerFeedback::default();
+    println!("\nruns observed (estimated -> actual):");
+    for run in 1..=10 {
+        let actual = estimate * 5 / 2;
+        feedback.record(estimate, actual);
+        println!(
+            "  run {run}: {estimate} -> {actual}   learned ratio {:.2}, corrected estimate {}",
+            feedback.ratio(),
+            feedback.corrected_estimate(estimate)
+        );
+    }
+
+    let choice = choose_locking(&params, db, estimate, Some(&feedback));
+    println!("\nchoice with learned feedback: {choice:?}");
+    assert_eq!(choice, LockingStrategy::TableLocking);
+    println!(
+        "the corrected estimate ({} locks) exceeds the budget, so the plan \
+         takes a table lock up front instead of escalating mid-flight",
+        feedback.corrected_estimate(estimate)
+    );
+}

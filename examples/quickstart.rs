@@ -1,0 +1,100 @@
+//! Quickstart: the core pieces wired together by hand.
+//!
+//! Builds a lock memory pool, a lock manager and the adaptive tuner,
+//! then walks one demand cycle — growth, hysteresis, gradual shrink —
+//! printing each tuning decision.
+//!
+//! ```text
+//! cargo run -p locktune-examples --bin quickstart
+//! ```
+
+use locktune_core::{
+    LockMemorySnapshot, LockMemoryTuner, OverflowState, TunerParams, TuningReason,
+};
+use locktune_lockmgr::{
+    AppId, LockManager, LockManagerConfig, LockMode, NoTuning, ResourceId, RowId, TableId,
+};
+use locktune_memalloc::{LockMemoryPool, PoolConfig};
+
+const MIB: u64 = 1024 * 1024;
+
+fn overflow_state() -> OverflowState {
+    // A 1 GiB database with 200 MiB unallocated.
+    OverflowState {
+        database_memory_bytes: 1024 * MIB,
+        sum_heap_bytes: 824 * MIB,
+        lock_memory_from_overflow_bytes: 0,
+        overflow_free_bytes: 200 * MIB,
+    }
+}
+
+fn main() {
+    // 1. A pool of 128 KiB blocks (2048 lock structures each).
+    let pool = LockMemoryPool::with_bytes(PoolConfig::default(), 2 * MIB);
+    let mut manager = LockManager::new(pool, LockManagerConfig::default());
+    let mut hooks = NoTuning { max_locks_percent: 98.0 };
+
+    // 2. An application takes a table intent lock plus row locks.
+    let app = AppId(1);
+    let orders = TableId(1);
+    manager.lock(app, ResourceId::Table(orders), LockMode::IX, &mut hooks).expect("intent");
+    for row in 0..10_000 {
+        manager
+            .lock(app, ResourceId::Row(orders, RowId(row)), LockMode::X, &mut hooks)
+            .expect("row lock");
+    }
+    let stats = manager.pool().stats();
+    println!("after 10k row locks:");
+    println!("  pool: {} blocks, {} structures used of {}", stats.blocks, stats.slots_used, stats.slots_total);
+
+    // 3. The adaptive tuner sizes the pool so ~50% stays free.
+    let mut tuner = LockMemoryTuner::new(TunerParams::default());
+    let mut allocated = manager.pool().total_bytes();
+    for interval in 1..=3 {
+        let snap = LockMemorySnapshot {
+            allocated_bytes: allocated,
+            used_bytes: manager.pool().used_bytes(),
+            lmoc_bytes: allocated,
+            num_applications: 1,
+            escalations_since_last: 0,
+            overflow: overflow_state(),
+        };
+        let d = tuner.tick(&snap);
+        println!(
+            "interval {interval}: {:?} -> target {:.1} MiB (lockPercentPerApplication {:.1}%)",
+            d.reason,
+            d.target_bytes as f64 / MIB as f64,
+            d.app_percent
+        );
+        allocated = manager.resize_pool_to_bytes(d.target_bytes, &mut hooks);
+        if d.reason == TuningReason::WithinBand {
+            break;
+        }
+    }
+
+    // 4. Commit: locks release, the tuner relaxes the memory ~5% per
+    //    interval back towards the 60%-free band.
+    manager.unlock_all(app, &mut hooks);
+    println!("after commit: {} structures used", manager.pool().used_slots());
+    let mut shrink_steps = 0;
+    loop {
+        let snap = LockMemorySnapshot {
+            allocated_bytes: allocated,
+            used_bytes: manager.pool().used_bytes(),
+            lmoc_bytes: allocated,
+            num_applications: 1,
+            escalations_since_last: 0,
+            overflow: overflow_state(),
+        };
+        let d = tuner.tick(&snap);
+        if d.is_no_change() {
+            break;
+        }
+        allocated = manager.resize_pool_to_bytes(d.target_bytes, &mut hooks);
+        shrink_steps += 1;
+    }
+    println!(
+        "relaxed over {shrink_steps} intervals to {:.1} MiB (2 MiB minimum holds)",
+        allocated as f64 / MIB as f64
+    );
+}

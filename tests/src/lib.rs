@@ -1,0 +1,23 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use locktune_core::TunerParams;
+use locktune_engine::{Policy, RunResult, Scenario};
+
+/// Run a short self-tuned smoke scenario.
+pub fn tuned_smoke(seconds: u64, clients: u32, seed: u64) -> RunResult {
+    Scenario::smoke(Policy::SelfTuning(TunerParams::default()), seconds, clients, seed).run()
+}
+
+/// Run a short static-policy smoke scenario with the given LOCKLIST.
+pub fn static_smoke(locklist_bytes: u64, seconds: u64, clients: u32, seed: u64) -> RunResult {
+    Scenario::smoke(
+        Policy::Static(locktune_baselines::StaticPolicy {
+            locklist_bytes,
+            maxlocks_percent: 10.0,
+        }),
+        seconds,
+        clients,
+        seed,
+    )
+    .run()
+}

@@ -1,0 +1,97 @@
+//! Cross-crate integration: workload → lock manager → pool → tuner →
+//! memory model, all through the public API.
+
+use locktune_core::{LockMemoryBounds, TunerParams};
+use locktune_engine::{Policy, Scenario};
+use locktune_integration_tests::{static_smoke, tuned_smoke};
+use locktune_sim::SimTime;
+
+#[test]
+fn tuned_run_is_escalation_free_and_bounded() {
+    let r = tuned_smoke(90, 30, 11);
+    assert_eq!(r.total_escalations(), 0);
+    assert_eq!(r.oom_failures, 0);
+    assert!(r.committed > 500, "committed {}", r.committed);
+    // Lock memory respects Table 1 bounds at every sample.
+    let params = TunerParams::default();
+    let db = locktune_memory::MemoryConfig::default().total_bytes;
+    let bounds = LockMemoryBounds::compute(&params, 30, db);
+    for (_, v) in r.lock_bytes.iter() {
+        assert!(v as u64 <= bounds.max_bytes, "lock memory exceeded maxLockMemory");
+    }
+    // And the minimum holds once the system is warm.
+    let warm = r.lock_bytes.value_at(SimTime::from_secs(60)).unwrap();
+    assert!(warm as u64 >= 2 * 1024 * 1024, "minLockMemory floor");
+}
+
+#[test]
+fn static_tiny_config_collapses_but_stays_consistent() {
+    let r = static_smoke(64 * 1024, 90, 30, 11);
+    assert!(r.total_escalations() > 0);
+    // The run still terminates with consistent accounting (the engine
+    // validates its lock manager and memory set before reporting).
+    assert!(r.committed + r.aborted + r.oom_failures > 0);
+}
+
+#[test]
+fn seeds_reproduce_entire_run_results() {
+    let a = tuned_smoke(45, 15, 99);
+    let b = tuned_smoke(45, 15, 99);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.final_stats, b.final_stats);
+    assert_eq!(
+        a.lock_bytes.iter().collect::<Vec<_>>(),
+        b.lock_bytes.iter().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        a.throughput.iter().collect::<Vec<_>>(),
+        b.throughput.iter().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn more_clients_need_more_lock_memory() {
+    let small = tuned_smoke(90, 5, 3);
+    let large = tuned_smoke(90, 40, 3);
+    let small_final = small.final_lock_bytes();
+    let large_final = large.final_lock_bytes();
+    assert!(
+        large_final >= small_final,
+        "{large_final} for 40 clients vs {small_final} for 5"
+    );
+    assert!(large.committed > small.committed);
+}
+
+#[test]
+fn sqlserver_policy_runs_the_same_engine() {
+    let r = Scenario::smoke(Scenario::sqlserver_policy(), 60, 25, 5).run();
+    assert!(r.committed > 200);
+    // Never exceeds the documented 60% ceiling.
+    let max = (0.60 * locktune_memory::MemoryConfig::default().total_bytes as f64) as u64;
+    for (_, v) in r.lock_bytes.iter() {
+        assert!((v as u64) <= max);
+    }
+}
+
+#[test]
+fn fixed_maxlocks_escalates_where_adaptive_does_not() {
+    // The §5.3 ablation at smoke scale: under a *fixed* MAXLOCKS (the
+    // pre-DB2 9 model: no growth, hard per-application share) a normal
+    // transaction footprint trips the cap and escalates; the adaptive
+    // system serves the identical workload without a single escalation.
+    let r_fixed = Scenario::smoke(
+        Policy::Static(locktune_baselines::StaticPolicy {
+            locklist_bytes: 512 * 1024, // ample memory —
+            maxlocks_percent: 0.5,      // — but a tight per-app share
+        }),
+        60,
+        4,
+        17,
+    )
+    .run();
+    let r_adaptive =
+        Scenario::smoke(Policy::SelfTuning(TunerParams::default()), 60, 4, 17).run();
+    assert!(r_fixed.total_escalations() > 0, "tight fixed cap escalates");
+    assert_eq!(r_fixed.oom_failures, 0, "memory was never the trigger");
+    assert_eq!(r_adaptive.total_escalations(), 0);
+}
