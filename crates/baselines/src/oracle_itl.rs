@@ -91,7 +91,12 @@ impl OracleItl {
     /// Expected fraction of row-lock attempts that stall on ITL
     /// exhaustion for a workload with `concurrent_writers` spread over
     /// `pages` hot pages.
-    pub fn expected_itl_wait_fraction(&self, concurrent_writers: u64, pages: u64, free_bytes: u64) -> f64 {
+    pub fn expected_itl_wait_fraction(
+        &self,
+        concurrent_writers: u64,
+        pages: u64,
+        free_bytes: u64,
+    ) -> f64 {
         if pages == 0 {
             return 1.0;
         }

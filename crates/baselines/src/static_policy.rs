@@ -18,13 +18,19 @@ impl StaticPolicy {
     /// The §5.1 experiment configuration: 0.4 MB for a 130-client
     /// OLTP system.
     pub fn figure7() -> Self {
-        StaticPolicy { locklist_bytes: 400 * 1024, maxlocks_percent: 10.0 }
+        StaticPolicy {
+            locklist_bytes: 400 * 1024,
+            maxlocks_percent: 10.0,
+        }
     }
 }
 
 impl Default for StaticPolicy {
     fn default() -> Self {
-        StaticPolicy { locklist_bytes: 4 * 1024 * 1024, maxlocks_percent: 10.0 }
+        StaticPolicy {
+            locklist_bytes: 4 * 1024 * 1024,
+            maxlocks_percent: 10.0,
+        }
     }
 }
 

@@ -50,7 +50,10 @@ fn resizes_under_noise(params: TunerParams) -> u64 {
 /// Intervals to converge and re-growth events for a weekly-peak style
 /// demand under a given shrink rate.
 fn shrink_behaviour(delta_reduce: f64) -> (u64, u64) {
-    let params = TunerParams { delta_reduce, ..TunerParams::default() };
+    let params = TunerParams {
+        delta_reduce,
+        ..TunerParams::default()
+    };
     let mut t = LockMemoryTuner::new(params);
     let mut alloc = 200 * MIB;
     let mut shrink_intervals = 0;
@@ -98,13 +101,23 @@ fn main() {
         ("zero-width band 50-50%", 0.50, 0.50),
         ("wide band 40-70%", 0.40, 0.70),
     ] {
-        let params =
-            TunerParams { min_free_fraction: min_f, max_free_fraction: max_f, ..Default::default() };
-        println!("  {label:<24} resizes over 200 intervals: {}", resizes_under_noise(params));
+        let params = TunerParams {
+            min_free_fraction: min_f,
+            max_free_fraction: max_f,
+            ..Default::default()
+        };
+        println!(
+            "  {label:<24} resizes over 200 intervals: {}",
+            resizes_under_noise(params)
+        );
     }
 
     println!("\n== ablation: delta_reduce (shrink rate after a demand peak) ==");
-    for (label, dr) in [("paper 5%", 0.05), ("aggressive 20%", 0.20), ("instant 100%", 1.0)] {
+    for (label, dr) in [
+        ("paper 5%", 0.05),
+        ("aggressive 20%", 0.20),
+        ("instant 100%", 1.0),
+    ] {
         let (shrinks, regrows) = shrink_behaviour(dr);
         println!("  {label:<16} shrink intervals: {shrinks:>3}, re-growth events at peak return: {regrows}");
     }
@@ -133,7 +146,10 @@ fn main() {
 
     println!("\n== ablation: escalation-doubling on/off (constrained overflow recovery) ==");
     for (label, factor) in [("doubling (paper)", 2.0), ("disabled (1.0x)", 1.0)] {
-        let params = TunerParams { escalation_growth_factor: factor, ..Default::default() };
+        let params = TunerParams {
+            escalation_growth_factor: factor,
+            ..Default::default()
+        };
         let mut t = LockMemoryTuner::new(params);
         let mut alloc = 4 * MIB;
         let mut intervals_to_recover = 0;
@@ -156,7 +172,10 @@ fn main() {
         let status = if intervals_to_recover > 0 {
             format!("{intervals_to_recover} intervals to reach 64 MiB")
         } else {
-            format!("never recovered (stuck at {} MiB, grow-target only tracks usage)", alloc / MIB)
+            format!(
+                "never recovered (stuck at {} MiB, grow-target only tracks usage)",
+                alloc / MIB
+            )
         };
         let _ = BLOCK;
         println!("  {label:<20} {status}");

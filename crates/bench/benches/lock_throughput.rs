@@ -22,12 +22,20 @@ fn bench_uncontended_acquire_release(c: &mut Criterion) {
         b.iter_batched(
             || manager(64 << 20),
             |mut m| {
-                let mut h = NoTuning { max_locks_percent: 98.0 };
+                let mut h = NoTuning {
+                    max_locks_percent: 98.0,
+                };
                 let app = AppId(1);
-                m.lock(app, ResourceId::Table(TableId(0)), LockMode::IX, &mut h).unwrap();
+                m.lock(app, ResourceId::Table(TableId(0)), LockMode::IX, &mut h)
+                    .unwrap();
                 for r in 0..n {
-                    m.lock(app, ResourceId::Row(TableId(0), RowId(r)), LockMode::X, &mut h)
-                        .unwrap();
+                    m.lock(
+                        app,
+                        ResourceId::Row(TableId(0), RowId(r)),
+                        LockMode::X,
+                        &mut h,
+                    )
+                    .unwrap();
                 }
                 m.unlock_all(app, &mut h);
                 m
@@ -39,15 +47,28 @@ fn bench_uncontended_acquire_release(c: &mut Criterion) {
         b.iter_batched(
             || manager(64 << 20),
             |mut m| {
-                let mut h = NoTuning { max_locks_percent: 98.0 };
+                let mut h = NoTuning {
+                    max_locks_percent: 98.0,
+                };
                 for a in 0..8u32 {
-                    m.lock(AppId(a), ResourceId::Table(TableId(0)), LockMode::IS, &mut h).unwrap();
+                    m.lock(
+                        AppId(a),
+                        ResourceId::Table(TableId(0)),
+                        LockMode::IS,
+                        &mut h,
+                    )
+                    .unwrap();
                 }
                 // All apps share the same 1250 rows.
                 for a in 0..8u32 {
                     for r in 0..(n / 8) {
-                        m.lock(AppId(a), ResourceId::Row(TableId(0), RowId(r)), LockMode::S, &mut h)
-                            .unwrap();
+                        m.lock(
+                            AppId(a),
+                            ResourceId::Row(TableId(0), RowId(r)),
+                            LockMode::S,
+                            &mut h,
+                        )
+                        .unwrap();
                     }
                 }
                 for a in 0..8u32 {
@@ -60,12 +81,27 @@ fn bench_uncontended_acquire_release(c: &mut Criterion) {
     });
     g.bench_function("reentrant_hits", |b| {
         let mut m = manager(64 << 20);
-        let mut h = NoTuning { max_locks_percent: 98.0 };
+        let mut h = NoTuning {
+            max_locks_percent: 98.0,
+        };
         let app = AppId(1);
-        m.lock(app, ResourceId::Table(TableId(0)), LockMode::IX, &mut h).unwrap();
-        m.lock(app, ResourceId::Row(TableId(0), RowId(1)), LockMode::X, &mut h).unwrap();
+        m.lock(app, ResourceId::Table(TableId(0)), LockMode::IX, &mut h)
+            .unwrap();
+        m.lock(
+            app,
+            ResourceId::Row(TableId(0), RowId(1)),
+            LockMode::X,
+            &mut h,
+        )
+        .unwrap();
         b.iter(|| {
-            m.lock(app, ResourceId::Row(TableId(0), RowId(1)), LockMode::X, &mut h).unwrap()
+            m.lock(
+                app,
+                ResourceId::Row(TableId(0), RowId(1)),
+                LockMode::X,
+                &mut h,
+            )
+            .unwrap()
         });
     });
     g.finish();
@@ -79,22 +115,37 @@ fn bench_escalation(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let mut m = manager(64 << 20);
-                    let mut h = NoTuning { max_locks_percent: 98.0 };
+                    let mut h = NoTuning {
+                        max_locks_percent: 98.0,
+                    };
                     let app = AppId(1);
-                    m.lock(app, ResourceId::Table(TableId(0)), LockMode::IX, &mut h).unwrap();
+                    m.lock(app, ResourceId::Table(TableId(0)), LockMode::IX, &mut h)
+                        .unwrap();
                     for r in 0..rows {
-                        m.lock(app, ResourceId::Row(TableId(0), RowId(r)), LockMode::X, &mut h)
-                            .unwrap();
+                        m.lock(
+                            app,
+                            ResourceId::Row(TableId(0), RowId(r)),
+                            LockMode::X,
+                            &mut h,
+                        )
+                        .unwrap();
                     }
                     m
                 },
                 |mut m| {
                     // Dropping the cap forces an escalation on the next
                     // row request.
-                    let mut tight = NoTuning { max_locks_percent: 0.0001 };
+                    let mut tight = NoTuning {
+                        max_locks_percent: 0.0001,
+                    };
                     let app = AppId(1);
-                    m.lock(app, ResourceId::Row(TableId(0), RowId(u64::MAX - 1)), LockMode::X, &mut tight)
-                        .unwrap();
+                    m.lock(
+                        app,
+                        ResourceId::Row(TableId(0), RowId(u64::MAX - 1)),
+                        LockMode::X,
+                        &mut tight,
+                    )
+                    .unwrap();
                     m
                 },
                 BatchSize::LargeInput,
@@ -114,13 +165,21 @@ fn bench_shared_wrapper(c: &mut Criterion) {
                     .map(|t| {
                         let mgr = mgr.clone();
                         std::thread::spawn(move || {
-                            let mut h = NoTuning { max_locks_percent: 98.0 };
+                            let mut h = NoTuning {
+                                max_locks_percent: 98.0,
+                            };
                             let app = AppId(t);
                             let table = TableId(t);
-                            mgr.lock(app, ResourceId::Table(table), LockMode::IX, &mut h).unwrap();
+                            mgr.lock(app, ResourceId::Table(table), LockMode::IX, &mut h)
+                                .unwrap();
                             for r in 0..1000u64 {
-                                mgr.lock(app, ResourceId::Row(table, RowId(r)), LockMode::X, &mut h)
-                                    .unwrap();
+                                mgr.lock(
+                                    app,
+                                    ResourceId::Row(table, RowId(r)),
+                                    LockMode::X,
+                                    &mut h,
+                                )
+                                .unwrap();
                             }
                             mgr.unlock_all(app, &mut h);
                         })

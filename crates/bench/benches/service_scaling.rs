@@ -1,0 +1,323 @@
+//! Scalability of the sharded lock service against the single-mutex
+//! `SharedLockManager` at 1/2/4/8 threads, on two workloads:
+//!
+//! * **disjoint** — each thread runs OLTP-shaped transactions on its
+//!   own table (IX on the table, X on a batch of rows, commit). The
+//!   resources never conflict, so this isolates the per-operation cost
+//!   of each architecture's fast path.
+//! * **contended** — all threads share a small set of tables and lock
+//!   overlapping row ranges in X mode (ascending order, so the
+//!   workload is deadlock-free). Requests genuinely queue, which is
+//!   where the architectures diverge: the service parks waiters on
+//!   per-session channels and wakes exactly the granted application,
+//!   while the single-mutex manager only exposes a global
+//!   `take_notifications` drain — waiters must poll it through the
+//!   same mutex every locker needs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use locktune_lockmgr::{
+    AppId, LockManager, LockManagerConfig, LockMode, LockOutcome, NoTuning, ResourceId, RowId,
+    SharedLockManager, TableId,
+};
+use locktune_memalloc::{LockMemoryPool, PoolConfig};
+use locktune_service::{LockService, ServiceConfig};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const TXNS_PER_THREAD: u64 = 400;
+const ROWS_PER_TXN: u64 = 20;
+
+// Contended workload: every thread draws row ranges from the same
+// small table set, so X requests conflict and queue.
+const CONTENDED_TXNS_PER_THREAD: u64 = 1000;
+const CONTENDED_TABLES: u64 = 8;
+const CONTENDED_ROWS_PER_TABLE: u64 = 64;
+const CONTENDED_ROWS_PER_TXN: u64 = 8;
+
+fn service() -> Arc<LockService> {
+    let config = ServiceConfig {
+        // Sized to the worker parallelism: on few-core hosts extra
+        // shards only dilute cache locality (each shard owns its own
+        // lock tables), they cannot add parallelism.
+        shards: 4,
+        // Park the background timers well past the measurement so the
+        // comparison isolates the locking architecture.
+        tuning_interval: Duration::from_secs(3600),
+        deadlock_interval: Duration::from_secs(3600),
+        lock_wait_timeout: None,
+        initial_lock_bytes: 64 << 20,
+        ..ServiceConfig::default()
+    };
+    Arc::new(LockService::start(config).expect("service start"))
+}
+
+fn single_mutex() -> SharedLockManager {
+    let pool = LockMemoryPool::with_bytes(PoolConfig::default(), 64 << 20);
+    SharedLockManager::new(LockManager::new(pool, LockManagerConfig::default()))
+}
+
+// ====================================================================
+// Disjoint workload
+// ====================================================================
+
+fn run_service_threads(svc: &Arc<LockService>, threads: u32) {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let svc = Arc::clone(svc);
+            std::thread::spawn(move || {
+                let session = svc.connect(AppId(t + 1));
+                let table = TableId(t);
+                for txn in 0..TXNS_PER_THREAD {
+                    session
+                        .lock(ResourceId::Table(table), LockMode::IX)
+                        .unwrap();
+                    for r in 0..ROWS_PER_TXN {
+                        let row = RowId(txn * ROWS_PER_TXN + r);
+                        session
+                            .lock(ResourceId::Row(table, row), LockMode::X)
+                            .unwrap();
+                    }
+                    session.unlock_all();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn run_single_mutex_threads(mgr: &SharedLockManager, threads: u32) {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let mgr = mgr.clone();
+            std::thread::spawn(move || {
+                let mut h = NoTuning {
+                    max_locks_percent: 98.0,
+                };
+                let app = AppId(t + 1);
+                let table = TableId(t);
+                for txn in 0..TXNS_PER_THREAD {
+                    mgr.lock(app, ResourceId::Table(table), LockMode::IX, &mut h)
+                        .unwrap();
+                    for r in 0..ROWS_PER_TXN {
+                        let row = RowId(txn * ROWS_PER_TXN + r);
+                        mgr.lock(app, ResourceId::Row(table, row), LockMode::X, &mut h)
+                            .unwrap();
+                    }
+                    mgr.unlock_all(app, &mut h);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+// ====================================================================
+// Contended workload
+// ====================================================================
+
+/// The row range transaction `txn` of thread `t` locks: a pseudo-random
+/// contiguous window into a pseudo-random shared table. Contiguous
+/// ascending acquisition gives heavy overlap between threads while
+/// keeping the workload deadlock-free (a global lock order exists).
+fn contended_txn(t: u32, txn: u64) -> (TableId, u64) {
+    // Deterministic per-(thread, txn) mix so both architectures see
+    // the identical conflict pattern.
+    let mix = (t as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(txn.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    let table = TableId(((mix >> 8) % CONTENDED_TABLES) as u32);
+    let start = (mix >> 24) % (CONTENDED_ROWS_PER_TABLE - CONTENDED_ROWS_PER_TXN);
+    (table, start)
+}
+
+fn run_service_contended(svc: &Arc<LockService>, threads: u32) {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let svc = Arc::clone(svc);
+            std::thread::spawn(move || {
+                let session = svc.connect(AppId(t + 1));
+                for txn in 0..CONTENDED_TXNS_PER_THREAD {
+                    let (table, start) = contended_txn(t, txn);
+                    session
+                        .lock(ResourceId::Table(table), LockMode::IX)
+                        .unwrap();
+                    for r in start..start + CONTENDED_ROWS_PER_TXN {
+                        session
+                            .lock(ResourceId::Row(table, RowId(r)), LockMode::X)
+                            .unwrap();
+                    }
+                    // In-transaction work (index traversal, page reads)
+                    // while locks are held; without it a single-CPU host
+                    // runs whole transactions per scheduler slice and
+                    // conflicts never materialize.
+                    std::thread::yield_now();
+                    session.unlock_all();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Grant mailbox for the single-mutex baseline: the manager's
+/// notification queue is a global drain, so any thread that empties it
+/// must file other applications' grants where their owners can find
+/// them. This is bench scaffolding standing in for the delivery layer
+/// the service crate provides.
+struct Mailbox {
+    granted: Mutex<HashSet<AppId>>,
+}
+
+impl Mailbox {
+    fn route(&self, mgr: &SharedLockManager) {
+        let notices = mgr.take_notifications();
+        if notices.is_empty() {
+            return;
+        }
+        let mut granted = self.granted.lock().unwrap();
+        for n in notices {
+            granted.insert(n.app);
+        }
+    }
+
+    fn claim(&self, app: AppId) -> bool {
+        self.granted.lock().unwrap().remove(&app)
+    }
+}
+
+fn acquire_polling(
+    mgr: &SharedLockManager,
+    mailbox: &Mailbox,
+    app: AppId,
+    res: ResourceId,
+    mode: LockMode,
+    hooks: &mut NoTuning,
+) {
+    match mgr.lock(app, res, mode, hooks).unwrap() {
+        LockOutcome::Queued | LockOutcome::QueuedWithEscalation { .. } => loop {
+            mailbox.route(mgr);
+            if mailbox.claim(app) {
+                return;
+            }
+            std::thread::yield_now();
+        },
+        _ => {}
+    }
+}
+
+fn run_single_mutex_contended(mgr: &SharedLockManager, threads: u32) {
+    let mailbox = Arc::new(Mailbox {
+        granted: Mutex::new(HashSet::new()),
+    });
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let mgr = mgr.clone();
+            let mailbox = Arc::clone(&mailbox);
+            std::thread::spawn(move || {
+                let mut h = NoTuning {
+                    max_locks_percent: 98.0,
+                };
+                let app = AppId(t + 1);
+                for txn in 0..CONTENDED_TXNS_PER_THREAD {
+                    let (table, start) = contended_txn(t, txn);
+                    acquire_polling(
+                        &mgr,
+                        &mailbox,
+                        app,
+                        ResourceId::Table(table),
+                        LockMode::IX,
+                        &mut h,
+                    );
+                    for r in start..start + CONTENDED_ROWS_PER_TXN {
+                        let res = ResourceId::Row(table, RowId(r));
+                        acquire_polling(&mgr, &mailbox, app, res, LockMode::X, &mut h);
+                    }
+                    // Same in-transaction work as the service side.
+                    std::thread::yield_now();
+                    mgr.unlock_all(app, &mut h);
+                    // Grants produced by this release must reach their
+                    // owners even if no waiter is currently polling.
+                    mailbox.route(&mgr);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+// ====================================================================
+// Harness
+// ====================================================================
+
+fn bench_service_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_scaling");
+    for threads in [1u32, 2, 4, 8] {
+        let locks = threads as u64 * TXNS_PER_THREAD * (ROWS_PER_TXN + 1);
+        g.throughput(Throughput::Elements(locks));
+        g.bench_function(format!("sharded_service_{threads}_threads"), |b| {
+            b.iter_batched(
+                service,
+                |svc| {
+                    run_service_threads(&svc, threads);
+                    svc
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("single_mutex_{threads}_threads"), |b| {
+            b.iter_batched(
+                single_mutex,
+                |mgr| {
+                    run_single_mutex_threads(&mgr, threads);
+                    mgr
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("service_contended");
+    for threads in [1u32, 2, 4, 8] {
+        let locks = threads as u64 * CONTENDED_TXNS_PER_THREAD * (CONTENDED_ROWS_PER_TXN + 1);
+        g.throughput(Throughput::Elements(locks));
+        g.bench_function(format!("sharded_service_{threads}_threads"), |b| {
+            b.iter_batched(
+                service,
+                |svc| {
+                    run_service_contended(&svc, threads);
+                    svc
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("single_mutex_{threads}_threads"), |b| {
+            b.iter_batched(
+                single_mutex,
+                |mgr| {
+                    run_single_mutex_contended(&mgr, threads);
+                    mgr
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_service_scaling
+);
+criterion_main!(benches);

@@ -35,9 +35,7 @@ fn bench_tick(c: &mut Criterion) {
     g.bench_function("sync_growth_admission", |b| {
         let params = TunerParams::default();
         let s = snapshot();
-        b.iter(|| {
-            SyncGrowth::new(&params).request(131_072, s.allocated_bytes, 130, &s.overflow)
-        });
+        b.iter(|| SyncGrowth::new(&params).request(131_072, s.allocated_bytes, 130, &s.overflow));
     });
     g.bench_function("app_percent_curve", |b| {
         let params = TunerParams::default();

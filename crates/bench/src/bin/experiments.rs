@@ -34,10 +34,23 @@ fn run_one(id: &str) -> Option<Report> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        ["table1", "curve", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "constrained", "twodss", "cmp"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "table1",
+            "curve",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "constrained",
+            "twodss",
+            "cmp",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     } else {
         args
     };

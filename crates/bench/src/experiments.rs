@@ -54,7 +54,10 @@ pub fn table1() -> Report {
     );
     r.check(
         "lockPercentPerApplication = 98(1 - (x/100)^3)",
-        format!("P={}, exponent={}", p.app_percent_max, p.app_percent_exponent),
+        format!(
+            "P={}, exponent={}",
+            p.app_percent_max, p.app_percent_exponent
+        ),
         p.app_percent_max == 98.0 && p.app_percent_exponent == 3.0,
     );
     r.check(
@@ -69,7 +72,11 @@ pub fn table1() -> Report {
     );
     r.check(
         "128 KB blocks holding ~2000 lock structures",
-        format!("{} KiB blocks, {} structures", p.block_bytes / 1024, p.slots_per_block()),
+        format!(
+            "{} KiB blocks, {} structures",
+            p.block_bytes / 1024,
+            p.slots_per_block()
+        ),
         p.block_bytes == 128 * 1024 && (1900..2100).contains(&(p.slots_per_block() as i64)),
     );
     r
@@ -78,7 +85,10 @@ pub fn table1() -> Report {
 /// §3.5 curve: lockPercentPerApplication as a function of used
 /// fraction.
 pub fn curve_experiment() -> Report {
-    let mut r = Report::new("curve", "lockPercentPerApplication attenuation curve (§3.5)");
+    let mut r = Report::new(
+        "curve",
+        "lockPercentPerApplication attenuation curve (§3.5)",
+    );
     let p = TunerParams::default();
     let mut series = TimeSeries::new("lock_percent_per_application");
     for (pct, v) in curve::curve_table(&p) {
@@ -125,7 +135,10 @@ fn standard_series(run: &RunResult) -> Vec<TimeSeries> {
 /// Figure 7: a static under-configured LOCKLIST escalates, reducing
 /// the lock memory requirements.
 pub fn fig7() -> Report {
-    let mut r = Report::new("fig7", "lock escalation under a static 0.4 MB LOCKLIST (§5.1)");
+    let mut r = Report::new(
+        "fig7",
+        "lock escalation under a static 0.4 MB LOCKLIST (§5.1)",
+    );
     let run = Scenario::fig7_static_escalation().run();
     let esc = run.total_escalations();
     let first_at = run
@@ -155,7 +168,10 @@ pub fn fig7() -> Report {
     }
     r.check(
         "escalation reduces lock memory requirements (Fig. 7's drop)",
-        format!("largest post-escalation drop in held lock memory: {:.0}%", biggest_drop_frac * 100.0),
+        format!(
+            "largest post-escalation drop in held lock memory: {:.0}%",
+            biggest_drop_frac * 100.0
+        ),
         biggest_drop_frac > 0.15,
     );
     // The static pool never grows.
@@ -204,11 +220,7 @@ pub fn fig8() -> Report {
 pub fn fig9() -> Report {
     let mut r = Report::new("fig9", "rapid adaptation to steady-state OLTP load (§5.2)");
     let run = Scenario::fig9_rampup().run();
-    let start = run
-        .lock_bytes
-        .first()
-        .map(|(_, v)| v)
-        .unwrap_or(0.0);
+    let start = run.lock_bytes.first().map(|(_, v)| v).unwrap_or(0.0);
     let steady = run
         .lock_bytes
         .window_mean(SimTime::from_secs(400), SimTime::from_secs(600))
@@ -216,7 +228,11 @@ pub fn fig9() -> Report {
     let factor = steady / start.max(1.0);
     r.check(
         "lock memory grows ~10.5x from the minimal configuration",
-        format!("{:.1} MB -> {:.1} MB ({factor:.1}x)", start / MIB, steady / MIB),
+        format!(
+            "{:.1} MB -> {:.1} MB ({factor:.1}x)",
+            start / MIB,
+            steady / MIB
+        ),
         factor > 5.0 && factor < 20.0,
     );
     r.check(
@@ -233,7 +249,10 @@ pub fn fig9() -> Report {
     );
     r.check(
         "transactions fail neither for memory nor deadlock storms",
-        format!("{} committed, {} oom, {} aborted", run.committed, run.oom_failures, run.aborted),
+        format!(
+            "{} committed, {} oom, {} aborted",
+            run.committed, run.oom_failures, run.aborted
+        ),
         run.oom_failures == 0 && run.committed > 1000,
     );
     r.series = standard_series(&run);
@@ -254,7 +273,12 @@ pub fn fig10() -> Report {
         .unwrap_or(0.0);
     r.check(
         "lock memory roughly doubles after the 50 -> 130 surge",
-        format!("{:.1} MB -> {:.1} MB ({:.2}x)", before / MIB, after / MIB, after / before.max(1.0)),
+        format!(
+            "{:.1} MB -> {:.1} MB ({:.2}x)",
+            before / MIB,
+            after / MIB,
+            after / before.max(1.0)
+        ),
         after / before.max(1.0) > 1.7 && after / before.max(1.0) < 3.5,
     );
     // "practically instantaneous": within ~2 tuning intervals of the
@@ -265,7 +289,11 @@ pub fn fig10() -> Report {
         .unwrap_or(0.0);
     r.check(
         "the increase is practically instantaneous",
-        format!("within 90 s of the surge: {:.1} MB of the eventual {:.1} MB", at_90s / MIB, after / MIB),
+        format!(
+            "within 90 s of the surge: {:.1} MB of the eventual {:.1} MB",
+            at_90s / MIB,
+            after / MIB
+        ),
         at_90s > before + 0.6 * (after - before),
     );
     r.check(
@@ -295,11 +323,18 @@ pub fn fig11() -> Report {
     let db = 5.11 * 1024.0 * MIB;
     r.check(
         "the reporting query grows lock memory ~60x, to ~10% of database memory",
-        format!("peak {:.0} MB = {growth:.0}x steady = {:.1}% of databaseMemory", peak / MIB, peak / db * 100.0),
+        format!(
+            "peak {:.0} MB = {growth:.0}x steady = {:.1}% of databaseMemory",
+            peak / MIB,
+            peak / db * 100.0
+        ),
         growth > 20.0 && peak / db > 0.02,
     );
     // Growth speed: most of the climb within ~40 s of injection.
-    let at_40s = run.lock_bytes.value_at(SimTime::from_secs(370)).unwrap_or(0.0);
+    let at_40s = run
+        .lock_bytes
+        .value_at(SimTime::from_secs(370))
+        .unwrap_or(0.0);
     r.check(
         "lock memory grows within tens of seconds of the injection",
         format!("{:.0} MB reached 40 s after injection", at_40s / MIB),
@@ -314,10 +349,7 @@ pub fn fig11() -> Report {
         ),
         run.exclusive_escalations() == 0,
     );
-    let min_app_pct = run
-        .app_percent
-        .min_value()
-        .unwrap_or(0.0);
+    let min_app_pct = run.app_percent.min_value().unwrap_or(0.0);
     r.check(
         "lockPercentPerApplication stays high (single heavy consumer allowed)",
         format!("minimum {min_app_pct:.1}%"),
@@ -341,7 +373,12 @@ pub fn fig12() -> Report {
         .unwrap_or(0.0);
     r.check(
         "the allocation settles at a fraction of its earlier steady state",
-        format!("{:.1} MB -> {:.1} MB ({:.2}x)", before / MIB, final_alloc / MIB, final_alloc / before.max(1.0)),
+        format!(
+            "{:.1} MB -> {:.1} MB ({:.2}x)",
+            before / MIB,
+            final_alloc / MIB,
+            final_alloc / before.max(1.0)
+        ),
         final_alloc < before * 0.7 && final_alloc > before * 0.1,
     );
     // Gradual: per-sample drop never exceeds ~5% of current + a block.
@@ -362,7 +399,11 @@ pub fn fig12() -> Report {
     }
     r.check(
         "reduction proceeds at ~5% per tuning interval (delta_reduce)",
-        format!("largest single drop {:.1}%, {} shrink steps", max_step_frac * 100.0, decay_intervals),
+        format!(
+            "largest single drop {:.1}%, {} shrink steps",
+            max_step_frac * 100.0,
+            decay_intervals
+        ),
         max_step_frac < 0.10 && decay_intervals >= 5,
     );
     r.check(
@@ -386,7 +427,8 @@ pub fn constrained() -> Report {
         "with overflow constrained, synchronous growth is denied and locks escalate",
         format!(
             "{} sync-growth denials, {} escalations",
-            run.final_stats.sync_growth_denied, run.total_escalations()
+            run.final_stats.sync_growth_denied,
+            run.total_escalations()
         ),
         run.final_stats.sync_growth_denied > 0 && run.total_escalations() > 0,
     );
@@ -410,15 +452,17 @@ pub fn constrained() -> Report {
         best_ratio > 1.8,
     );
     // Trending to a well-tuned allocation: escalations cease.
-    let last_third_escalations = run
-        .escalations
-        .last()
-        .map(|(_, v)| v)
-        .unwrap_or(0.0)
-        - run.escalations.value_at(SimTime::from_secs(200)).unwrap_or(0.0);
+    let last_third_escalations = run.escalations.last().map(|(_, v)| v).unwrap_or(0.0)
+        - run
+            .escalations
+            .value_at(SimTime::from_secs(200))
+            .unwrap_or(0.0);
     r.check(
         "the system trends towards a well-tuned allocation despite temporary escalations",
-        format!("{last_third_escalations:.0} escalations after t=200s (of {} total)", run.total_escalations()),
+        format!(
+            "{last_third_escalations:.0} escalations after t=200s (of {} total)",
+            run.total_escalations()
+        ),
         last_third_escalations == 0.0,
     );
     r.series = standard_series(&run);
@@ -451,12 +495,19 @@ pub fn two_dss() -> Report {
     let max_allowed = 0.20 * 5.11 * 1024.0 * MIB;
     r.check(
         "lock memory never exceeds maxLockMemory",
-        format!("peak {:.0} MB of {:.0} MB allowed", max_alloc / MIB, max_allowed / MIB),
+        format!(
+            "peak {:.0} MB of {:.0} MB allowed",
+            max_alloc / MIB,
+            max_allowed / MIB
+        ),
         max_alloc <= max_allowed + 131_072.0,
     );
     r.check(
         "the OLTP workload keeps committing throughout",
-        format!("{} commits, {} oom failures", run.committed, run.oom_failures),
+        format!(
+            "{} commits, {} oom failures",
+            run.committed, run.oom_failures
+        ),
         run.committed > 1000 && run.oom_failures == 0,
     );
     r.series = standard_series(&run);
@@ -468,7 +519,10 @@ pub fn cmp() -> Report {
     let mut r = Report::new("cmp", "policy comparison under DSS injection (§2.3)");
     let tuned = Scenario::cmp_policy(Policy::SelfTuning(TunerParams::default()), 201).run();
     let stat = Scenario::cmp_policy(
-        Policy::Static(StaticPolicy { locklist_bytes: 8 << 20, maxlocks_percent: 10.0 }),
+        Policy::Static(StaticPolicy {
+            locklist_bytes: 8 << 20,
+            maxlocks_percent: 10.0,
+        }),
         201,
     )
     .run();
@@ -484,7 +538,11 @@ pub fn cmp() -> Report {
             run.oom_failures
         )
     };
-    r.check("DB2 9 self-tuning: no escalations, memory follows demand", row(&tuned), tuned.total_escalations() == 0);
+    r.check(
+        "DB2 9 self-tuning: no escalations, memory follows demand",
+        row(&tuned),
+        tuned.total_escalations() == 0,
+    );
     r.check(
         "static LOCKLIST + MAXLOCKS 10: the DSS query escalates",
         row(&stat),
@@ -497,7 +555,10 @@ pub fn cmp() -> Report {
     );
     r.check(
         "self-tuning sustains the highest committed throughput",
-        format!("tuned {} vs static {} vs sqlserver {}", tuned.committed, stat.committed, sql.committed),
+        format!(
+            "tuned {} vs static {} vs sqlserver {}",
+            tuned.committed, stat.committed, sql.committed
+        ),
         tuned.committed >= stat.committed && tuned.committed >= sql.committed,
     );
     // Oracle: no lock memory at all; the analytic ITL model shows the

@@ -65,7 +65,10 @@ pub fn run() -> Report {
         "worked example: combined synchronous & asynchronous tuning (§4)",
     );
     let params = TunerParams::default();
-    let config = MemoryConfig { total_bytes: DB, overflow_goal_fraction: 0.10 };
+    let config = MemoryConfig {
+        total_bytes: DB,
+        overflow_goal_fraction: 0.10,
+    };
     // 70% bufferpool, 14% sort (over-provisioned: the least needy
     // donor), 2% package cache, 4% lock memory, 10% overflow.
     let mut mem = DatabaseMemory::new(
@@ -86,12 +89,12 @@ pub fn run() -> Report {
     let mut t = 0u64;
 
     let snapshot = |label: &str,
-                        pool: &LockMemoryPool,
-                        mem: &DatabaseMemory,
-                        t: u64,
-                        alloc_series: &mut TimeSeries,
-                        used_series: &mut TimeSeries,
-                        overflow_series: &mut TimeSeries|
+                    pool: &LockMemoryPool,
+                    mem: &DatabaseMemory,
+                    t: u64,
+                    alloc_series: &mut TimeSeries,
+                    used_series: &mut TimeSeries,
+                    overflow_series: &mut TimeSeries|
      -> (f64, f64, f64) {
         let alloc = pool.total_bytes() as f64 / DB as f64 * 100.0;
         let used = pool.used_bytes() as f64 / DB as f64 * 100.0;
@@ -106,8 +109,15 @@ pub fn run() -> Report {
 
     // T0: steady state — 4% allocated, 2% used, 10% overflow.
     occ.set(&mut pool, pct_to_slots(2.0));
-    let (a, u, o) =
-        snapshot("T0", &pool, &mem, t, &mut alloc_series, &mut used_series, &mut overflow_series);
+    let (a, u, o) = snapshot(
+        "T0",
+        &pool,
+        &mem,
+        t,
+        &mut alloc_series,
+        &mut used_series,
+        &mut overflow_series,
+    );
     report.check(
         "T0: 4% of memory allocated to locks, half unused, overflow 10%",
         format!("alloc {a:.1}%, used {u:.1}%, overflow {o:.1}%"),
@@ -118,8 +128,15 @@ pub fn run() -> Report {
     t += 30;
     occ.set(&mut pool, pct_to_slots(3.0));
     let grew = pool.total_bytes() != 40 * MIB;
-    let (a, u, o) =
-        snapshot("T1", &pool, &mem, t, &mut alloc_series, &mut used_series, &mut overflow_series);
+    let (a, u, o) = snapshot(
+        "T1",
+        &pool,
+        &mem,
+        t,
+        &mut alloc_series,
+        &mut used_series,
+        &mut overflow_series,
+    );
     report.check(
         "T1: surge to 3% used needs no overflow memory",
         format!("alloc {a:.1}%, used {u:.1}%, overflow {o:.1}%, synchronous growth: {grew}"),
@@ -134,8 +151,15 @@ pub fn run() -> Report {
         pool.total_bytes()
     });
     let sort_after_t2 = mem.heap(HeapKind::SortHeap).size;
-    let (a, _u, o) =
-        snapshot("T2", &pool, &mem, t, &mut alloc_series, &mut used_series, &mut overflow_series);
+    let (a, _u, o) = snapshot(
+        "T2",
+        &pool,
+        &mem,
+        t,
+        &mut alloc_series,
+        &mut used_series,
+        &mut overflow_series,
+    );
     report.check(
         "T2: STMM grows lock memory to 50% free by shrinking sort, overflow untouched",
         format!(
@@ -173,8 +197,15 @@ pub fn run() -> Report {
         }
     }
     debug_assert_eq!(mem.lock_memory(), pool.total_bytes());
-    let (a, u, o) =
-        snapshot("T3", &pool, &mem, t, &mut alloc_series, &mut used_series, &mut overflow_series);
+    let (a, u, o) = snapshot(
+        "T3",
+        &pool,
+        &mem,
+        t,
+        &mut alloc_series,
+        &mut used_series,
+        &mut overflow_series,
+    );
     report.check(
         "T3: 267% surge to 8% used; ~2% taken synchronously; overflow 10% -> 8%",
         format!("alloc {a:.1}%, used {u:.1}%, overflow {o:.1}%"),
@@ -188,11 +219,21 @@ pub fn run() -> Report {
         pool.resize_to_blocks(target / params.block_bytes);
         pool.total_bytes()
     });
-    let (a, _u, o) =
-        snapshot("T4", &pool, &mem, t, &mut alloc_series, &mut used_series, &mut overflow_series);
+    let (a, _u, o) = snapshot(
+        "T4",
+        &pool,
+        &mem,
+        t,
+        &mut alloc_series,
+        &mut used_series,
+        &mut overflow_series,
+    );
     report.check(
         "T4: heaps reduced to meet the 50%-free objective and reclaim the overflow goal",
-        format!("alloc {a:.1}% (target 16%), overflow {o:.1}%, LMO {}", mem.lock_from_overflow()),
+        format!(
+            "alloc {a:.1}% (target 16%), overflow {o:.1}%, LMO {}",
+            mem.lock_from_overflow()
+        ),
         (15.9..16.2).contains(&a) && (9.9..10.1).contains(&o) && mem.lock_from_overflow() == 0,
     );
 
@@ -200,8 +241,15 @@ pub fn run() -> Report {
     t += 30;
     occ.set(&mut pool, pct_to_slots(2.0));
     let free_frac = pool.free_fraction() * 100.0;
-    let (_a, _u, _o) =
-        snapshot("T5", &pool, &mem, t, &mut alloc_series, &mut used_series, &mut overflow_series);
+    let (_a, _u, _o) = snapshot(
+        "T5",
+        &pool,
+        &mem,
+        t,
+        &mut alloc_series,
+        &mut used_series,
+        &mut overflow_series,
+    );
     report.check(
         "T5: most of the lock memory is now empty (87.5%)",
         format!("free fraction {free_frac:.1}%"),
@@ -218,12 +266,24 @@ pub fn run() -> Report {
             pool.resize_to_blocks(target / params.block_bytes);
             pool.total_bytes()
         });
-        snapshot("Tn", &pool, &mem, t, &mut alloc_series, &mut used_series, &mut overflow_series);
+        snapshot(
+            "Tn",
+            &pool,
+            &mem,
+            t,
+            &mut alloc_series,
+            &mut used_series,
+            &mut overflow_series,
+        );
         if r.released_bytes == 0 {
             break;
         }
         // Gradual: never more than ~5% (+1 block rounding).
-        assert!(r.released_bytes <= (0.05 * (r.lock_bytes_after + r.released_bytes) as f64) as u64 + params.block_bytes);
+        assert!(
+            r.released_bytes
+                <= (0.05 * (r.lock_bytes_after + r.released_bytes) as f64) as u64
+                    + params.block_bytes
+        );
         intervals += 1;
         assert!(intervals < 100, "decay must terminate");
     }

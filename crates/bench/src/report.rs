@@ -21,7 +21,11 @@ pub struct Check {
 impl Check {
     /// Build a check.
     pub fn new(paper: impl Into<String>, measured: impl Into<String>, pass: bool) -> Self {
-        Check { paper: paper.into(), measured: measured.into(), pass }
+        Check {
+            paper: paper.into(),
+            measured: measured.into(),
+            pass,
+        }
     }
 }
 
@@ -42,7 +46,12 @@ pub struct Report {
 impl Report {
     /// Create an empty report.
     pub fn new(id: &'static str, title: &'static str) -> Self {
-        Report { id, title, checks: Vec::new(), series: Vec::new() }
+        Report {
+            id,
+            title,
+            checks: Vec::new(),
+            series: Vec::new(),
+        }
     }
 
     /// Add a check.
@@ -97,7 +106,7 @@ mod tests {
     }
 
     #[test]
-    fn csv_roundtrip(){
+    fn csv_roundtrip() {
         let dir = std::env::temp_dir().join("locktune-report-test");
         let mut r = Report::new("figtest", "t");
         let mut s = TimeSeries::new("v");

@@ -147,7 +147,11 @@ mod tests {
         for _ in 0..127 {
             c.on_lock_request(0.9);
         }
-        assert_eq!(c.recomputes(), 1, "period restarts after explicit recompute");
+        assert_eq!(
+            c.recomputes(),
+            1,
+            "period restarts after explicit recompute"
+        );
     }
 
     #[test]
@@ -155,7 +159,11 @@ mod tests {
         let mut c = ctl();
         c.recompute(1.0);
         assert_eq!(c.current(), 1.0);
-        assert_eq!(c.externalized(), 98.0, "config value lags until externalize()");
+        assert_eq!(
+            c.externalized(),
+            98.0,
+            "config value lags until externalize()"
+        );
         c.externalize();
         assert_eq!(c.externalized(), 1.0);
     }

@@ -19,7 +19,11 @@ pub struct LockMemoryBounds {
 impl LockMemoryBounds {
     /// Compute the bounds for the current application count and
     /// database memory.
-    pub fn compute(params: &TunerParams, num_applications: u64, database_memory_bytes: u64) -> Self {
+    pub fn compute(
+        params: &TunerParams,
+        num_applications: u64,
+        database_memory_bytes: u64,
+    ) -> Self {
         let per_app = params
             .min_locks_per_application
             .saturating_mul(params.lock_struct_bytes)
@@ -30,7 +34,10 @@ impl LockMemoryBounds {
         // The max must never fall below the min, or clamping would
         // invert; a pathologically small databaseMemory keeps min as max.
         let max_bytes = params.round_up_to_block(max_raw).max(min_bytes);
-        LockMemoryBounds { min_bytes, max_bytes }
+        LockMemoryBounds {
+            min_bytes,
+            max_bytes,
+        }
     }
 
     /// Clamp `bytes` into `[min, max]`.
@@ -92,7 +99,10 @@ mod tests {
 
     #[test]
     fn clamp_behaviour() {
-        let b = LockMemoryBounds { min_bytes: 100, max_bytes: 200 };
+        let b = LockMemoryBounds {
+            min_bytes: 100,
+            max_bytes: 200,
+        };
         assert_eq!(b.clamp(50), 100);
         assert_eq!(b.clamp(150), 150);
         assert_eq!(b.clamp(500), 200);
@@ -115,11 +125,17 @@ mod tests {
 
     #[test]
     fn used_fraction_of_max() {
-        let b = LockMemoryBounds { min_bytes: 0, max_bytes: 1000 };
+        let b = LockMemoryBounds {
+            min_bytes: 0,
+            max_bytes: 1000,
+        };
         assert_eq!(b.used_fraction_of_max(0), 0.0);
         assert_eq!(b.used_fraction_of_max(500), 0.5);
         assert_eq!(b.used_fraction_of_max(2000), 1.0);
-        let degenerate = LockMemoryBounds { min_bytes: 0, max_bytes: 0 };
+        let degenerate = LockMemoryBounds {
+            min_bytes: 0,
+            max_bytes: 0,
+        };
         assert_eq!(degenerate.used_fraction_of_max(10), 0.0);
     }
 }

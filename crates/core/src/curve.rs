@@ -32,7 +32,12 @@ pub fn lock_percent_per_application(params: &TunerParams, used_fraction_of_max: 
 /// experiment to print §3.5's figure.
 pub fn curve_table(params: &TunerParams) -> Vec<(u32, f64)> {
     (0..=100)
-        .map(|pct| (pct, lock_percent_per_application(params, pct as f64 / 100.0)))
+        .map(|pct| {
+            (
+                pct,
+                lock_percent_per_application(params, pct as f64 / 100.0),
+            )
+        })
         .collect()
 }
 
@@ -79,7 +84,10 @@ mod tests {
         let at = |x| lock_percent_per_application(&p(), x);
         let early_drop = at(0.0) - at(0.75);
         let late_drop = at(0.75) - at(1.0);
-        assert!(late_drop > early_drop, "late {late_drop} vs early {early_drop}");
+        assert!(
+            late_drop > early_drop,
+            "late {late_drop} vs early {early_drop}"
+        );
     }
 
     #[test]
@@ -110,7 +118,10 @@ mod tests {
 
     #[test]
     fn custom_exponent_changes_shape() {
-        let linear = TunerParams { app_percent_exponent: 1.0, ..TunerParams::default() };
+        let linear = TunerParams {
+            app_percent_exponent: 1.0,
+            ..TunerParams::default()
+        };
         let v = lock_percent_per_application(&linear, 0.5);
         assert!((v - 49.0).abs() < 1e-9);
     }

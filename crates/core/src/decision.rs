@@ -69,11 +69,19 @@ mod tests {
         assert_eq!(d.shrink_bytes(), 0);
         assert!(!d.is_no_change());
 
-        let s = TuningDecision { target_bytes: 100, current_bytes: 300, ..d };
+        let s = TuningDecision {
+            target_bytes: 100,
+            current_bytes: 300,
+            ..d
+        };
         assert_eq!(s.grow_bytes(), 0);
         assert_eq!(s.shrink_bytes(), 200);
 
-        let n = TuningDecision { target_bytes: 100, current_bytes: 100, ..d };
+        let n = TuningDecision {
+            target_bytes: 100,
+            current_bytes: 100,
+            ..d
+        };
         assert!(n.is_no_change());
     }
 }

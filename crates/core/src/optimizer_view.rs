@@ -30,8 +30,7 @@ impl OptimizerView {
     /// Estimated row locks a single statement may plan for before the
     /// compiler would choose table-level locking.
     pub fn plannable_row_locks(&self, params: &TunerParams) -> u64 {
-        let app_bytes =
-            self.lock_memory_bytes as f64 * self.lock_percent_per_application / 100.0;
+        let app_bytes = self.lock_memory_bytes as f64 * self.lock_percent_per_application / 100.0;
         (app_bytes / params.lock_struct_bytes as f64) as u64
     }
 }

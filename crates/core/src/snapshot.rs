@@ -102,7 +102,10 @@ mod tests {
         // Policy room: 65 − 20 = 45; physical room: 80 → 45 wins.
         assert_eq!(o.overflow_headroom(0.65), 45);
         // Tight physical room wins instead.
-        let tight = OverflowState { overflow_free_bytes: 10, ..o };
+        let tight = OverflowState {
+            overflow_free_bytes: 10,
+            ..o
+        };
         assert_eq!(tight.overflow_headroom(0.65), 10);
     }
 

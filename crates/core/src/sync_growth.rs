@@ -63,8 +63,11 @@ impl<'a> SyncGrowth<'a> {
         num_applications: u64,
         overflow: &OverflowState,
     ) -> SyncGrant {
-        let bounds =
-            LockMemoryBounds::compute(self.params, num_applications, overflow.database_memory_bytes);
+        let bounds = LockMemoryBounds::compute(
+            self.params,
+            num_applications,
+            overflow.database_memory_bytes,
+        );
         let max_room = bounds.max_bytes.saturating_sub(current_bytes);
         if max_room == 0 {
             return SyncGrant::Denied(DenyReason::AtMaxLockMemory);
@@ -72,7 +75,8 @@ impl<'a> SyncGrowth<'a> {
         let overflow_room = overflow.overflow_headroom(self.params.overflow_consumption_fraction);
         // Round the headroom *down* to whole blocks: a partial block
         // cannot be allocated.
-        let overflow_room_blocks = overflow_room / self.params.block_bytes * self.params.block_bytes;
+        let overflow_room_blocks =
+            overflow_room / self.params.block_bytes * self.params.block_bytes;
         if overflow_room_blocks == 0 {
             return SyncGrant::Denied(DenyReason::OverflowConstrained);
         }
@@ -80,8 +84,11 @@ impl<'a> SyncGrowth<'a> {
         let grant = want.min(max_room).min(overflow_room_blocks);
         // max_room is block-aligned only if current is; align down and
         // guarantee at least one block when any room exists.
-        let grant = (grant / self.params.block_bytes * self.params.block_bytes)
-            .max(self.params.block_bytes.min(overflow_room_blocks.min(max_room)));
+        let grant = (grant / self.params.block_bytes * self.params.block_bytes).max(
+            self.params
+                .block_bytes
+                .min(overflow_room_blocks.min(max_room)),
+        );
         if grant == 0 {
             SyncGrant::Denied(DenyReason::OverflowConstrained)
         } else {
@@ -166,7 +173,10 @@ mod tests {
     fn denied_when_overflow_physically_empty() {
         let p = params();
         let g = SyncGrowth::new(&p);
-        let o = OverflowState { overflow_free_bytes: 0, ..roomy_overflow() };
+        let o = OverflowState {
+            overflow_free_bytes: 0,
+            ..roomy_overflow()
+        };
         assert_eq!(
             g.request(MIB, 8 * MIB, 130, &o),
             SyncGrant::Denied(DenyReason::OverflowConstrained)
@@ -177,7 +187,10 @@ mod tests {
     fn denied_when_overflow_below_one_block() {
         let p = params();
         let g = SyncGrowth::new(&p);
-        let o = OverflowState { overflow_free_bytes: 1000, ..roomy_overflow() };
+        let o = OverflowState {
+            overflow_free_bytes: 1000,
+            ..roomy_overflow()
+        };
         assert_eq!(
             g.request(MIB, 8 * MIB, 130, &o),
             SyncGrant::Denied(DenyReason::OverflowConstrained)

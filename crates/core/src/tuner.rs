@@ -135,9 +135,12 @@ impl LockMemoryTuner {
 
         let (raw_target, mut reason) = if snap.escalations_since_last > 0 {
             self.escalation_streak += 1;
-            let doubled =
-                (current.max(self.params.block_bytes) as f64 * self.params.escalation_growth_factor) as u64;
-            (self.params.round_up_to_block(doubled), TuningReason::EscalationDoubling)
+            let doubled = (current.max(self.params.block_bytes) as f64
+                * self.params.escalation_growth_factor) as u64;
+            (
+                self.params.round_up_to_block(doubled),
+                TuningReason::EscalationDoubling,
+            )
         } else {
             self.escalation_streak = 0;
             let free = snap.free_fraction();
@@ -151,10 +154,16 @@ impl LockMemoryTuner {
                     .round_to_nearest_block((self.params.delta_reduce * current as f64) as u64);
                 let floor = shrink_floor(&self.params, snap.used_bytes);
                 let target = current.saturating_sub(step).max(floor);
-                (self.params.round_up_to_block(target), TuningReason::ShrinkDeltaReduce)
+                (
+                    self.params.round_up_to_block(target),
+                    TuningReason::ShrinkDeltaReduce,
+                )
             } else {
                 // Within the band: keep the previous target (§3.3).
-                (self.prev_target.unwrap_or(current), TuningReason::WithinBand)
+                (
+                    self.prev_target.unwrap_or(current),
+                    TuningReason::WithinBand,
+                )
             }
         };
 
@@ -164,7 +173,10 @@ impl LockMemoryTuner {
         } else if clamped < raw_target {
             reason = TuningReason::ClampedToMax;
         }
-        let target = self.params.round_up_to_block(clamped).min(bounds.max_bytes.max(bounds.min_bytes));
+        let target = self
+            .params
+            .round_up_to_block(clamped)
+            .min(bounds.max_bytes.max(bounds.min_bytes));
         self.prev_target = Some(target);
 
         // §3.5: recompute on resize; externalize at the tuning point.
@@ -172,7 +184,12 @@ impl LockMemoryTuner {
         let app_percent = self.app_percent.recompute(x);
         self.app_percent.externalize();
 
-        TuningDecision { target_bytes: target, current_bytes: current, reason, app_percent }
+        TuningDecision {
+            target_bytes: target,
+            current_bytes: current,
+            reason,
+            app_percent,
+        }
     }
 }
 
@@ -374,7 +391,11 @@ mod tests {
     #[test]
     fn targets_are_block_aligned() {
         let mut t = tuner();
-        for (a, u) in [(100 * MIB + 7, 99 * MIB), (3 * MIB, MIB / 3), (55 * MIB, 54 * MIB)] {
+        for (a, u) in [
+            (100 * MIB + 7, 99 * MIB),
+            (3 * MIB, MIB / 3),
+            (55 * MIB, 54 * MIB),
+        ] {
             let d = t.tick(&snap(a, u));
             assert_eq!(d.target_bytes % BLOCK, 0, "target for ({a},{u})");
         }
@@ -387,7 +408,11 @@ mod tests {
         assert!(d_small.app_percent > 90.0, "ample memory keeps cap high");
         let max = (0.20 * (5120 * MIB) as f64) as u64;
         let d_big = t.tick(&snap(max - BLOCK, max - 2 * BLOCK));
-        assert!(d_big.app_percent < 10.0, "cap collapses near max, got {}", d_big.app_percent);
+        assert!(
+            d_big.app_percent < 10.0,
+            "cap collapses near max, got {}",
+            d_big.app_percent
+        );
     }
 
     #[test]
@@ -435,7 +460,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid tuner parameters")]
     fn rejects_bad_params() {
-        LockMemoryTuner::new(TunerParams { delta_reduce: 2.0, ..Default::default() });
+        LockMemoryTuner::new(TunerParams {
+            delta_reduce: 2.0,
+            ..Default::default()
+        });
     }
 
     #[test]

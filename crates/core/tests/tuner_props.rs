@@ -11,12 +11,12 @@ const BLOCK: u64 = 131_072;
 
 fn snapshot_strategy() -> impl Strategy<Value = LockMemorySnapshot> {
     (
-        0u64..4096,       // allocated blocks
-        0u64..4096,       // used blocks (clamped below)
-        1u64..1000,       // applications
-        0u64..5,          // escalations
-        512u64..8192,     // database memory in MiB
-        0u64..2048,       // overflow free MiB
+        0u64..4096,   // allocated blocks
+        0u64..4096,   // used blocks (clamped below)
+        1u64..1000,   // applications
+        0u64..5,      // escalations
+        512u64..8192, // database memory in MiB
+        0u64..2048,   // overflow free MiB
     )
         .prop_map(|(alloc_b, used_b, apps, escs, db_mib, ovf_mib)| {
             let allocated = alloc_b * BLOCK;

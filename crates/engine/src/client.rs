@@ -78,7 +78,10 @@ impl Client {
 
     /// Is the client mid-transaction (holding or awaiting locks)?
     pub fn in_txn(&self) -> bool {
-        matches!(self.state, ClientState::Executing { .. } | ClientState::Waiting { .. })
+        matches!(
+            self.state,
+            ClientState::Executing { .. } | ClientState::Waiting { .. }
+        )
     }
 
     /// Reset to dormant, invalidating scheduled events.

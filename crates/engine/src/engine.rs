@@ -4,7 +4,7 @@ use locktune_lockmgr::{
     AppId, DeadlockDetector, LockError, LockManager, LockManagerConfig, LockMode, LockOutcome,
     ResourceId, RowId, TableId,
 };
-use locktune_memalloc::{LockMemoryPool, PoolConfig};
+use locktune_memalloc::{LockMemoryPool, PoolBackend, PoolConfig};
 use locktune_memory::{DatabaseMemory, HeapKind, MemoryConfig, PerfHeap};
 use locktune_metrics::{DurationHistogram, ThroughputWindow, TimeSeries};
 use locktune_sim::{SimDuration, SimRng, SimTime, Simulator};
@@ -85,10 +85,23 @@ pub fn default_heaps(total: u64) -> Vec<PerfHeap> {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    Wake { idx: usize, epoch: u64 },
-    Step { idx: usize, epoch: u64 },
-    Commit { idx: usize, epoch: u64 },
-    WaitTimeout { idx: usize, epoch: u64, wait_seq: u64 },
+    Wake {
+        idx: usize,
+        epoch: u64,
+    },
+    Step {
+        idx: usize,
+        epoch: u64,
+    },
+    Commit {
+        idx: usize,
+        epoch: u64,
+    },
+    WaitTimeout {
+        idx: usize,
+        epoch: u64,
+        wait_seq: u64,
+    },
     Tuning,
     DeadlockCheck,
     Sample,
@@ -132,7 +145,8 @@ impl Engine {
     /// Build an engine for a scenario.
     pub fn new(config: EngineConfig, schedule: Schedule) -> Self {
         config.oltp.validate().expect("valid OLTP spec");
-        let initial_lock = PolicyRuntime::initial_lock_bytes(&config.policy, config.memory.total_bytes);
+        let initial_lock =
+            PolicyRuntime::initial_lock_bytes(&config.policy, config.memory.total_bytes);
         let pool = LockMemoryPool::with_bytes(PoolConfig::default(), initial_lock);
         let actual_lock = pool.total_bytes();
         let manager = LockManager::new(pool, LockManagerConfig::default());
@@ -203,15 +217,18 @@ impl Engine {
                 Event::Wake { idx, epoch } => self.handle_wake(idx, epoch),
                 Event::Step { idx, epoch } => self.handle_step(idx, epoch),
                 Event::Commit { idx, epoch } => self.handle_commit(idx, epoch),
-                Event::WaitTimeout { idx, epoch, wait_seq } => {
-                    self.handle_wait_timeout(idx, epoch, wait_seq)
-                }
+                Event::WaitTimeout {
+                    idx,
+                    epoch,
+                    wait_seq,
+                } => self.handle_wait_timeout(idx, epoch, wait_seq),
                 Event::Tuning => self.handle_tuning(),
                 Event::DeadlockCheck => self.handle_deadlock_check(),
                 Event::Sample => {
                     self.sample();
                     if self.sim.now() + self.config.sample_interval <= end {
-                        self.sim.schedule_in(self.config.sample_interval, Event::Sample);
+                        self.sim
+                            .schedule_in(self.config.sample_interval, Event::Sample);
                     }
                 }
                 Event::Phase(i) => self.handle_phase(i),
@@ -285,8 +302,11 @@ impl Engine {
                 // this iteration.
                 let s = self.clients[idx].plan.as_ref().expect("plan").steps[step];
                 let table_res = ResourceId::Table(TableId(s.table));
-                let intent =
-                    if s.exclusive { LockMode::IX } else { LockMode::IS };
+                let intent = if s.exclusive {
+                    LockMode::IX
+                } else {
+                    LockMode::IS
+                };
                 match self.manager.lock(app, table_res, intent, &mut hooks) {
                     Ok(LockOutcome::Queued | LockOutcome::QueuedWithEscalation { .. }) => {
                         exit = Exit::Waiting;
@@ -300,7 +320,11 @@ impl Engine {
                     Err(e) => unreachable!("intent lock failed: {e}"),
                 }
                 let row_res = ResourceId::Row(TableId(s.table), RowId(s.row));
-                let mode = if s.exclusive { LockMode::X } else { LockMode::S };
+                let mode = if s.exclusive {
+                    LockMode::X
+                } else {
+                    LockMode::S
+                };
                 match self.manager.lock(app, row_res, mode, &mut hooks) {
                     Ok(LockOutcome::Queued | LockOutcome::QueuedWithEscalation { .. }) => {
                         exit = Exit::Waiting;
@@ -310,7 +334,11 @@ impl Engine {
                         step += 1;
                         acquired += 1;
                         if acquired >= self.config.lock_batch {
-                            exit = if step >= len { Exit::Committing } else { Exit::BatchDone };
+                            exit = if step >= len {
+                                Exit::Committing
+                            } else {
+                                Exit::BatchDone
+                            };
                             break;
                         }
                     }
@@ -332,7 +360,8 @@ impl Engine {
             }
             Exit::BatchDone => {
                 self.clients[idx].state = ClientState::Executing { step };
-                self.sim.schedule_in(gap * acquired as u64, Event::Step { idx, epoch: e });
+                self.sim
+                    .schedule_in(gap * acquired as u64, Event::Step { idx, epoch: e });
             }
             Exit::Waiting => {
                 let c = &mut self.clients[idx];
@@ -343,7 +372,11 @@ impl Engine {
                 if let Some(timeout) = self.config.lock_timeout {
                     self.sim.schedule_in(
                         timeout,
-                        Event::WaitTimeout { idx, epoch: e, wait_seq: ws },
+                        Event::WaitTimeout {
+                            idx,
+                            epoch: e,
+                            wait_seq: ws,
+                        },
                     );
                 }
             }
@@ -385,7 +418,8 @@ impl Engine {
         } else if c.active {
             c.state = ClientState::Thinking;
             let e = c.epoch;
-            self.sim.schedule_in(SimDuration::ZERO, Event::Wake { idx, epoch: e });
+            self.sim
+                .schedule_in(SimDuration::ZERO, Event::Wake { idx, epoch: e });
         } else {
             c.reset();
         }
@@ -423,7 +457,8 @@ impl Engine {
             c.active = true;
             c.state = ClientState::Thinking;
             let e = c.epoch;
-            self.sim.schedule_in(SimDuration::from_secs(1), Event::Wake { idx, epoch: e });
+            self.sim
+                .schedule_in(SimDuration::from_secs(1), Event::Wake { idx, epoch: e });
         } else if was_dss {
             self.num_apps = self.num_apps.saturating_sub(1);
         }
@@ -451,7 +486,8 @@ impl Engine {
             c.active = true;
             c.state = ClientState::Thinking;
             let e = c.epoch;
-            self.sim.schedule_in(SimDuration::from_secs(1), Event::Wake { idx, epoch: e });
+            self.sim
+                .schedule_in(SimDuration::from_secs(1), Event::Wake { idx, epoch: e });
         }
         self.dispatch_notifications();
     }
@@ -468,10 +504,12 @@ impl Engine {
             if let ClientState::Waiting { step } = c.state {
                 c.state = ClientState::Executing { step };
                 if let Some(since) = c.waiting_since.take() {
-                    self.wait_times.record(self.sim.now().saturating_since(since));
+                    self.wait_times
+                        .record(self.sim.now().saturating_since(since));
                 }
                 let e = c.epoch;
-                self.sim.schedule_in(SimDuration::ZERO, Event::Step { idx, epoch: e });
+                self.sim
+                    .schedule_in(SimDuration::ZERO, Event::Step { idx, epoch: e });
             }
         }
     }
@@ -485,11 +523,16 @@ impl Engine {
         if let PolicyRuntime::SelfTuning(stmm) = &mut self.policy {
             let stats = self.manager.pool().stats();
             let manager = &mut self.manager;
-            stmm.run_interval(&mut self.mem, &stats, self.num_apps, escalations, |target| {
-                manager.resize_pool_to_bytes(target, &mut SilentHooks)
-            });
+            stmm.run_interval(
+                &mut self.mem,
+                &stats,
+                self.num_apps,
+                escalations,
+                |target| manager.resize_pool_to_bytes(target, &mut SilentHooks),
+            );
         }
-        self.sim.schedule_in(self.config.tuning_interval, Event::Tuning);
+        self.sim
+            .schedule_in(self.config.tuning_interval, Event::Tuning);
     }
 
     fn handle_deadlock_check(&mut self) {
@@ -524,7 +567,8 @@ impl Engine {
             }
             self.dispatch_notifications();
         }
-        self.sim.schedule_in(self.config.deadlock_interval, Event::DeadlockCheck);
+        self.sim
+            .schedule_in(self.config.deadlock_interval, Event::DeadlockCheck);
     }
 
     fn handle_phase(&mut self, i: usize) {
@@ -550,7 +594,8 @@ impl Engine {
                         c.active = true;
                         c.state = ClientState::Thinking;
                         let e = c.epoch;
-                        self.sim.schedule_in(SimDuration::ZERO, Event::Wake { idx, epoch: e });
+                        self.sim
+                            .schedule_in(SimDuration::ZERO, Event::Wake { idx, epoch: e });
                     }
                 }
             } else if c.active {
@@ -570,8 +615,8 @@ impl Engine {
     }
 
     fn inject_dss(&mut self, spec: DssSpec) {
-        let Some(idx) = (self.dss_start..self.clients.len())
-            .find(|&i| self.clients[i].plan.is_none())
+        let Some(idx) =
+            (self.dss_start..self.clients.len()).find(|&i| self.clients[i].plan.is_none())
         else {
             // Every DSS slot busy: the injection is dropped (configure
             // more `dss_slots` for scenarios needing more).
@@ -585,12 +630,13 @@ impl Engine {
         c.state = ClientState::Executing { step: 0 };
         let e = c.epoch;
         self.num_apps += 1;
-        self.sim.schedule_in(SimDuration::ZERO, Event::Step { idx, epoch: e });
+        self.sim
+            .schedule_in(SimDuration::ZERO, Event::Step { idx, epoch: e });
     }
 
     fn sample(&mut self) {
         let now = self.sim.now();
-        let pool = self.manager.pool().stats();
+        let pool = self.manager.pool().usage();
         let used_bytes = pool.slots_used * self.manager.pool().config().lock_struct_bytes;
         self.lock_bytes.push(now, pool.bytes as f64);
         self.lock_used_bytes.push(now, used_bytes as f64);

@@ -3,7 +3,7 @@
 use locktune_baselines::{SqlServerModel, StaticPolicy};
 use locktune_core::{LockMemoryBounds, LockMemorySnapshot, SyncGrowth, TunerParams};
 use locktune_lockmgr::{AppId, TableId, TuningHooks};
-use locktune_memalloc::PoolStats;
+use locktune_memalloc::PoolUsage;
 use locktune_memory::{DatabaseMemory, Stmm};
 use locktune_sim::{SimDuration, SimTime};
 
@@ -40,7 +40,11 @@ pub(crate) enum PolicyRuntime {
 }
 
 impl PolicyRuntime {
-    pub(crate) fn new(policy: Policy, tuning_interval: SimDuration, initial_lock_bytes: u64) -> Self {
+    pub(crate) fn new(
+        policy: Policy,
+        tuning_interval: SimDuration,
+        initial_lock_bytes: u64,
+    ) -> Self {
         match policy {
             Policy::SelfTuning(params) => {
                 PolicyRuntime::SelfTuning(Stmm::new(params, tuning_interval, initial_lock_bytes))
@@ -64,7 +68,7 @@ impl PolicyRuntime {
     }
 
     /// Currently externalized `lockPercentPerApplication` (for traces).
-    pub(crate) fn app_percent(&self, pool: &PoolStats) -> f64 {
+    pub(crate) fn app_percent(&self, pool: &PoolUsage) -> f64 {
         match self {
             PolicyRuntime::SelfTuning(stmm) => stmm.tuner().app_percent(),
             PolicyRuntime::Static(p) => p.maxlocks_percent,
@@ -73,7 +77,7 @@ impl PolicyRuntime {
     }
 
     /// The configured (on-disk) lock memory, where meaningful.
-    pub(crate) fn lmoc(&self, pool: &PoolStats) -> u64 {
+    pub(crate) fn lmoc(&self, pool: &PoolUsage) -> u64 {
         match self {
             PolicyRuntime::SelfTuning(stmm) => stmm.lmoc(),
             PolicyRuntime::Static(p) => p.locklist_bytes,
@@ -103,7 +107,7 @@ pub(crate) struct PolicyHooks<'a> {
 }
 
 impl TuningHooks for PolicyHooks<'_> {
-    fn on_lock_request(&mut self, pool: &PoolStats) -> f64 {
+    fn on_lock_request(&mut self, pool: &PoolUsage) -> f64 {
         match self.policy {
             PolicyRuntime::SelfTuning(stmm) => {
                 let params = *stmm.tuner().params();
@@ -126,7 +130,7 @@ impl TuningHooks for PolicyHooks<'_> {
         }
     }
 
-    fn sync_growth(&mut self, wanted_bytes: u64, pool: &PoolStats) -> u64 {
+    fn sync_growth(&mut self, wanted_bytes: u64, pool: &PoolUsage) -> u64 {
         match self.policy {
             PolicyRuntime::SelfTuning(stmm) => {
                 let params = *stmm.tuner().params();
@@ -165,7 +169,7 @@ impl TuningHooks for PolicyHooks<'_> {
         }
     }
 
-    fn on_pool_resized(&mut self, pool: &PoolStats) {
+    fn on_pool_resized(&mut self, pool: &PoolUsage) {
         if let PolicyRuntime::SelfTuning(stmm) = self.policy {
             let params = *stmm.tuner().params();
             let bounds =
@@ -186,11 +190,11 @@ impl TuningHooks for PolicyHooks<'_> {
 pub(crate) struct SilentHooks;
 
 impl TuningHooks for SilentHooks {
-    fn on_lock_request(&mut self, _pool: &PoolStats) -> f64 {
+    fn on_lock_request(&mut self, _pool: &PoolUsage) -> f64 {
         100.0
     }
-    fn sync_growth(&mut self, _wanted: u64, _pool: &PoolStats) -> u64 {
+    fn sync_growth(&mut self, _wanted: u64, _pool: &PoolUsage) -> u64 {
         0
     }
-    fn on_pool_resized(&mut self, _pool: &PoolStats) {}
+    fn on_pool_resized(&mut self, _pool: &PoolUsage) {}
 }

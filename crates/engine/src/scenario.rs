@@ -200,7 +200,10 @@ impl Scenario {
             schedule: Schedule::new(
                 vec![
                     (SimTime::ZERO, PhaseChange::SetClients(130)),
-                    (SimTime::from_secs(330), PhaseChange::InjectDss(Self::reporting_query())),
+                    (
+                        SimTime::from_secs(330),
+                        PhaseChange::InjectDss(Self::reporting_query()),
+                    ),
                 ],
                 SimTime::from_secs(600),
             ),
@@ -260,9 +263,18 @@ impl Scenario {
             schedule: Schedule::new(
                 vec![
                     (SimTime::ZERO, PhaseChange::SetClients(130)),
-                    (SimTime::from_secs(120), PhaseChange::InjectDss(big_query(10))),
-                    (SimTime::from_secs(125), PhaseChange::InjectDss(big_query(11))),
-                    (SimTime::from_secs(130), PhaseChange::InjectDss(big_query(12))),
+                    (
+                        SimTime::from_secs(120),
+                        PhaseChange::InjectDss(big_query(10)),
+                    ),
+                    (
+                        SimTime::from_secs(125),
+                        PhaseChange::InjectDss(big_query(11)),
+                    ),
+                    (
+                        SimTime::from_secs(130),
+                        PhaseChange::InjectDss(big_query(12)),
+                    ),
                 ],
                 SimTime::from_secs(330),
             ),
@@ -276,7 +288,10 @@ impl Scenario {
     pub fn constrained_overflow() -> Scenario {
         use locktune_memory::{HeapKind, MemoryConfig, PerfHeap};
         const MIB: u64 = 1024 * 1024;
-        let memory = MemoryConfig { total_bytes: 64 * MIB, overflow_goal_fraction: 0.03 };
+        let memory = MemoryConfig {
+            total_bytes: 64 * MIB,
+            overflow_goal_fraction: 0.03,
+        };
         // Heaps leave only ~2 MB of overflow, but hold donatable slack
         // the interval-doubling path can reclaim.
         let heaps = vec![
@@ -325,7 +340,10 @@ impl Scenario {
             schedule: Schedule::new(
                 vec![
                     (SimTime::ZERO, PhaseChange::SetClients(130)),
-                    (SimTime::from_secs(120), PhaseChange::InjectDss(Self::reporting_query())),
+                    (
+                        SimTime::from_secs(120),
+                        PhaseChange::InjectDss(Self::reporting_query()),
+                    ),
                 ],
                 SimTime::from_secs(300),
             ),

@@ -10,7 +10,10 @@ fn smoke_self_tuning_commits_without_escalation() {
     assert!(r.committed > 100, "committed {}", r.committed);
     assert_eq!(r.total_escalations(), 0, "self-tuning avoids escalation");
     assert_eq!(r.oom_failures, 0);
-    assert!(r.peak_lock_bytes() >= 2.0 * 1024.0 * 1024.0, "at least the 2 MB floor");
+    assert!(
+        r.peak_lock_bytes() >= 2.0 * 1024.0 * 1024.0,
+        "at least the 2 MB floor"
+    );
 }
 
 #[test]
@@ -36,9 +39,15 @@ fn different_seeds_differ() {
 fn tiny_static_locklist_escalates() {
     // 64 KiB of lock memory for 20 busy clients: the static policy must
     // escalate (and may deny requests outright).
-    let policy = Policy::Static(StaticPolicy { locklist_bytes: 64 * 1024, maxlocks_percent: 10.0 });
+    let policy = Policy::Static(StaticPolicy {
+        locklist_bytes: 64 * 1024,
+        maxlocks_percent: 10.0,
+    });
     let r = Scenario::smoke(policy, 60, 20, 7).run();
-    assert!(r.total_escalations() > 0, "static tiny LOCKLIST must escalate");
+    assert!(
+        r.total_escalations() > 0,
+        "static tiny LOCKLIST must escalate"
+    );
     // Lock memory never grew.
     assert!(r.peak_lock_bytes() <= (64.0f64 * 1024.0 / 131_072.0).ceil() * 131_072.0);
 }
@@ -46,7 +55,10 @@ fn tiny_static_locklist_escalates() {
 #[test]
 fn static_policy_throughput_below_self_tuning() {
     let tuned = Scenario::smoke(Policy::SelfTuning(TunerParams::default()), 60, 20, 7).run();
-    let policy = Policy::Static(StaticPolicy { locklist_bytes: 64 * 1024, maxlocks_percent: 10.0 });
+    let policy = Policy::Static(StaticPolicy {
+        locklist_bytes: 64 * 1024,
+        maxlocks_percent: 10.0,
+    });
     let fixed = Scenario::smoke(policy, 60, 20, 7).run();
     assert!(
         fixed.committed < tuned.committed,
@@ -62,7 +74,10 @@ fn sqlserver_policy_grows_dynamically() {
     // (2-block) initial allocation, so the model must grow on demand.
     let r = Scenario::smoke(Scenario::sqlserver_policy(), 60, 200, 7).run();
     assert!(r.committed > 100);
-    assert!(r.peak_lock_bytes() > 2.0 * 131_072.0, "grew past the initial allocation");
+    assert!(
+        r.peak_lock_bytes() > 2.0 * 131_072.0,
+        "grew past the initial allocation"
+    );
 }
 
 #[test]

@@ -64,5 +64,8 @@ fn timeout_does_not_perturb_uncontended_runs() {
     let with = with.run();
     let without = Scenario::smoke(Policy::SelfTuning(TunerParams::default()), 45, 10, 9).run();
     assert_eq!(with.lock_timeouts, 0, "no 30s waits in a smoke run");
-    assert_eq!(with.committed, without.committed, "timeout must be inert here");
+    assert_eq!(
+        with.committed, without.committed,
+        "timeout must be inert here"
+    );
 }

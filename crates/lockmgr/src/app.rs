@@ -93,8 +93,12 @@ impl AppLockState {
 
     /// Tables on which this application currently holds row locks.
     pub fn tables_with_rows(&self) -> Vec<TableId> {
-        let mut v: Vec<TableId> =
-            self.per_table.iter().filter(|(_, h)| h.rows > 0).map(|(t, _)| *t).collect();
+        let mut v: Vec<TableId> = self
+            .per_table
+            .iter()
+            .filter(|(_, h)| h.rows > 0)
+            .map(|(t, _)| *t)
+            .collect();
         v.sort();
         v
     }
@@ -110,7 +114,11 @@ impl AppLockState {
 
     /// Record a newly granted lock charged `slots` structures.
     pub(crate) fn record_grant(&mut self, res: ResourceId, mode: LockMode, slots: u64) {
-        let entry = self.held.entry(res).or_insert(HeldLock { mode, count: 0, slots: 0 });
+        let entry = self.held.entry(res).or_insert(HeldLock {
+            mode,
+            count: 0,
+            slots: 0,
+        });
         entry.mode = entry.mode.supremum(mode);
         entry.count += 1;
         entry.slots += slots;

@@ -66,10 +66,13 @@ fn find_cycle(
         Gray,
         Black,
     }
-    let mut nodes: Vec<AppId> = adj.keys().copied().filter(|a| !removed.contains(a)).collect();
+    let mut nodes: Vec<AppId> = adj
+        .keys()
+        .copied()
+        .filter(|a| !removed.contains(a))
+        .collect();
     nodes.sort();
-    let mut color: FxHashMap<AppId, Color> =
-        nodes.iter().map(|&n| (n, Color::White)).collect();
+    let mut color: FxHashMap<AppId, Color> = nodes.iter().map(|&n| (n, Color::White)).collect();
     let mut stack: Vec<AppId> = Vec::new();
 
     fn dfs(
@@ -170,12 +173,7 @@ mod tests {
     #[test]
     fn multiple_independent_cycles() {
         let d = DeadlockDetector::new();
-        let edges = [
-            (a(1), a(2)),
-            (a(2), a(1)),
-            (a(10), a(11)),
-            (a(11), a(10)),
-        ];
+        let edges = [(a(1), a(2)), (a(2), a(1)), (a(10), a(11)), (a(11), a(10))];
         let v = d.find_victims(&edges);
         let victims: Vec<AppId> = v.iter().map(|x| x.app).collect();
         assert_eq!(victims.len(), 2);
@@ -206,12 +204,7 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let d = DeadlockDetector::new();
-        let edges = [
-            (a(4), a(7)),
-            (a(7), a(2)),
-            (a(2), a(4)),
-            (a(9), a(4)),
-        ];
+        let edges = [(a(4), a(7)), (a(7), a(2)), (a(2), a(4)), (a(9), a(4))];
         let v1 = d.find_victims(&edges);
         let v2 = d.find_victims(&edges);
         assert_eq!(v1, v2);

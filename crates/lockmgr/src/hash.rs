@@ -117,6 +117,10 @@ mod tests {
         for i in 0u64..4096 {
             low_bits.insert(hash_of(&i) & 0xFFF);
         }
-        assert!(low_bits.len() > 2048, "low-bit diversity {}", low_bits.len());
+        assert!(
+            low_bits.len() > 2048,
+            "low-bit diversity {}",
+            low_bits.len()
+        );
     }
 }

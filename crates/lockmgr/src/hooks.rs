@@ -10,7 +10,7 @@
 //!   implement the same trait with their own rules, so every policy
 //!   runs on the identical lock manager.
 
-use locktune_memalloc::PoolStats;
+use locktune_memalloc::PoolUsage;
 
 use crate::resource::TableId;
 use crate::AppId;
@@ -20,16 +20,16 @@ pub trait TuningHooks {
     /// Called once per lock-structure request. Returns the current
     /// `lockPercentPerApplication` (percent of total lock memory one
     /// application may hold before escalating).
-    fn on_lock_request(&mut self, pool: &PoolStats) -> f64;
+    fn on_lock_request(&mut self, pool: &PoolUsage) -> f64;
 
     /// The pool is exhausted: how many bytes may it grow *right now*
     /// (synchronously)? Return 0 to deny; the lock manager will then
     /// escalate. Return value is rounded down to whole blocks by the
     /// caller.
-    fn sync_growth(&mut self, wanted_bytes: u64, pool: &PoolStats) -> u64;
+    fn sync_growth(&mut self, wanted_bytes: u64, pool: &PoolUsage) -> u64;
 
     /// The pool was resized (synchronously or by the tuning interval).
-    fn on_pool_resized(&mut self, pool: &PoolStats);
+    fn on_pool_resized(&mut self, pool: &PoolUsage);
 
     /// An escalation completed.
     fn on_escalation(&mut self, app: AppId, table: TableId, exclusive: bool) {
@@ -48,33 +48,35 @@ pub struct NoTuning {
 
 impl Default for NoTuning {
     fn default() -> Self {
-        NoTuning { max_locks_percent: 10.0 }
+        NoTuning {
+            max_locks_percent: 10.0,
+        }
     }
 }
 
 impl TuningHooks for NoTuning {
-    fn on_lock_request(&mut self, _pool: &PoolStats) -> f64 {
+    fn on_lock_request(&mut self, _pool: &PoolUsage) -> f64 {
         self.max_locks_percent
     }
 
-    fn sync_growth(&mut self, _wanted_bytes: u64, _pool: &PoolStats) -> u64 {
+    fn sync_growth(&mut self, _wanted_bytes: u64, _pool: &PoolUsage) -> u64 {
         0
     }
 
-    fn on_pool_resized(&mut self, _pool: &PoolStats) {}
+    fn on_pool_resized(&mut self, _pool: &PoolUsage) {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use locktune_memalloc::{LockMemoryPool, PoolConfig};
+    use locktune_memalloc::{LockMemoryPool, PoolBackend, PoolConfig};
 
     #[test]
     fn no_tuning_denies_growth_and_fixes_cap() {
         let pool = LockMemoryPool::with_bytes(PoolConfig::default(), 1 << 20);
-        let stats = pool.stats();
+        let usage = PoolBackend::usage(&pool);
         let mut h = NoTuning::default();
-        assert_eq!(h.on_lock_request(&stats), 10.0);
-        assert_eq!(h.sync_growth(1 << 20, &stats), 0);
+        assert_eq!(h.on_lock_request(&usage), 10.0);
+        assert_eq!(h.sync_growth(1 << 20, &usage), 0);
     }
 }

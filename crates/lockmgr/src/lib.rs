@@ -43,8 +43,10 @@ pub use app::{AppId, AppLockState};
 pub use deadlock::{DeadlockDetector, Victim};
 pub use error::LockError;
 pub use hooks::{NoTuning, TuningHooks};
-pub use manager::{EscalationBias, GrantNotice, LockManager, LockManagerConfig, LockOutcome, UnlockReport};
+pub use manager::{
+    EscalationBias, GrantNotice, LockManager, LockManagerConfig, LockOutcome, UnlockReport,
+};
 pub use mode::LockMode;
 pub use resource::{ResourceId, RowId, TableId};
-pub use shared::SharedLockManager;
+pub use shared::{ManagerSnapshot, SharedLockManager};
 pub use stats::LockStats;

@@ -8,7 +8,7 @@
 //! queue ([`LockManager::take_notifications`]) so the engine can wake
 //! the blocked clients.
 
-use locktune_memalloc::{LockMemoryPool, PoolError, SlotHandle};
+use locktune_memalloc::{LockMemoryPool, PoolBackend, PoolError, SlotHandle};
 
 use crate::app::{AppId, AppLockState};
 use crate::error::LockError;
@@ -35,7 +35,11 @@ pub struct LockManagerConfig {
 
 impl Default for LockManagerConfig {
     fn default() -> Self {
-        LockManagerConfig { first_holder_slots: 2, extra_holder_slots: 1, enforce_intents: true }
+        LockManagerConfig {
+            first_holder_slots: 2,
+            extra_holder_slots: 1,
+            enforce_intents: true,
+        }
     }
 }
 
@@ -105,21 +109,27 @@ pub struct UnlockReport {
 }
 
 /// The DB2-style lock manager.
+///
+/// Generic over its memory source: the default [`LockMemoryPool`] is an
+/// owned pool (single-threaded use, the discrete-event engine), while
+/// the concurrent service instantiates shards over
+/// [`SharedLockMemoryPool`](locktune_memalloc::SharedLockMemoryPool) so
+/// every shard draws from one tuned `LOCKLIST`.
 #[derive(Debug)]
-pub struct LockManager {
+pub struct LockManager<P: PoolBackend = LockMemoryPool> {
     config: LockManagerConfig,
     heads: FxHashMap<ResourceId, LockHead>,
     apps: FxHashMap<AppId, AppLockState>,
-    pool: LockMemoryPool,
+    pool: P,
     stats: LockStats,
     seq: u64,
     notifications: Vec<GrantNotice>,
     biases: FxHashMap<AppId, EscalationBias>,
 }
 
-impl LockManager {
+impl<P: PoolBackend> LockManager<P> {
     /// Create a lock manager over the given memory pool.
-    pub fn new(pool: LockMemoryPool, config: LockManagerConfig) -> Self {
+    pub fn new(pool: P, config: LockManagerConfig) -> Self {
         LockManager {
             config,
             heads: FxHashMap::default(),
@@ -144,8 +154,14 @@ impl LockManager {
     }
 
     /// The underlying memory pool.
-    pub fn pool(&self) -> &LockMemoryPool {
+    pub fn pool(&self) -> &P {
         &self.pool
+    }
+
+    /// Return any slots parked in the pool backend's private cache so
+    /// the global used count is exact (no-op for owned pools).
+    pub fn flush_pool_cache(&mut self) {
+        self.pool.flush_cache();
     }
 
     /// Statistics counters.
@@ -175,7 +191,7 @@ impl LockManager {
         let before = self.pool.total_blocks();
         let after = self.pool.resize_to_blocks(blocks);
         if after != before {
-            hooks.on_pool_resized(&self.pool.stats());
+            hooks.on_pool_resized(&self.pool.usage());
         }
         self.pool.total_bytes()
     }
@@ -205,11 +221,13 @@ impl LockManager {
                     self.stats.covered_by_table += 1;
                     return Ok(LockOutcome::CoveredByTableLock);
                 }
-                Some(h) if self.config.enforce_intents
+                Some(h)
+                    if self.config.enforce_intents
                     // Intent must announce the row mode (IS for S, IX for X).
-                    && !h.mode.covers(mode.intent_for_row_mode()) => {
-                        return Err(LockError::MissingIntent(res));
-                    }
+                    && !h.mode.covers(mode.intent_for_row_mode()) =>
+                {
+                    return Err(LockError::MissingIntent(res));
+                }
                 None if self.config.enforce_intents => {
                     return Err(LockError::MissingIntent(res));
                 }
@@ -218,13 +236,16 @@ impl LockManager {
         }
 
         // §3.5: every lock-structure request refreshes the adaptive cap.
-        let cap_percent = hooks.on_lock_request(&self.pool.stats());
+        let cap_percent = hooks.on_lock_request(&self.pool.usage());
 
         // Existing holding: re-entrant grant or conversion.
         if let Some(held) = self.apps[&app].held(&res) {
             let held_mode = held.mode;
             if held_mode.covers(mode) {
-                self.apps.get_mut(&app).expect("known app").record_grant(res, mode, 0);
+                self.apps
+                    .get_mut(&app)
+                    .expect("known app")
+                    .record_grant(res, mode, 0);
                 self.stats.grants += 1;
                 return Ok(LockOutcome::AlreadyHeld);
             }
@@ -233,7 +254,10 @@ impl LockManager {
             let head = self.heads.get_mut(&res).expect("held lock has a head");
             if head.compatible_for(app, target) {
                 head.holder_mut(app).expect("holder entry").mode = target;
-                self.apps.get_mut(&app).expect("known app").record_conversion(res, target);
+                self.apps
+                    .get_mut(&app)
+                    .expect("known app")
+                    .record_conversion(res, target);
                 self.stats.conversions += 1;
                 self.stats.grants += 1;
                 return Ok(LockOutcome::Granted);
@@ -246,7 +270,10 @@ impl LockManager {
                 seq,
                 escalation: None,
             });
-            self.apps.get_mut(&app).expect("known app").set_waiting(Some(res));
+            self.apps
+                .get_mut(&app)
+                .expect("known app")
+                .set_waiting(Some(res));
             self.stats.waits += 1;
             return Ok(LockOutcome::Queued);
         }
@@ -256,8 +283,17 @@ impl LockManager {
         if !head.queue.is_empty() || !head.compatible_for(app, mode) {
             let seq = self.seq;
             self.seq += 1;
-            head.queue.push_back(Waiter { app, mode, kind: WaitKind::New, seq, escalation: None });
-            self.apps.get_mut(&app).expect("known app").set_waiting(Some(res));
+            head.queue.push_back(Waiter {
+                app,
+                mode,
+                kind: WaitKind::New,
+                seq,
+                escalation: None,
+            });
+            self.apps
+                .get_mut(&app)
+                .expect("known app")
+                .set_waiting(Some(res));
             self.stats.waits += 1;
             return Ok(LockOutcome::Queued);
         }
@@ -272,8 +308,9 @@ impl LockManager {
         // escalation collapses its row locks as soon as its per-table
         // threshold is reached, keeping lock memory small.
         if let ResourceId::Row(req_table, _) = res {
-            if let EscalationBias::PreferEscalation { table_row_threshold } =
-                self.escalation_bias(app)
+            if let EscalationBias::PreferEscalation {
+                table_row_threshold,
+            } = self.escalation_bias(app)
             {
                 let rows_held = self.apps[&app].table_holdings(req_table).rows;
                 if rows_held >= table_row_threshold {
@@ -292,25 +329,24 @@ impl LockManager {
                 // escalating (§3.5): ask for enough synchronous growth
                 // to bring this application's share back under the cap.
                 if cap_percent > 0.0 {
-                    let needed_total =
-                        ((app_slots + slots_needed as u64) as f64 * 100.0 / cap_percent).ceil()
-                            as u64;
+                    let needed_total = ((app_slots + slots_needed as u64) as f64 * 100.0
+                        / cap_percent)
+                        .ceil() as u64;
                     let total = self.pool.total_slots();
                     if needed_total > total {
                         let block = self.pool.config().block_bytes;
                         let raw = (needed_total - total) * self.pool.config().lock_struct_bytes;
                         let wanted = raw.div_ceil(block) * block;
                         self.stats.sync_growth_requests += 1;
-                        let granted = hooks.sync_growth(wanted, &self.pool.stats());
+                        let granted = hooks.sync_growth(wanted, &self.pool.usage());
                         let blocks = granted / self.pool.config().block_bytes;
                         if blocks > 0 {
                             self.pool.grow_blocks(blocks);
-                            hooks.on_pool_resized(&self.pool.stats());
+                            hooks.on_pool_resized(&self.pool.usage());
                         }
                     }
                 }
-                let cap_slots =
-                    (cap_percent / 100.0 * self.pool.total_slots() as f64) as u64;
+                let cap_slots = (cap_percent / 100.0 * self.pool.total_slots() as f64) as u64;
                 if app_slots + slots_needed as u64 > cap_slots
                     && self.apps[&app].most_locked_table().is_some()
                 {
@@ -343,8 +379,15 @@ impl LockManager {
         };
 
         let slots = handles.len() as u64;
-        self.heads.entry(res).or_default().granted.push(Granted { app, mode, slots: handles });
-        self.apps.get_mut(&app).expect("known app").record_grant(res, mode, slots);
+        self.heads.entry(res).or_default().granted.push(Granted {
+            app,
+            mode,
+            slots: handles,
+        });
+        self.apps
+            .get_mut(&app)
+            .expect("known app")
+            .record_grant(res, mode, slots);
         self.stats.grants += 1;
         Ok(LockOutcome::Granted)
     }
@@ -374,7 +417,7 @@ impl LockManager {
                     Err(PoolError::Exhausted) => {
                         self.stats.sync_growth_requests += 1;
                         let block = self.pool.config().block_bytes;
-                        let granted = hooks.sync_growth(block, &self.pool.stats());
+                        let granted = hooks.sync_growth(block, &self.pool.usage());
                         let blocks = granted / block;
                         if blocks == 0 {
                             self.stats.sync_growth_denied += 1;
@@ -384,7 +427,7 @@ impl LockManager {
                             return Err(());
                         }
                         self.pool.grow_blocks(blocks);
-                        hooks.on_pool_resized(&self.pool.stats());
+                        hooks.on_pool_resized(&self.pool.usage());
                     }
                     Err(e) => unreachable!("allocate cannot fail with {e}"),
                 }
@@ -419,7 +462,9 @@ impl LockManager {
     ) -> Result<LockOutcome, LockError> {
         let table = match table {
             Some(t) => t,
-            None => self.apps[&app].most_locked_table().ok_or(LockError::NothingToEscalate)?,
+            None => self.apps[&app]
+                .most_locked_table()
+                .ok_or(LockError::NothingToEscalate)?,
         };
         // The escalated table lock must also cover the pending request
         // when it targets the same table.
@@ -465,7 +510,10 @@ impl LockManager {
             seq,
             escalation: Some(EscalationTicket { table }),
         });
-        self.apps.get_mut(&app).expect("known app").set_waiting(Some(table_res));
+        self.apps
+            .get_mut(&app)
+            .expect("known app")
+            .set_waiting(Some(table_res));
         self.stats.waits += 1;
         Ok(LockOutcome::QueuedWithEscalation { table })
     }
@@ -494,7 +542,11 @@ impl LockManager {
             for (&app, state) in &self.apps {
                 for table in state.tables_with_rows() {
                     let holdings = state.table_holdings(table);
-                    let target = if holdings.write_rows > 0 { LockMode::X } else { LockMode::S };
+                    let target = if holdings.write_rows > 0 {
+                        LockMode::X
+                    } else {
+                        LockMode::S
+                    };
                     let table_res = ResourceId::Table(table);
                     let compatible = self
                         .heads
@@ -539,14 +591,24 @@ impl LockManager {
             Some(g) => {
                 let new_mode = g.mode.supremum(target);
                 g.mode = new_mode;
-                self.apps.get_mut(&app).expect("known app").record_conversion(table_res, new_mode);
+                self.apps
+                    .get_mut(&app)
+                    .expect("known app")
+                    .record_conversion(table_res, new_mode);
             }
             None => {
                 // No intent held (enforce_intents off): take the table
                 // lock with zero structures — escalation must free
                 // memory, never consume it while the pool is dry.
-                head.granted.push(Granted { app, mode: target, slots: Vec::new() });
-                self.apps.get_mut(&app).expect("known app").record_grant(table_res, target, 0);
+                head.granted.push(Granted {
+                    app,
+                    mode: target,
+                    slots: Vec::new(),
+                });
+                self.apps
+                    .get_mut(&app)
+                    .expect("known app")
+                    .record_grant(table_res, target, 0);
             }
         }
 
@@ -582,8 +644,12 @@ impl LockManager {
     /// Remove `app`'s granted entry on `res` and return its slots to
     /// the pool. Does *not* process the queue (callers batch that).
     fn release_one(&mut self, app: AppId, res: ResourceId) -> u64 {
-        let Some(head) = self.heads.get_mut(&res) else { return 0 };
-        let Some(pos) = head.granted.iter().position(|g| g.app == app) else { return 0 };
+        let Some(head) = self.heads.get_mut(&res) else {
+            return 0;
+        };
+        let Some(pos) = head.granted.iter().position(|g| g.app == app) else {
+            return 0;
+        };
         let granted = head.granted.swap_remove(pos);
         let freed = granted.slots.len() as u64;
         for h in granted.slots {
@@ -605,7 +671,10 @@ impl LockManager {
         }
         let freed = self.release_one(app, res);
         self.process_queues(vec![res], hooks);
-        Ok(UnlockReport { released_locks: 1, freed_slots: freed })
+        Ok(UnlockReport {
+            released_locks: 1,
+            freed_slots: freed,
+        })
     }
 
     /// Release everything `app` holds (commit under strict 2PL).
@@ -617,7 +686,9 @@ impl LockManager {
         let mut report = UnlockReport::default();
         let mut worklist = Vec::with_capacity(held.len());
         for (res, _) in held {
-            let Some(head) = self.heads.get_mut(&res) else { continue };
+            let Some(head) = self.heads.get_mut(&res) else {
+                continue;
+            };
             if let Some(pos) = head.granted.iter().position(|g| g.app == app) {
                 let granted = head.granted.swap_remove(pos);
                 report.released_locks += 1;
@@ -635,8 +706,12 @@ impl LockManager {
     /// Remove `app`'s pending wait, if any. Returns true if a wait was
     /// cancelled.
     pub fn cancel_wait(&mut self, app: AppId) -> bool {
-        let Some(state) = self.apps.get_mut(&app) else { return false };
-        let Some(res) = state.waiting_on() else { return false };
+        let Some(state) = self.apps.get_mut(&app) else {
+            return false;
+        };
+        let Some(res) = state.waiting_on() else {
+            return false;
+        };
         state.set_waiting(None);
         if let Some(head) = self.heads.get_mut(&res) {
             head.remove_waiter(app);
@@ -669,7 +744,9 @@ impl LockManager {
             // (empty head, incompatible front, allocation failure).
             #[allow(clippy::while_let_loop)]
             loop {
-                let Some(head) = self.heads.get_mut(&res) else { break };
+                let Some(head) = self.heads.get_mut(&res) else {
+                    break;
+                };
                 let Some(front) = head.queue.front() else {
                     if head.is_empty() {
                         self.heads.remove(&res);
@@ -728,11 +805,21 @@ impl LockManager {
                         self.stats.conversions += 1;
                     }
                     _ => {
-                        head.granted.push(Granted { app, mode: target, slots: handles });
-                        self.apps.get_mut(&app).expect("known app").record_grant(res, target, slots);
+                        head.granted.push(Granted {
+                            app,
+                            mode: target,
+                            slots: handles,
+                        });
+                        self.apps
+                            .get_mut(&app)
+                            .expect("known app")
+                            .record_grant(res, target, slots);
                     }
                 }
-                self.apps.get_mut(&app).expect("known app").set_waiting(None);
+                self.apps
+                    .get_mut(&app)
+                    .expect("known app")
+                    .set_waiting(None);
                 self.stats.queue_grants += 1;
                 let completed_escalation = escalation.is_some();
                 self.notifications.push(GrantNotice {
@@ -822,11 +909,22 @@ impl LockManager {
     /// Panics on inconsistency.
     pub fn validate(&self) {
         self.pool.validate();
-        assert_eq!(
-            self.charged_slots(),
-            self.pool.used_slots(),
-            "app slot accounting must match pool usage"
-        );
+        if self.pool.is_shared() {
+            // Other shards charge against the same pool; this shard can
+            // only bound the global count from below.
+            assert!(
+                self.charged_slots() <= self.pool.used_slots(),
+                "shard charges {} slots but the shared pool reports only {} used",
+                self.charged_slots(),
+                self.pool.used_slots()
+            );
+        } else {
+            assert_eq!(
+                self.charged_slots(),
+                self.pool.used_slots(),
+                "app slot accounting must match pool usage"
+            );
+        }
         // Every granted entry matches the app's held map; every pair of
         // granted modes on a resource is compatible.
         for (res, head) in &self.heads {
@@ -867,7 +965,10 @@ impl LockManager {
                     .heads
                     .get(res)
                     .unwrap_or_else(|| panic!("{app} holds {res} but no head exists"));
-                assert!(head.holder(*app).is_some(), "{app} holds {res} but is not granted");
+                assert!(
+                    head.holder(*app).is_some(),
+                    "{app} holds {res} but is not granted"
+                );
             }
         }
     }

@@ -62,7 +62,10 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(ResourceId::Table(TableId(1)).to_string(), "table#1");
-        assert_eq!(ResourceId::Row(TableId(1), RowId(2)).to_string(), "table#1.row#2");
+        assert_eq!(
+            ResourceId::Row(TableId(1), RowId(2)).to_string(),
+            "table#1.row#2"
+        );
     }
 
     #[test]

@@ -19,6 +19,20 @@ use crate::mode::LockMode;
 use crate::resource::ResourceId;
 use crate::stats::LockStats;
 
+/// Coherent point-in-time view returned by
+/// [`SharedLockManager::snapshot`]: the counters and the drained
+/// notifications come from a single critical section, so a grant
+/// counted in `stats` is never missing from `notifications` (and vice
+/// versa) the way back-to-back `stats()` + `take_notifications()` calls
+/// could interleave with a concurrent locker.
+#[derive(Debug, Clone)]
+pub struct ManagerSnapshot {
+    /// Statistics counters at the snapshot instant.
+    pub stats: LockStats,
+    /// Grant notifications produced since the previous drain.
+    pub notifications: Vec<GrantNotice>,
+}
+
 /// A cloneable, thread-safe handle to a [`LockManager`].
 #[derive(Clone)]
 pub struct SharedLockManager {
@@ -28,7 +42,9 @@ pub struct SharedLockManager {
 impl SharedLockManager {
     /// Wrap a manager.
     pub fn new(manager: LockManager) -> Self {
-        SharedLockManager { inner: Arc::new(Mutex::new(manager)) }
+        SharedLockManager {
+            inner: Arc::new(Mutex::new(manager)),
+        }
     }
 
     /// Request a lock.
@@ -55,6 +71,16 @@ impl SharedLockManager {
     /// Snapshot the statistics.
     pub fn stats(&self) -> LockStats {
         *self.inner.lock().stats()
+    }
+
+    /// Atomically snapshot the statistics and drain the pending grant
+    /// notifications in one critical section.
+    pub fn snapshot(&self) -> ManagerSnapshot {
+        let mut m = self.inner.lock();
+        ManagerSnapshot {
+            stats: *m.stats(),
+            notifications: m.take_notifications(),
+        }
     }
 
     /// Run `f` with exclusive access to the manager (batch operations,
@@ -85,12 +111,20 @@ mod tests {
                 let mgr = mgr.clone();
                 std::thread::spawn(move || {
                     let app = AppId(t);
-                    let mut hooks = NoTuning { max_locks_percent: 98.0 };
+                    let mut hooks = NoTuning {
+                        max_locks_percent: 98.0,
+                    };
                     let table = TableId(t);
-                    mgr.lock(app, ResourceId::Table(table), LockMode::IX, &mut hooks).unwrap();
+                    mgr.lock(app, ResourceId::Table(table), LockMode::IX, &mut hooks)
+                        .unwrap();
                     for r in 0..100u64 {
                         let out = mgr
-                            .lock(app, ResourceId::Row(table, RowId(r)), LockMode::X, &mut hooks)
+                            .lock(
+                                app,
+                                ResourceId::Row(table, RowId(r)),
+                                LockMode::X,
+                                &mut hooks,
+                            )
                             .unwrap();
                         assert_eq!(out, LockOutcome::Granted);
                     }
@@ -118,11 +152,19 @@ mod tests {
                 let mgr = mgr.clone();
                 std::thread::spawn(move || {
                     let app = AppId(t);
-                    let mut hooks = NoTuning { max_locks_percent: 98.0 };
-                    mgr.lock(app, ResourceId::Table(table), LockMode::IS, &mut hooks).unwrap();
+                    let mut hooks = NoTuning {
+                        max_locks_percent: 98.0,
+                    };
+                    mgr.lock(app, ResourceId::Table(table), LockMode::IS, &mut hooks)
+                        .unwrap();
                     for r in 0..50u64 {
-                        mgr.lock(app, ResourceId::Row(table, RowId(r)), LockMode::S, &mut hooks)
-                            .unwrap();
+                        mgr.lock(
+                            app,
+                            ResourceId::Row(table, RowId(r)),
+                            LockMode::S,
+                            &mut hooks,
+                        )
+                        .unwrap();
                     }
                     mgr.unlock_all(app, &mut hooks);
                 })
@@ -136,5 +178,34 @@ mod tests {
             assert_eq!(m.pool().used_slots(), 0);
             assert_eq!(m.locked_resources(), 0);
         });
+    }
+
+    #[test]
+    fn snapshot_is_coherent() {
+        let mgr = shared();
+        let mut hooks = NoTuning {
+            max_locks_percent: 98.0,
+        };
+        let table = TableId(0);
+        let row = ResourceId::Row(table, RowId(1));
+        // App 0 holds X on the row; app 1 queues; the release grants it,
+        // producing a notification.
+        mgr.lock(AppId(0), ResourceId::Table(table), LockMode::IX, &mut hooks)
+            .unwrap();
+        mgr.lock(AppId(0), row, LockMode::X, &mut hooks).unwrap();
+        mgr.lock(AppId(1), ResourceId::Table(table), LockMode::IX, &mut hooks)
+            .unwrap();
+        assert_eq!(
+            mgr.lock(AppId(1), row, LockMode::X, &mut hooks).unwrap(),
+            LockOutcome::Queued
+        );
+        mgr.unlock_all(AppId(0), &mut hooks);
+
+        let snap = mgr.snapshot();
+        assert_eq!(snap.notifications.len(), 1);
+        assert_eq!(snap.notifications[0].app, AppId(1));
+        assert_eq!(snap.stats.queue_grants, 1);
+        // The drain is part of the snapshot: nothing left behind.
+        assert!(mgr.take_notifications().is_empty());
     }
 }

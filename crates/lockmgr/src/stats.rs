@@ -41,6 +41,45 @@ impl LockStats {
     pub fn share_escalations(&self) -> u64 {
         self.escalations - self.exclusive_escalations
     }
+
+    /// Accumulate `other` into `self`, field by field.
+    ///
+    /// The sharded service aggregates per-shard counters with this
+    /// before handing the sum to the tuner (escalations across *all*
+    /// shards drive the growth decision, as DB2 counts database-wide
+    /// escalations).
+    pub fn merge(&mut self, other: &LockStats) {
+        let LockStats {
+            grants,
+            waits,
+            conversions,
+            covered_by_table,
+            escalations,
+            exclusive_escalations,
+            rows_escalated,
+            voluntary_escalations,
+            sync_growth_requests,
+            sync_growth_denied,
+            denials,
+            queue_grants,
+            cancelled_waits,
+            deadlock_aborts,
+        } = other;
+        self.grants += grants;
+        self.waits += waits;
+        self.conversions += conversions;
+        self.covered_by_table += covered_by_table;
+        self.escalations += escalations;
+        self.exclusive_escalations += exclusive_escalations;
+        self.rows_escalated += rows_escalated;
+        self.voluntary_escalations += voluntary_escalations;
+        self.sync_growth_requests += sync_growth_requests;
+        self.sync_growth_denied += sync_growth_denied;
+        self.denials += denials;
+        self.queue_grants += queue_grants;
+        self.cancelled_waits += cancelled_waits;
+        self.deadlock_aborts += deadlock_aborts;
+    }
 }
 
 #[cfg(test)]
@@ -49,7 +88,55 @@ mod tests {
 
     #[test]
     fn share_escalations() {
-        let s = LockStats { escalations: 5, exclusive_escalations: 2, ..Default::default() };
+        let s = LockStats {
+            escalations: 5,
+            exclusive_escalations: 2,
+            ..Default::default()
+        };
         assert_eq!(s.share_escalations(), 3);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = LockStats {
+            grants: 1,
+            waits: 2,
+            conversions: 3,
+            covered_by_table: 4,
+            escalations: 5,
+            exclusive_escalations: 6,
+            rows_escalated: 7,
+            voluntary_escalations: 8,
+            sync_growth_requests: 9,
+            sync_growth_denied: 10,
+            denials: 11,
+            queue_grants: 12,
+            cancelled_waits: 13,
+            deadlock_aborts: 14,
+        };
+        let mut sum = a;
+        sum.merge(&a);
+        assert_eq!(
+            sum,
+            LockStats {
+                grants: 2,
+                waits: 4,
+                conversions: 6,
+                covered_by_table: 8,
+                escalations: 10,
+                exclusive_escalations: 12,
+                rows_escalated: 14,
+                voluntary_escalations: 16,
+                sync_growth_requests: 18,
+                sync_growth_denied: 20,
+                denials: 22,
+                queue_grants: 24,
+                cancelled_waits: 26,
+                deadlock_aborts: 28,
+            }
+        );
+        let mut neutral = LockStats::default();
+        neutral.merge(&a);
+        assert_eq!(neutral, a);
     }
 }

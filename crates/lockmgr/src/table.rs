@@ -99,7 +99,10 @@ impl LockHead {
 
     /// The supremum of all granted modes (diagnostics).
     pub fn group_mode(&self) -> Option<LockMode> {
-        self.granted.iter().map(|g| g.mode).reduce(LockMode::supremum)
+        self.granted
+            .iter()
+            .map(|g| g.mode)
+            .reduce(LockMode::supremum)
     }
 }
 
@@ -108,7 +111,11 @@ mod tests {
     use super::*;
 
     fn granted(app: u32, mode: LockMode) -> Granted {
-        Granted { app: AppId(app), mode, slots: Vec::new() }
+        Granted {
+            app: AppId(app),
+            mode,
+            slots: Vec::new(),
+        }
     }
 
     #[test]

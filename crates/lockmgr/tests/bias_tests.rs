@@ -24,10 +24,18 @@ fn default_bias_is_prefer_growth() {
 #[test]
 fn biased_app_escalates_at_its_threshold() {
     let mut m = manager();
-    let mut h = NoTuning { max_locks_percent: 98.0 };
+    let mut h = NoTuning {
+        max_locks_percent: 98.0,
+    };
     let app = AppId(1);
-    m.set_escalation_bias(app, EscalationBias::PreferEscalation { table_row_threshold: 50 });
-    m.lock(app, ResourceId::Table(TableId(1)), LockMode::IX, &mut h).unwrap();
+    m.set_escalation_bias(
+        app,
+        EscalationBias::PreferEscalation {
+            table_row_threshold: 50,
+        },
+    );
+    m.lock(app, ResourceId::Table(TableId(1)), LockMode::IX, &mut h)
+        .unwrap();
     let mut escalated_at = None;
     for r in 0..200 {
         match m.lock(app, row(1, r), LockMode::X, &mut h).unwrap() {
@@ -52,16 +60,30 @@ fn biased_app_escalates_at_its_threshold() {
 #[test]
 fn threshold_is_per_table() {
     let mut m = manager();
-    let mut h = NoTuning { max_locks_percent: 98.0 };
+    let mut h = NoTuning {
+        max_locks_percent: 98.0,
+    };
     let app = AppId(1);
-    m.set_escalation_bias(app, EscalationBias::PreferEscalation { table_row_threshold: 30 });
+    m.set_escalation_bias(
+        app,
+        EscalationBias::PreferEscalation {
+            table_row_threshold: 30,
+        },
+    );
     for t in 1..=2 {
-        m.lock(app, ResourceId::Table(TableId(t)), LockMode::IX, &mut h).unwrap();
+        m.lock(app, ResourceId::Table(TableId(t)), LockMode::IX, &mut h)
+            .unwrap();
     }
     // Spread 25 rows on each table: below threshold everywhere.
     for r in 0..25 {
-        assert_eq!(m.lock(app, row(1, r), LockMode::X, &mut h).unwrap(), LockOutcome::Granted);
-        assert_eq!(m.lock(app, row(2, r), LockMode::X, &mut h).unwrap(), LockOutcome::Granted);
+        assert_eq!(
+            m.lock(app, row(1, r), LockMode::X, &mut h).unwrap(),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            m.lock(app, row(2, r), LockMode::X, &mut h).unwrap(),
+            LockOutcome::Granted
+        );
     }
     assert_eq!(m.stats().voluntary_escalations, 0);
     // Push table 1 over the threshold; table 2 keeps its row locks.
@@ -69,7 +91,14 @@ fn threshold_is_per_table() {
         let _ = m.lock(app, row(1, r), LockMode::X, &mut h).unwrap();
     }
     assert_eq!(m.stats().voluntary_escalations, 1);
-    assert!(m.app(app).unwrap().held(&ResourceId::Table(TableId(1))).unwrap().mode == LockMode::X);
+    assert!(
+        m.app(app)
+            .unwrap()
+            .held(&ResourceId::Table(TableId(1)))
+            .unwrap()
+            .mode
+            == LockMode::X
+    );
     assert_eq!(m.app(app).unwrap().table_holdings(TableId(2)).rows, 25);
     m.validate();
 }
@@ -77,16 +106,27 @@ fn threshold_is_per_table() {
 #[test]
 fn unbiased_apps_are_unaffected() {
     let mut m = manager();
-    let mut h = NoTuning { max_locks_percent: 98.0 };
+    let mut h = NoTuning {
+        max_locks_percent: 98.0,
+    };
     let biased = AppId(1);
     let normal = AppId(2);
-    m.set_escalation_bias(biased, EscalationBias::PreferEscalation { table_row_threshold: 10 });
+    m.set_escalation_bias(
+        biased,
+        EscalationBias::PreferEscalation {
+            table_row_threshold: 10,
+        },
+    );
     for app in [biased, normal] {
-        m.lock(app, ResourceId::Table(TableId(app.0)), LockMode::IX, &mut h).unwrap();
+        m.lock(app, ResourceId::Table(TableId(app.0)), LockMode::IX, &mut h)
+            .unwrap();
     }
     for r in 0..100 {
         let _ = m.lock(biased, row(1, r), LockMode::X, &mut h).unwrap();
-        assert_eq!(m.lock(normal, row(2, r), LockMode::X, &mut h).unwrap(), LockOutcome::Granted);
+        assert_eq!(
+            m.lock(normal, row(2, r), LockMode::X, &mut h).unwrap(),
+            LockOutcome::Granted
+        );
     }
     assert_eq!(m.stats().voluntary_escalations, 1);
     assert_eq!(m.app(normal).unwrap().table_holdings(TableId(2)).rows, 100);
@@ -96,10 +136,18 @@ fn unbiased_apps_are_unaffected() {
 #[test]
 fn share_rows_escalate_to_share_table_lock_under_bias() {
     let mut m = manager();
-    let mut h = NoTuning { max_locks_percent: 98.0 };
+    let mut h = NoTuning {
+        max_locks_percent: 98.0,
+    };
     let app = AppId(1);
-    m.set_escalation_bias(app, EscalationBias::PreferEscalation { table_row_threshold: 5 });
-    m.lock(app, ResourceId::Table(TableId(1)), LockMode::IS, &mut h).unwrap();
+    m.set_escalation_bias(
+        app,
+        EscalationBias::PreferEscalation {
+            table_row_threshold: 5,
+        },
+    );
+    m.lock(app, ResourceId::Table(TableId(1)), LockMode::IS, &mut h)
+        .unwrap();
     for r in 0..10 {
         match m.lock(app, row(1, r), LockMode::S, &mut h).unwrap() {
             LockOutcome::Granted => {}
@@ -111,7 +159,16 @@ fn share_rows_escalate_to_share_table_lock_under_bias() {
         }
     }
     // Other readers continue to work.
-    m.lock(AppId(2), ResourceId::Table(TableId(1)), LockMode::IS, &mut h).unwrap();
-    assert_eq!(m.lock(AppId(2), row(1, 999), LockMode::S, &mut h).unwrap(), LockOutcome::Granted);
+    m.lock(
+        AppId(2),
+        ResourceId::Table(TableId(1)),
+        LockMode::IS,
+        &mut h,
+    )
+    .unwrap();
+    assert_eq!(
+        m.lock(AppId(2), row(1, 999), LockMode::S, &mut h).unwrap(),
+        LockOutcome::Granted
+    );
     m.validate();
 }

@@ -6,14 +6,23 @@ use locktune_lockmgr::{
     AppId, DeadlockDetector, LockError, LockManager, LockManagerConfig, LockMode, LockOutcome,
     ResourceId, RowId, TableId, TuningHooks,
 };
-use locktune_memalloc::{LockMemoryPool, PoolConfig, PoolStats};
+use locktune_memalloc::{LockMemoryPool, PoolConfig, PoolUsage};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    LockRow { app: u32, table: u32, rowid: u64, exclusive: bool },
-    Commit { app: u32 },
-    Abort { app: u32 },
+    LockRow {
+        app: u32,
+        table: u32,
+        rowid: u64,
+        exclusive: bool,
+    },
+    Commit {
+        app: u32,
+    },
+    Abort {
+        app: u32,
+    },
     DetectDeadlocks,
 }
 
@@ -33,14 +42,14 @@ struct CappedGrow {
 }
 
 impl TuningHooks for CappedGrow {
-    fn on_lock_request(&mut self, _: &PoolStats) -> f64 {
+    fn on_lock_request(&mut self, _: &PoolUsage) -> f64 {
         50.0
     }
-    fn sync_growth(&mut self, wanted: u64, pool: &PoolStats) -> u64 {
-        let room = self.max_blocks.saturating_sub(pool.blocks) * 512;
+    fn sync_growth(&mut self, wanted: u64, pool: &PoolUsage) -> u64 {
+        let room = self.max_blocks.saturating_sub(pool.bytes / 512) * 512;
         wanted.min(room)
     }
-    fn on_pool_resized(&mut self, _: &PoolStats) {}
+    fn on_pool_resized(&mut self, _: &PoolUsage) {}
 }
 
 proptest! {
@@ -130,9 +139,9 @@ proptest! {
         let mut m = LockManager::new(pool, LockManagerConfig::default());
         struct Tight;
         impl TuningHooks for Tight {
-            fn on_lock_request(&mut self, _: &PoolStats) -> f64 { 20.0 }
-            fn sync_growth(&mut self, _: u64, _: &PoolStats) -> u64 { 0 }
-            fn on_pool_resized(&mut self, _: &PoolStats) {}
+            fn on_lock_request(&mut self, _: &PoolUsage) -> f64 { 20.0 }
+            fn sync_growth(&mut self, _: u64, _: &PoolUsage) -> u64 { 0 }
+            fn on_pool_resized(&mut self, _: &PoolUsage) {}
         }
         let mut hooks = Tight;
         let a = AppId(1);

@@ -5,7 +5,7 @@ use locktune_lockmgr::{
     AppId, DeadlockDetector, LockError, LockManager, LockManagerConfig, LockMode, LockOutcome,
     NoTuning, ResourceId, RowId, TableId, TuningHooks,
 };
-use locktune_memalloc::{LockMemoryPool, PoolConfig, PoolStats};
+use locktune_memalloc::{LockMemoryPool, PoolConfig, PoolUsage};
 
 fn row(t: u32, r: u64) -> ResourceId {
     ResourceId::Row(TableId(t), RowId(r))
@@ -33,7 +33,9 @@ fn big_manager() -> LockManager {
 }
 
 fn hooks() -> NoTuning {
-    NoTuning { max_locks_percent: 98.0 }
+    NoTuning {
+        max_locks_percent: 98.0,
+    }
 }
 
 /// Hooks that always grant synchronous growth.
@@ -42,14 +44,14 @@ struct AlwaysGrow {
 }
 
 impl TuningHooks for AlwaysGrow {
-    fn on_lock_request(&mut self, _: &PoolStats) -> f64 {
+    fn on_lock_request(&mut self, _: &PoolUsage) -> f64 {
         98.0
     }
-    fn sync_growth(&mut self, wanted: u64, _: &PoolStats) -> u64 {
+    fn sync_growth(&mut self, wanted: u64, _: &PoolUsage) -> u64 {
         self.granted += wanted;
         wanted
     }
-    fn on_pool_resized(&mut self, _: &PoolStats) {}
+    fn on_pool_resized(&mut self, _: &PoolUsage) {}
 }
 
 #[test]
@@ -57,9 +59,17 @@ fn first_holder_charged_two_slots_additional_one() {
     let mut m = big_manager();
     let mut h = hooks();
     m.lock(app(1), table(1), LockMode::IS, &mut h).unwrap();
-    assert_eq!(m.pool().used_slots(), 2, "first holder: lock object + request");
+    assert_eq!(
+        m.pool().used_slots(),
+        2,
+        "first holder: lock object + request"
+    );
     m.lock(app(2), table(1), LockMode::IS, &mut h).unwrap();
-    assert_eq!(m.pool().used_slots(), 3, "second holder: one more request block");
+    assert_eq!(
+        m.pool().used_slots(),
+        3,
+        "second holder: one more request block"
+    );
     m.validate();
 }
 
@@ -69,7 +79,10 @@ fn unlock_all_returns_every_slot() {
     let mut h = hooks();
     m.lock(app(1), table(1), LockMode::IX, &mut h).unwrap();
     for r in 0..100 {
-        assert_eq!(m.lock(app(1), row(1, r), LockMode::X, &mut h).unwrap(), LockOutcome::Granted);
+        assert_eq!(
+            m.lock(app(1), row(1, r), LockMode::X, &mut h).unwrap(),
+            LockOutcome::Granted
+        );
     }
     assert_eq!(m.pool().used_slots(), 2 + 200);
     let report = m.unlock_all(app(1), &mut h);
@@ -86,10 +99,16 @@ fn share_locks_coexist_exclusive_waits() {
     let mut h = hooks();
     for a in 1..=3 {
         m.lock(app(a), table(1), LockMode::IS, &mut h).unwrap();
-        assert_eq!(m.lock(app(a), row(1, 7), LockMode::S, &mut h).unwrap(), LockOutcome::Granted);
+        assert_eq!(
+            m.lock(app(a), row(1, 7), LockMode::S, &mut h).unwrap(),
+            LockOutcome::Granted
+        );
     }
     m.lock(app(4), table(1), LockMode::IX, &mut h).unwrap();
-    assert_eq!(m.lock(app(4), row(1, 7), LockMode::X, &mut h).unwrap(), LockOutcome::Queued);
+    assert_eq!(
+        m.lock(app(4), row(1, 7), LockMode::X, &mut h).unwrap(),
+        LockOutcome::Queued
+    );
     assert_eq!(m.app(app(4)).unwrap().waiting_on(), Some(row(1, 7)));
     // Readers release one by one; writer granted only after the last.
     m.unlock_all(app(1), &mut h);
@@ -115,10 +134,16 @@ fn fifo_no_queue_jumping() {
     m.lock(app(1), table(1), LockMode::IS, &mut h).unwrap();
     m.lock(app(1), row(1, 1), LockMode::S, &mut h).unwrap();
     m.lock(app(2), table(1), LockMode::IX, &mut h).unwrap();
-    assert_eq!(m.lock(app(2), row(1, 1), LockMode::X, &mut h).unwrap(), LockOutcome::Queued);
+    assert_eq!(
+        m.lock(app(2), row(1, 1), LockMode::X, &mut h).unwrap(),
+        LockOutcome::Queued
+    );
     m.lock(app(3), table(1), LockMode::IS, &mut h).unwrap();
     // Compatible with app(1)'s S, but must queue behind app(2)'s X.
-    assert_eq!(m.lock(app(3), row(1, 1), LockMode::S, &mut h).unwrap(), LockOutcome::Queued);
+    assert_eq!(
+        m.lock(app(3), row(1, 1), LockMode::S, &mut h).unwrap(),
+        LockOutcome::Queued
+    );
     m.unlock_all(app(1), &mut h);
     let n = m.take_notifications();
     assert_eq!(n.len(), 1, "only the X at the front is granted");
@@ -137,9 +162,15 @@ fn reentrant_and_covering_requests() {
     m.lock(app(1), table(1), LockMode::IX, &mut h).unwrap();
     m.lock(app(1), row(1, 1), LockMode::X, &mut h).unwrap();
     // Same mode again: already held.
-    assert_eq!(m.lock(app(1), row(1, 1), LockMode::X, &mut h).unwrap(), LockOutcome::AlreadyHeld);
+    assert_eq!(
+        m.lock(app(1), row(1, 1), LockMode::X, &mut h).unwrap(),
+        LockOutcome::AlreadyHeld
+    );
     // Weaker mode: covered by X.
-    assert_eq!(m.lock(app(1), row(1, 1), LockMode::S, &mut h).unwrap(), LockOutcome::AlreadyHeld);
+    assert_eq!(
+        m.lock(app(1), row(1, 1), LockMode::S, &mut h).unwrap(),
+        LockOutcome::AlreadyHeld
+    );
     // No extra memory charged.
     assert_eq!(m.pool().used_slots(), 4);
     m.validate();
@@ -152,9 +183,15 @@ fn conversion_in_place_when_compatible() {
     m.lock(app(1), table(1), LockMode::IX, &mut h).unwrap();
     m.lock(app(1), row(1, 1), LockMode::S, &mut h).unwrap();
     let before = m.pool().used_slots();
-    assert_eq!(m.lock(app(1), row(1, 1), LockMode::X, &mut h).unwrap(), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(app(1), row(1, 1), LockMode::X, &mut h).unwrap(),
+        LockOutcome::Granted
+    );
     assert_eq!(m.pool().used_slots(), before, "conversions are free");
-    assert_eq!(m.app(app(1)).unwrap().held(&row(1, 1)).unwrap().mode, LockMode::X);
+    assert_eq!(
+        m.app(app(1)).unwrap().held(&row(1, 1)).unwrap().mode,
+        LockMode::X
+    );
     assert_eq!(m.stats().conversions, 1);
     m.validate();
 }
@@ -170,10 +207,16 @@ fn conversion_waits_and_beats_new_requests() {
     }
     // App 2 wants X: must wait for app 1 (conversion queued).
     m.lock(app(2), table(1), LockMode::IX, &mut h).unwrap();
-    assert_eq!(m.lock(app(2), row(1, 1), LockMode::X, &mut h).unwrap(), LockOutcome::Queued);
+    assert_eq!(
+        m.lock(app(2), row(1, 1), LockMode::X, &mut h).unwrap(),
+        LockOutcome::Queued
+    );
     // A third app's new S request queues *behind* the conversion.
     m.lock(app(3), table(1), LockMode::IS, &mut h).unwrap();
-    assert_eq!(m.lock(app(3), row(1, 1), LockMode::S, &mut h).unwrap(), LockOutcome::Queued);
+    assert_eq!(
+        m.lock(app(3), row(1, 1), LockMode::S, &mut h).unwrap(),
+        LockOutcome::Queued
+    );
     m.unlock_all(app(1), &mut h);
     let n = m.take_notifications();
     assert_eq!(n[0].app, app(2), "conversion granted first");
@@ -225,7 +268,9 @@ fn maxlocks_triggers_escalation_to_exclusive_table_lock() {
     // Tiny cap: roughly 10 slots' worth.
     let total = m.pool().total_slots();
     let cap_percent = 12.0 * 100.0 / total as f64;
-    let mut h = NoTuning { max_locks_percent: cap_percent };
+    let mut h = NoTuning {
+        max_locks_percent: cap_percent,
+    };
     m.lock(app(1), table(1), LockMode::IX, &mut h).unwrap();
     let mut escalated = None;
     for r in 0..64 {
@@ -244,7 +289,10 @@ fn maxlocks_triggers_escalation_to_exclusive_table_lock() {
     assert!((5..20).contains(&at), "fired near the cap, at row {at}");
     // All row locks gone; only the table lock remains.
     assert_eq!(m.app(app(1)).unwrap().held_count(), 1);
-    assert_eq!(m.app(app(1)).unwrap().held(&table(1)).unwrap().mode, LockMode::X);
+    assert_eq!(
+        m.app(app(1)).unwrap().held(&table(1)).unwrap().mode,
+        LockMode::X
+    );
     assert_eq!(m.stats().escalations, 1);
     assert_eq!(m.stats().exclusive_escalations, 1);
     // Subsequent row locks are covered — no memory growth.
@@ -263,7 +311,9 @@ fn maxlocks_triggers_escalation_to_exclusive_table_lock() {
 fn share_only_rows_escalate_to_share_table_lock() {
     let mut m = big_manager();
     let total = m.pool().total_slots();
-    let mut h = NoTuning { max_locks_percent: 12.0 * 100.0 / total as f64 };
+    let mut h = NoTuning {
+        max_locks_percent: 12.0 * 100.0 / total as f64,
+    };
     m.lock(app(1), table(1), LockMode::IS, &mut h).unwrap();
     let mut saw = None;
     for r in 0..64 {
@@ -278,7 +328,10 @@ fn share_only_rows_escalate_to_share_table_lock() {
     assert_eq!(m.stats().exclusive_escalations, 0);
     // Other readers still work against the S table lock.
     m.lock(app(2), table(1), LockMode::IS, &mut h).unwrap();
-    assert_eq!(m.lock(app(2), row(1, 999), LockMode::S, &mut h).unwrap(), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(app(2), row(1, 999), LockMode::S, &mut h).unwrap(),
+        LockOutcome::Granted
+    );
     m.validate();
 }
 
@@ -288,7 +341,10 @@ fn pool_exhaustion_with_growth_hooks_grows_instead_of_escalating() {
     let mut h = AlwaysGrow { granted: 0 };
     m.lock(app(1), table(1), LockMode::IX, &mut h).unwrap();
     for r in 0..200 {
-        assert_eq!(m.lock(app(1), row(1, r), LockMode::X, &mut h).unwrap(), LockOutcome::Granted);
+        assert_eq!(
+            m.lock(app(1), row(1, r), LockMode::X, &mut h).unwrap(),
+            LockOutcome::Granted
+        );
     }
     assert_eq!(m.stats().escalations, 0);
     assert!(m.stats().sync_growth_requests > 0);
@@ -335,7 +391,10 @@ fn memory_pressure_escalates_other_heavy_app() {
     assert_eq!(out, LockOutcome::Granted);
     assert!(m.stats().escalations >= 1);
     // App 1 now holds a table X lock instead of rows.
-    assert_eq!(m.app(app(1)).unwrap().held(&table(1)).unwrap().mode, LockMode::X);
+    assert_eq!(
+        m.app(app(1)).unwrap().held(&table(1)).unwrap().mode,
+        LockMode::X
+    );
     m.validate();
 }
 
@@ -343,7 +402,9 @@ fn memory_pressure_escalates_other_heavy_app() {
 fn deferred_escalation_completes_when_table_lock_granted() {
     let mut m = big_manager();
     let total = m.pool().total_slots();
-    let mut h = NoTuning { max_locks_percent: 12.0 * 100.0 / total as f64 };
+    let mut h = NoTuning {
+        max_locks_percent: 12.0 * 100.0 / total as f64,
+    };
     // App 2 reads a row in table 1, holding IS.
     m.lock(app(2), table(1), LockMode::IS, &mut h).unwrap();
     m.lock(app(2), row(1, 500), LockMode::S, &mut h).unwrap();
@@ -373,7 +434,10 @@ fn deferred_escalation_completes_when_table_lock_granted() {
     assert!(n[0].completed_escalation);
     assert_eq!(m.stats().escalations, 1);
     assert_eq!(m.app(app(1)).unwrap().held_count(), 1);
-    assert_eq!(m.app(app(1)).unwrap().held(&table(1)).unwrap().mode, LockMode::X);
+    assert_eq!(
+        m.app(app(1)).unwrap().held(&table(1)).unwrap().mode,
+        LockMode::X
+    );
     m.validate();
 }
 
@@ -386,7 +450,10 @@ fn out_of_memory_when_no_remedy() {
         m.lock(app(t), table(t), LockMode::IS, &mut h).unwrap();
     }
     assert_eq!(m.pool().free_slots(), 0);
-    assert_eq!(m.lock(app(9), table(9), LockMode::IS, &mut h), Err(LockError::OutOfLockMemory));
+    assert_eq!(
+        m.lock(app(9), table(9), LockMode::IS, &mut h),
+        Err(LockError::OutOfLockMemory)
+    );
     assert_eq!(m.stats().denials, 1);
     m.validate();
 }
@@ -401,8 +468,14 @@ fn deadlock_detected_and_victim_aborted() {
     }
     m.lock(app(1), row(1, 1), LockMode::X, &mut h).unwrap();
     m.lock(app(2), row(1, 2), LockMode::X, &mut h).unwrap();
-    assert_eq!(m.lock(app(1), row(1, 2), LockMode::X, &mut h).unwrap(), LockOutcome::Queued);
-    assert_eq!(m.lock(app(2), row(1, 1), LockMode::X, &mut h).unwrap(), LockOutcome::Queued);
+    assert_eq!(
+        m.lock(app(1), row(1, 2), LockMode::X, &mut h).unwrap(),
+        LockOutcome::Queued
+    );
+    assert_eq!(
+        m.lock(app(2), row(1, 1), LockMode::X, &mut h).unwrap(),
+        LockOutcome::Queued
+    );
     let victims = DeadlockDetector::new().find_victims(&m.wait_edges());
     assert_eq!(victims.len(), 1);
     assert_eq!(victims[0].app, app(2), "youngest (highest id) dies");
@@ -428,7 +501,10 @@ fn cancel_wait_removes_waiter() {
     assert!(!m.cancel_wait(app(2)));
     assert_eq!(m.app(app(2)).unwrap().waiting_on(), None);
     m.unlock_all(app(1), &mut h);
-    assert!(m.take_notifications().is_empty(), "cancelled waiter is not granted");
+    assert!(
+        m.take_notifications().is_empty(),
+        "cancelled waiter is not granted"
+    );
     m.validate();
 }
 
@@ -448,7 +524,10 @@ fn waiting_app_cannot_issue_second_request() {
 fn unlock_not_held_errors() {
     let mut m = big_manager();
     let mut h = hooks();
-    assert_eq!(m.unlock(app(1), table(1), &mut h), Err(LockError::NotHeld(table(1))));
+    assert_eq!(
+        m.unlock(app(1), table(1), &mut h),
+        Err(LockError::NotHeld(table(1)))
+    );
 }
 
 #[test]

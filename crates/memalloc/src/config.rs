@@ -19,7 +19,10 @@ pub struct PoolConfig {
 
 impl Default for PoolConfig {
     fn default() -> Self {
-        PoolConfig { block_bytes: 128 * 1024, lock_struct_bytes: 64 }
+        PoolConfig {
+            block_bytes: 128 * 1024,
+            lock_struct_bytes: 64,
+        }
     }
 }
 
@@ -31,12 +34,18 @@ impl PoolConfig {
     /// lock structure.
     pub fn new(block_bytes: u64, lock_struct_bytes: u64) -> Self {
         assert!(block_bytes > 0, "block size must be non-zero");
-        assert!(lock_struct_bytes > 0, "lock structure size must be non-zero");
+        assert!(
+            lock_struct_bytes > 0,
+            "lock structure size must be non-zero"
+        );
         assert!(
             block_bytes >= lock_struct_bytes,
             "a block must hold at least one lock structure"
         );
-        PoolConfig { block_bytes, lock_struct_bytes }
+        PoolConfig {
+            block_bytes,
+            lock_struct_bytes,
+        }
     }
 
     /// Lock structures per block.

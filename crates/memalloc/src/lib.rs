@@ -27,14 +27,18 @@
 //! lock manager stores its lock/request objects keyed by the
 //! [`SlotHandle`]s this pool issues.
 
+pub mod backend;
 pub mod block;
 pub mod config;
 pub mod error;
 pub mod pool;
+pub mod shared;
 pub mod stats;
 
+pub use backend::PoolBackend;
 pub use block::SlotHandle;
 pub use config::PoolConfig;
 pub use error::{PoolError, ShrinkError};
 pub use pool::LockMemoryPool;
-pub use stats::PoolStats;
+pub use shared::SharedLockMemoryPool;
+pub use stats::{PoolStats, PoolUsage};

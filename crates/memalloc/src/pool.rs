@@ -16,7 +16,11 @@ struct List {
 
 impl List {
     fn new() -> Self {
-        List { head: NIL, tail: NIL, len: 0 }
+        List {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
     }
 }
 
@@ -171,7 +175,11 @@ impl LockMemoryPool {
             let slot = b.free_slots.pop().expect("available block has a free slot");
             b.mark_allocated(slot);
             (
-                SlotHandle { block: block_id, generation: b.generation, slot },
+                SlotHandle {
+                    block: block_id,
+                    generation: b.generation,
+                    slot,
+                },
                 b.is_full(),
                 b.used() == 1,
             )
@@ -269,7 +277,10 @@ impl LockMemoryPool {
         // Fast path: not enough fully-free blocks anywhere.
         if self.fully_free < n {
             self.counters.failed_shrinks += 1;
-            return Err(ShrinkError { requested_blocks: n, freeable_blocks: self.fully_free });
+            return Err(ShrinkError {
+                requested_blocks: n,
+                freeable_blocks: self.fully_free,
+            });
         }
         // Phase 1: collect candidates from the tail without mutating.
         let mut candidates = Vec::new();
@@ -408,7 +419,11 @@ impl LockMemoryPool {
             assert_eq!(b.list, ListId::Available);
             assert_eq!(b.prev, prev);
             assert!(!b.is_full(), "full block on available chain");
-            assert_eq!(b.capacity(), self.config.slots_per_block(), "block capacity drifted");
+            assert_eq!(
+                b.capacity(),
+                self.config.slots_per_block(),
+                "block capacity drifted"
+            );
             assert_eq!(b.used(), b.used_recount(), "cached used count drifted");
             if b.is_fully_free() {
                 fully_free_scan += 1;
@@ -439,7 +454,10 @@ impl LockMemoryPool {
 
         assert_eq!(seen_avail + seen_full, self.live_blocks);
         assert_eq!(used_total, self.used_slots);
-        assert_eq!(fully_free_scan, self.fully_free, "fully-free counter drifted");
+        assert_eq!(
+            fully_free_scan, self.fully_free,
+            "fully-free counter drifted"
+        );
         assert_eq!(
             self.vacant.len() + self.live_blocks as usize,
             self.blocks.len(),
@@ -593,7 +611,11 @@ mod tests {
     #[test]
     fn free_of_garbage_handle_is_rejected() {
         let mut p = small_pool(1);
-        let bogus = SlotHandle { block: 42, generation: 0, slot: 0 };
+        let bogus = SlotHandle {
+            block: 42,
+            generation: 0,
+            slot: 0,
+        };
         assert_eq!(p.free(bogus), Err(PoolError::StaleHandle));
     }
 
@@ -643,7 +665,9 @@ mod tests {
         // Deterministic pseudo-random interleaving without an RNG dep.
         let mut x: u64 = 0x1234_5678;
         for i in 0..10_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if !(x >> 33).is_multiple_of(3) || held.is_empty() {
                 match p.allocate() {
                     Ok(h) => held.push(h),

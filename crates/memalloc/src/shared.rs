@@ -1,0 +1,355 @@
+//! A thread-safe handle to one [`LockMemoryPool`] shared by many lock
+//! managers.
+//!
+//! The concurrent service shards the lock table, but the paper's tuner
+//! governs a **single** `LOCKLIST`: every shard allocates from the same
+//! pool so grow/shrink decisions and the free-fraction band apply to
+//! the database-wide lock memory, exactly as in DB2.
+//!
+//! Structure: the pool itself sits behind a [`std::sync::Mutex`]
+//! (allocate/free/resize mutate intrusive block lists and must be
+//! serialized), while the hot accounting — used slots, total slots,
+//! blocks, bytes — is mirrored into atomics refreshed before the mutex
+//! is released. Monitoring reads (`used_slots`, `free_fraction`, the
+//! tuner's snapshot path) therefore never contend with allocation.
+//! Mirror reads are `Acquire`/`Release`-ordered; a reader may observe a
+//! value at most one in-flight operation stale, which is harmless for
+//! tuning (the paper's tuner acts on interval-scale aggregates) and
+//! exact at quiescence (what the accounting tests check).
+//!
+//! **Slot magazine.** A naive shared pool would take the mutex on
+//! every allocate/free, turning it into exactly the global
+//! serialization point sharding is meant to remove. Each handle
+//! (clone) therefore keeps a private magazine of pre-allocated slot
+//! handles: `allocate` refills [`CACHE_BATCH`] slots in one mutex
+//! trip and then serves from the magazine, `free` returns slots to
+//! the magazine and spills half in one trip once it holds
+//! [`CACHE_MAX`]. The handles in a magazine are *allocated* as far as
+//! the global pool is concerned, so `used_slots()` reads as "charged
+//! by managers + parked in magazines": an upper bound on real demand
+//! that is off by at most `handles × CACHE_MAX` slots (a few KiB —
+//! noise at tuning granularity). [`SharedLockMemoryPool::flush_cache`]
+//! drains the magazine for exact accounting; dropping a handle
+//! flushes automatically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::backend::PoolBackend;
+use crate::config::PoolConfig;
+use crate::error::PoolError;
+use crate::pool::LockMemoryPool;
+use crate::stats::PoolStats;
+use crate::SlotHandle;
+
+#[derive(Debug)]
+struct SharedInner {
+    pool: Mutex<LockMemoryPool>,
+    config: PoolConfig,
+    total_blocks: AtomicU64,
+    total_bytes: AtomicU64,
+    total_slots: AtomicU64,
+    used_slots: AtomicU64,
+}
+
+/// Slots fetched from the pool per magazine refill (one mutex trip).
+pub const CACHE_BATCH: usize = 64;
+
+/// Magazine high-water mark; `free` spills down to [`CACHE_BATCH`]
+/// once this many slots are parked.
+pub const CACHE_MAX: usize = 128;
+
+/// Cloneable, thread-safe pool handle implementing [`PoolBackend`].
+///
+/// Each clone carries its own slot magazine (see the module docs);
+/// the magazine starts empty and is flushed back on drop.
+#[derive(Debug)]
+pub struct SharedLockMemoryPool {
+    inner: Arc<SharedInner>,
+    /// This handle's slot magazine. Exclusively owned (allocate/free
+    /// take `&mut self`), so no synchronisation is needed to touch it.
+    cache: Vec<SlotHandle>,
+}
+
+impl Clone for SharedLockMemoryPool {
+    fn clone(&self) -> Self {
+        SharedLockMemoryPool {
+            inner: Arc::clone(&self.inner),
+            cache: Vec::new(),
+        }
+    }
+}
+
+impl Drop for SharedLockMemoryPool {
+    fn drop(&mut self) {
+        self.flush_cache();
+    }
+}
+
+impl SharedLockMemoryPool {
+    /// Wrap an owned pool.
+    pub fn new(pool: LockMemoryPool) -> Self {
+        let config = *pool.config();
+        let inner = SharedInner {
+            config,
+            total_blocks: AtomicU64::new(pool.total_blocks()),
+            total_bytes: AtomicU64::new(pool.total_bytes()),
+            total_slots: AtomicU64::new(pool.total_slots()),
+            used_slots: AtomicU64::new(pool.used_slots()),
+            pool: Mutex::new(pool),
+        };
+        SharedLockMemoryPool {
+            inner: Arc::new(inner),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Create a shared pool of at least `bytes` (rounded up to blocks).
+    pub fn with_bytes(config: PoolConfig, bytes: u64) -> Self {
+        Self::new(LockMemoryPool::with_bytes(config, bytes))
+    }
+
+    /// Run `f` with the pool locked, then refresh the atomic mirrors.
+    ///
+    /// This is the only path that touches the pool; every [`PoolBackend`]
+    /// method funnels through it.
+    pub fn with<R>(&self, f: impl FnOnce(&mut LockMemoryPool) -> R) -> R {
+        let mut guard = self
+            .inner
+            .pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let r = f(&mut guard);
+        self.inner
+            .total_blocks
+            .store(guard.total_blocks(), Ordering::Release);
+        self.inner
+            .total_bytes
+            .store(guard.total_bytes(), Ordering::Release);
+        self.inner
+            .total_slots
+            .store(guard.total_slots(), Ordering::Release);
+        self.inner
+            .used_slots
+            .store(guard.used_slots(), Ordering::Release);
+        r
+    }
+
+    /// Number of handles (lock manager shards plus the tuner) sharing
+    /// this pool.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// Slots currently parked in this handle's magazine.
+    pub fn cached_slots(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Return every magazine slot to the pool (exact accounting; used
+    /// before quiescence checks and by the tuning thread's snapshot).
+    pub fn flush_cache(&mut self) {
+        if self.cache.is_empty() {
+            return;
+        }
+        let cache = std::mem::take(&mut self.cache);
+        self.with(|p| {
+            for h in cache {
+                p.free(h).expect("magazine slots are live");
+            }
+        });
+    }
+}
+
+impl PoolBackend for SharedLockMemoryPool {
+    fn config(&self) -> PoolConfig {
+        self.inner.config
+    }
+
+    fn allocate(&mut self) -> Result<SlotHandle, PoolError> {
+        if let Some(h) = self.cache.pop() {
+            return Ok(h);
+        }
+        // Refill the magazine in one mutex trip. A partial refill (the
+        // pool ran dry mid-batch) still succeeds as long as one slot
+        // came back; the caller only sees `Exhausted` when the pool has
+        // nothing at all, which keeps the manager's synchronous-growth
+        // path intact.
+        let refill = self.with(|p| {
+            let mut got = Vec::with_capacity(CACHE_BATCH);
+            for _ in 0..CACHE_BATCH {
+                match p.allocate() {
+                    Ok(h) => got.push(h),
+                    Err(PoolError::Exhausted) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(got)
+        })?;
+        self.cache = refill;
+        self.cache.pop().ok_or(PoolError::Exhausted)
+    }
+
+    fn free(&mut self, handle: SlotHandle) -> Result<(), PoolError> {
+        self.cache.push(handle);
+        if self.cache.len() >= CACHE_MAX {
+            let spill: Vec<_> = self.cache.drain(CACHE_BATCH..).collect();
+            self.with(|p| {
+                for h in spill {
+                    p.free(h).expect("magazine slots are live");
+                }
+            });
+        }
+        Ok(())
+    }
+
+    fn grow_blocks(&mut self, n: u64) -> u64 {
+        self.with(|p| p.grow_blocks(n))
+    }
+
+    fn resize_to_blocks(&mut self, target_blocks: u64) -> u64 {
+        self.with(|p| p.resize_to_blocks(target_blocks))
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.inner.total_blocks.load(Ordering::Acquire)
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.inner.total_bytes.load(Ordering::Acquire)
+    }
+
+    fn total_slots(&self) -> u64 {
+        self.inner.total_slots.load(Ordering::Acquire)
+    }
+
+    fn used_slots(&self) -> u64 {
+        self.inner.used_slots.load(Ordering::Acquire)
+    }
+
+    fn free_slots(&self) -> u64 {
+        self.total_slots().saturating_sub(self.used_slots())
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used_slots() * self.inner.config.lock_struct_bytes
+    }
+
+    fn free_fraction(&self) -> f64 {
+        let total = self.total_slots();
+        if total == 0 {
+            0.0
+        } else {
+            self.free_slots() as f64 / total as f64
+        }
+    }
+
+    fn stats(&self) -> PoolStats {
+        self.with(|p| p.stats())
+    }
+
+    fn validate(&self) {
+        self.with(|p| p.validate())
+    }
+
+    fn is_shared(&self) -> bool {
+        true
+    }
+
+    fn flush_cache(&mut self) {
+        SharedLockMemoryPool::flush_cache(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn mirrors_track_the_pool() {
+        let mut shared = SharedLockMemoryPool::with_bytes(PoolConfig::default(), 128 * 1024);
+        assert_eq!(shared.total_blocks(), 1);
+        assert_eq!(shared.total_slots(), 2048);
+        let h = shared.allocate().unwrap();
+        // The magazine refilled a whole batch; one slot is handed out,
+        // the rest are parked but globally "used".
+        assert_eq!(shared.used_slots(), CACHE_BATCH as u64);
+        assert_eq!(shared.cached_slots(), CACHE_BATCH - 1);
+        shared.free(h).unwrap();
+        shared.flush_cache();
+        assert_eq!(shared.used_slots(), 0);
+        assert_eq!(shared.cached_slots(), 0);
+        shared.grow_blocks(3);
+        assert_eq!(shared.total_blocks(), 4);
+        assert_eq!(shared.total_bytes(), 4 * 128 * 1024);
+        shared.resize_to_blocks(2);
+        assert_eq!(shared.total_blocks(), 2);
+        assert!(shared.is_shared());
+    }
+
+    #[test]
+    fn clones_see_one_pool() {
+        let shared = SharedLockMemoryPool::with_bytes(PoolConfig::default(), 128 * 1024);
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        let ha = a.allocate().unwrap();
+        let hb = b.allocate().unwrap();
+        // Two independent magazines, one pool underneath.
+        assert_eq!(shared.used_slots(), 2 * CACHE_BATCH as u64);
+        a.free(ha).unwrap();
+        b.free(hb).unwrap();
+        drop(a); // drop flushes the magazine
+        drop(b);
+        assert_eq!(shared.used_slots(), 0);
+    }
+
+    #[test]
+    fn magazine_spills_and_survives_exhaustion() {
+        // One block = 2048 slots; park more than CACHE_MAX frees.
+        let mut shared = SharedLockMemoryPool::with_bytes(PoolConfig::default(), 128 * 1024);
+        let handles: Vec<_> = (0..CACHE_MAX + 40)
+            .map(|_| shared.allocate().unwrap())
+            .collect();
+        for h in handles {
+            shared.free(h).unwrap();
+        }
+        // The magazine spilled back down instead of growing without
+        // bound.
+        assert!(shared.cached_slots() <= CACHE_MAX);
+        shared.flush_cache();
+        assert_eq!(shared.used_slots(), 0);
+
+        // Exhaustion still surfaces: drain the whole pool through the
+        // magazine, then one more must fail.
+        let all: Vec<_> = (0..2048).map(|_| shared.allocate().unwrap()).collect();
+        assert!(matches!(shared.allocate(), Err(PoolError::Exhausted)));
+        for h in all {
+            shared.free(h).unwrap();
+        }
+        shared.flush_cache();
+        assert_eq!(shared.used_slots(), 0);
+        shared.validate();
+    }
+
+    #[test]
+    fn concurrent_allocate_free_is_exact_at_quiescence() {
+        let shared = SharedLockMemoryPool::with_bytes(PoolConfig::default(), 4 * 128 * 1024);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let mut pool = shared.clone();
+                thread::spawn(move || {
+                    for _ in 0..500 {
+                        let h = pool.allocate().expect("pool sized for all threads");
+                        pool.free(h).expect("own handle");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(shared.used_slots(), 0);
+        shared.validate();
+    }
+}

@@ -21,6 +21,33 @@ pub struct PoolCounters {
     pub blocks_removed: u64,
 }
 
+/// The cheap aggregate view the per-request tuning hooks consume.
+///
+/// Unlike [`PoolStats`] this can be produced without locking a shared
+/// pool (it reads the atomic accounting mirrors), which matters
+/// because the lock manager fetches it on **every** lock-structure
+/// request — the paper's §3.5 per-request cap refresh.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolUsage {
+    /// Bytes of lock memory allocated to the pool.
+    pub bytes: u64,
+    /// Total lock structure slots.
+    pub slots_total: u64,
+    /// Allocated slots.
+    pub slots_used: u64,
+}
+
+impl PoolUsage {
+    /// Fraction of slots free, `[0, 1]`; 0 for an empty pool.
+    pub fn free_fraction(&self) -> f64 {
+        if self.slots_total == 0 {
+            0.0
+        } else {
+            (self.slots_total - self.slots_used) as f64 / self.slots_total as f64
+        }
+    }
+}
+
 /// Point-in-time view of the pool, consumed by the tuning layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {

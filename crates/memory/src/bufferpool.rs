@@ -31,7 +31,11 @@ impl BufferPool {
     pub fn new(size: u64, working_set: u64, theta: f64) -> Self {
         assert!(working_set > 0, "working set must be non-zero");
         assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
-        BufferPool { size, working_set, theta }
+        BufferPool {
+            size,
+            working_set,
+            theta,
+        }
     }
 
     /// Hit ratio in `[0, 1]` at the current size.
@@ -97,7 +101,10 @@ mod tests {
         let uniform = BufferPool::new(100, 1000, 0.0);
         let skewed = BufferPool::new(100, 1000, 0.8);
         assert!(skewed.hit_ratio() > uniform.hit_ratio() + 0.2);
-        assert!((uniform.hit_ratio() - 0.1).abs() < 1e-9, "theta=0 is linear");
+        assert!(
+            (uniform.hit_ratio() - 0.1).abs() < 1e-9,
+            "theta=0 is linear"
+        );
     }
 
     #[test]

@@ -48,7 +48,12 @@ impl DatabaseMemory {
             (0.0..1.0).contains(&config.overflow_goal_fraction),
             "overflow goal fraction must be in [0, 1)"
         );
-        let m = DatabaseMemory { config, heaps, lock_memory: initial_lock_bytes, lock_from_overflow: 0 };
+        let m = DatabaseMemory {
+            config,
+            heaps,
+            lock_memory: initial_lock_bytes,
+            lock_from_overflow: 0,
+        };
         assert!(
             m.allocated() <= config.total_bytes,
             "initial allocation {} exceeds databaseMemory {}",
@@ -94,12 +99,18 @@ impl DatabaseMemory {
     /// # Panics
     /// Panics if the heap was not configured.
     pub fn heap(&self, kind: HeapKind) -> &PerfHeap {
-        self.heaps.iter().find(|h| h.kind == kind).expect("heap configured")
+        self.heaps
+            .iter()
+            .find(|h| h.kind == kind)
+            .expect("heap configured")
     }
 
     /// Mutable access (demand updates from the workload).
     pub fn heap_mut(&mut self, kind: HeapKind) -> &mut PerfHeap {
-        self.heaps.iter_mut().find(|h| h.kind == kind).expect("heap configured")
+        self.heaps
+            .iter_mut()
+            .find(|h| h.kind == kind)
+            .expect("heap configured")
     }
 
     /// All heaps.
@@ -130,7 +141,10 @@ impl DatabaseMemory {
     /// Panics if `bytes` exceeds the physically free overflow — the
     /// admission control in `locktune-core` must prevent that.
     pub fn note_lock_sync_growth(&mut self, bytes: u64) {
-        assert!(bytes <= self.overflow_free(), "sync growth beyond free overflow");
+        assert!(
+            bytes <= self.overflow_free(),
+            "sync growth beyond free overflow"
+        );
         self.lock_memory += bytes;
         self.lock_from_overflow += bytes;
     }
@@ -151,7 +165,11 @@ impl DatabaseMemory {
             ha.neediness()
                 .partial_cmp(&hb.neediness())
                 .expect("neediness is never NaN")
-                .then(hb.size.saturating_sub(hb.demand).cmp(&ha.size.saturating_sub(ha.demand)))
+                .then(
+                    hb.size
+                        .saturating_sub(hb.demand)
+                        .cmp(&ha.size.saturating_sub(ha.demand)),
+                )
                 .then(ha.kind.to_string().cmp(&hb.kind.to_string()))
         });
         for idx in order {
@@ -178,7 +196,10 @@ impl DatabaseMemory {
     /// Return `bytes` that could not be used after funding (e.g. the
     /// grant was rounded down to whole blocks).
     pub fn refund_lock(&mut self, bytes: u64) {
-        assert!(bytes <= self.lock_memory, "refunding more than lock memory holds");
+        assert!(
+            bytes <= self.lock_memory,
+            "refunding more than lock memory holds"
+        );
         self.lock_memory -= bytes;
     }
 
@@ -186,7 +207,10 @@ impl DatabaseMemory {
     /// goal, then give the rest to the neediest heaps; any leftover
     /// stays in overflow.
     pub fn note_lock_shrink(&mut self, bytes: u64) {
-        assert!(bytes <= self.lock_memory, "shrinking more than lock memory holds");
+        assert!(
+            bytes <= self.lock_memory,
+            "shrinking more than lock memory holds"
+        );
         self.lock_memory -= bytes;
         // Overflow-sourced memory is considered returned first.
         self.lock_from_overflow = self.lock_from_overflow.min(self.lock_memory);
@@ -249,8 +273,14 @@ impl DatabaseMemory {
     /// # Panics
     /// Panics on violation.
     pub fn validate(&self) {
-        assert!(self.allocated() <= self.total(), "over-allocated memory set");
-        assert!(self.lock_from_overflow <= self.lock_memory, "LMO beyond lock memory");
+        assert!(
+            self.allocated() <= self.total(),
+            "over-allocated memory set"
+        );
+        assert!(
+            self.lock_from_overflow <= self.lock_memory,
+            "LMO beyond lock memory"
+        );
         for h in &self.heaps {
             assert!(h.size >= h.min, "heap {} below floor", h.kind);
         }
@@ -265,7 +295,10 @@ mod tests {
     const MIB: u64 = 1024 * 1024;
 
     fn mem() -> DatabaseMemory {
-        let config = MemoryConfig { total_bytes: 1000 * MIB, overflow_goal_fraction: 0.10 };
+        let config = MemoryConfig {
+            total_bytes: 1000 * MIB,
+            overflow_goal_fraction: 0.10,
+        };
         DatabaseMemory::new(
             config,
             vec![
@@ -325,7 +358,11 @@ mod tests {
         assert_eq!(granted, 50 * MIB);
         assert_eq!(m.heap(HeapKind::SortHeap).size, 100 * MIB);
         assert_eq!(m.heap(HeapKind::BufferPool).size, 700 * MIB);
-        assert_eq!(m.overflow_free(), 100 * MIB, "overflow untouched (Fig. 6 T2)");
+        assert_eq!(
+            m.overflow_free(),
+            100 * MIB,
+            "overflow untouched (Fig. 6 T2)"
+        );
         assert_eq!(m.lock_memory(), 60 * MIB);
         m.validate();
     }
@@ -346,8 +383,7 @@ mod tests {
         let mut m = mem();
         let granted = m.fund_lock_growth(10_000 * MIB);
         // Everything donatable + all overflow.
-        let expect: u64 =
-            770 * MIB /* donatable: 600+140+30 */ + 100 * MIB;
+        let expect: u64 = 770 * MIB /* donatable: 600+140+30 */ + 100 * MIB;
         assert_eq!(granted, expect);
         assert_eq!(m.overflow_free(), 0);
         m.validate();
@@ -358,8 +394,8 @@ mod tests {
         let mut m = mem();
         // Drain overflow below goal first.
         m.note_lock_sync_growth(60 * MIB); // overflow 40, lock 70
-        // Now release 30 MB of lock memory: overflow 40->70 (< goal 100),
-        // nothing for heaps yet.
+                                           // Now release 30 MB of lock memory: overflow 40->70 (< goal 100),
+                                           // nothing for heaps yet.
         m.note_lock_shrink(30 * MIB);
         assert_eq!(m.lock_memory(), 40 * MIB);
         assert_eq!(m.overflow_free(), 70 * MIB);

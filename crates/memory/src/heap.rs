@@ -21,7 +21,11 @@ pub enum HeapKind {
 }
 
 /// All PMC kinds, in a stable order.
-pub const ALL_HEAPS: [HeapKind; 3] = [HeapKind::BufferPool, HeapKind::SortHeap, HeapKind::PackageCache];
+pub const ALL_HEAPS: [HeapKind; 3] = [
+    HeapKind::BufferPool,
+    HeapKind::SortHeap,
+    HeapKind::PackageCache,
+];
 
 impl std::fmt::Display for HeapKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -54,7 +58,12 @@ impl PerfHeap {
     /// Panics if `size < min`.
     pub fn new(kind: HeapKind, size: u64, min: u64, demand: u64) -> Self {
         assert!(size >= min, "heap size below its floor");
-        PerfHeap { kind, size, min, demand }
+        PerfHeap {
+            kind,
+            size,
+            min,
+            demand,
+        }
     }
 
     /// Unmet demand as a fraction of demand: 0 (satisfied) to 1

@@ -26,10 +26,20 @@ impl PackageCache {
     /// # Panics
     /// Panics if `distinct_statements == 0`, `mean_plan_bytes == 0`, or
     /// `hot_fraction` is outside `[0, 1]`.
-    pub fn new(size: u64, distinct_statements: u64, mean_plan_bytes: u64, hot_fraction: f64) -> Self {
+    pub fn new(
+        size: u64,
+        distinct_statements: u64,
+        mean_plan_bytes: u64,
+        hot_fraction: f64,
+    ) -> Self {
         assert!(distinct_statements > 0 && mean_plan_bytes > 0);
         assert!((0.0..=1.0).contains(&hot_fraction));
-        PackageCache { size, distinct_statements, mean_plan_bytes, hot_fraction }
+        PackageCache {
+            size,
+            distinct_statements,
+            mean_plan_bytes,
+            hot_fraction,
+        }
     }
 
     /// Bytes needed to cache every distinct statement.

@@ -28,7 +28,11 @@ impl SortHeap {
     pub fn new(size: u64, mean_sort_bytes: u64, concurrent_sorts: u64) -> Self {
         assert!(mean_sort_bytes > 0, "mean sort size must be non-zero");
         assert!(concurrent_sorts > 0, "at least one sort");
-        SortHeap { size, mean_sort_bytes, concurrent_sorts }
+        SortHeap {
+            size,
+            mean_sort_bytes,
+            concurrent_sorts,
+        }
     }
 
     /// Memory available per concurrent sort.
@@ -79,7 +83,11 @@ mod tests {
         let sh = SortHeap::new(0, 8 << 20, 10);
         let demand = sh.bytes_for_spill_target(0.05);
         let sized = SortHeap::new(demand, 8 << 20, 10);
-        assert!(sized.spill_fraction() <= 0.051, "got {}", sized.spill_fraction());
+        assert!(
+            sized.spill_fraction() <= 0.051,
+            "got {}",
+            sized.spill_fraction()
+        );
     }
 
     #[test]

@@ -148,15 +148,18 @@ impl Stmm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::heap::{HeapKind, PerfHeap};
     use crate::database::MemoryConfig;
+    use crate::heap::{HeapKind, PerfHeap};
     use locktune_memalloc::{LockMemoryPool, PoolConfig};
 
     const MIB: u64 = 1024 * 1024;
     const BLOCK: u64 = 131_072;
 
     fn setup(lock_bytes: u64) -> (DatabaseMemory, LockMemoryPool, Stmm) {
-        let config = MemoryConfig { total_bytes: 5120 * MIB, overflow_goal_fraction: 0.10 };
+        let config = MemoryConfig {
+            total_bytes: 5120 * MIB,
+            overflow_goal_fraction: 0.10,
+        };
         let pool = LockMemoryPool::with_bytes(PoolConfig::default(), lock_bytes);
         let lock_actual = pool.total_bytes();
         let mem = DatabaseMemory::new(
@@ -168,7 +171,11 @@ mod tests {
             ],
             lock_actual,
         );
-        let stmm = Stmm::new(TunerParams::default(), SimDuration::from_secs(30), lock_actual);
+        let stmm = Stmm::new(
+            TunerParams::default(),
+            SimDuration::from_secs(30),
+            lock_actual,
+        );
         (mem, pool, stmm)
     }
 
@@ -214,7 +221,10 @@ mod tests {
         });
         let released = before - report.lock_bytes_after;
         assert!(released > 0, "some memory released");
-        assert!(released <= (0.05 * before as f64) as u64 + BLOCK, "gradual release");
+        assert!(
+            released <= (0.05 * before as f64) as u64 + BLOCK,
+            "gradual release"
+        );
         mem.validate();
     }
 
@@ -305,7 +315,10 @@ mod tests {
             pool.resize_to_blocks(target / BLOCK);
             pool.total_bytes()
         });
-        assert!(report.lock_bytes_after >= 2 * before, "doubled under escalations");
+        assert!(
+            report.lock_bytes_after >= 2 * before,
+            "doubled under escalations"
+        );
         mem.validate();
     }
 }

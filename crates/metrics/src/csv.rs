@@ -44,7 +44,15 @@ pub fn write_csv<W: Write>(out: &mut W, series: &[&TimeSeries]) -> io::Result<()
 
 /// Strip CSV-hostile characters from a column name.
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c == ',' || c == '\n' || c == '\r' { '_' } else { c }).collect()
+    name.chars()
+        .map(|c| {
+            if c == ',' || c == '\n' || c == '\r' {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

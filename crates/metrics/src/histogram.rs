@@ -29,13 +29,22 @@ impl Default for DurationHistogram {
 impl DurationHistogram {
     /// Create an empty histogram.
     pub fn new() -> Self {
-        DurationHistogram { counts: [0; BUCKETS], total: 0, sum_micros: 0, max_micros: 0 }
+        DurationHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum_micros: 0,
+            max_micros: 0,
+        }
     }
 
     /// Record one duration.
     pub fn record(&mut self, d: SimDuration) {
         let us = d.as_micros();
-        let bucket = if us < 2 { 0 } else { 63 - us.leading_zeros() as usize };
+        let bucket = if us < 2 {
+            0
+        } else {
+            63 - us.leading_zeros() as usize
+        };
         self.counts[bucket.min(BUCKETS - 1)] += 1;
         self.total += 1;
         self.sum_micros += us as u128;
@@ -72,7 +81,11 @@ impl DurationHistogram {
         for (k, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                let upper = if k >= 63 { u64::MAX } else { (2u64 << k).saturating_sub(1) };
+                let upper = if k >= 63 {
+                    u64::MAX
+                } else {
+                    (2u64 << k).saturating_sub(1)
+                };
                 return SimDuration::from_micros(upper.min(self.max_micros));
             }
         }

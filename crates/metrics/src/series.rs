@@ -14,7 +14,10 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Create an empty, named series.
     pub fn new(name: impl Into<String>) -> Self {
-        TimeSeries { name: name.into(), points: Vec::new() }
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Series name (CSV column header).
@@ -46,33 +49,45 @@ impl TimeSeries {
 
     /// Iterate samples as `(SimTime, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
-        self.points.iter().map(|&(t, v)| (SimTime::from_micros(t), v))
+        self.points
+            .iter()
+            .map(|&(t, v)| (SimTime::from_micros(t), v))
     }
 
     /// The last sample.
     pub fn last(&self) -> Option<(SimTime, f64)> {
-        self.points.last().map(|&(t, v)| (SimTime::from_micros(t), v))
+        self.points
+            .last()
+            .map(|&(t, v)| (SimTime::from_micros(t), v))
     }
 
     /// The first sample.
     pub fn first(&self) -> Option<(SimTime, f64)> {
-        self.points.first().map(|&(t, v)| (SimTime::from_micros(t), v))
+        self.points
+            .first()
+            .map(|&(t, v)| (SimTime::from_micros(t), v))
     }
 
     /// Maximum value, if any.
     pub fn max_value(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| match acc {
-            None => Some(v),
-            Some(m) => Some(m.max(v)),
-        })
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| match acc {
+                None => Some(v),
+                Some(m) => Some(m.max(v)),
+            })
     }
 
     /// Minimum value, if any.
     pub fn min_value(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| match acc {
-            None => Some(v),
-            Some(m) => Some(m.min(v)),
-        })
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| match acc {
+                None => Some(v),
+                Some(m) => Some(m.min(v)),
+            })
     }
 
     /// The most recent value at or before `at` (step interpolation).

@@ -1,0 +1,58 @@
+//! Stress the concurrent lock service from the command line.
+//!
+//! ```text
+//! service [workers] [txns-per-worker] [shards]
+//! ```
+//!
+//! Runs the mixed OLTP + DSS workload, then the deterministic
+//! grow/shrink phases, validates cross-shard accounting and prints a
+//! report.
+
+use std::sync::Arc;
+
+use locktune_service::{run_stress, LockService, ServiceConfig, StressConfig};
+
+fn arg(n: usize, default: u64) -> u64 {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let workers = arg(1, 4) as usize;
+    let txns = arg(2, 300);
+    let shards = arg(3, 8) as usize;
+
+    let config = ServiceConfig::fast(shards);
+    let service = Arc::new(LockService::start(config).expect("service start"));
+    println!(
+        "locktune-service stress: {workers} workers x {txns} txns, {} shards, \
+         tuning every {:?}",
+        service.shard_count(),
+        service.config().tuning_interval
+    );
+
+    let report = run_stress(
+        &service,
+        StressConfig {
+            workers,
+            txns_per_worker: txns,
+            ..StressConfig::default()
+        },
+    );
+
+    println!("--- stress report ---");
+    println!("committed:         {}", report.committed);
+    println!("throughput:        {:.0} txn/s", report.throughput());
+    println!("timeouts:          {}", report.timeouts);
+    println!("deadlock victims:  {}", report.deadlock_victims);
+    println!("lock memory OOM:   {}", report.oom_failures);
+    println!("escalations:       {}", report.stats.escalations);
+    println!("queue waits:       {}", report.stats.waits);
+    println!("grow decisions:    {}", report.grow_decisions);
+    println!("shrink decisions:  {}", report.shrink_decisions);
+    println!("peak pool bytes:   {}", report.peak_pool_bytes);
+    println!("final pool bytes:  {}", report.final_pool_bytes);
+    println!("accounting:        zero divergence (validate passed)");
+}

@@ -1,0 +1,109 @@
+//! Service configuration.
+
+use std::time::Duration;
+
+use locktune_core::TunerParams;
+use locktune_lockmgr::LockManagerConfig;
+use locktune_memory::MemoryConfig;
+
+/// Configuration of the concurrent lock service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Lock table shards. Each shard is an independent [`LockManager`]
+    /// behind its own latch; resources are routed by **table** hash so
+    /// a row and its covering table intent lock always land on the same
+    /// shard (escalation stays shard-local).
+    ///
+    /// [`LockManager`]: locktune_lockmgr::LockManager
+    pub shards: usize,
+    /// Wake-up period of the STMM tuning thread. The paper runs 30 s
+    /// intervals (DB2 allows 0.5–10 min); tests and the stress driver
+    /// use milliseconds so grow/shrink cycles happen in-process.
+    pub tuning_interval: Duration,
+    /// Sweep period of the deadlock detector thread.
+    pub deadlock_interval: Duration,
+    /// How long a blocked lock request waits before giving up
+    /// (`LOCKTIMEOUT`). `None` waits forever (DB2's default of -1).
+    pub lock_wait_timeout: Option<Duration>,
+    /// How long a queued waiter polls its grant channel (cheap atomic
+    /// probes interleaved with `yield_now`) before parking on it. Lock
+    /// holds are short, so most grants arrive within this window and
+    /// skip the futex park/wake round-trip; long waits fall through
+    /// and park, so a waiter never burns more CPU than this budget.
+    pub grant_spin: Duration,
+    /// Initial lock memory in bytes (rounded up to whole blocks).
+    pub initial_lock_bytes: u64,
+    /// The database memory around the lock pool (funds growth, absorbs
+    /// shrink proceeds).
+    pub memory: MemoryConfig,
+    /// Fraction of `databaseMemory` configured into performance heaps
+    /// at start (the rest, minus lock memory, is overflow).
+    pub heap_fraction: f64,
+    /// Tuner parameters (paper Table 1).
+    pub params: TunerParams,
+    /// Per-shard lock manager structure.
+    pub manager: LockManagerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 8,
+            tuning_interval: Duration::from_secs(30),
+            deadlock_interval: Duration::from_millis(100),
+            lock_wait_timeout: None,
+            grant_spin: Duration::from_micros(50),
+            initial_lock_bytes: 2 * 1024 * 1024,
+            memory: MemoryConfig::default(),
+            heap_fraction: 0.70,
+            params: TunerParams::default(),
+            manager: LockManagerConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A configuration for tests and the stress driver: small pool,
+    /// millisecond tuning so decisions happen within a test run.
+    pub fn fast(shards: usize) -> Self {
+        ServiceConfig {
+            shards,
+            tuning_interval: Duration::from_millis(50),
+            deadlock_interval: Duration::from_millis(10),
+            lock_wait_timeout: Some(Duration::from_secs(2)),
+            initial_lock_bytes: 2 * 1024 * 1024,
+            ..Default::default()
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shards must be >= 1".into());
+        }
+        if !(0.0..1.0).contains(&self.heap_fraction) {
+            return Err("heap_fraction must be in [0, 1)".into());
+        }
+        self.params.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(ServiceConfig::default().validate().is_ok());
+        assert!(ServiceConfig::fast(4).validate().is_ok());
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let c = ServiceConfig {
+            shards: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! `locktune-service` — a sharded, multi-threaded lock service with a
+//! live STMM tuning thread (the paper's architecture made concurrent).
+//!
+//! Everything below `crates/service` in this workspace is
+//! deterministic and single-threaded: the lock manager, the memory
+//! pool and the tuner are driven by a discrete-event engine. This
+//! crate assembles the same components into the shape the paper
+//! actually describes — a database server where many agents hit the
+//! lock subsystem at once while STMM tunes `locklist` from a
+//! background thread:
+//!
+//! * [`LockService`] — N [`LockManager`] shards selected by **table**
+//!   hash, each behind its own latch, all charging one
+//!   [`SharedLockMemoryPool`];
+//! * a **tuning thread** waking every `tuning_interval` to run the
+//!   paper's tuner (50 % free target, δ_reduce shrink, hysteresis,
+//!   escalation-driven doubling) over the shared pool;
+//! * a **deadlock sweeper** unioning per-shard wait-for edges into the
+//!   global graph;
+//! * blocking [`Session`] handles with grant notification delivery
+//!   over channels and `LOCKTIMEOUT` support;
+//! * a [`stress`] driver mixing OLTP and DSS footprints across worker
+//!   threads.
+//!
+//! [`LockManager`]: locktune_lockmgr::LockManager
+//! [`SharedLockMemoryPool`]: locktune_memalloc::SharedLockMemoryPool
+
+pub mod config;
+pub mod service;
+pub mod stress;
+mod tuning;
+
+pub use config::ServiceConfig;
+pub use service::{LockService, ServiceError, Session};
+pub use stress::{run_stress, StressConfig, StressReport};

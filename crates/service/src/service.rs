@@ -1,0 +1,659 @@
+//! The sharded lock service.
+//!
+//! N independent [`LockManager`] shards, selected by **table** hash
+//! (a row and its covering table intent lock must land on the same
+//! shard so multi-granularity checks and escalation stay shard-local),
+//! all drawing lock structures from one [`SharedLockMemoryPool`]. Two
+//! background threads provide the database-wide services the shards
+//! cannot do alone:
+//!
+//! * the **tuning thread** wakes every `tuning_interval`, aggregates
+//!   shard statistics, runs the paper's STMM tuner over the shared
+//!   pool and applies the grow/shrink decision;
+//! * the **deadlock sweeper** wakes every `deadlock_interval`, unions
+//!   the per-shard wait-for edges (application ids are global, so a
+//!   cross-shard cycle appears once the edges are combined), picks
+//!   victims and aborts them.
+//!
+//! Blocked lock requests park on a per-application crossbeam channel;
+//! grants discovered while any thread releases locks are pushed to the
+//! waiter's channel. Waiting with a timeout implements `LOCKTIMEOUT`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use locktune_core::TunerParams;
+use locktune_lockmgr::{
+    AppId, DeadlockDetector, GrantNotice, LockError, LockManager, LockMode, LockOutcome, LockStats,
+    ResourceId, UnlockReport,
+};
+use locktune_memalloc::{LockMemoryPool, PoolBackend, PoolConfig, PoolStats, SharedLockMemoryPool};
+use locktune_memory::{DatabaseMemory, HeapKind, IntervalReport, PerfHeap, Stmm};
+use locktune_sim::SimDuration;
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::ServiceConfig;
+use crate::tuning::{ServiceHooks, TuningShared};
+
+type Shard = Mutex<LockManager<SharedLockMemoryPool>>;
+
+/// Errors surfaced to service clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The lock manager rejected the request.
+    Lock(LockError),
+    /// The wait exceeded `lock_wait_timeout` (`LOCKTIMEOUT`).
+    Timeout,
+    /// This application was chosen as a deadlock victim; all its locks
+    /// are gone and the transaction must restart.
+    DeadlockVictim,
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Lock(e) => write!(f, "lock error: {e}"),
+            ServiceError::Timeout => f.write_str("lock wait timed out"),
+            ServiceError::DeadlockVictim => f.write_str("aborted as deadlock victim"),
+            ServiceError::ShuttingDown => f.write_str("service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<LockError> for ServiceError {
+    fn from(e: LockError) -> Self {
+        ServiceError::Lock(e)
+    }
+}
+
+/// Message waking a parked application.
+#[derive(Debug, Clone, Copy)]
+enum WakeMessage {
+    /// A queued request was granted.
+    Granted(GrantNotice),
+    /// The application was aborted as a deadlock victim.
+    Aborted,
+}
+
+struct ServiceInner {
+    config: ServiceConfig,
+    shards: Vec<Shard>,
+    /// `shards.len() - 1` when the shard count is a power of two: the
+    /// router then masks instead of dividing on every operation.
+    shard_mask: Option<u64>,
+    pool: SharedLockMemoryPool,
+    tuning: TuningShared,
+    registry: Mutex<HashMap<AppId, Sender<WakeMessage>>>,
+    reports: Mutex<Vec<IntervalReport>>,
+    shutdown: AtomicBool,
+    park: Mutex<()>,
+    park_cv: Condvar,
+}
+
+impl ServiceInner {
+    /// The shard owning `res`: rows hash by their table, so a row and
+    /// its table always co-locate.
+    fn shard_index(&self, res: ResourceId) -> usize {
+        let t = res.table().0 as u64;
+        // Fibonacci hashing spreads consecutive table ids.
+        let h = t.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        match self.shard_mask {
+            Some(mask) => (h & mask) as usize,
+            None => (h % self.shards.len() as u64) as usize,
+        }
+    }
+
+    /// Tuning hooks for service-internal paths (no session counter).
+    fn hooks(&self) -> ServiceHooks<'_> {
+        ServiceHooks {
+            shared: &self.tuning,
+            requests: None,
+        }
+    }
+
+    /// Forward grant notifications to the waiters' channels. Call with
+    /// no shard latch held.
+    fn deliver(&self, notices: Vec<GrantNotice>) {
+        if notices.is_empty() {
+            return;
+        }
+        let registry = self.registry.lock();
+        for n in notices {
+            if let Some(tx) = registry.get(&n.app) {
+                // A send can only fail if the session dropped; its
+                // locks are being torn down anyway.
+                let _ = tx.send(WakeMessage::Granted(n));
+            }
+        }
+    }
+
+    fn send(&self, app: AppId, msg: WakeMessage) {
+        if let Some(tx) = self.registry.lock().get(&app) {
+            let _ = tx.send(msg);
+        }
+    }
+
+    /// One deadlock sweep: union all shard wait-for edges, abort
+    /// victims on every shard.
+    ///
+    /// Shards are inspected one at a time (never two latches at once),
+    /// so an edge may be stale by the time victims are chosen — a
+    /// release can race the sweep. That can abort an application that
+    /// was about to be granted (a false positive the paper's
+    /// timer-based detector shares); it can never miss a genuine
+    /// deadlock, because deadlocked applications are parked and their
+    /// edges stable.
+    fn sweep_deadlocks(&self) {
+        let mut edges = Vec::new();
+        for shard in &self.shards {
+            edges.extend(shard.lock().wait_edges());
+        }
+        if edges.is_empty() {
+            return;
+        }
+        let victims = DeadlockDetector::new().find_victims(&edges);
+        for v in victims {
+            let mut notices = Vec::new();
+            for shard in &self.shards {
+                let mut hooks = self.hooks();
+                let mut m = shard.lock();
+                m.abort(v.app, &mut hooks);
+                notices.append(&mut m.take_notifications());
+            }
+            self.deliver(notices);
+            self.send(v.app, WakeMessage::Aborted);
+        }
+    }
+
+    /// One STMM tuning interval over the shared pool.
+    fn run_tuning_interval(&self) -> IntervalReport {
+        let escalations = self.tuning.escalations.swap(0, Ordering::Relaxed);
+        let num_apps = self.tuning.num_applications.load(Ordering::Relaxed);
+        // Drain the shards' slot magazines (one latch at a time) so the
+        // tuner sees real demand, not demand plus parked free slots,
+        // and so shrink can reclaim blocks the magazines were pinning.
+        for shard in &self.shards {
+            shard.lock().flush_pool_cache();
+        }
+        let pool_stats = self.pool.stats();
+        let block = self.config.params.block_bytes;
+        let mut state = self.tuning.state.lock();
+        let crate::tuning::TuningState { stmm, mem } = &mut *state;
+        let pool = &self.pool;
+        let report = stmm.run_interval(mem, &pool_stats, num_apps, escalations, |target_bytes| {
+            pool.with(|p| {
+                p.resize_to_blocks(target_bytes / block);
+                p.total_bytes()
+            })
+        });
+        drop(state);
+        self.tuning.publish_app_percent(report.decision.app_percent);
+        self.reports.lock().push(report);
+        report
+    }
+
+    /// Park for `interval` or until shutdown wakes the thread early.
+    /// Returns false once the service is shutting down.
+    fn park(&self, interval: Duration) -> bool {
+        let mut g = self.park.lock();
+        if self.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        self.park_cv.wait_for(&mut g, interval);
+        !self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// The concurrent lock service. See the module docs for the design.
+pub struct LockService {
+    inner: Arc<ServiceInner>,
+    tuner_thread: Option<std::thread::JoinHandle<()>>,
+    sweeper_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LockService {
+    /// Validate `config`, build the shards and start the background
+    /// threads.
+    pub fn start(config: ServiceConfig) -> Result<LockService, String> {
+        config.validate()?;
+        let pool_config =
+            PoolConfig::new(config.params.block_bytes, config.params.lock_struct_bytes);
+        let initial = config.initial_lock_bytes.max(config.params.block_bytes);
+        let pool = SharedLockMemoryPool::new(LockMemoryPool::with_bytes(pool_config, initial));
+
+        let shards = (0..config.shards)
+            .map(|_| Mutex::new(LockManager::new(pool.clone(), config.manager)))
+            .collect();
+
+        let mem = Self::build_memory(&config, pool.total_bytes());
+        let stmm = Stmm::new(
+            config.params,
+            SimDuration::from_secs_f64(config.tuning_interval.as_secs_f64().max(1e-6)),
+            pool.total_bytes(),
+        );
+
+        let shard_mask = config
+            .shards
+            .is_power_of_two()
+            .then(|| config.shards as u64 - 1);
+        let inner = Arc::new(ServiceInner {
+            tuning: TuningShared::new(stmm, mem),
+            config,
+            shards,
+            shard_mask,
+            pool,
+            registry: Mutex::new(HashMap::new()),
+            reports: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            park: Mutex::new(()),
+            park_cv: Condvar::new(),
+        });
+
+        let tuner = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("locktune-stmm".into())
+                .spawn(move || {
+                    while inner.park(inner.config.tuning_interval) {
+                        inner.run_tuning_interval();
+                    }
+                })
+                .map_err(|e| format!("spawn tuning thread: {e}"))?
+        };
+        let sweeper = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("locktune-deadlock".into())
+                .spawn(move || {
+                    while inner.park(inner.config.deadlock_interval) {
+                        inner.sweep_deadlocks();
+                    }
+                })
+                .map_err(|e| format!("spawn deadlock thread: {e}"))?
+        };
+
+        Ok(LockService {
+            inner,
+            tuner_thread: Some(tuner),
+            sweeper_thread: Some(sweeper),
+        })
+    }
+
+    /// The database memory set surrounding the pool: configured heaps
+    /// at `heap_fraction` of `databaseMemory`, lock memory as given,
+    /// the rest overflow.
+    fn build_memory(config: &ServiceConfig, initial_lock_bytes: u64) -> DatabaseMemory {
+        let total = config.memory.total_bytes;
+        let heap_total = (total as f64 * config.heap_fraction) as u64;
+        // Same split the simulation engine uses: the bufferpool
+        // dominates, sort and package cache share the rest.
+        let bp = heap_total / 2;
+        let sort = heap_total / 4;
+        let pkg = heap_total - bp - sort;
+        let heaps = vec![
+            PerfHeap::new(HeapKind::BufferPool, bp, bp / 4, bp),
+            PerfHeap::new(HeapKind::SortHeap, sort, sort / 4, sort / 2),
+            PerfHeap::new(HeapKind::PackageCache, pkg, pkg / 4, pkg / 2),
+        ];
+        DatabaseMemory::new(config.memory, heaps, initial_lock_bytes)
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Register an application and return its session handle.
+    pub fn connect(&self, app: AppId) -> Session {
+        let (tx, rx) = channel::unbounded();
+        self.inner.registry.lock().insert(app, tx);
+        self.inner
+            .tuning
+            .num_applications
+            .fetch_add(1, Ordering::Relaxed);
+        Session {
+            inner: Arc::clone(&self.inner),
+            app,
+            rx: Some(rx),
+            ever_waited: std::cell::Cell::new(false),
+            requests: std::cell::Cell::new(1),
+            touched_shards: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Aggregate statistics across all shards
+    /// ([`LockStats::merge`]-ed).
+    pub fn stats(&self) -> LockStats {
+        let mut total = LockStats::default();
+        for shard in &self.inner.shards {
+            total.merge(shard.lock().stats());
+        }
+        total
+    }
+
+    /// Slots charged by every shard (Σ per-shard `charged_slots`).
+    pub fn charged_slots(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().charged_slots())
+            .sum()
+    }
+
+    /// Snapshot of the shared pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.inner.pool.stats()
+    }
+
+    /// The shared pool's used slot count (atomic mirror; exact at
+    /// quiescence).
+    pub fn pool_used_slots(&self) -> u64 {
+        self.inner.pool.used_slots()
+    }
+
+    /// Current externalized `lockPercentPerApplication`.
+    pub fn app_percent(&self) -> f64 {
+        self.inner.tuning.app_percent()
+    }
+
+    /// Tuning intervals run so far (decision log).
+    pub fn tuning_reports(&self) -> Vec<IntervalReport> {
+        self.inner.reports.lock().clone()
+    }
+
+    /// Run one tuning interval synchronously (tests and drivers that
+    /// cannot wait for the timer).
+    pub fn run_tuning_interval_now(&self) -> IntervalReport {
+        self.inner.run_tuning_interval()
+    }
+
+    /// Run one deadlock sweep synchronously.
+    pub fn sweep_deadlocks_now(&self) {
+        self.inner.sweep_deadlocks()
+    }
+
+    /// Cross-shard invariant check: every shard validates and the sum
+    /// of per-shard charges equals the shared pool's used count. Call
+    /// at quiescence (no in-flight lock operations).
+    ///
+    /// # Panics
+    /// Panics on inconsistency.
+    pub fn validate(&self) {
+        let mut charged = 0;
+        for shard in &self.inner.shards {
+            let mut m = shard.lock();
+            m.flush_pool_cache();
+            m.validate();
+            charged += m.charged_slots();
+        }
+        let used = self.inner.pool.used_slots();
+        assert_eq!(
+            charged, used,
+            "sum of shard charges ({charged}) must equal shared pool usage ({used})"
+        );
+    }
+
+    /// The tuner parameters in effect.
+    pub fn params(&self) -> TunerParams {
+        self.inner.config.params
+    }
+
+    /// Stop the background threads and return once they have joined.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.park_cv.notify_all();
+        if let Some(t) = self.tuner_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.sweeper_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for LockService {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// One application's handle to the service. Lock requests that queue
+/// park on this session's channel until granted, timed out, or aborted.
+pub struct Session {
+    inner: Arc<ServiceInner>,
+    app: AppId,
+    rx: Option<Receiver<WakeMessage>>,
+    /// Whether this session has ever parked on the channel. A session
+    /// that never waited can never appear in a wait-for edge, so it can
+    /// never be a deadlock victim and the stale-message drain on the
+    /// lock fast path can be skipped.
+    ever_waited: std::cell::Cell<bool>,
+    /// Lock-structure requests issued by this session; drives the
+    /// `refreshPeriodForAppPercent` cadence without a shared atomic.
+    requests: std::cell::Cell<u64>,
+    /// Bitmask of shards this session has sent lock requests to since
+    /// the last `unlock_all`. Strict 2PL means commit releases on every
+    /// shard the transaction touched — but only those; an OLTP
+    /// transaction touching one table pays one shard latch at commit,
+    /// not one per shard. All-ones when the service has more than 64
+    /// shards (the mask degrades to "visit everything").
+    touched_shards: std::cell::Cell<u64>,
+}
+
+impl Session {
+    /// This session's application id.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// Tuning hooks carrying this session's request counter.
+    fn session_hooks(&self) -> ServiceHooks<'_> {
+        ServiceHooks {
+            shared: &self.inner.tuning,
+            requests: Some(&self.requests),
+        }
+    }
+
+    /// Request `mode` on `res`, blocking (up to `lock_wait_timeout`)
+    /// if the request queues.
+    pub fn lock(&self, res: ResourceId, mode: LockMode) -> Result<LockOutcome, ServiceError> {
+        // Stale-message check: a deadlock abort that raced a previous
+        // wait (or struck while this session was computing) must
+        // surface before new locks are taken on an empty slate. Only
+        // sessions that have waited can have been aborted, so the
+        // uncontended fast path skips the channel entirely.
+        if self.ever_waited.get() {
+            let rx = self.rx.as_ref().expect("session channel live");
+            let mut aborted = false;
+            while let Ok(msg) = rx.try_recv() {
+                if matches!(msg, WakeMessage::Aborted) {
+                    aborted = true;
+                }
+            }
+            if aborted {
+                return Err(ServiceError::DeadlockVictim);
+            }
+        }
+
+        let idx = self.inner.shard_index(res);
+        self.mark_touched(idx);
+        let (outcome, notices) = {
+            let mut hooks = self.session_hooks();
+            let mut m = self.inner.shards[idx].lock();
+            let outcome = m.lock(self.app, res, mode, &mut hooks);
+            (outcome, m.take_notifications())
+        };
+        self.inner.deliver(notices);
+        match outcome? {
+            LockOutcome::Queued | LockOutcome::QueuedWithEscalation { .. } => self.await_grant(res),
+            immediate => Ok(immediate),
+        }
+    }
+
+    /// Channel probes between clock reads while a waiter polls its
+    /// grant channel (see [`ServiceConfig::grant_spin`]).
+    const GRANT_SPIN_STRIDE: u32 = 32;
+
+    /// Park until the queued request on `res` resolves.
+    fn await_grant(&self, res: ResourceId) -> Result<LockOutcome, ServiceError> {
+        self.ever_waited.set(true);
+        let rx = self.rx.as_ref().expect("session channel live");
+        let deadline = self
+            .inner
+            .config
+            .lock_wait_timeout
+            .map(|t| Instant::now() + t);
+        let spin = self.inner.config.grant_spin;
+        loop {
+            let mut polled = None;
+            let spin_start = Instant::now();
+            'spin: while !spin.is_zero() {
+                for _ in 0..Self::GRANT_SPIN_STRIDE {
+                    match rx.try_recv() {
+                        Ok(m) => {
+                            polled = Some(m);
+                            break 'spin;
+                        }
+                        Err(channel::TryRecvError::Empty) => std::thread::yield_now(),
+                        Err(channel::TryRecvError::Disconnected) => {
+                            return Err(ServiceError::ShuttingDown)
+                        }
+                    }
+                }
+                let now = Instant::now();
+                if now - spin_start >= spin || deadline.is_some_and(|d| now >= d) {
+                    break;
+                }
+            }
+            let msg = match (polled, deadline) {
+                (Some(m), _) => Some(m),
+                (None, None) => match rx.recv() {
+                    Ok(m) => Some(m),
+                    Err(_) => return Err(ServiceError::ShuttingDown),
+                },
+                (None, Some(d)) => {
+                    let timeout = d.saturating_duration_since(Instant::now());
+                    match rx.recv_timeout(timeout) {
+                        Ok(m) => Some(m),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(ServiceError::ShuttingDown)
+                        }
+                    }
+                }
+            };
+            match msg {
+                Some(WakeMessage::Granted(n)) => {
+                    debug_assert_eq!(n.app, self.app, "grant routed to wrong session");
+                    return Ok(LockOutcome::Granted);
+                }
+                Some(WakeMessage::Aborted) => return Err(ServiceError::DeadlockVictim),
+                None => {
+                    // Timed out: withdraw from the queue. A grant (or
+                    // abort) may race the withdrawal — cancel_wait then
+                    // reports nothing to cancel and the message is
+                    // already in the channel; loop to receive it.
+                    let idx = self.inner.shard_index(res);
+                    let (cancelled, notices) = {
+                        let mut m = self.inner.shards[idx].lock();
+                        let c = m.cancel_wait(self.app);
+                        (c, m.take_notifications())
+                    };
+                    self.inner.deliver(notices);
+                    if cancelled {
+                        return Err(ServiceError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Release one lock.
+    pub fn unlock(&self, res: ResourceId) -> Result<UnlockReport, ServiceError> {
+        let idx = self.inner.shard_index(res);
+        let (report, notices) = {
+            let mut hooks = self.session_hooks();
+            let mut m = self.inner.shards[idx].lock();
+            let r = m.unlock(self.app, res, &mut hooks);
+            (r, m.take_notifications())
+        };
+        self.inner.deliver(notices);
+        Ok(report?)
+    }
+
+    /// Record that shard `idx` has (or may have) state for this
+    /// session. Lossy above 64 shards: the mask saturates to all-ones.
+    fn mark_touched(&self, idx: usize) {
+        if self.inner.shards.len() > 64 {
+            self.touched_shards.set(u64::MAX);
+        } else {
+            self.touched_shards
+                .set(self.touched_shards.get() | 1u64 << idx);
+        }
+    }
+
+    /// Release everything this application holds (commit under strict
+    /// 2PL). Only shards this session actually sent requests to are
+    /// visited — the lock manager forbids acquiring locks for another
+    /// application, so a shard the session never touched cannot hold
+    /// its locks.
+    pub fn unlock_all(&self) -> UnlockReport {
+        let mut total = UnlockReport::default();
+        let touched = self.touched_shards.replace(0);
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            if touched & (1u64 << (i & 63)) == 0 {
+                continue;
+            }
+            let (report, notices) = {
+                let mut hooks = self.session_hooks();
+                let mut m = shard.lock();
+                let r = m.unlock_all(self.app, &mut hooks);
+                (r, m.take_notifications())
+            };
+            self.inner.deliver(notices);
+            total.released_locks += report.released_locks;
+            total.freed_slots += report.freed_slots;
+        }
+        total
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Strict 2PL connection teardown: abandon any wait, release all
+        // locks, then unregister. Every shard is visited (not just the
+        // touched mask) so teardown stays correct even if the mask and
+        // reality ever diverge.
+        for shard in &self.inner.shards {
+            let mut hooks = self.session_hooks();
+            let mut m = shard.lock();
+            m.cancel_wait(self.app);
+            m.unlock_all(self.app, &mut hooks);
+            let notices = m.take_notifications();
+            drop(m);
+            self.inner.deliver(notices);
+        }
+        self.inner.registry.lock().remove(&self.app);
+        self.rx = None;
+        self.inner
+            .tuning
+            .num_applications
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,256 @@
+//! Multi-threaded stress driver for the lock service.
+//!
+//! M worker threads run a mix of OLTP transactions (IX on a table, a
+//! handful of X row locks, commit) and DSS-style scans (IS on a table,
+//! a large batch of S row locks, commit) — the same two footprints the
+//! paper's experiments combine ("the addition of a DSS workload on an
+//! OLTP system", §5). After the timed mixed phase the driver runs two
+//! deterministic phases against the tuner: a **hold** phase that pins
+//! enough row locks to push the used fraction over
+//! `minFreeLockMemory`'s complement (forcing a grow decision) and a
+//! **drain** phase at quiescence (free fraction above
+//! `maxFreeLockMemory`, forcing δ_reduce shrinks).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use locktune_lockmgr::{AppId, LockError, LockMode, LockStats, ResourceId, RowId, TableId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::service::{LockService, ServiceError};
+
+/// Stress workload shape.
+#[derive(Debug, Clone, Copy)]
+pub struct StressConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Distinct tables (spread over shards by the service's router).
+    pub tables: u32,
+    /// Rows per table (smaller → more contention).
+    pub rows_per_table: u64,
+    /// Row locks per OLTP transaction.
+    pub oltp_rows: u64,
+    /// Row locks per DSS scan.
+    pub dss_rows: u64,
+    /// Probability a transaction is a DSS scan, in percent.
+    pub dss_percent: u32,
+    /// Transactions per worker.
+    pub txns_per_worker: u64,
+    /// Base RNG seed (worker `i` uses `seed + i`).
+    pub seed: u64,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            workers: 4,
+            tables: 16,
+            rows_per_table: 2_000,
+            oltp_rows: 8,
+            dss_rows: 600,
+            dss_percent: 25,
+            txns_per_worker: 300,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of a stress run.
+#[derive(Debug, Clone)]
+pub struct StressReport {
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions lost to lock-wait timeouts.
+    pub timeouts: u64,
+    /// Transactions aborted as deadlock victims.
+    pub deadlock_victims: u64,
+    /// Transactions denied for lock memory.
+    pub oom_failures: u64,
+    /// Grow decisions recorded by the tuner.
+    pub grow_decisions: u64,
+    /// Shrink decisions recorded by the tuner.
+    pub shrink_decisions: u64,
+    /// Aggregated lock-manager statistics at the end.
+    pub stats: LockStats,
+    /// Pool bytes at the end of the run.
+    pub final_pool_bytes: u64,
+    /// Peak pool bytes observed in the decision log.
+    pub peak_pool_bytes: u64,
+    /// Wall-clock seconds spent in the mixed phase.
+    pub mixed_phase_secs: f64,
+}
+
+impl StressReport {
+    /// Committed transactions per second of the mixed phase.
+    pub fn throughput(&self) -> f64 {
+        if self.mixed_phase_secs > 0.0 {
+            self.committed as f64 / self.mixed_phase_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One worker transaction. Returns `Ok(true)` on commit, `Ok(false)`
+/// on a counted failure (timeout / victim / OOM).
+fn run_txn(
+    session: &crate::service::Session,
+    rng: &mut StdRng,
+    cfg: &StressConfig,
+    counters: &Counters,
+) -> bool {
+    let table = TableId(rng.gen_range_u64(0, cfg.tables as u64) as u32);
+    let dss = rng.gen_range_u64(0, 100) < cfg.dss_percent as u64;
+    let (table_mode, row_mode, rows) = if dss {
+        (LockMode::IS, LockMode::S, cfg.dss_rows)
+    } else {
+        (LockMode::IX, LockMode::X, cfg.oltp_rows)
+    };
+
+    let mut ok = true;
+    'txn: {
+        if let Err(e) = session.lock(ResourceId::Table(table), table_mode) {
+            ok = count_failure(e, counters);
+            break 'txn;
+        }
+        let start = rng.gen_range_u64(0, cfg.rows_per_table);
+        for i in 0..rows {
+            let row = if dss {
+                // Scans touch a contiguous range (what escalation
+                // collapses well).
+                RowId((start + i) % cfg.rows_per_table)
+            } else {
+                RowId(rng.gen_range_u64(0, cfg.rows_per_table))
+            };
+            match session.lock(ResourceId::Row(table, row), row_mode) {
+                Ok(_) => {}
+                Err(e) => {
+                    ok = count_failure(e, counters);
+                    break 'txn;
+                }
+            }
+        }
+    }
+    // Strict 2PL: release everything whether committing or aborting.
+    // (A deadlock victim's locks are already gone; unlock_all is a
+    // no-op then.)
+    session.unlock_all();
+    if ok {
+        counters.committed.fetch_add(1, Ordering::Relaxed);
+    }
+    ok
+}
+
+#[derive(Default)]
+struct Counters {
+    committed: AtomicU64,
+    timeouts: AtomicU64,
+    victims: AtomicU64,
+    oom: AtomicU64,
+}
+
+fn count_failure(e: ServiceError, counters: &Counters) -> bool {
+    match e {
+        ServiceError::Timeout => counters.timeouts.fetch_add(1, Ordering::Relaxed),
+        ServiceError::DeadlockVictim => counters.victims.fetch_add(1, Ordering::Relaxed),
+        ServiceError::Lock(LockError::OutOfLockMemory) => {
+            counters.oom.fetch_add(1, Ordering::Relaxed)
+        }
+        other => panic!("unexpected stress failure: {other}"),
+    };
+    false
+}
+
+/// Run the stress workload against `service`.
+///
+/// # Panics
+/// Panics if the cross-shard accounting diverges (the run ends with
+/// [`LockService::validate`]).
+pub fn run_stress(service: &Arc<LockService>, cfg: StressConfig) -> StressReport {
+    let counters = Arc::new(Counters::default());
+
+    // Phase 1: mixed OLTP + DSS across all workers.
+    let start = std::time::Instant::now();
+    let workers: Vec<_> = (0..cfg.workers)
+        .map(|w| {
+            let service = Arc::clone(service);
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || {
+                let session = service.connect(AppId(w as u32 + 1));
+                let mut rng = StdRng::seed_from_u64(cfg.seed + w as u64);
+                for _ in 0..cfg.txns_per_worker {
+                    run_txn(&session, &mut rng, &cfg, &counters);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    let mixed_phase_secs = start.elapsed().as_secs_f64();
+
+    // Phase 2 (deterministic grow): hold > (1 - minFree) of the pool's
+    // slots so the next tuning tick must grow.
+    {
+        let holder = service.connect(AppId(10_000));
+        let total = service.pool_stats().slots_total;
+        let params = service.params();
+        let want_used = ((1.0 - params.min_free_fraction) * total as f64) as u64 + total / 10;
+        let table = TableId(u32::MAX); // private table: no contention
+        holder
+            .lock(ResourceId::Table(table), LockMode::IX)
+            .expect("private table");
+        let mut row = 0u64;
+        while service.pool_used_slots() < want_used {
+            holder
+                .lock(ResourceId::Row(table, RowId(row)), LockMode::X)
+                .expect("pool sized by sync growth");
+            row += 1;
+        }
+        let report = service.run_tuning_interval_now();
+        assert!(
+            report.decision.grow_bytes() > 0 || report.decision.is_no_change(),
+            "a pool under free-target pressure must not shrink"
+        );
+        holder.unlock_all();
+    }
+
+    // Phase 3 (deterministic shrink): quiescent pool, free fraction is
+    // ~1.0 > maxFreeLockMemory, so δ_reduce shrinks fire. Run a few
+    // intervals; each shrinks 5%.
+    for _ in 0..4 {
+        service.run_tuning_interval_now();
+    }
+
+    // Zero accounting divergence, per shard and across shards.
+    service.validate();
+
+    let reports = service.tuning_reports();
+    let grow_decisions = reports
+        .iter()
+        .filter(|r| r.decision.grow_bytes() > 0)
+        .count() as u64;
+    let shrink_decisions = reports
+        .iter()
+        .filter(|r| r.decision.shrink_bytes() > 0)
+        .count() as u64;
+    let peak_pool_bytes = reports
+        .iter()
+        .map(|r| r.lock_bytes_after)
+        .max()
+        .unwrap_or(0);
+
+    StressReport {
+        committed: counters.committed.load(Ordering::Relaxed),
+        timeouts: counters.timeouts.load(Ordering::Relaxed),
+        deadlock_victims: counters.victims.load(Ordering::Relaxed),
+        oom_failures: counters.oom.load(Ordering::Relaxed),
+        grow_decisions,
+        shrink_decisions,
+        stats: service.stats(),
+        final_pool_bytes: service.pool_stats().bytes,
+        peak_pool_bytes,
+        mixed_phase_secs,
+    }
+}

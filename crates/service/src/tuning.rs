@@ -1,0 +1,181 @@
+//! Shared tuning state and the per-request hooks of the concurrent
+//! service.
+//!
+//! The lock-manager shards call [`TuningHooks`] callbacks while holding
+//! their shard latch, so the hot callback — `on_lock_request`, fired on
+//! **every** lock-structure request — must not funnel all shards
+//! through one mutex. The paper already provides the amortization
+//! lever: `refreshPeriodForAppPercent` (0x80) exists precisely because
+//! recomputing `lockPercentPerApplication` per request is too
+//! expensive. The service applies the same period to the lock: the
+//! externalized percent lives in an atomic (`f64` bits) and only every
+//! `refresh_period`-th request takes the tuning mutex to recompute it.
+//!
+//! Lock ordering (deadlock freedom): shard latch → tuning mutex → pool
+//! mutex. Hooks run under a shard latch and take the tuning mutex; the
+//! tuning thread takes the tuning mutex and then the pool mutex; pool
+//! critical sections never call out.
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use locktune_core::sync_growth::SyncGrant;
+use locktune_core::{LockMemoryBounds, SyncGrowth};
+use locktune_lockmgr::{AppId, TableId, TuningHooks};
+use locktune_memalloc::PoolUsage;
+use locktune_memory::{DatabaseMemory, Stmm};
+use parking_lot::Mutex;
+
+/// Pads a value to its own cache line. The hot-path atomics below are
+/// written by different threads at different rates; sharing a line
+/// between, say, a per-request counter and the `app_percent` every
+/// request reads would invalidate the readers on every write (false
+/// sharing) and flatten shard scalability.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct CachePadded<T>(pub T);
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// State mutated only under the tuning mutex.
+#[derive(Debug)]
+pub(crate) struct TuningState {
+    /// The STMM controller (owns the paper's tuner).
+    pub stmm: Stmm,
+    /// The database memory set funding growth / absorbing shrink.
+    pub mem: DatabaseMemory,
+}
+
+/// Tuning state shared between worker threads (via hooks), the tuning
+/// thread and the deadlock sweeper.
+#[derive(Debug)]
+pub(crate) struct TuningShared {
+    /// The mutex-protected slow-path state.
+    pub state: Mutex<TuningState>,
+    /// Externalized `lockPercentPerApplication` as `f64::to_bits`.
+    pub app_percent_bits: CachePadded<AtomicU64>,
+    /// Escalations since the last tuning interval.
+    pub escalations: CachePadded<AtomicU64>,
+    /// Connected applications.
+    pub num_applications: CachePadded<AtomicU64>,
+    /// Requests between app-percent recomputes
+    /// (`refreshPeriodForAppPercent`).
+    pub refresh_period: u64,
+    /// `refresh_period - 1` when the period is a power of two (the
+    /// paper's default 0x80 is): lets the per-request "is this a
+    /// refresh tick?" test be a mask instead of a 64-bit division.
+    refresh_mask: Option<u64>,
+}
+
+impl TuningShared {
+    pub(crate) fn new(stmm: Stmm, mem: DatabaseMemory) -> Self {
+        let refresh_period = stmm.tuner().params().app_percent_refresh_period.max(1);
+        let initial_percent = stmm.tuner().app_percent();
+        TuningShared {
+            state: Mutex::new(TuningState { stmm, mem }),
+            app_percent_bits: CachePadded(AtomicU64::new(initial_percent.to_bits())),
+            escalations: CachePadded::default(),
+            num_applications: CachePadded::default(),
+            refresh_period,
+            refresh_mask: refresh_period.is_power_of_two().then(|| refresh_period - 1),
+        }
+    }
+
+    /// True when request number `n` should recompute the app percent.
+    #[inline]
+    pub(crate) fn is_refresh_tick(&self, n: u64) -> bool {
+        match self.refresh_mask {
+            Some(mask) => n & mask == 0,
+            None => n.is_multiple_of(self.refresh_period),
+        }
+    }
+
+    /// The currently externalized per-application cap.
+    pub(crate) fn app_percent(&self) -> f64 {
+        f64::from_bits(self.app_percent_bits.load(Ordering::Acquire))
+    }
+
+    /// Publish a recomputed percent, writing only on change so the
+    /// readers' cache line stays shared in the steady state.
+    pub(crate) fn publish_app_percent(&self, pct: f64) {
+        let bits = pct.to_bits();
+        if self.app_percent_bits.load(Ordering::Relaxed) != bits {
+            self.app_percent_bits.store(bits, Ordering::Release);
+        }
+    }
+}
+
+/// Per-operation [`TuningHooks`] adapter. Constructed per lock
+/// manager call.
+///
+/// The request counter driving the refresh cadence belongs to the
+/// calling session (DB2 likewise counts per agent), so the hot path
+/// pays two plain `Cell` accesses instead of an atomic RMW on a line
+/// shared between threads. Service-internal callers (deadlock sweeper,
+/// session teardown) have no session counter; they never issue lock
+/// *requests*, so `on_lock_request` is unreachable from them — the
+/// fallback to the cached percent is belt and braces.
+pub(crate) struct ServiceHooks<'a> {
+    pub shared: &'a TuningShared,
+    /// The calling session's request counter, if any.
+    pub requests: Option<&'a std::cell::Cell<u64>>,
+}
+
+impl TuningHooks for ServiceHooks<'_> {
+    fn on_lock_request(&mut self, pool: &PoolUsage) -> f64 {
+        let n = match self.requests {
+            Some(c) => {
+                let n = c.get();
+                c.set(n.wrapping_add(1));
+                n
+            }
+            None => return self.shared.app_percent(),
+        };
+        if self.shared.is_refresh_tick(n) {
+            let num_apps = self.shared.num_applications.load(Ordering::Relaxed);
+            let mut state = self.shared.state.lock();
+            let params = *state.stmm.tuner().params();
+            let bounds = LockMemoryBounds::compute(&params, num_apps, state.mem.total());
+            let used = pool.slots_used * params.lock_struct_bytes;
+            let x = bounds.used_fraction_of_max(used);
+            let pct = state.stmm.tuner_mut().app_percent_mut().recompute(x);
+            drop(state);
+            self.shared.publish_app_percent(pct);
+            pct
+        } else {
+            self.shared.app_percent()
+        }
+    }
+
+    fn sync_growth(&mut self, wanted_bytes: u64, pool: &PoolUsage) -> u64 {
+        let num_apps = self.shared.num_applications.load(Ordering::Relaxed);
+        let mut state = self.shared.state.lock();
+        let params = *state.stmm.tuner().params();
+        let overflow = state.mem.overflow_state();
+        match SyncGrowth::new(&params).request(wanted_bytes, pool.bytes, num_apps, &overflow) {
+            SyncGrant::Granted { bytes } => {
+                state.mem.note_lock_sync_growth(bytes);
+                bytes
+            }
+            SyncGrant::Denied(_) => 0,
+        }
+    }
+
+    fn on_pool_resized(&mut self, pool: &PoolUsage) {
+        let num_apps = self.shared.num_applications.load(Ordering::Relaxed);
+        let mut state = self.shared.state.lock();
+        let params = *state.stmm.tuner().params();
+        let bounds = LockMemoryBounds::compute(&params, num_apps, state.mem.total());
+        let used = pool.slots_used * params.lock_struct_bytes;
+        state.stmm.tuner_mut().on_resize(used, &bounds);
+    }
+
+    fn on_escalation(&mut self, _app: AppId, _table: TableId, _exclusive: bool) {
+        self.shared.escalations.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -262,13 +262,18 @@ mod tests {
     fn from_secs_f64_handles_edge_cases() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).as_micros(), u64::MAX);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::INFINITY).as_micros(),
+            u64::MAX
+        );
         assert_eq!(SimDuration::from_secs_f64(1.5).as_micros(), 1_500_000);
     }
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_micros(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_micros(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
             Some(SimTime::from_secs(1))
@@ -283,8 +288,10 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: SimDuration =
-            [1u64, 2, 3].iter().map(|&s| SimDuration::from_secs(s)).sum();
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&s| SimDuration::from_secs(s))
+            .sum();
         assert_eq!(total.as_secs(), 6);
     }
 

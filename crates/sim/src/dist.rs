@@ -31,7 +31,10 @@ impl Exponential {
     /// # Panics
     /// Panics unless `mean` is finite and positive.
     pub fn new(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive"
+        );
         Exponential { mean }
     }
 }
@@ -60,7 +63,10 @@ impl Uniform {
     /// # Panics
     /// Panics unless `lo < hi` and both are finite.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "uniform requires lo < hi");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "uniform requires lo < hi"
+        );
         Uniform { lo, hi }
     }
 }
@@ -106,8 +112,14 @@ impl LogNormal {
     /// # Panics
     /// Panics unless `mean > 0` and `sigma >= 0`, all finite.
     pub fn with_mean(mean: f64, sigma: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "log-normal mean must be positive");
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "log-normal mean must be positive"
+        );
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be non-negative"
+        );
         // E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
         let mu = mean.ln() - sigma * sigma / 2.0;
         LogNormal { mu, sigma, mean }
@@ -152,7 +164,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative/non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "zipf requires at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf exponent must be non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for i in 0..n {
@@ -177,7 +192,9 @@ impl Zipf {
         let total = *self.cdf.last().expect("non-empty cdf");
         let target = rng.next_f64() * total;
         // partition_point returns the first index whose cdf exceeds target.
-        self.cdf.partition_point(|&c| c <= target).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= target)
+            .min(self.cdf.len() - 1)
     }
 }
 

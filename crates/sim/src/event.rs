@@ -59,12 +59,18 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Create an empty queue with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
     }
 
     /// Schedule `event` to fire at `at`. Returns its sequence number.
@@ -118,7 +124,10 @@ impl<E> Default for Simulator<E> {
 impl<E> Simulator<E> {
     /// Create a simulator with the clock at time zero.
     pub fn new() -> Self {
-        Simulator { now: SimTime::ZERO, queue: EventQueue::new() }
+        Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
     }
 
     /// Current simulated time.
@@ -133,7 +142,11 @@ impl<E> Simulator<E> {
     /// Panics if `at` is in the simulated past — scheduling backwards in
     /// time is always a logic error in the caller.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> u64 {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         self.queue.schedule(at, event)
     }
 

@@ -1,0 +1,357 @@
+//! Offline mini-`criterion`.
+//!
+//! The build environment has no crates.io mirror, so this workspace
+//! vendors a small wall-clock benchmark harness exposing the criterion
+//! API surface its benches use (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `iter`, `iter_batched`, throughput annotation).
+//!
+//! Statistics are deliberately simple: per sample the mean ns/iter is
+//! recorded; the report prints `[min  median  max]` across samples plus
+//! element throughput when declared. No HTML reports, no outlier
+//! analysis, no comparison against saved baselines — read the numbers
+//! off stdout and record them (this repository logs them in
+//! EXPERIMENTS.md).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Hint for how `iter_batched` should amortize setup (accepted for API
+/// compatibility; this harness always runs one routine call per setup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier combining a function name and a parameter, printed as
+/// `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(b: BenchmarkId) -> String {
+        b.id
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The benchmark manager.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let cfg = self.clone();
+        run_bench(&cfg, "", &id.into().id, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let cfg = self.criterion.clone();
+        run_bench(&cfg, &self.name, &id.into().id, self.throughput, f);
+        self
+    }
+
+    /// Benchmark a closure given a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let cfg = self.criterion.clone();
+        run_bench(&cfg, &self.name, &id.into().id, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`iter`](Bencher::iter) or
+/// [`iter_batched`](Bencher::iter_batched) exactly once.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Mean ns/iter per sample, filled by iter/iter_batched.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f` called in a loop.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warmup + calibration: how many calls fit in ~1/10 of a sample?
+        let sample_budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let mut calls_per_sample = 1u64;
+        let calib_start = Instant::now();
+        let mut calls = 0u64;
+        while calib_start.elapsed() < Duration::from_millis(20) {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = calib_start.elapsed().as_secs_f64() / calls as f64;
+        if per_call > 0.0 {
+            calls_per_sample = ((sample_budget / per_call) as u64).max(1);
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..calls_per_sample {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / calls_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    /// Time `routine` on fresh state from `setup`; setup is untimed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let ns = start.elapsed().as_nanos() as f64;
+            black_box(out);
+            self.samples_ns.push(ns);
+        }
+    }
+
+    /// `iter_batched` variant passing the input by `&mut`.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let start = Instant::now();
+            let out = routine(&mut input);
+            let ns = start.elapsed().as_nanos() as f64;
+            black_box(out);
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+fn run_bench(
+    cfg: &Criterion,
+    group: &str,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        sample_size: cfg.sample_size,
+        measurement_time: cfg.measurement_time,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.samples_ns.is_empty() {
+        println!("  {label}: no samples recorded");
+        return;
+    }
+    b.samples_ns
+        .sort_by(|a, x| a.partial_cmp(x).expect("finite sample times"));
+    let min = b.samples_ns[0];
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    let max = b.samples_ns[b.samples_ns.len() - 1];
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  thrpt: {:.3} Melem/s", n as f64 / median * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!(
+                "  thrpt: {:.3} MiB/s",
+                n as f64 / median * 1e9 / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "  {label}: time: [{} {} {}]{}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+        tp
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

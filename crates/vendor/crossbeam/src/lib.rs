@@ -1,0 +1,11 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::channel` MPMC API surface this workspace
+//! uses, implemented with a `Mutex<VecDeque>` + `Condvar` per channel.
+//! Both [`channel::Sender`] and [`channel::Receiver`] are `Clone + Send
+//! + Sync` like the real crate (std's `mpsc::Receiver` is not, which is
+//! why this is not a re-export).
+
+pub mod channel;
+
+pub use channel::{bounded, unbounded};

@@ -1,0 +1,26 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy for `Vec<T>` with a uniformly drawn length.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generate `Vec`s whose length falls in `size`, elements drawn from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}

@@ -1,0 +1,144 @@
+//! Offline shim for the `rand` crate (0.8 API subset).
+//!
+//! The workspace implements its own deterministic generator
+//! (`locktune_sim::SimRng`) and only needs the `RngCore` trait so that
+//! generator can plug into `rand`-shaped APIs. This shim provides that
+//! trait plus a small `Rng` extension, with no platform entropy.
+
+use std::fmt;
+
+/// Error type for fallible byte filling (never produced by this shim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Create an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator (rand 0.8 `RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill (infallible here).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A generator seedable from a `u64` (rand 0.8 `SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience methods over [`RngCore`] (rand 0.8 `Rng` subset).
+pub trait Rng: RngCore {
+    /// Uniform `u64` in `[0, bound)` via Lemire's method.
+    fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range requires lo < hi");
+        let span = hi - lo;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut l = m as u64;
+        if l < span {
+            let t = span.wrapping_neg() % span;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                l = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
+    }
+
+    /// Random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    //! Named generators (shim: a single splitmix64-based `StdRng`).
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn std_rng_deterministic() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = r.gen_range_u64(10, 20);
+            assert!((10..20).contains(&x));
+        }
+    }
+}

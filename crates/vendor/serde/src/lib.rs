@@ -1,0 +1,65 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build environment has no crates.io mirror, so the workspace
+//! vendors this marker-trait stand-in. `#[derive(Serialize,
+//! Deserialize)]` annotations across the crates compile unchanged (the
+//! shim derive emits empty impls), but no actual serialization is
+//! available — `serde_json` is not vendored. Code that needs real JSON
+//! emission writes it by hand (see `locktune-metrics`'s CSV module for
+//! the same philosophy).
+//!
+//! If a real registry becomes available, deleting `crates/vendor` and
+//! restoring the versions in the workspace `Cargo.toml` restores full
+//! serde behaviour; no call sites need to change.
+
+/// Marker for types that would be serializable with real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with real serde.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing (real serde's
+/// `DeserializeOwned` blanket).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<T: Serialize> Serialize for &T {}

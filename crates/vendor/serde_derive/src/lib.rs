@@ -1,0 +1,79 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The vendored `serde` traits are markers (see that crate's docs for
+//! why), so these derives only need to name the type being derived for
+//! and emit an empty impl. Parsing is a minimal hand-rolled token scan:
+//! skip attributes and visibility, find `struct`/`enum`/`union`, take
+//! the following identifier. Generic parameters are intentionally
+//! unsupported — every derived type in this workspace is concrete, and
+//! a clear compile error beats silently wrong codegen.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the marker `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
+
+/// Derive the marker `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
+
+/// Extract the type name from a struct/enum/union definition, panicking
+/// (a compile error at the derive site) on shapes this shim does not
+/// support.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // `#[attr]` — skip the `#` and the following bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Skip a possible `(crate)` style restriction.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" | "union" => {
+                        let name = match iter.next() {
+                            Some(TokenTree::Ident(n)) => n.to_string(),
+                            other => panic!("expected type name after `{word}`, got {other:?}"),
+                        };
+                        if let Some(TokenTree::Punct(p)) = iter.peek() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "vendored serde_derive shim does not support generic type \
+                                     `{name}`; write the marker impl by hand"
+                                );
+                            }
+                        }
+                        return name;
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("vendored serde_derive shim: no struct/enum/union found in derive input");
+}

@@ -70,7 +70,15 @@ impl ClientGenerator {
             .map(|p| Exponential::new(p.mean_hold.as_secs_f64().max(1e-9)))
             .collect();
         let row_picker = RowPicker::new(spec.rows_per_table, spec.zipf_exponent);
-        ClientGenerator { rng, mix: Discrete::new(&weights), row_picker, footprints, thinks, holds, spec }
+        ClientGenerator {
+            rng,
+            mix: Discrete::new(&weights),
+            row_picker,
+            footprints,
+            thinks,
+            holds,
+            spec,
+        }
     }
 
     /// Generate the next transaction plan.
@@ -95,7 +103,11 @@ impl ClientGenerator {
             let table = tables[i % tables.len()];
             let row = self.row_picker.sample(&mut self.rng);
             let exclusive = self.rng.chance(profile.write_fraction);
-            steps.push(LockStep { table, row, exclusive });
+            steps.push(LockStep {
+                table,
+                row,
+                exclusive,
+            });
         }
 
         TxnPlan {

@@ -49,7 +49,11 @@ impl DssSpec {
         let mut steps = Vec::with_capacity(n as usize);
         let mut pos = start;
         for _ in 0..n {
-            steps.push(LockStep { table: self.table, row: pos, exclusive: self.exclusive });
+            steps.push(LockStep {
+                table: self.table,
+                row: pos,
+                exclusive: self.exclusive,
+            });
             pos = (pos + stride) % self.table_rows;
         }
         let gap = SimDuration::from_secs_f64(1.0 / self.locks_per_second);
@@ -112,7 +116,11 @@ mod tests {
         rows.dedup();
         // The stride walk may collide occasionally if the stride shares
         // a factor with table_rows; require near-distinctness.
-        assert!(rows.len() as f64 > before as f64 * 0.99, "{} of {before}", rows.len());
+        assert!(
+            rows.len() as f64 > before as f64 * 0.99,
+            "{} of {before}",
+            rows.len()
+        );
     }
 
     #[test]

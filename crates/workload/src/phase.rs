@@ -65,7 +65,14 @@ impl Schedule {
 
     /// Convenience: a linear ramp from `from` to `to` clients over
     /// `[start, stop]` in `steps` equal increments.
-    pub fn ramp(from: u32, to: u32, start: SimTime, stop: SimTime, steps: u32, end: SimTime) -> Self {
+    pub fn ramp(
+        from: u32,
+        to: u32,
+        start: SimTime,
+        stop: SimTime,
+        steps: u32,
+        end: SimTime,
+    ) -> Self {
         assert!(steps > 0 && stop > start && to != from);
         let mut changes = vec![(SimTime::ZERO, PhaseChange::SetClients(from))];
         let span = (stop - start).as_micros();

@@ -111,7 +111,11 @@ impl OltpSpec {
     /// heuristic for scenarios).
     pub fn mean_locks_per_txn(&self) -> f64 {
         let total_w: f64 = self.profiles.iter().map(|p| p.weight).sum();
-        self.profiles.iter().map(|p| p.weight * p.mean_row_locks).sum::<f64>() / total_w
+        self.profiles
+            .iter()
+            .map(|p| p.weight * p.mean_row_locks)
+            .sum::<f64>()
+            / total_w
     }
 
     /// Validate the spec.

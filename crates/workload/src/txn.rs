@@ -64,9 +64,21 @@ mod tests {
     fn plan() -> TxnPlan {
         TxnPlan {
             steps: vec![
-                LockStep { table: 1, row: 10, exclusive: false },
-                LockStep { table: 2, row: 20, exclusive: true },
-                LockStep { table: 1, row: 11, exclusive: false },
+                LockStep {
+                    table: 1,
+                    row: 10,
+                    exclusive: false,
+                },
+                LockStep {
+                    table: 2,
+                    row: 20,
+                    exclusive: true,
+                },
+                LockStep {
+                    table: 1,
+                    row: 11,
+                    exclusive: false,
+                },
             ],
             think_before: SimDuration::from_millis(100),
             step_gap: SimDuration::from_millis(2),
@@ -85,7 +97,11 @@ mod tests {
         assert_eq!(p.lock_count(), 3);
         assert!(p.is_write());
         let read_only = TxnPlan {
-            steps: vec![LockStep { table: 1, row: 1, exclusive: false }],
+            steps: vec![LockStep {
+                table: 1,
+                row: 1,
+                exclusive: false,
+            }],
             ..plan()
         };
         assert!(!read_only.is_write());
@@ -95,7 +111,10 @@ mod tests {
     fn execution_time() {
         // 2 gaps of 2ms + 5ms hold = 9ms.
         assert_eq!(plan().execution_time(), SimDuration::from_millis(9));
-        let empty = TxnPlan { steps: vec![], ..plan() };
+        let empty = TxnPlan {
+            steps: vec![],
+            ..plan()
+        };
         assert_eq!(empty.execution_time(), SimDuration::from_millis(5));
     }
 }

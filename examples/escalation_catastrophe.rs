@@ -23,13 +23,20 @@ fn run(policy: Policy, label: &str) -> locktune_engine::RunResult {
 }
 
 fn main() {
-    let fixed = run(Policy::Static(StaticPolicy::figure7()), "static 0.4 MB LOCKLIST");
+    let fixed = run(
+        Policy::Static(StaticPolicy::figure7()),
+        "static 0.4 MB LOCKLIST",
+    );
     let tuned = run(Policy::SelfTuning(TunerParams::default()), "self-tuning");
 
     println!("\n-- static 0.4 MB LOCKLIST, MAXLOCKS 10 --");
     println!("  throughput: {}", sparkline(&fixed.throughput, 50));
-    println!("  escalations: {} ({} exclusive), lock waits: {}",
-        fixed.total_escalations(), fixed.exclusive_escalations(), fixed.final_stats.waits);
+    println!(
+        "  escalations: {} ({} exclusive), lock waits: {}",
+        fixed.total_escalations(),
+        fixed.exclusive_escalations(),
+        fixed.final_stats.waits
+    );
     println!("  committed: {}", fixed.committed);
 
     println!("\n-- self-tuning (DB2 9) --");

@@ -9,8 +9,7 @@ use locktune_metrics::TimeSeries;
 /// drawn with eight-level block characters.
 pub fn sparkline(series: &TimeSeries, width: usize) -> String {
     const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    let points: Vec<(f64, f64)> =
-        series.iter().map(|(t, v)| (t.as_secs_f64(), v)).collect();
+    let points: Vec<(f64, f64)> = series.iter().map(|(t, v)| (t.as_secs_f64(), v)).collect();
     if points.is_empty() || width == 0 {
         return String::from("(no data)");
     }
@@ -28,8 +27,14 @@ pub fn sparkline(series: &TimeSeries, width: usize) -> String {
         .zip(&counts)
         .map(|(&s, &c)| if c > 0 { Some(s / c as f64) } else { None })
         .collect();
-    let lo = values.iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b));
-    let hi = values.iter().flatten().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let lo = values
+        .iter()
+        .flatten()
+        .fold(f64::INFINITY, |a, &b| a.min(b));
+    let hi = values
+        .iter()
+        .flatten()
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
     let span = (hi - lo).max(1e-12);
     let mut line = String::with_capacity(width * 3);
     let mut last = lo;

@@ -31,15 +31,33 @@ fn main() {
     println!("running: 130 OLTP clients; reporting query injected at t=120s (simulated)...");
     let r = scenario.run();
 
-    let steady = r.lock_bytes.value_at(SimTime::from_secs(119)).unwrap_or(0.0);
+    let steady = r
+        .lock_bytes
+        .value_at(SimTime::from_secs(119))
+        .unwrap_or(0.0);
     let peak = r.peak_lock_bytes();
     println!("\nlock memory allocation:");
     println!("  {}", sparkline(&r.lock_bytes, 60));
     println!("\nlockPercentPerApplication:");
     println!("  {}", sparkline(&r.app_percent, 60));
     println!("\nsteady OLTP:      {}", mib(steady));
-    println!("peak with DSS:    {} ({:.0}x)", mib(peak), peak / steady.max(1.0));
-    println!("escalations:      {} (exclusive: {})", r.total_escalations(), r.exclusive_escalations());
-    println!("min app percent:  {:.1}%", r.app_percent.min_value().unwrap_or(0.0));
-    assert_eq!(r.exclusive_escalations(), 0, "no exclusive escalations (§5.3)");
+    println!(
+        "peak with DSS:    {} ({:.0}x)",
+        mib(peak),
+        peak / steady.max(1.0)
+    );
+    println!(
+        "escalations:      {} (exclusive: {})",
+        r.total_escalations(),
+        r.exclusive_escalations()
+    );
+    println!(
+        "min app percent:  {:.1}%",
+        r.app_percent.min_value().unwrap_or(0.0)
+    );
+    assert_eq!(
+        r.exclusive_escalations(),
+        0,
+        "no exclusive escalations (§5.3)"
+    );
 }

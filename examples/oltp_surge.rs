@@ -24,15 +24,29 @@ fn main() {
     println!("running: 50 clients for 180s, then a 2.6x surge to 130 (simulated time)...");
     let r = scenario.run();
 
-    let before = r.lock_bytes.value_at(SimTime::from_secs(179)).unwrap_or(0.0);
-    let after = r.lock_bytes.value_at(SimTime::from_secs(359)).unwrap_or(0.0);
+    let before = r
+        .lock_bytes
+        .value_at(SimTime::from_secs(179))
+        .unwrap_or(0.0);
+    let after = r
+        .lock_bytes
+        .value_at(SimTime::from_secs(359))
+        .unwrap_or(0.0);
     println!("\nlock memory allocation over time:");
     println!("  {}", sparkline(&r.lock_bytes, 60));
     println!("\nthroughput (committed tx/s):");
     println!("  {}", sparkline(&r.throughput, 60));
     println!("\nbefore surge: {}", mib(before));
-    println!("after surge:  {} ({:.2}x)", mib(after), after / before.max(1.0));
+    println!(
+        "after surge:  {} ({:.2}x)",
+        mib(after),
+        after / before.max(1.0)
+    );
     println!("escalations:  {}", r.total_escalations());
     println!("committed:    {}", r.committed);
-    assert_eq!(r.total_escalations(), 0, "the tuned system must not escalate");
+    assert_eq!(
+        r.total_escalations(),
+        0,
+        "the tuned system must not escalate"
+    );
 }

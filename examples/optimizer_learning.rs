@@ -11,7 +11,9 @@
 //! cargo run -p locktune-examples --bin optimizer_learning
 //! ```
 
-use locktune_core::{choose_locking, LockingStrategy, OptimizerFeedback, OptimizerView, TunerParams};
+use locktune_core::{
+    choose_locking, LockingStrategy, OptimizerFeedback, OptimizerView, TunerParams,
+};
 
 const GIB: u64 = 1 << 30;
 
@@ -20,7 +22,10 @@ fn main() {
     let db = 5 * GIB;
     let view = OptimizerView::compute(&params, db);
     let budget = view.plannable_row_locks(&params);
-    println!("stable compiler view: {} MiB of lock memory", view.lock_memory_bytes >> 20);
+    println!(
+        "stable compiler view: {} MiB of lock memory",
+        view.lock_memory_bytes >> 20
+    );
     println!("row-lock budget per statement: {budget} locks\n");
 
     // A statement the optimizer thinks locks ~60% of the budget.

@@ -32,20 +32,32 @@ fn main() {
     // 1. A pool of 128 KiB blocks (2048 lock structures each).
     let pool = LockMemoryPool::with_bytes(PoolConfig::default(), 2 * MIB);
     let mut manager = LockManager::new(pool, LockManagerConfig::default());
-    let mut hooks = NoTuning { max_locks_percent: 98.0 };
+    let mut hooks = NoTuning {
+        max_locks_percent: 98.0,
+    };
 
     // 2. An application takes a table intent lock plus row locks.
     let app = AppId(1);
     let orders = TableId(1);
-    manager.lock(app, ResourceId::Table(orders), LockMode::IX, &mut hooks).expect("intent");
+    manager
+        .lock(app, ResourceId::Table(orders), LockMode::IX, &mut hooks)
+        .expect("intent");
     for row in 0..10_000 {
         manager
-            .lock(app, ResourceId::Row(orders, RowId(row)), LockMode::X, &mut hooks)
+            .lock(
+                app,
+                ResourceId::Row(orders, RowId(row)),
+                LockMode::X,
+                &mut hooks,
+            )
             .expect("row lock");
     }
     let stats = manager.pool().stats();
     println!("after 10k row locks:");
-    println!("  pool: {} blocks, {} structures used of {}", stats.blocks, stats.slots_used, stats.slots_total);
+    println!(
+        "  pool: {} blocks, {} structures used of {}",
+        stats.blocks, stats.slots_used, stats.slots_total
+    );
 
     // 3. The adaptive tuner sizes the pool so ~50% stays free.
     let mut tuner = LockMemoryTuner::new(TunerParams::default());
@@ -75,7 +87,10 @@ fn main() {
     // 4. Commit: locks release, the tuner relaxes the memory ~5% per
     //    interval back towards the 60%-free band.
     manager.unlock_all(app, &mut hooks);
-    println!("after commit: {} structures used", manager.pool().used_slots());
+    println!(
+        "after commit: {} structures used",
+        manager.pool().used_slots()
+    );
     let mut shrink_steps = 0;
     loop {
         let snap = LockMemorySnapshot {

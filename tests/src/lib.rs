@@ -5,7 +5,13 @@ use locktune_engine::{Policy, RunResult, Scenario};
 
 /// Run a short self-tuned smoke scenario.
 pub fn tuned_smoke(seconds: u64, clients: u32, seed: u64) -> RunResult {
-    Scenario::smoke(Policy::SelfTuning(TunerParams::default()), seconds, clients, seed).run()
+    Scenario::smoke(
+        Policy::SelfTuning(TunerParams::default()),
+        seconds,
+        clients,
+        seed,
+    )
+    .run()
 }
 
 /// Run a short static-policy smoke scenario with the given LOCKLIST.

@@ -17,7 +17,10 @@ fn tuned_run_is_escalation_free_and_bounded() {
     let db = locktune_memory::MemoryConfig::default().total_bytes;
     let bounds = LockMemoryBounds::compute(&params, 30, db);
     for (_, v) in r.lock_bytes.iter() {
-        assert!(v as u64 <= bounds.max_bytes, "lock memory exceeded maxLockMemory");
+        assert!(
+            v as u64 <= bounds.max_bytes,
+            "lock memory exceeded maxLockMemory"
+        );
     }
     // And the minimum holds once the system is warm.
     let warm = r.lock_bytes.value_at(SimTime::from_secs(60)).unwrap();
@@ -89,8 +92,7 @@ fn fixed_maxlocks_escalates_where_adaptive_does_not() {
         17,
     )
     .run();
-    let r_adaptive =
-        Scenario::smoke(Policy::SelfTuning(TunerParams::default()), 60, 4, 17).run();
+    let r_adaptive = Scenario::smoke(Policy::SelfTuning(TunerParams::default()), 60, 4, 17).run();
     assert!(r_fixed.total_escalations() > 0, "tight fixed cap escalates");
     assert_eq!(r_fixed.oom_failures, 0, "memory was never the trigger");
     assert_eq!(r_adaptive.total_escalations(), 0);
