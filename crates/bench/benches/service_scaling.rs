@@ -79,7 +79,7 @@ fn run_service_threads(svc: &Arc<LockService>, threads: u32) {
                             .lock(ResourceId::Row(table, row), LockMode::X)
                             .unwrap();
                     }
-                    session.unlock_all();
+                    session.unlock_all().unwrap();
                 }
             })
         })
@@ -157,7 +157,7 @@ fn run_service_contended(svc: &Arc<LockService>, threads: u32) {
                     // runs whole transactions per scheduler slice and
                     // conflicts never materialize.
                     std::thread::yield_now();
-                    session.unlock_all();
+                    session.unlock_all().unwrap();
                 }
             })
         })

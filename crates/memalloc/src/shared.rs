@@ -17,23 +17,45 @@
 //! tuning (the paper's tuner acts on interval-scale aggregates) and
 //! exact at quiescence (what the accounting tests check).
 //!
-//! **Slot magazine.** A naive shared pool would take the mutex on
-//! every allocate/free, turning it into exactly the global
+//! **Two-tier slot magazine.** A naive shared pool would take the
+//! mutex on every allocate/free, turning it into exactly the global
 //! serialization point sharding is meant to remove. Each handle
-//! (clone) therefore keeps a private magazine of pre-allocated slot
-//! handles: `allocate` refills [`CACHE_BATCH`] slots in one mutex
-//! trip and then serves from the magazine, `free` returns slots to
-//! the magazine and spills half in one trip once it holds
-//! [`CACHE_MAX`]. The handles in a magazine are *allocated* as far as
-//! the global pool is concerned, so `used_slots()` reads as "charged
-//! by managers + parked in magazines": an upper bound on real demand
-//! that is off by at most `handles × CACHE_MAX` slots (a few KiB —
-//! noise at tuning granularity). [`SharedLockMemoryPool::flush_cache`]
-//! drains the magazine for exact accounting; dropping a handle
-//! flushes automatically.
+//! (clone) therefore fronts the pool with two tiers of pre-allocated
+//! slot handles:
+//!
+//! * a **hot tier** — a plain `Vec` of at most [`HOT_MAX`] slots,
+//!   exclusively owned by the handle and touched with no
+//!   synchronisation at all; the overwhelming majority of
+//!   allocate/free calls are a bare push/pop here;
+//! * a **depot tier** — a mutex-guarded `Vec` of at most [`CACHE_MAX`]
+//!   slots, registered with the pool. The hot tier refills from and
+//!   spills to the depot in [`HOT_MAX`]-sized chunks, the depot
+//!   refills from and spills to the pool in [`CACHE_BATCH`]-sized
+//!   trips, so the depot mutex (uncontended in steady state) is taken
+//!   once per ~[`HOT_MAX`] operations and the pool mutex once per
+//!   ~[`CACHE_BATCH`].
+//!
+//! The slots in either tier are *allocated* as far as the global pool
+//! is concerned, so `used_slots()` reads as "charged by managers +
+//! parked in magazines": an upper bound on real demand, off by at most
+//! `handles × (HOT_MAX + CACHE_MAX)` slots — noise at tuning
+//! granularity. [`SharedLockMemoryPool::flush_cache`] drains both
+//! tiers for exact accounting; dropping a handle flushes
+//! automatically.
+//!
+//! Parked slack (almost) never causes a false `Exhausted`: every depot
+//! is registered with the pool, and a handle whose refill finds the
+//! pool dry reclaims the slots parked in its siblings' depots before
+//! giving up. Because any parking beyond `HOT_MAX - 1` slots lives in
+//! the depot tier, only the hot tiers — at most `handles × HOT_MAX`
+//! slots, a small fraction of one 128 KiB block — are beyond the
+//! sweep's reach. `Exhausted` therefore fires at most a few hundred
+//! slots early, far below the one-block granularity of the manager's
+//! synchronous-growth response, instead of with up to a block's worth
+//! of free memory parked out of sight.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, Weak};
 
 use crate::backend::PoolBackend;
 use crate::config::PoolConfig;
@@ -42,40 +64,73 @@ use crate::pool::LockMemoryPool;
 use crate::stats::PoolStats;
 use crate::SlotHandle;
 
+/// One handle's depot tier. Shared as `Arc` so the dry-pool reclaim
+/// sweep can reach it; the owning handle holds the only strong
+/// reference apart from transient upgrades, the pool's registry holds
+/// a `Weak`.
+type Depot = Arc<Mutex<Vec<SlotHandle>>>;
+
+fn lock_depot(d: &Mutex<Vec<SlotHandle>>) -> MutexGuard<'_, Vec<SlotHandle>> {
+    d.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 #[derive(Debug)]
 struct SharedInner {
     pool: Mutex<LockMemoryPool>,
     config: PoolConfig,
+    /// Every live handle's depot, for the dry-pool reclaim sweep.
+    /// Dead entries (dropped handles) are pruned on registration.
+    depots: Mutex<Vec<Weak<Mutex<Vec<SlotHandle>>>>>,
     total_blocks: AtomicU64,
     total_bytes: AtomicU64,
     total_slots: AtomicU64,
     used_slots: AtomicU64,
 }
 
-/// Slots fetched from the pool per magazine refill (one mutex trip).
+impl SharedInner {
+    /// Create and register a fresh depot.
+    fn register_depot(&self) -> Depot {
+        let depot: Depot = Arc::new(Mutex::new(Vec::new()));
+        let mut depots = self.depots.lock().unwrap_or_else(PoisonError::into_inner);
+        depots.retain(|w| w.strong_count() > 0);
+        depots.push(Arc::downgrade(&depot));
+        depot
+    }
+}
+
+/// Hot-tier capacity: slots served by a bare `Vec` pop/push with no
+/// synchronisation. Kept small so at most `handles × HOT_MAX` free
+/// slots can hide from the dry-pool reclaim sweep.
+pub const HOT_MAX: usize = 16;
+
+/// Slots fetched from the pool per depot refill (one pool-mutex trip).
 pub const CACHE_BATCH: usize = 64;
 
-/// Magazine high-water mark; `free` spills down to [`CACHE_BATCH`]
-/// once this many slots are parked.
+/// Depot high-water mark; spills down to [`CACHE_BATCH`] once this
+/// many slots are parked.
 pub const CACHE_MAX: usize = 128;
 
 /// Cloneable, thread-safe pool handle implementing [`PoolBackend`].
 ///
-/// Each clone carries its own slot magazine (see the module docs);
-/// the magazine starts empty and is flushed back on drop.
+/// Each clone carries its own two-tier slot magazine (see the module
+/// docs); both tiers start empty and are flushed back on drop.
 #[derive(Debug)]
 pub struct SharedLockMemoryPool {
     inner: Arc<SharedInner>,
-    /// This handle's slot magazine. Exclusively owned (allocate/free
-    /// take `&mut self`), so no synchronisation is needed to touch it.
-    cache: Vec<SlotHandle>,
+    /// Hot tier: exclusively owned (allocate/free take `&mut self`),
+    /// so no synchronisation is needed to touch it.
+    hot: Vec<SlotHandle>,
+    /// Depot tier: behind its own (steady-state uncontended) mutex so
+    /// sibling handles can reclaim it when the pool runs dry.
+    depot: Depot,
 }
 
 impl Clone for SharedLockMemoryPool {
     fn clone(&self) -> Self {
         SharedLockMemoryPool {
+            hot: Vec::new(),
+            depot: self.inner.register_depot(),
             inner: Arc::clone(&self.inner),
-            cache: Vec::new(),
         }
     }
 }
@@ -90,17 +145,19 @@ impl SharedLockMemoryPool {
     /// Wrap an owned pool.
     pub fn new(pool: LockMemoryPool) -> Self {
         let config = *pool.config();
-        let inner = SharedInner {
+        let inner = Arc::new(SharedInner {
             config,
+            depots: Mutex::new(Vec::new()),
             total_blocks: AtomicU64::new(pool.total_blocks()),
             total_bytes: AtomicU64::new(pool.total_bytes()),
             total_slots: AtomicU64::new(pool.total_slots()),
             used_slots: AtomicU64::new(pool.used_slots()),
             pool: Mutex::new(pool),
-        };
+        });
         SharedLockMemoryPool {
-            inner: Arc::new(inner),
-            cache: Vec::new(),
+            hot: Vec::new(),
+            depot: inner.register_depot(),
+            inner,
         }
     }
 
@@ -141,41 +198,59 @@ impl SharedLockMemoryPool {
         Arc::strong_count(&self.inner)
     }
 
-    /// Slots currently parked in this handle's magazine.
+    /// Slots currently parked in this handle's magazine (both tiers).
     pub fn cached_slots(&self) -> usize {
-        self.cache.len()
+        self.hot.len() + lock_depot(&self.depot).len()
     }
 
     /// Return every magazine slot to the pool (exact accounting; used
     /// before quiescence checks and by the tuning thread's snapshot).
     pub fn flush_cache(&mut self) {
-        if self.cache.is_empty() {
+        let mut parked = std::mem::take(&mut self.hot);
+        parked.append(&mut lock_depot(&self.depot));
+        if parked.is_empty() {
             return;
         }
-        let cache = std::mem::take(&mut self.cache);
         self.with(|p| {
-            for h in cache {
+            for h in parked {
                 p.free(h).expect("magazine slots are live");
             }
         });
     }
-}
 
-impl PoolBackend for SharedLockMemoryPool {
-    fn config(&self) -> PoolConfig {
-        self.inner.config
+    /// Steal every slot parked in sibling depots. Called when a refill
+    /// found the pool dry: free slots may be sitting in other shards'
+    /// magazines, and surfacing `Exhausted` while they exist would
+    /// trigger growth or escalation with memory actually available.
+    ///
+    /// Lock order is registry → one depot at a time, with the pool
+    /// mutex taken only by the caller afterwards — no path acquires in
+    /// the opposite direction, so no cycle.
+    fn steal_sibling_depots(&self) -> Vec<SlotHandle> {
+        let mut stolen = Vec::new();
+        let depots = self
+            .inner
+            .depots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for weak in depots.iter() {
+            let Some(d) = weak.upgrade() else { continue };
+            if Arc::ptr_eq(&d, &self.depot) {
+                continue;
+            }
+            stolen.append(&mut lock_depot(&d));
+        }
+        stolen
     }
 
-    fn allocate(&mut self) -> Result<SlotHandle, PoolError> {
-        if let Some(h) = self.cache.pop() {
-            return Ok(h);
-        }
-        // Refill the magazine in one mutex trip. A partial refill (the
-        // pool ran dry mid-batch) still succeeds as long as one slot
-        // came back; the caller only sees `Exhausted` when the pool has
-        // nothing at all, which keeps the manager's synchronous-growth
-        // path intact.
-        let refill = self.with(|p| {
+    /// One pool trip: free `returned` into the pool, then allocate up
+    /// to a batch. A partial batch (the pool ran dry mid-refill) still
+    /// succeeds as long as one slot came back.
+    fn refill(&self, returned: Vec<SlotHandle>) -> Result<Vec<SlotHandle>, PoolError> {
+        self.with(|p| {
+            for h in returned {
+                p.free(h).expect("magazine slots are live");
+            }
             let mut got = Vec::with_capacity(CACHE_BATCH);
             for _ in 0..CACHE_BATCH {
                 match p.allocate() {
@@ -185,17 +260,86 @@ impl PoolBackend for SharedLockMemoryPool {
                 }
             }
             Ok(got)
-        })?;
-        self.cache = refill;
-        self.cache.pop().ok_or(PoolError::Exhausted)
+        })
+    }
+
+    /// Split `batch` between the tiers and return one slot from it.
+    /// `batch` must be non-empty.
+    fn serve_from_batch(&mut self, mut batch: Vec<SlotHandle>) -> SlotHandle {
+        let h = batch.pop().expect("serve_from_batch needs a slot");
+        let keep = batch.len().min(HOT_MAX - 1);
+        self.hot.extend(batch.drain(batch.len() - keep..));
+        if !batch.is_empty() {
+            lock_depot(&self.depot).append(&mut batch);
+        }
+        h
+    }
+}
+
+impl PoolBackend for SharedLockMemoryPool {
+    fn config(&self) -> PoolConfig {
+        self.inner.config
+    }
+
+    fn allocate(&mut self) -> Result<SlotHandle, PoolError> {
+        // Fast path: no synchronisation.
+        if let Some(h) = self.hot.pop() {
+            return Ok(h);
+        }
+        // Hot tier dry: pull a chunk from the depot (one short,
+        // steady-state-uncontended lock per ~HOT_MAX allocations).
+        {
+            let mut depot = lock_depot(&self.depot);
+            let take = depot.len().min(HOT_MAX);
+            if take > 0 {
+                let at = depot.len() - take;
+                self.hot.extend(depot.drain(at..));
+            }
+        }
+        if let Some(h) = self.hot.pop() {
+            return Ok(h);
+        }
+        // Depot dry too: refill a whole batch in one pool trip.
+        let batch = self.refill(Vec::new())?;
+        if !batch.is_empty() {
+            return Ok(self.serve_from_batch(batch));
+        }
+        // Pool dry — reclaim slots parked in sibling depots. Returning
+        // them and re-allocating happen under one pool lock, so at
+        // least one slot is guaranteed if any were stolen; `Exhausted`
+        // now means genuinely out of memory (modulo the documented
+        // `handles × HOT_MAX` hot-tier slack).
+        let stolen = self.steal_sibling_depots();
+        if stolen.is_empty() {
+            return Err(PoolError::Exhausted);
+        }
+        let batch = self.refill(stolen)?;
+        if batch.is_empty() {
+            return Err(PoolError::Exhausted);
+        }
+        Ok(self.serve_from_batch(batch))
     }
 
     fn free(&mut self, handle: SlotHandle) -> Result<(), PoolError> {
-        self.cache.push(handle);
-        if self.cache.len() >= CACHE_MAX {
-            let spill: Vec<_> = self.cache.drain(CACHE_BATCH..).collect();
+        // Fast path: no synchronisation.
+        self.hot.push(handle);
+        if self.hot.len() < HOT_MAX {
+            return Ok(());
+        }
+        // Spill half the hot tier into the depot; spill the depot's
+        // overflow into the pool in one trip.
+        let pool_spill: Vec<_> = {
+            let mut depot = lock_depot(&self.depot);
+            depot.extend(self.hot.drain(HOT_MAX / 2..));
+            if depot.len() >= CACHE_MAX {
+                depot.drain(CACHE_BATCH..).collect()
+            } else {
+                Vec::new()
+            }
+        };
+        if !pool_spill.is_empty() {
             self.with(|p| {
-                for h in spill {
+                for h in pool_spill {
                     p.free(h).expect("magazine slots are live");
                 }
             });
@@ -273,7 +417,7 @@ mod tests {
         assert_eq!(shared.total_slots(), 2048);
         let h = shared.allocate().unwrap();
         // The magazine refilled a whole batch; one slot is handed out,
-        // the rest are parked but globally "used".
+        // the rest are parked across the two tiers but globally "used".
         assert_eq!(shared.used_slots(), CACHE_BATCH as u64);
         assert_eq!(shared.cached_slots(), CACHE_BATCH - 1);
         shared.free(h).unwrap();
@@ -299,7 +443,7 @@ mod tests {
         assert_eq!(shared.used_slots(), 2 * CACHE_BATCH as u64);
         a.free(ha).unwrap();
         b.free(hb).unwrap();
-        drop(a); // drop flushes the magazine
+        drop(a); // drop flushes both tiers
         drop(b);
         assert_eq!(shared.used_slots(), 0);
     }
@@ -314,9 +458,9 @@ mod tests {
         for h in handles {
             shared.free(h).unwrap();
         }
-        // The magazine spilled back down instead of growing without
+        // Both tiers spilled back down instead of growing without
         // bound.
-        assert!(shared.cached_slots() <= CACHE_MAX);
+        assert!(shared.cached_slots() <= CACHE_MAX + HOT_MAX);
         shared.flush_cache();
         assert_eq!(shared.used_slots(), 0);
 
@@ -328,6 +472,51 @@ mod tests {
             shared.free(h).unwrap();
         }
         shared.flush_cache();
+        assert_eq!(shared.used_slots(), 0);
+        shared.validate();
+    }
+
+    #[test]
+    fn dry_pool_reclaims_sibling_depots() {
+        // One block = 2048 slots split across two handles: `a` takes
+        // one slot (its first refill parks HOT_MAX - 1 slots hot and
+        // CACHE_BATCH - HOT_MAX in its depot), then `b` drains the rest
+        // of the pool in exact batches so both of b's tiers end empty.
+        let shared = SharedLockMemoryPool::with_bytes(PoolConfig::default(), 128 * 1024);
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        let held_by_a = a.allocate().unwrap();
+        assert_eq!(a.cached_slots(), CACHE_BATCH - 1);
+        let held_by_b: Vec<_> = (0..2048 - CACHE_BATCH)
+            .map(|_| b.allocate().unwrap())
+            .collect();
+        assert_eq!(b.cached_slots(), 0);
+        assert_eq!(shared.used_slots(), 2048);
+
+        // The pool is dry, but a's depot parks free slots: b's next
+        // allocate must reclaim them instead of reporting Exhausted.
+        let reclaimed = b.allocate().expect("depot slots must be reclaimed");
+
+        // Only a's hot tier stays out of reach — the documented slack.
+        assert_eq!(a.cached_slots(), HOT_MAX - 1);
+
+        // Exactly a's depot (CACHE_BATCH - HOT_MAX slots) was
+        // reclaimable; once b takes it all, exhaustion is genuine.
+        let rest: Vec<_> = (0..CACHE_BATCH - HOT_MAX - 1)
+            .map(|_| b.allocate().expect("reclaimed slots serve b"))
+            .collect();
+        assert!(matches!(b.allocate(), Err(PoolError::Exhausted)));
+
+        b.free(reclaimed).unwrap();
+        for h in rest {
+            b.free(h).unwrap();
+        }
+        for h in held_by_b {
+            b.free(h).unwrap();
+        }
+        a.free(held_by_a).unwrap();
+        drop(a);
+        drop(b);
         assert_eq!(shared.used_slots(), 0);
         shared.validate();
     }

@@ -145,11 +145,15 @@ impl ServiceInner {
     ///
     /// Shards are inspected one at a time (never two latches at once),
     /// so an edge may be stale by the time victims are chosen — a
-    /// release can race the sweep. That can abort an application that
-    /// was about to be granted (a false positive the paper's
-    /// timer-based detector shares); it can never miss a genuine
-    /// deadlock, because deadlocked applications are parked and their
-    /// edges stable.
+    /// release can race the sweep and grant a chosen victim's wait.
+    /// Each victim is therefore confirmed by cancelling its wait
+    /// first: only a victim still queued somewhere is aborted. If no
+    /// shard had a wait to cancel, the grant won the race and the
+    /// "victim" is a running transaction whose locks must stay put —
+    /// aborting it then would release locks out from under a live
+    /// critical section. A genuine deadlock can never be missed this
+    /// way: deadlocked applications are parked and their waits stay
+    /// cancellable until a sweep resolves the cycle.
     fn sweep_deadlocks(&self) {
         let mut edges = Vec::new();
         for shard in &self.shards {
@@ -160,6 +164,23 @@ impl ServiceInner {
         }
         let victims = DeadlockDetector::new().find_victims(&edges);
         for v in victims {
+            let mut still_waiting = false;
+            for shard in &self.shards {
+                let (cancelled, notices) = {
+                    let mut m = shard.lock();
+                    (m.cancel_wait(v.app), m.take_notifications())
+                };
+                self.deliver(notices);
+                still_waiting |= cancelled;
+            }
+            if !still_waiting {
+                // Granted (or timed out / disconnected) between the
+                // edge capture and now: not a victim.
+                continue;
+            }
+            // The victim is out of every wait queue and parked on its
+            // channel; nothing can grant it until the Aborted message
+            // below wakes it, so releasing its locks is safe.
             let mut notices = Vec::new();
             for shard in &self.shards {
                 let mut hooks = self.hooks();
@@ -197,6 +218,17 @@ impl ServiceInner {
         self.tuning.publish_app_percent(report.decision.app_percent);
         self.reports.lock().push(report);
         report
+    }
+
+    /// Flag shutdown and wake the background threads.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Lock and release the park mutex between the store and the
+        // notify: a background thread that has locked `park` and seen
+        // `shutdown == false` but not yet begun waiting would otherwise
+        // miss the notification and sleep out its full interval.
+        drop(self.park.lock());
+        self.park_cv.notify_all();
     }
 
     /// Park for `interval` or until shutdown wakes the thread early.
@@ -276,7 +308,15 @@ impl LockService {
                         inner.sweep_deadlocks();
                     }
                 })
-                .map_err(|e| format!("spawn deadlock thread: {e}"))?
+        };
+        let sweeper = match sweeper {
+            Ok(t) => t,
+            Err(e) => {
+                // Don't leak the already-running tuner thread.
+                inner.request_shutdown();
+                let _ = tuner.join();
+                return Err(format!("spawn deadlock thread: {e}"));
+            }
         };
 
         Ok(LockService {
@@ -316,9 +356,21 @@ impl LockService {
     }
 
     /// Register an application and return its session handle.
+    ///
+    /// # Panics
+    /// Panics if `app` already has a live session: a silent replacement
+    /// would cross-wire the two sessions' grant channels, and either
+    /// drop would release the other's locks.
     pub fn connect(&self, app: AppId) -> Session {
         let (tx, rx) = channel::unbounded();
-        self.inner.registry.lock().insert(app, tx);
+        {
+            let mut registry = self.inner.registry.lock();
+            assert!(
+                !registry.contains_key(&app),
+                "application {app:?} is already connected"
+            );
+            registry.insert(app, tx);
+        }
         self.inner
             .tuning
             .num_applications
@@ -416,8 +468,7 @@ impl LockService {
     }
 
     fn stop_threads(&mut self) {
-        self.inner.shutdown.store(true, Ordering::Release);
-        self.inner.park_cv.notify_all();
+        self.inner.request_shutdown();
         if let Some(t) = self.tuner_thread.take() {
             let _ = t.join();
         }
@@ -470,25 +521,32 @@ impl Session {
         }
     }
 
+    /// Drain stale messages from the session channel; `true` if a
+    /// deadlock abort is pending. Only sessions that have waited can
+    /// have been aborted, so the common never-waited case skips the
+    /// channel entirely.
+    fn pending_abort(&self) -> bool {
+        if !self.ever_waited.get() {
+            return false;
+        }
+        let rx = self.rx.as_ref().expect("session channel live");
+        let mut aborted = false;
+        while let Ok(msg) = rx.try_recv() {
+            if matches!(msg, WakeMessage::Aborted) {
+                aborted = true;
+            }
+        }
+        aborted
+    }
+
     /// Request `mode` on `res`, blocking (up to `lock_wait_timeout`)
     /// if the request queues.
     pub fn lock(&self, res: ResourceId, mode: LockMode) -> Result<LockOutcome, ServiceError> {
         // Stale-message check: a deadlock abort that raced a previous
         // wait (or struck while this session was computing) must
-        // surface before new locks are taken on an empty slate. Only
-        // sessions that have waited can have been aborted, so the
-        // uncontended fast path skips the channel entirely.
-        if self.ever_waited.get() {
-            let rx = self.rx.as_ref().expect("session channel live");
-            let mut aborted = false;
-            while let Ok(msg) = rx.try_recv() {
-                if matches!(msg, WakeMessage::Aborted) {
-                    aborted = true;
-                }
-            }
-            if aborted {
-                return Err(ServiceError::DeadlockVictim);
-            }
+        // surface before new locks are taken on an empty slate.
+        if self.pending_abort() {
+            return Err(ServiceError::DeadlockVictim);
         }
 
         let idx = self.inner.shard_index(res);
@@ -613,7 +671,15 @@ impl Session {
     /// visited — the lock manager forbids acquiring locks for another
     /// application, so a shard the session never touched cannot hold
     /// its locks.
-    pub fn unlock_all(&self) -> UnlockReport {
+    ///
+    /// Fails with [`ServiceError::DeadlockVictim`] if a deadlock abort
+    /// is pending on the session channel: the sweeper already released
+    /// this session's locks, so reporting a successful release would
+    /// let a transaction commit without the locks it believes it held.
+    pub fn unlock_all(&self) -> Result<UnlockReport, ServiceError> {
+        if self.pending_abort() {
+            return Err(ServiceError::DeadlockVictim);
+        }
         let mut total = UnlockReport::default();
         let touched = self.touched_shards.replace(0);
         for (i, shard) in self.inner.shards.iter().enumerate() {
@@ -630,7 +696,7 @@ impl Session {
             total.released_locks += report.released_locks;
             total.freed_slots += report.freed_slots;
         }
-        total
+        Ok(total)
     }
 }
 

@@ -134,8 +134,13 @@ fn run_txn(
     }
     // Strict 2PL: release everything whether committing or aborting.
     // (A deadlock victim's locks are already gone; unlock_all is a
-    // no-op then.)
-    session.unlock_all();
+    // no-op then.) A commit-time `DeadlockVictim` means the sweeper
+    // struck after the last grant: the locks are gone and the
+    // transaction must not count as committed.
+    let commit = session.unlock_all();
+    if ok && commit.is_err() {
+        ok = count_failure(ServiceError::DeadlockVictim, counters);
+    }
     if ok {
         counters.committed.fetch_add(1, Ordering::Relaxed);
     }
@@ -213,7 +218,9 @@ pub fn run_stress(service: &Arc<LockService>, cfg: StressConfig) -> StressReport
             report.decision.grow_bytes() > 0 || report.decision.is_no_change(),
             "a pool under free-target pressure must not shrink"
         );
-        holder.unlock_all();
+        holder
+            .unlock_all()
+            .expect("uncontended holder never waits, cannot be a victim");
     }
 
     // Phase 3 (deterministic shrink): quiescent pool, free fraction is

@@ -28,7 +28,7 @@ fn uncontended_locks_across_shards() {
     }
     assert!(service.charged_slots() > 0);
     service.validate();
-    s.unlock_all();
+    s.unlock_all().unwrap();
     assert_eq!(service.charged_slots(), 0);
     service.validate();
 }
@@ -53,7 +53,7 @@ fn blocked_request_is_granted_on_release() {
     };
     waiter_started.wait();
     std::thread::sleep(Duration::from_millis(50));
-    holder.unlock_all();
+    holder.unlock_all().unwrap();
     waiter
         .join()
         .unwrap()
@@ -100,7 +100,9 @@ fn cross_shard_deadlock_is_detected_and_victim_aborted() {
                     .expect("uncontended first lock");
                 ready.wait();
                 let result = s.lock(table(second), LockMode::X).map(|_| ());
-                s.unlock_all();
+                // The victim's abort was already consumed by the lock
+                // call above, so commit succeeds (as a no-op) for both.
+                s.unlock_all().unwrap();
                 result
             })
         })
@@ -118,6 +120,29 @@ fn cross_shard_deadlock_is_detected_and_victim_aborted() {
     );
     assert_eq!(outcomes[1], Err(ServiceError::DeadlockVictim));
     assert_eq!(service.charged_slots(), 0);
+    service.validate();
+}
+
+/// A second `connect` with a live session's AppId must panic instead of
+/// silently cross-wiring the two sessions' grant channels.
+#[test]
+#[should_panic(expected = "already connected")]
+fn duplicate_connect_panics() {
+    let service = LockService::start(ServiceConfig::fast(2)).unwrap();
+    let _first = service.connect(AppId(7));
+    let _second = service.connect(AppId(7));
+}
+
+/// Reconnecting after the previous session dropped is fine.
+#[test]
+fn reconnect_after_drop_is_allowed() {
+    let service = LockService::start(ServiceConfig::fast(2)).unwrap();
+    let first = service.connect(AppId(7));
+    first.lock(table(0), LockMode::X).unwrap();
+    drop(first);
+    let second = service.connect(AppId(7));
+    second.lock(table(0), LockMode::X).unwrap();
+    second.unlock_all().unwrap();
     service.validate();
 }
 
@@ -192,7 +217,9 @@ proptest! {
                                 let _ = s.lock(table(t), m);
                             }
                             Op::Commit => {
-                                s.unlock_all();
+                                // A pending deadlock abort surfaces
+                                // here; the locks are gone either way.
+                                let _ = s.unlock_all();
                             }
                         }
                     }
@@ -231,7 +258,7 @@ fn tuning_thread_ticks_on_its_own() {
         !service.tuning_reports().is_empty(),
         "background tuner must have run at least one interval"
     );
-    s.unlock_all();
+    s.unlock_all().unwrap();
     service.validate();
 }
 
@@ -260,7 +287,7 @@ fn tuner_and_workload_coexist() {
                         granted.fetch_add(1, Ordering::Relaxed);
                     }
                     if i % 10 == 9 {
-                        s.unlock_all();
+                        let _ = s.unlock_all();
                     }
                 }
             })

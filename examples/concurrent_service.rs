@@ -66,7 +66,9 @@ fn main() {
                             }
                         }
                     }
-                    session.unlock_all();
+                    // A commit-time DeadlockVictim just means this
+                    // transaction's locks are already gone; retry next.
+                    let _ = session.unlock_all();
                 }
             })
         })
