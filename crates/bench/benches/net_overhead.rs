@@ -1,0 +1,197 @@
+//! What does the TCP front-end cost? Three drivers run the identical
+//! disjoint OLTP workload (per-thread private table: IX + 20 X row
+//! locks + commit, no conflicts) against the same service
+//! configuration:
+//!
+//! * **in-process** — sessions call straight into the `LockService`;
+//!   this is the ceiling.
+//! * **wire (sync)** — a `locktune-net` client on loopback, one
+//!   request/reply round trip per lock. Every lock pays a full
+//!   socket RTT plus two thread handoffs, so this is the floor.
+//! * **wire (pipelined)** — the same client, but each transaction's
+//!   intent + row locks ride one flush and replies are collected
+//!   afterwards. One RTT per *transaction* amortizes the network; the
+//!   gap to in-process that remains is codec + syscall + handoff cost.
+//!
+//! The interesting number is the ratio between the three, not the
+//! absolute throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use locktune_lockmgr::{AppId, LockMode, ResourceId, RowId, TableId};
+use locktune_net::wire::Request;
+use locktune_net::{Client, Reply, Server};
+use locktune_service::{LockService, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const TXNS_PER_THREAD: u64 = 200;
+const ROWS_PER_TXN: u64 = 20;
+
+fn service() -> Arc<LockService> {
+    let config = ServiceConfig {
+        shards: 4,
+        // Background timers parked: measure the data path, not the
+        // tuner.
+        tuning_interval: Duration::from_secs(3600),
+        deadlock_interval: Duration::from_secs(3600),
+        lock_wait_timeout: None,
+        initial_lock_bytes: 64 << 20,
+        ..ServiceConfig::default()
+    };
+    Arc::new(LockService::start(config).expect("service start"))
+}
+
+/// A running server plus one connected client per worker thread.
+struct Rig {
+    /// Kept alive for the duration of the measurement; dropped (and
+    /// joined) by criterion's batch teardown, outside the timing.
+    _server: Server,
+    clients: Vec<Client>,
+}
+
+fn rig(threads: u32) -> Rig {
+    let server = Server::bind(service(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    let clients = (0..threads)
+        .map(|_| Client::connect(addr).expect("connect"))
+        .collect();
+    Rig {
+        _server: server,
+        clients,
+    }
+}
+
+fn run_in_process(svc: &Arc<LockService>, threads: u32) {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let svc = Arc::clone(svc);
+            std::thread::spawn(move || {
+                let session = svc.connect(AppId(t + 1));
+                let table = TableId(t);
+                for txn in 0..TXNS_PER_THREAD {
+                    session
+                        .lock(ResourceId::Table(table), LockMode::IX)
+                        .unwrap();
+                    for r in 0..ROWS_PER_TXN {
+                        let row = RowId(txn * ROWS_PER_TXN + r);
+                        session
+                            .lock(ResourceId::Row(table, row), LockMode::X)
+                            .unwrap();
+                    }
+                    session.unlock_all().unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn run_wire(rig: Rig, pipelined: bool) -> Rig {
+    let handles: Vec<_> = rig
+        .clients
+        .into_iter()
+        .enumerate()
+        .map(|(t, mut client)| {
+            std::thread::spawn(move || {
+                let table = TableId(t as u32);
+                for txn in 0..TXNS_PER_THREAD {
+                    if pipelined {
+                        run_txn_pipelined(&mut client, table, txn);
+                    } else {
+                        run_txn_sync(&mut client, table, txn);
+                    }
+                }
+                client
+            })
+        })
+        .collect();
+    let clients = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    Rig {
+        _server: rig._server,
+        clients,
+    }
+}
+
+fn run_txn_sync(client: &mut Client, table: TableId, txn: u64) {
+    client.lock(ResourceId::Table(table), LockMode::IX).unwrap();
+    for r in 0..ROWS_PER_TXN {
+        let row = RowId(txn * ROWS_PER_TXN + r);
+        client
+            .lock(ResourceId::Row(table, row), LockMode::X)
+            .unwrap();
+    }
+    client.unlock_all().unwrap();
+}
+
+fn run_txn_pipelined(client: &mut Client, table: TableId, txn: u64) {
+    let mut ids = Vec::with_capacity(ROWS_PER_TXN as usize + 1);
+    ids.push(
+        client
+            .send(&Request::Lock {
+                res: ResourceId::Table(table),
+                mode: LockMode::IX,
+            })
+            .unwrap(),
+    );
+    for r in 0..ROWS_PER_TXN {
+        let row = RowId(txn * ROWS_PER_TXN + r);
+        ids.push(
+            client
+                .send(&Request::Lock {
+                    res: ResourceId::Row(table, row),
+                    mode: LockMode::X,
+                })
+                .unwrap(),
+        );
+    }
+    for id in ids {
+        match client.wait(id).unwrap() {
+            Reply::Lock(Ok(_)) => {}
+            other => panic!("disjoint lock failed: {other:?}"),
+        }
+    }
+    client.unlock_all().unwrap();
+}
+
+fn bench_net_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_overhead");
+    for threads in [1u32, 4] {
+        let locks = threads as u64 * TXNS_PER_THREAD * (ROWS_PER_TXN + 1);
+        g.throughput(Throughput::Elements(locks));
+        g.bench_function(format!("in_process_{threads}_threads"), |b| {
+            b.iter_batched(
+                service,
+                |svc| {
+                    run_in_process(&svc, threads);
+                    svc
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("wire_sync_{threads}_threads"), |b| {
+            b.iter_batched(
+                || rig(threads),
+                |r| run_wire(r, false),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("wire_pipelined_{threads}_threads"), |b| {
+            b.iter_batched(
+                || rig(threads),
+                |r| run_wire(r, true),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_net_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,342 @@
+//! Remote load generator: drive the mixed OLTP/DSS stress workload
+//! against a `locktune-server` over real sockets.
+//!
+//! ```text
+//! locktune-client [--addr HOST:PORT] [--workers N] [--txns N]
+//!                 [--tables N] [--rows N] [--oltp-rows N] [--dss-rows N]
+//!                 [--dss-percent P] [--seed S] [--min-intervals N]
+//!                 [--skip-kill]
+//! ```
+//!
+//! Each worker thread owns one TCP connection and runs the same two
+//! transaction footprints the in-process stress driver uses: OLTP (IX
+//! on a table, a handful of X row locks, commit) and DSS scans (IS on
+//! a table, a large pipelined batch of S row locks, commit). After the
+//! timed phase one extra connection takes locks and is **killed**
+//! (socket hard-shutdown, no unlock) to prove the server releases a
+//! dead client's locks; the run then polls until the pool drains,
+//! fetches server statistics and runs the remote accounting audit.
+//!
+//! Exits nonzero if the audit fails, locks outlive the clients, or
+//! fewer than `--min-intervals` tuning intervals ran server-side.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use locktune_lockmgr::{LockError, LockMode, ResourceId, RowId, TableId};
+use locktune_net::wire::Request;
+use locktune_net::{Client, ClientError, Reply};
+use locktune_service::ServiceError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Clone)]
+struct Args {
+    addr: String,
+    workers: usize,
+    txns: u64,
+    tables: u32,
+    rows_per_table: u64,
+    oltp_rows: u64,
+    dss_rows: u64,
+    dss_percent: u32,
+    seed: u64,
+    min_intervals: u64,
+    skip_kill: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7474".into(),
+        workers: 4,
+        txns: 150,
+        tables: 16,
+        rows_per_table: 2_000,
+        oltp_rows: 8,
+        dss_rows: 600,
+        dss_percent: 25,
+        seed: 42,
+        min_intervals: 0,
+        skip_kill: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => args.workers = parse(&value("--workers")?, "--workers")?,
+            "--txns" => args.txns = parse(&value("--txns")?, "--txns")?,
+            "--tables" => args.tables = parse(&value("--tables")?, "--tables")?,
+            "--rows" => args.rows_per_table = parse(&value("--rows")?, "--rows")?,
+            "--oltp-rows" => args.oltp_rows = parse(&value("--oltp-rows")?, "--oltp-rows")?,
+            "--dss-rows" => args.dss_rows = parse(&value("--dss-rows")?, "--dss-rows")?,
+            "--dss-percent" => args.dss_percent = parse(&value("--dss-percent")?, "--dss-percent")?,
+            "--seed" => args.seed = parse(&value("--seed")?, "--seed")?,
+            "--min-intervals" => {
+                args.min_intervals = parse(&value("--min-intervals")?, "--min-intervals")?
+            }
+            "--skip-kill" => args.skip_kill = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value {s:?} for {name}"))
+}
+
+#[derive(Default)]
+struct Counters {
+    committed: AtomicU64,
+    timeouts: AtomicU64,
+    victims: AtomicU64,
+    oom: AtomicU64,
+}
+
+/// Classify a transaction-level failure; anything else is a bug in the
+/// harness or the server.
+fn count_failure(e: &ServiceError, counters: &Counters) {
+    match e {
+        ServiceError::Timeout => counters.timeouts.fetch_add(1, Ordering::Relaxed),
+        ServiceError::DeadlockVictim => counters.victims.fetch_add(1, Ordering::Relaxed),
+        ServiceError::Lock(LockError::OutOfLockMemory) => {
+            counters.oom.fetch_add(1, Ordering::Relaxed)
+        }
+        other => panic!("unexpected stress failure: {other}"),
+    };
+}
+
+/// One remote transaction: the lock phase is **pipelined** — the table
+/// intent and every row lock ride one socket flush; the server
+/// executes them in order, so the intent is granted before the first
+/// row request runs. Replies are then collected by id. After the first
+/// failure the rest of the batch is cascade noise (`MissingIntent`
+/// after a timed-out intent, `DeadlockVictim` repeats) and is not
+/// counted.
+fn run_txn(
+    client: &mut Client,
+    rng: &mut StdRng,
+    args: &Args,
+    counters: &Counters,
+) -> Result<(), ClientError> {
+    let table = TableId(rng.gen_range_u64(0, args.tables as u64) as u32);
+    let dss = rng.gen_range_u64(0, 100) < args.dss_percent as u64;
+    let (table_mode, row_mode, rows) = if dss {
+        (LockMode::IS, LockMode::S, args.dss_rows)
+    } else {
+        (LockMode::IX, LockMode::X, args.oltp_rows)
+    };
+
+    let mut ids = Vec::with_capacity(rows as usize + 1);
+    ids.push(client.send(&Request::Lock {
+        res: ResourceId::Table(table),
+        mode: table_mode,
+    })?);
+    let start = rng.gen_range_u64(0, args.rows_per_table);
+    for i in 0..rows {
+        let row = if dss {
+            // Scans touch a contiguous range (escalates well).
+            RowId((start + i) % args.rows_per_table)
+        } else {
+            RowId(rng.gen_range_u64(0, args.rows_per_table))
+        };
+        ids.push(client.send(&Request::Lock {
+            res: ResourceId::Row(table, row),
+            mode: row_mode,
+        })?);
+    }
+
+    let mut failure: Option<ServiceError> = None;
+    for id in ids {
+        match client.wait(id)? {
+            Reply::Lock(Ok(_)) => {}
+            Reply::Lock(Err(e)) => {
+                if failure.is_none() {
+                    failure = Some(e);
+                }
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected Lock reply, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    // Strict 2PL: release everything whether committing or aborting.
+    // A commit-time DeadlockVictim means the sweeper struck after the
+    // last grant; the transaction must not count as committed.
+    let commit = client.unlock_all();
+    match (failure, commit) {
+        (Some(e), _) => count_failure(&e, counters),
+        (None, Err(ClientError::Service(e))) => count_failure(&e, counters),
+        (None, Err(other)) => return Err(other),
+        (None, Ok(_)) => {
+            counters.committed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("locktune-client: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let counters = Arc::new(Counters::default());
+    println!(
+        "locktune-client: {} workers x {} txns against {}",
+        args.workers, args.txns, args.addr
+    );
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..args.workers)
+        .map(|w| {
+            let args = args.clone();
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut client = Client::connect(&args.addr)
+                    .map_err(|e| format!("worker {w}: connect {}: {e}", args.addr))?;
+                let mut rng = StdRng::seed_from_u64(args.seed + w as u64);
+                for _ in 0..args.txns {
+                    run_txn(&mut client, &mut rng, &args, &counters)
+                        .map_err(|e| format!("worker {w}: {e}"))?;
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    let mut failed = false;
+    for w in workers {
+        if let Err(e) = w.join().expect("worker panicked") {
+            eprintln!("locktune-client: {e}");
+            failed = true;
+        }
+    }
+    let mixed_secs = start.elapsed().as_secs_f64();
+    if failed {
+        std::process::exit(1);
+    }
+
+    // Kill phase: take locks on a fresh connection and hard-kill it.
+    // The server must notice the dead socket and release everything.
+    if !args.skip_kill {
+        let mut doomed = match Client::connect(&args.addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("locktune-client: kill-phase connect: {e}");
+                std::process::exit(1);
+            }
+        };
+        let table = TableId(args.tables); // private table, uncontended
+        let held = (|| -> Result<(), ClientError> {
+            doomed.lock(ResourceId::Table(table), LockMode::IX)?;
+            for r in 0..32 {
+                doomed.lock(ResourceId::Row(table, RowId(r)), LockMode::X)?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = held {
+            eprintln!("locktune-client: kill-phase locks: {e}");
+            std::process::exit(1);
+        }
+        doomed.kill();
+        println!("kill phase: connection holding 33 locks force-killed");
+    }
+
+    // Control connection: wait for the pool to drain (the server reaps
+    // dead connections asynchronously), then audit.
+    let mut control = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("locktune-client: control connect: {e}");
+            std::process::exit(1);
+        }
+    };
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let drained = loop {
+        match control.stats() {
+            Ok(s) if s.pool_slots_used == 0 => break true,
+            Ok(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            Ok(s) => {
+                eprintln!(
+                    "locktune-client: {} slots still held after all clients disconnected",
+                    s.pool_slots_used
+                );
+                break false;
+            }
+            Err(e) => {
+                eprintln!("locktune-client: stats: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let stats = control.stats().unwrap_or_else(|e| {
+        eprintln!("locktune-client: stats: {e}");
+        std::process::exit(1);
+    });
+    let audit = control.validate();
+
+    let committed = counters.committed.load(Ordering::Relaxed);
+    println!("--- remote stress report ---");
+    println!("committed:         {committed}");
+    println!(
+        "throughput:        {:.0} txn/s over the wire",
+        if mixed_secs > 0.0 {
+            committed as f64 / mixed_secs
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "timeouts:          {}",
+        counters.timeouts.load(Ordering::Relaxed)
+    );
+    println!(
+        "deadlock victims:  {}",
+        counters.victims.load(Ordering::Relaxed)
+    );
+    println!(
+        "lock memory OOM:   {}",
+        counters.oom.load(Ordering::Relaxed)
+    );
+    println!("server escalations:{}", stats.stats.escalations);
+    println!("server waits:      {}", stats.stats.waits);
+    println!("tuning intervals:  {}", stats.tuning_intervals);
+    println!("grow decisions:    {}", stats.grow_decisions);
+    println!("shrink decisions:  {}", stats.shrink_decisions);
+    println!("pool bytes:        {}", stats.pool_bytes);
+    println!("pool slots used:   {}", stats.pool_slots_used);
+
+    let mut exit = 0;
+    match audit {
+        Ok(report) => {
+            println!(
+                "accounting:        zero divergence (validate passed, {} slots charged)",
+                report.charged_slots
+            );
+        }
+        Err(e) => {
+            eprintln!("accounting:        FAILED: {e}");
+            exit = 1;
+        }
+    }
+    if !drained {
+        exit = 1;
+    }
+    if stats.tuning_intervals < args.min_intervals {
+        eprintln!(
+            "locktune-client: only {} tuning intervals (need >= {})",
+            stats.tuning_intervals, args.min_intervals
+        );
+        exit = 1;
+    }
+    std::process::exit(exit);
+}

@@ -1,0 +1,110 @@
+//! Serve a lock service over TCP.
+//!
+//! ```text
+//! locktune-server [--addr HOST:PORT] [--shards N] [--tuning-ms MS]
+//!                 [--deadlock-ms MS] [--timeout-ms MS] [--log-capacity N]
+//!                 [--initial-kb KB]
+//! ```
+//!
+//! Defaults mirror `ServiceConfig::fast(8)` — millisecond tuning so a
+//! short remote stress burst sees live grow/shrink decisions. Exit
+//! codes: `1` usage, `2` invalid configuration, `3` thread-spawn
+//! failure, `4` bind failure.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use locktune_net::Server;
+use locktune_service::{LockService, ServiceConfig};
+
+struct Args {
+    addr: String,
+    shards: usize,
+    tuning_ms: u64,
+    deadlock_ms: u64,
+    timeout_ms: u64,
+    log_capacity: usize,
+    initial_kb: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7474".into(),
+        shards: 8,
+        tuning_ms: 50,
+        deadlock_ms: 10,
+        timeout_ms: 2_000,
+        log_capacity: 512,
+        initial_kb: 2 * 1024,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--shards" => args.shards = parse(&value("--shards")?, "--shards")?,
+            "--tuning-ms" => args.tuning_ms = parse(&value("--tuning-ms")?, "--tuning-ms")?,
+            "--deadlock-ms" => args.deadlock_ms = parse(&value("--deadlock-ms")?, "--deadlock-ms")?,
+            "--timeout-ms" => args.timeout_ms = parse(&value("--timeout-ms")?, "--timeout-ms")?,
+            "--log-capacity" => {
+                args.log_capacity = parse(&value("--log-capacity")?, "--log-capacity")?
+            }
+            "--initial-kb" => args.initial_kb = parse(&value("--initial-kb")?, "--initial-kb")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value {s:?} for {name}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("locktune-server: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let config = ServiceConfig {
+        tuning_interval: Duration::from_millis(args.tuning_ms),
+        deadlock_interval: Duration::from_millis(args.deadlock_ms),
+        lock_wait_timeout: (args.timeout_ms > 0).then(|| Duration::from_millis(args.timeout_ms)),
+        tuning_log_capacity: args.log_capacity,
+        // A small starting pool makes the tuner visibly work for its
+        // keep: DSS bursts push it past the free target and force
+        // growth, quiescence shrinks it back.
+        initial_lock_bytes: args.initial_kb * 1024,
+        ..ServiceConfig::fast(args.shards)
+    };
+    let service = match LockService::start(config) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("locktune-server: service start failed: {e}");
+            std::process::exit(e.exit_code());
+        }
+    };
+
+    let server = match Server::bind(Arc::clone(&service), &args.addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("locktune-server: bind {}: {e}", args.addr);
+            std::process::exit(4);
+        }
+    };
+    println!(
+        "locktune-server listening on {} ({} shards, tuning every {:?}, LOCKTIMEOUT {:?})",
+        server.local_addr(),
+        service.shard_count(),
+        service.config().tuning_interval,
+        service.config().lock_wait_timeout,
+    );
+
+    // Serve until killed; the accept thread does all the work.
+    loop {
+        std::thread::park();
+    }
+}

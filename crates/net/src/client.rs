@@ -1,0 +1,189 @@
+//! Synchronous client library for the locktune wire protocol.
+//!
+//! [`Client`] owns one TCP connection. The simple API
+//! ([`Client::lock`], [`Client::unlock_all`], …) is one round trip per
+//! call; the pipelining API ([`Client::send`], [`Client::flush`],
+//! [`Client::wait`]) separates submission from completion so a batch
+//! of requests rides one socket flush and replies are collected by
+//! request id afterwards. Replies arriving while waiting for a
+//! different id are stashed, so completions can be consumed in any
+//! order.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+use locktune_lockmgr::{LockMode, LockOutcome, ResourceId, UnlockReport};
+use locktune_service::ServiceError;
+
+use crate::wire::{self, Reply, Request, StatsSnapshot, ValidateReport};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (including the server closing mid-reply).
+    Io(std::io::Error),
+    /// The server executed the request and reported a service error
+    /// (timeout, deadlock victim, lock error, …).
+    Service(ServiceError),
+    /// The server broke protocol (wrong reply type for the request, or
+    /// an accounting-validation failure message).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Service(e) => write!(f, "service: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a locktune server.
+pub struct Client {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+    /// Replies that arrived while waiting for a different id.
+    stash: HashMap<u64, Reply>,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            writer: BufWriter::new(stream),
+            reader: BufReader::new(read_half),
+            next_id: 1,
+            stash: HashMap::new(),
+        })
+    }
+
+    // -- pipelining API --------------------------------------------------
+
+    /// Queue `req` without waiting (or even flushing); returns the
+    /// request id to [`Client::wait`] on.
+    pub fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        wire::write_request(&mut self.writer, id, req)?;
+        Ok(id)
+    }
+
+    /// Push queued requests onto the wire.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Block until the reply for `id` arrives (flushing first, so a
+    /// forgotten flush cannot deadlock the caller against its own
+    /// buffer). Replies for other ids are stashed for their own waits.
+    pub fn wait(&mut self, id: u64) -> Result<Reply, ClientError> {
+        if let Some(reply) = self.stash.remove(&id) {
+            return Ok(reply);
+        }
+        self.flush()?;
+        loop {
+            match wire::read_reply(&mut self.reader)? {
+                None => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Some((got, reply)) if got == id => return Ok(reply),
+                Some((got, reply)) => {
+                    self.stash.insert(got, reply);
+                }
+            }
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        let id = self.send(req)?;
+        self.wait(id)
+    }
+
+    // -- one-round-trip API ----------------------------------------------
+
+    /// Acquire `mode` on `res`; blocks until the server resolves the
+    /// request (grant, timeout, deadlock abort, or error).
+    pub fn lock(&mut self, res: ResourceId, mode: LockMode) -> Result<LockOutcome, ClientError> {
+        match self.call(&Request::Lock { res, mode })? {
+            Reply::Lock(Ok(outcome)) => Ok(outcome),
+            Reply::Lock(Err(e)) => Err(ClientError::Service(e)),
+            other => Err(unexpected("Lock", &other)),
+        }
+    }
+
+    /// Release one lock.
+    pub fn unlock(&mut self, res: ResourceId) -> Result<UnlockReport, ClientError> {
+        match self.call(&Request::Unlock { res })? {
+            Reply::Unlock(Ok(report)) => Ok(report),
+            Reply::Unlock(Err(e)) => Err(ClientError::Service(e)),
+            other => Err(unexpected("Unlock", &other)),
+        }
+    }
+
+    /// Release everything this connection holds (commit).
+    pub fn unlock_all(&mut self) -> Result<UnlockReport, ClientError> {
+        match self.call(&Request::UnlockAll)? {
+            Reply::UnlockAll(Ok(report)) => Ok(report),
+            Reply::UnlockAll(Err(e)) => Err(ClientError::Service(e)),
+            other => Err(unexpected("UnlockAll", &other)),
+        }
+    }
+
+    /// Snapshot server statistics.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats(snap) => Ok(snap),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Round-trip `echo` through the server.
+    pub fn ping(&mut self, echo: Vec<u8>) -> Result<Vec<u8>, ClientError> {
+        let sent = echo.clone();
+        match self.call(&Request::Ping(echo))? {
+            Reply::Pong(back) if back == sent => Ok(back),
+            Reply::Pong(_) => Err(ClientError::Protocol("pong echo mismatch".into())),
+            other => Err(unexpected("Ping", &other)),
+        }
+    }
+
+    /// Run the server's cross-shard accounting audit.
+    pub fn validate(&mut self) -> Result<ValidateReport, ClientError> {
+        match self.call(&Request::Validate)? {
+            Reply::Validate(Ok(report)) => Ok(report),
+            Reply::Validate(Err(msg)) => Err(ClientError::Protocol(msg)),
+            other => Err(unexpected("Validate", &other)),
+        }
+    }
+
+    /// Hard-kill the connection without releasing anything — both
+    /// directions are shut down at the socket level, simulating a
+    /// killed client process. The server must clean up our locks.
+    pub fn kill(self) {
+        let _ = self.writer.get_ref().shutdown(Shutdown::Both);
+        // Drop without flushing: a real SIGKILL doesn't flush either.
+    }
+}
+
+fn unexpected(wanted: &str, got: &Reply) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted} reply, got {got:?}"))
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! `locktune-net` — a network boundary for the concurrent lock
+//! service.
+//!
+//! PR 1 made the paper's STMM-tuned lock subsystem a concurrent
+//! in-process service; this crate puts it behind a socket, the shape
+//! DB2 itself has (agents acting on behalf of remote connections).
+//! Three layers, all `std::net` + threads — no async runtime, matching
+//! the service crate's design:
+//!
+//! * [`wire`] — compact length-prefixed binary frames (LOCK, UNLOCK,
+//!   UNLOCK_ALL, STATS, PING, VALIDATE and typed replies) with
+//!   explicit request-id correlation so clients can pipeline;
+//! * [`server`] — a threaded TCP server owning a
+//!   [`LockService`](locktune_service::LockService): each accepted
+//!   connection gets a server-allocated `AppId` and a reader/writer
+//!   thread pair over a blocking
+//!   [`Session`](locktune_service::Session); disconnect (EOF, protocol
+//!   error, or a killed client) always releases the connection's locks;
+//! * [`client`] — a synchronous client library with an explicit
+//!   pipelining API, used by the `locktune-client` remote load
+//!   generator binary.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::Server;
+pub use wire::{Reply, Request, StatsSnapshot, ValidateReport, WireError};

@@ -1,0 +1,307 @@
+//! Threaded TCP front-end for a [`LockService`].
+//!
+//! One accept thread; per accepted connection a **reader thread** and a
+//! **writer thread**:
+//!
+//! * the reader owns the connection's [`Session`] (`AppId` allocated
+//!   server-side from an atomic counter — client ids are never
+//!   trusted), decodes requests and executes them in arrival order.
+//!   Lock requests block right there on the session's grant channel, so
+//!   grant waiting reuses the service's spin-then-park machinery
+//!   unchanged; replies are handed to the writer as they complete
+//!   (completion order == arrival order for a single connection, and
+//!   ids correlate regardless);
+//! * the writer drains a channel of pre-encoded reply frames onto the
+//!   socket, flushing whenever the channel runs empty — consecutive
+//!   replies to a pipelining client coalesce into one TCP segment.
+//!
+//! **Disconnect semantics**: whatever ends the reader loop — clean
+//! EOF, a mid-frame kill, a protocol error, an I/O error — the reader
+//! thread drops the `Session` on its way out, and `Session::drop`
+//! cancels any wait and releases every lock the connection held. A
+//! killed client can never strand locks.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use locktune_lockmgr::AppId;
+use locktune_service::{LockService, Session};
+
+use crate::wire::{self, Reply, Request, StatsSnapshot, ValidateReport};
+
+struct Shared {
+    service: Arc<LockService>,
+    shutdown: AtomicBool,
+    /// Next server-allocated application id. Network sessions never
+    /// reuse a live id because the counter only moves forward; if an
+    /// in-process session happens to own the next id, allocation skips
+    /// past it.
+    next_app: AtomicU32,
+    next_conn: AtomicU64,
+    conns: Mutex<ConnTable>,
+}
+
+#[derive(Default)]
+struct ConnTable {
+    /// Read-half clones, kept so shutdown can unblock parked readers.
+    streams: HashMap<u64, TcpStream>,
+    /// Reader-thread handles (each joins its own writer before
+    /// exiting). Finished entries join instantly.
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// The TCP server. Dropping (or [`Server::shutdown`]) stops the accept
+/// loop, disconnects every connection and joins all threads; the
+/// [`LockService`] itself stays up — it belongs to the caller.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (port 0 picks a free port; see
+    /// [`Server::local_addr`]) and start accepting connections for
+    /// `service`.
+    pub fn bind(service: Arc<LockService>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            shutdown: AtomicBool::new(false),
+            next_app: AtomicU32::new(1),
+            next_conn: AtomicU64::new(1),
+            conns: Mutex::new(ConnTable::default()),
+        });
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("locktune-accept".into())
+                .spawn(move || accept_loop(&shared, listener))?
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, disconnect every client and join all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection; it
+        // checks the flag before servicing anything.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Kick every connection: readers parked in a socket read see
+        // EOF and tear their session down (releasing its locks).
+        // Readers blocked in a lock wait finish that wait first — the
+        // holders' teardown feeds them grants — then observe the dead
+        // socket.
+        let handles = {
+            let mut conns = self.shared.conns.lock().unwrap();
+            for stream in conns.streams.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            std::mem::take(&mut conns.handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            // Transient accept errors (EMFILE, aborted handshake)
+            // must not kill the server.
+            Err(_) => continue,
+        };
+        spawn_connection(shared, stream);
+    }
+}
+
+/// Allocate an unused AppId. The counter is normally enough; the loop
+/// covers collision with an in-process session connected directly to
+/// the same service.
+fn allocate_session(shared: &Shared) -> Option<Session> {
+    for _ in 0..u16::MAX {
+        let id = shared.next_app.fetch_add(1, Ordering::Relaxed);
+        if let Ok(session) = shared.service.try_connect(AppId(id)) {
+            return Some(session);
+        }
+    }
+    None
+}
+
+fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Some(session) = allocate_session(shared) else {
+        // Id space exhausted (pathological); refuse the connection.
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    };
+    stream.set_nodelay(true).ok();
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let read_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let reader = {
+        let shared = Arc::clone(shared);
+        let registered = stream.try_clone();
+        std::thread::Builder::new()
+            .name(format!("locktune-conn-{conn_id}"))
+            .spawn(move || {
+                if let Ok(s) = registered {
+                    shared.conns.lock().unwrap().streams.insert(conn_id, s);
+                }
+                serve_connection(&shared, session, read_stream, stream);
+                shared.conns.lock().unwrap().streams.remove(&conn_id);
+            })
+    };
+    if let Ok(handle) = reader {
+        shared.conns.lock().unwrap().handles.push(handle);
+    }
+}
+
+/// The reader loop: decode → execute on the blocking session → queue
+/// the encoded reply for the writer. Returns when the connection dies
+/// for any reason; the session (and with it every lock) is released on
+/// return.
+fn serve_connection(
+    shared: &Arc<Shared>,
+    session: Session,
+    read_stream: TcpStream,
+    write_stream: TcpStream,
+) {
+    let (tx, rx) = mpsc::channel::<Vec<u8>>();
+    let writer = std::thread::Builder::new()
+        .name("locktune-conn-writer".into())
+        .spawn(move || writer_loop(rx, write_stream));
+    let writer = match writer {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+
+    let mut r = BufReader::new(read_stream);
+    loop {
+        match wire::read_request(&mut r) {
+            // Clean EOF, mid-frame kill, protocol error, I/O error:
+            // identical teardown either way — drop the session,
+            // release the locks.
+            Ok(None) | Err(_) => break,
+            Ok(Some((id, req))) => {
+                let reply = execute(shared, &session, req);
+                if tx.send(wire::encode_reply(id, &reply)).is_err() {
+                    break; // writer died (client gone)
+                }
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+    // `session` drops here: cancel_wait + unlock_all on every shard.
+}
+
+fn writer_loop(rx: mpsc::Receiver<Vec<u8>>, stream: TcpStream) {
+    let mut w = BufWriter::new(stream);
+    while let Ok(frame) = rx.recv() {
+        if w.write_all(&frame).is_err() {
+            return;
+        }
+        // Coalesce: only flush once no further reply is ready.
+        loop {
+            match rx.try_recv() {
+                Ok(next) => {
+                    if w.write_all(&next).is_err() {
+                        return;
+                    }
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    let _ = w.flush();
+                    return;
+                }
+            }
+        }
+        if w.flush().is_err() {
+            return;
+        }
+    }
+    let _ = w.flush();
+}
+
+fn execute(shared: &Arc<Shared>, session: &Session, req: Request) -> Reply {
+    match req {
+        Request::Lock { res, mode } => Reply::Lock(session.lock(res, mode)),
+        Request::Unlock { res } => Reply::Unlock(session.unlock(res)),
+        Request::UnlockAll => Reply::UnlockAll(session.unlock_all()),
+        Request::Stats => Reply::Stats(snapshot(&shared.service)),
+        Request::Ping(echo) => Reply::Pong(echo),
+        Request::Validate => Reply::Validate(validate(&shared.service)),
+    }
+}
+
+fn snapshot(service: &LockService) -> StatsSnapshot {
+    let pool = service.pool_stats();
+    let tuning = service.tuning_counters();
+    StatsSnapshot {
+        stats: service.stats(),
+        pool_bytes: pool.bytes,
+        pool_slots_total: pool.slots_total,
+        pool_slots_used: service.pool_used_slots(),
+        connected_apps: service.connected_apps(),
+        tuning_intervals: tuning.intervals,
+        grow_decisions: tuning.grow_decisions,
+        shrink_decisions: tuning.shrink_decisions,
+        app_percent: service.app_percent(),
+    }
+}
+
+/// Run the cross-shard audit, converting its panic (the audit's only
+/// failure signal) into a wire-safe error message.
+fn validate(service: &LockService) -> Result<ValidateReport, String> {
+    let service = std::panic::AssertUnwindSafe(service);
+    std::panic::catch_unwind(|| {
+        service.validate();
+        ValidateReport {
+            charged_slots: service.charged_slots(),
+            pool_used_slots: service.pool_used_slots(),
+        }
+    })
+    .map_err(|panic| {
+        let msg = panic
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| panic.downcast_ref::<&str>().copied())
+            .unwrap_or("accounting validation failed");
+        msg.to_string()
+    })
+}

@@ -1,0 +1,232 @@
+//! End-to-end tests: a real [`Server`] on a loopback socket, real
+//! [`Client`] connections, real threads. The headline property is the
+//! ISSUE's disconnect guarantee — a client force-killed mid-transaction
+//! must not strand a single lock.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use locktune_lockmgr::{LockMode, LockOutcome, ResourceId, RowId, TableId};
+use locktune_net::wire::Request;
+use locktune_net::{Client, ClientError, Reply, Server};
+use locktune_service::{LockService, ServiceConfig, ServiceError};
+
+fn server(timeout: Option<Duration>) -> (Server, String) {
+    let config = ServiceConfig {
+        lock_wait_timeout: timeout,
+        ..ServiceConfig::fast(4)
+    };
+    let service = Arc::new(LockService::start(config).expect("service start"));
+    let server = Server::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+/// Poll server stats until every pool slot is free (disconnect cleanup
+/// runs on the server's reader threads, asynchronously to us).
+fn wait_for_drain(control: &mut Client) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = control.stats().expect("stats");
+        if stats.pool_slots_used == 0 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{} slots still held after disconnect",
+            stats.pool_slots_used
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn basic_lock_unlock_over_the_wire() {
+    let (server, addr) = server(None);
+    let mut client = Client::connect(&addr).unwrap();
+
+    let table = ResourceId::Table(TableId(1));
+    assert_eq!(
+        client.lock(table, LockMode::IX).unwrap(),
+        LockOutcome::Granted
+    );
+    assert_eq!(
+        client
+            .lock(ResourceId::Row(TableId(1), RowId(9)), LockMode::X)
+            .unwrap(),
+        LockOutcome::Granted
+    );
+    // Re-request: no new slot.
+    assert_eq!(
+        client.lock(table, LockMode::IX).unwrap(),
+        LockOutcome::AlreadyHeld
+    );
+    // Row lock without an intent on a *different* table is refused.
+    match client.lock(ResourceId::Row(TableId(2), RowId(0)), LockMode::X) {
+        Err(ClientError::Service(ServiceError::Lock(_))) => {}
+        other => panic!("expected MissingIntent over the wire, got {other:?}"),
+    }
+
+    let report = client.unlock_all().unwrap();
+    assert_eq!(report.released_locks, 2);
+
+    // The shards' slot magazines may pin freed slots until the next
+    // tuning interval flushes them, so poll rather than assert once.
+    wait_for_drain(&mut client);
+    assert_eq!(client.stats().unwrap().connected_apps, 1);
+
+    let audit = client.validate().expect("audit passes at quiescence");
+    assert_eq!(audit.charged_slots, 0);
+    server.shutdown();
+}
+
+#[test]
+fn killed_client_releases_its_locks() {
+    // A generous timeout: if the kill cleanup did NOT run, client B
+    // would time out and the assertion below would catch it.
+    let (server, addr) = server(Some(Duration::from_secs(3)));
+
+    let table = TableId(7);
+    let mut victim = Client::connect(&addr).unwrap();
+    victim.lock(ResourceId::Table(table), LockMode::IX).unwrap();
+    for r in 0..16 {
+        victim
+            .lock(ResourceId::Row(table, RowId(r)), LockMode::X)
+            .unwrap();
+    }
+
+    // Socket hard-shutdown mid-transaction — no UnlockAll was sent.
+    victim.kill();
+
+    // A second client wants an exclusive table lock that conflicts
+    // with *everything* the victim held. It must be granted once the
+    // server notices the dead socket, well before the lock timeout.
+    let mut survivor = Client::connect(&addr).unwrap();
+    let start = Instant::now();
+    let outcome = survivor
+        .lock(ResourceId::Table(table), LockMode::X)
+        .expect("victim's locks must be released by the server");
+    assert!(matches!(
+        outcome,
+        LockOutcome::Granted | LockOutcome::Queued
+    ));
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "grant only came via timeout, not via disconnect cleanup"
+    );
+    survivor.unlock_all().unwrap();
+
+    wait_for_drain(&mut survivor);
+    survivor
+        .validate()
+        .expect("audit passes after kill cleanup");
+    server.shutdown();
+}
+
+#[test]
+fn clean_disconnect_releases_locks_too() {
+    let (server, addr) = server(None);
+    {
+        let mut client = Client::connect(&addr).unwrap();
+        client
+            .lock(ResourceId::Table(TableId(3)), LockMode::S)
+            .unwrap();
+        // Dropped here: the socket closes (clean EOF), no UnlockAll.
+    }
+    let mut control = Client::connect(&addr).unwrap();
+    wait_for_drain(&mut control);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_batch_correlates_by_id_and_executes_in_order() {
+    let (server, addr) = server(None);
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Intent + 32 rows in one flush. In-order server execution means
+    // the intent is granted before the first row request runs.
+    let table = TableId(5);
+    let mut ids = vec![client
+        .send(&Request::Lock {
+            res: ResourceId::Table(table),
+            mode: LockMode::IX,
+        })
+        .unwrap()];
+    for r in 0..32 {
+        ids.push(
+            client
+                .send(&Request::Lock {
+                    res: ResourceId::Row(table, RowId(r)),
+                    mode: LockMode::X,
+                })
+                .unwrap(),
+        );
+    }
+    // Collect completions in REVERSE id order to exercise the stash.
+    for id in ids.iter().rev() {
+        match client.wait(*id).unwrap() {
+            Reply::Lock(Ok(_)) => {}
+            other => panic!("pipelined lock {id} failed: {other:?}"),
+        }
+    }
+    assert_eq!(client.unlock_all().unwrap().released_locks, 33);
+    server.shutdown();
+}
+
+#[test]
+fn two_clients_contend_and_block_until_release() {
+    let (server, addr) = server(None);
+    let res = ResourceId::Table(TableId(11));
+
+    let mut holder = Client::connect(&addr).unwrap();
+    holder.lock(res, LockMode::X).unwrap();
+
+    let addr2 = addr.clone();
+    let waiter = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr2).unwrap();
+        let started = Instant::now();
+        c.lock(res, LockMode::X).unwrap();
+        let waited = started.elapsed();
+        c.unlock_all().unwrap();
+        waited
+    });
+
+    // Let the waiter actually enqueue behind us.
+    std::thread::sleep(Duration::from_millis(150));
+    holder.unlock_all().unwrap();
+
+    let waited = waiter.join().unwrap();
+    assert!(
+        waited >= Duration::from_millis(100),
+        "waiter should have blocked on the held lock, waited {waited:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn ping_and_stats_round_trip() {
+    let (server, addr) = server(None);
+    let mut client = Client::connect(&addr).unwrap();
+    let echo: Vec<u8> = (0u16..2048).map(|i| (i % 256) as u8).collect();
+    assert_eq!(client.ping(echo.clone()).unwrap(), echo);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.connected_apps, 1);
+    assert!(stats.pool_bytes > 0);
+    server.shutdown();
+}
+
+#[test]
+fn server_shutdown_disconnects_clients() {
+    let (server, addr) = server(None);
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .lock(ResourceId::Table(TableId(2)), LockMode::S)
+        .unwrap();
+    server.shutdown();
+    // The next call must fail — not hang.
+    match client.stats() {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected I/O error after server shutdown, got {other:?}"),
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests for the wire protocol: encode→decode is the
+//! identity over every frame type, and no truncation of a valid frame
+//! decodes (every variable-length field is length-prefixed and every
+//! decoder consumes its payload exactly, so a cut anywhere is caught).
+
+use locktune_lockmgr::{
+    AppId, LockError, LockMode, LockOutcome, LockStats, ResourceId, RowId, TableId, UnlockReport,
+};
+use locktune_net::wire::{
+    decode_reply, decode_request, encode_reply, encode_request, Reply, Request, StatsSnapshot,
+    ValidateReport, HEADER_LEN, MAX_PAYLOAD,
+};
+use locktune_service::ServiceError;
+use proptest::prelude::*;
+
+fn resource() -> BoxedStrategy<ResourceId> {
+    prop_oneof![
+        any::<u32>().prop_map(|t| ResourceId::Table(TableId(t))),
+        (any::<u32>(), any::<u64>()).prop_map(|(t, r)| ResourceId::Row(TableId(t), RowId(r))),
+    ]
+    .boxed()
+}
+
+fn mode() -> BoxedStrategy<LockMode> {
+    prop_oneof![
+        Just(LockMode::IS),
+        Just(LockMode::IX),
+        Just(LockMode::S),
+        Just(LockMode::SIX),
+        Just(LockMode::U),
+        Just(LockMode::X),
+    ]
+    .boxed()
+}
+
+fn outcome() -> BoxedStrategy<LockOutcome> {
+    prop_oneof![
+        Just(LockOutcome::Granted),
+        Just(LockOutcome::AlreadyHeld),
+        Just(LockOutcome::CoveredByTableLock),
+        Just(LockOutcome::Queued),
+        (any::<u32>(), any::<bool>()).prop_map(|(t, exclusive)| {
+            LockOutcome::GrantedAfterEscalation {
+                table: TableId(t),
+                exclusive,
+            }
+        }),
+        any::<u32>().prop_map(|t| LockOutcome::QueuedWithEscalation { table: TableId(t) }),
+    ]
+    .boxed()
+}
+
+fn service_error() -> BoxedStrategy<ServiceError> {
+    let lock_error = prop_oneof![
+        resource().prop_map(LockError::NotHeld),
+        Just(LockError::NothingToEscalate),
+        Just(LockError::OutOfLockMemory),
+        resource().prop_map(LockError::MissingIntent),
+        resource().prop_map(LockError::AlreadyWaiting),
+    ];
+    prop_oneof![
+        lock_error.prop_map(ServiceError::Lock),
+        Just(ServiceError::Timeout),
+        Just(ServiceError::DeadlockVictim),
+        Just(ServiceError::ShuttingDown),
+        any::<u32>().prop_map(|a| ServiceError::AlreadyConnected(AppId(a))),
+    ]
+    .boxed()
+}
+
+fn request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        (resource(), mode()).prop_map(|(res, mode)| Request::Lock { res, mode }),
+        resource().prop_map(|res| Request::Unlock { res }),
+        Just(Request::UnlockAll),
+        Just(Request::Stats),
+        proptest::collection::vec(any::<u8>(), 0..512).prop_map(Request::Ping),
+        Just(Request::Validate),
+    ]
+    .boxed()
+}
+
+fn unlock_report() -> BoxedStrategy<UnlockReport> {
+    (any::<u64>(), any::<u64>())
+        .prop_map(|(released_locks, freed_slots)| UnlockReport {
+            released_locks,
+            freed_slots,
+        })
+        .boxed()
+}
+
+fn lock_result<T: std::fmt::Debug + Clone + 'static>(
+    ok: BoxedStrategy<T>,
+) -> BoxedStrategy<Result<T, ServiceError>> {
+    prop_oneof![ok.prop_map(Ok), service_error().prop_map(Err)].boxed()
+}
+
+fn snapshot() -> BoxedStrategy<StatsSnapshot> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        0.0f64..100.0,
+    )
+        .prop_map(|(a, b, c, app_percent)| StatsSnapshot {
+            stats: LockStats {
+                grants: a.0,
+                waits: a.1,
+                escalations: a.2,
+                denials: a.3,
+                ..LockStats::default()
+            },
+            pool_bytes: b.0,
+            pool_slots_total: b.1,
+            pool_slots_used: b.2,
+            connected_apps: b.3,
+            tuning_intervals: c.0,
+            grow_decisions: c.1,
+            shrink_decisions: c.2,
+            app_percent,
+        })
+        .boxed()
+}
+
+fn reply() -> BoxedStrategy<Reply> {
+    prop_oneof![
+        lock_result(outcome()).prop_map(Reply::Lock),
+        lock_result(unlock_report()).prop_map(Reply::Unlock),
+        lock_result(unlock_report()).prop_map(Reply::UnlockAll),
+        snapshot().prop_map(Reply::Stats),
+        proptest::collection::vec(any::<u8>(), 0..512).prop_map(Reply::Pong),
+        (any::<u64>(), any::<u64>()).prop_map(|(charged_slots, pool_used_slots)| {
+            Reply::Validate(Ok(ValidateReport {
+                charged_slots,
+                pool_used_slots,
+            }))
+        }),
+        proptest::collection::vec(97u8..123, 1..64)
+            .prop_map(|msg| { Reply::Validate(Err(String::from_utf8(msg).unwrap())) }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// encode→decode is the identity for requests, and every strict
+    /// prefix of the payload is rejected (never mis-decodes, never
+    /// panics).
+    #[test]
+    fn request_roundtrip_and_truncation(id in any::<u64>(), req in request()) {
+        let frame = encode_request(id, &req);
+        let payload = &frame[4..];
+        prop_assert!(payload.len() <= MAX_PAYLOAD);
+        prop_assert_eq!(decode_request(payload), Ok((id, req)));
+        for cut in 0..payload.len() {
+            prop_assert!(decode_request(&payload[..cut]).is_err());
+        }
+    }
+
+    /// Same for replies.
+    #[test]
+    fn reply_roundtrip_and_truncation(id in any::<u64>(), reply in reply()) {
+        let frame = encode_reply(id, &reply);
+        let payload = &frame[4..];
+        prop_assert!(payload.len() <= MAX_PAYLOAD);
+        prop_assert_eq!(decode_reply(payload), Ok((id, reply)));
+        for cut in 0..payload.len() {
+            prop_assert!(decode_reply(&payload[..cut]).is_err());
+        }
+    }
+}
+
+/// The largest legal ping round-trips through the framed reader and
+/// writer (not just the in-memory codec).
+#[test]
+fn max_length_frame_through_framed_io() {
+    let echo: Vec<u8> = (0..MAX_PAYLOAD - HEADER_LEN - 4)
+        .map(|i| (i % 251) as u8)
+        .collect();
+    let req = Request::Ping(echo);
+    let mut buf = Vec::new();
+    locktune_net::wire::write_request(&mut buf, 7, &req).unwrap();
+    let (id, back) = locktune_net::wire::read_request(&mut &buf[..])
+        .unwrap()
+        .expect("one frame");
+    assert_eq!(id, 7);
+    assert_eq!(back, req);
+    // Nothing left behind.
+    assert!(buf.len() == 4 + MAX_PAYLOAD);
+}

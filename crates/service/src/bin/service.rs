@@ -25,7 +25,13 @@ fn main() {
     let shards = arg(3, 8) as usize;
 
     let config = ServiceConfig::fast(shards);
-    let service = Arc::new(LockService::start(config).expect("service start"));
+    let service = match LockService::start(config) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("service start failed: {e}");
+            std::process::exit(e.exit_code());
+        }
+    };
     println!(
         "locktune-service stress: {workers} workers x {txns} txns, {} shards, \
          tuning every {:?}",

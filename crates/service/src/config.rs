@@ -6,6 +6,61 @@ use locktune_core::TunerParams;
 use locktune_lockmgr::LockManagerConfig;
 use locktune_memory::MemoryConfig;
 
+/// Why a [`ServiceConfig`] was rejected or the service failed to come
+/// up. Typed (rather than the former `String`) so embedding programs —
+/// the server binary in particular — can map each failure class to a
+/// distinct exit code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `shards == 0`.
+    ZeroShards,
+    /// `heap_fraction` outside `[0, 1)`.
+    HeapFraction(f64),
+    /// `tuning_log_capacity == 0`: the decision log must keep at least
+    /// the most recent interval.
+    ZeroTuningLogCapacity,
+    /// The tuner parameters failed their own validation.
+    Params(String),
+    /// A background thread could not be spawned (OS resource failure,
+    /// not a configuration mistake).
+    Spawn {
+        /// Which thread (`"tuning"` / `"deadlock"`).
+        thread: &'static str,
+        /// The OS error, stringified (io::Error is not `Clone`).
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroShards => f.write_str("shards must be >= 1"),
+            ConfigError::HeapFraction(v) => {
+                write!(f, "heap_fraction must be in [0, 1), got {v}")
+            }
+            ConfigError::ZeroTuningLogCapacity => f.write_str("tuning_log_capacity must be >= 1"),
+            ConfigError::Params(msg) => write!(f, "tuner params: {msg}"),
+            ConfigError::Spawn { thread, message } => {
+                write!(f, "spawn {thread} thread: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ConfigError {
+    /// Suggested process exit code: `2` for configuration mistakes
+    /// (caller can fix the flags), `3` for environment failures
+    /// (retrying may help).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            ConfigError::Spawn { .. } => 3,
+            _ => 2,
+        }
+    }
+}
+
 /// Configuration of the concurrent lock service.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -33,6 +88,14 @@ pub struct ServiceConfig {
     pub grant_spin: Duration,
     /// Initial lock memory in bytes (rounded up to whole blocks).
     pub initial_lock_bytes: u64,
+    /// How many [`IntervalReport`]s the tuning decision log retains
+    /// (keep-last-N ring). A long-running server ticks the tuner
+    /// forever; an unbounded log is a slow leak. Monotonic totals
+    /// survive eviction in [`TuningCounters`].
+    ///
+    /// [`IntervalReport`]: locktune_memory::IntervalReport
+    /// [`TuningCounters`]: crate::service::TuningCounters
+    pub tuning_log_capacity: usize,
     /// The database memory around the lock pool (funds growth, absorbs
     /// shrink proceeds).
     pub memory: MemoryConfig,
@@ -54,6 +117,7 @@ impl Default for ServiceConfig {
             lock_wait_timeout: None,
             grant_spin: Duration::from_micros(50),
             initial_lock_bytes: 2 * 1024 * 1024,
+            tuning_log_capacity: 512,
             memory: MemoryConfig::default(),
             heap_fraction: 0.70,
             params: TunerParams::default(),
@@ -77,14 +141,17 @@ impl ServiceConfig {
     }
 
     /// Validate the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.shards == 0 {
-            return Err("shards must be >= 1".into());
+            return Err(ConfigError::ZeroShards);
         }
         if !(0.0..1.0).contains(&self.heap_fraction) {
-            return Err("heap_fraction must be in [0, 1)".into());
+            return Err(ConfigError::HeapFraction(self.heap_fraction));
         }
-        self.params.validate()
+        if self.tuning_log_capacity == 0 {
+            return Err(ConfigError::ZeroTuningLogCapacity);
+        }
+        self.params.validate().map_err(ConfigError::Params)
     }
 }
 
@@ -104,6 +171,25 @@ mod tests {
             shards: 0,
             ..Default::default()
         };
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroShards));
+    }
+
+    #[test]
+    fn zero_log_capacity_rejected() {
+        let c = ServiceConfig {
+            tuning_log_capacity: 0,
+            ..Default::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroTuningLogCapacity));
+        assert_eq!(c.validate().unwrap_err().exit_code(), 2);
+    }
+
+    #[test]
+    fn bad_heap_fraction_rejected() {
+        let c = ServiceConfig {
+            heap_fraction: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::HeapFraction(1.0)));
     }
 }

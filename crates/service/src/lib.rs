@@ -32,6 +32,6 @@ pub mod service;
 pub mod stress;
 mod tuning;
 
-pub use config::ServiceConfig;
-pub use service::{LockService, ServiceError, Session};
+pub use config::{ConfigError, ServiceConfig};
+pub use service::{LockService, ServiceError, Session, TuningCounters};
 pub use stress::{run_stress, StressConfig, StressReport};

@@ -19,8 +19,8 @@
 //! grants discovered while any thread releases locks are pushed to the
 //! waiter's channel. Waiting with a timeout implements `LOCKTIMEOUT`.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,7 +35,7 @@ use locktune_memory::{DatabaseMemory, HeapKind, IntervalReport, PerfHeap, Stmm};
 use locktune_sim::SimDuration;
 use parking_lot::{Condvar, Mutex};
 
-use crate::config::ServiceConfig;
+use crate::config::{ConfigError, ServiceConfig};
 use crate::tuning::{ServiceHooks, TuningShared};
 
 type Shard = Mutex<LockManager<SharedLockMemoryPool>>;
@@ -52,6 +52,9 @@ pub enum ServiceError {
     DeadlockVictim,
     /// The service is shutting down.
     ShuttingDown,
+    /// [`LockService::try_connect`] was asked for an [`AppId`] that
+    /// already has a live session.
+    AlreadyConnected(AppId),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -61,6 +64,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Timeout => f.write_str("lock wait timed out"),
             ServiceError::DeadlockVictim => f.write_str("aborted as deadlock victim"),
             ServiceError::ShuttingDown => f.write_str("service shutting down"),
+            ServiceError::AlreadyConnected(app) => {
+                write!(f, "{app} is already connected")
+            }
         }
     }
 }
@@ -82,6 +88,51 @@ enum WakeMessage {
     Aborted,
 }
 
+/// Monotonic totals of the tuning thread's work. The decision *log*
+/// is a keep-last-N ring (see [`ServiceConfig::tuning_log_capacity`]),
+/// so anything that must survive eviction — interval and decision
+/// counts a remote stats endpoint reports — lives here instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TuningCounters {
+    /// Tuning intervals run since the service started.
+    pub intervals: u64,
+    /// Intervals whose decision grew the pool.
+    pub grow_decisions: u64,
+    /// Intervals whose decision shrank the pool.
+    pub shrink_decisions: u64,
+}
+
+/// Fixed-capacity keep-last-N log of [`IntervalReport`]s. A
+/// long-running server ticks the tuner indefinitely; the former
+/// unbounded `Vec` grew without limit.
+#[derive(Debug)]
+struct ReportLog {
+    cap: usize,
+    buf: VecDeque<IntervalReport>,
+}
+
+impl ReportLog {
+    fn new(cap: usize) -> Self {
+        debug_assert!(cap > 0, "validated by ServiceConfig");
+        ReportLog {
+            cap,
+            buf: VecDeque::with_capacity(cap),
+        }
+    }
+
+    fn push(&mut self, report: IntervalReport) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(report);
+    }
+
+    /// Oldest-retained → newest.
+    fn snapshot(&self) -> Vec<IntervalReport> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
 struct ServiceInner {
     config: ServiceConfig,
     shards: Vec<Shard>,
@@ -91,7 +142,10 @@ struct ServiceInner {
     pool: SharedLockMemoryPool,
     tuning: TuningShared,
     registry: Mutex<HashMap<AppId, Sender<WakeMessage>>>,
-    reports: Mutex<Vec<IntervalReport>>,
+    reports: Mutex<ReportLog>,
+    tuning_intervals: AtomicU64,
+    grow_decisions: AtomicU64,
+    shrink_decisions: AtomicU64,
     shutdown: AtomicBool,
     park: Mutex<()>,
     park_cv: Condvar,
@@ -216,6 +270,12 @@ impl ServiceInner {
         });
         drop(state);
         self.tuning.publish_app_percent(report.decision.app_percent);
+        self.tuning_intervals.fetch_add(1, Ordering::Relaxed);
+        if report.decision.grow_bytes() > 0 {
+            self.grow_decisions.fetch_add(1, Ordering::Relaxed);
+        } else if report.decision.shrink_bytes() > 0 {
+            self.shrink_decisions.fetch_add(1, Ordering::Relaxed);
+        }
         self.reports.lock().push(report);
         report
     }
@@ -253,7 +313,7 @@ pub struct LockService {
 impl LockService {
     /// Validate `config`, build the shards and start the background
     /// threads.
-    pub fn start(config: ServiceConfig) -> Result<LockService, String> {
+    pub fn start(config: ServiceConfig) -> Result<LockService, ConfigError> {
         config.validate()?;
         let pool_config =
             PoolConfig::new(config.params.block_bytes, config.params.lock_struct_bytes);
@@ -277,12 +337,15 @@ impl LockService {
             .then(|| config.shards as u64 - 1);
         let inner = Arc::new(ServiceInner {
             tuning: TuningShared::new(stmm, mem),
+            reports: Mutex::new(ReportLog::new(config.tuning_log_capacity)),
             config,
             shards,
             shard_mask,
             pool,
             registry: Mutex::new(HashMap::new()),
-            reports: Mutex::new(Vec::new()),
+            tuning_intervals: AtomicU64::new(0),
+            grow_decisions: AtomicU64::new(0),
+            shrink_decisions: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             park: Mutex::new(()),
             park_cv: Condvar::new(),
@@ -297,7 +360,10 @@ impl LockService {
                         inner.run_tuning_interval();
                     }
                 })
-                .map_err(|e| format!("spawn tuning thread: {e}"))?
+                .map_err(|e| ConfigError::Spawn {
+                    thread: "tuning",
+                    message: e.to_string(),
+                })?
         };
         let sweeper = {
             let inner = Arc::clone(&inner);
@@ -315,7 +381,10 @@ impl LockService {
                 // Don't leak the already-running tuner thread.
                 inner.request_shutdown();
                 let _ = tuner.join();
-                return Err(format!("spawn deadlock thread: {e}"));
+                return Err(ConfigError::Spawn {
+                    thread: "deadlock",
+                    message: e.to_string(),
+                });
             }
         };
 
@@ -355,33 +424,46 @@ impl LockService {
         self.inner.shards.len()
     }
 
-    /// Register an application and return its session handle.
-    ///
-    /// # Panics
-    /// Panics if `app` already has a live session: a silent replacement
-    /// would cross-wire the two sessions' grant channels, and either
-    /// drop would release the other's locks.
-    pub fn connect(&self, app: AppId) -> Session {
+    /// Register an application and return its session handle, or
+    /// [`ServiceError::AlreadyConnected`] if `app` already has a live
+    /// session. A silent replacement would cross-wire the two
+    /// sessions' grant channels (and either drop would release the
+    /// other's locks), and panicking is not acceptable when the id
+    /// arrives from an untrusted remote peer — the network server
+    /// resolves duplicates by allocating fresh ids instead.
+    pub fn try_connect(&self, app: AppId) -> Result<Session, ServiceError> {
         let (tx, rx) = channel::unbounded();
         {
             let mut registry = self.inner.registry.lock();
-            assert!(
-                !registry.contains_key(&app),
-                "application {app:?} is already connected"
-            );
+            if registry.contains_key(&app) {
+                return Err(ServiceError::AlreadyConnected(app));
+            }
             registry.insert(app, tx);
         }
         self.inner
             .tuning
             .num_applications
             .fetch_add(1, Ordering::Relaxed);
-        Session {
+        Ok(Session {
             inner: Arc::clone(&self.inner),
             app,
             rx: Some(rx),
             ever_waited: std::cell::Cell::new(false),
             requests: std::cell::Cell::new(1),
             touched_shards: std::cell::Cell::new(0),
+        })
+    }
+
+    /// Register an application and return its session handle.
+    ///
+    /// # Panics
+    /// Panics if `app` already has a live session; in-process callers
+    /// own their id space, so a duplicate is a caller bug. Callers
+    /// handling external ids use [`LockService::try_connect`].
+    pub fn connect(&self, app: AppId) -> Session {
+        match self.try_connect(app) {
+            Ok(session) => session,
+            Err(e) => panic!("application {app:?} is already connected: {e}"),
         }
     }
 
@@ -420,9 +502,26 @@ impl LockService {
         self.inner.tuning.app_percent()
     }
 
-    /// Tuning intervals run so far (decision log).
+    /// The retained tail of the tuning decision log (the most recent
+    /// [`ServiceConfig::tuning_log_capacity`] intervals, oldest
+    /// first). Use [`LockService::tuning_counters`] for totals that
+    /// survive log eviction.
     pub fn tuning_reports(&self) -> Vec<IntervalReport> {
-        self.inner.reports.lock().clone()
+        self.inner.reports.lock().snapshot()
+    }
+
+    /// Monotonic interval/decision totals since start.
+    pub fn tuning_counters(&self) -> TuningCounters {
+        TuningCounters {
+            intervals: self.inner.tuning_intervals.load(Ordering::Relaxed),
+            grow_decisions: self.inner.grow_decisions.load(Ordering::Relaxed),
+            shrink_decisions: self.inner.shrink_decisions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Applications with a live session.
+    pub fn connected_apps(&self) -> u64 {
+        self.inner.tuning.num_applications.load(Ordering::Relaxed)
     }
 
     /// Run one tuning interval synchronously (tests and drivers that

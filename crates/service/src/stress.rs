@@ -233,16 +233,13 @@ pub fn run_stress(service: &Arc<LockService>, cfg: StressConfig) -> StressReport
     // Zero accounting divergence, per shard and across shards.
     service.validate();
 
-    let reports = service.tuning_reports();
-    let grow_decisions = reports
-        .iter()
-        .filter(|r| r.decision.grow_bytes() > 0)
-        .count() as u64;
-    let shrink_decisions = reports
-        .iter()
-        .filter(|r| r.decision.shrink_bytes() > 0)
-        .count() as u64;
-    let peak_pool_bytes = reports
+    // Totals come from the monotonic counters, not the decision log:
+    // the log is a keep-last-N ring and may have evicted early
+    // intervals of a long run. Peak pool size is best-effort over the
+    // retained tail.
+    let tuning = service.tuning_counters();
+    let peak_pool_bytes = service
+        .tuning_reports()
         .iter()
         .map(|r| r.lock_bytes_after)
         .max()
@@ -253,8 +250,8 @@ pub fn run_stress(service: &Arc<LockService>, cfg: StressConfig) -> StressReport
         timeouts: counters.timeouts.load(Ordering::Relaxed),
         deadlock_victims: counters.victims.load(Ordering::Relaxed),
         oom_failures: counters.oom.load(Ordering::Relaxed),
-        grow_decisions,
-        shrink_decisions,
+        grow_decisions: tuning.grow_decisions,
+        shrink_decisions: tuning.shrink_decisions,
         stats: service.stats(),
         final_pool_bytes: service.pool_stats().bytes,
         peak_pool_bytes,

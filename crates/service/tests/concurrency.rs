@@ -133,6 +133,45 @@ fn duplicate_connect_panics() {
     let _second = service.connect(AppId(7));
 }
 
+/// `try_connect` reports a duplicate AppId as a typed error (the
+/// network server hands out ids from untrusted input and must not
+/// panic), while the original session keeps working.
+#[test]
+fn try_connect_rejects_duplicate_without_panicking() {
+    let service = LockService::start(ServiceConfig::fast(2)).unwrap();
+    let first = service.try_connect(AppId(7)).unwrap();
+    assert_eq!(
+        service.try_connect(AppId(7)).err(),
+        Some(ServiceError::AlreadyConnected(AppId(7)))
+    );
+    // The rejected attempt must not have disturbed the live session.
+    first.lock(table(0), LockMode::X).unwrap();
+    first.unlock_all().unwrap();
+    drop(first);
+    assert!(service.try_connect(AppId(7)).is_ok());
+}
+
+/// The tuning decision log is bounded: only the newest
+/// `tuning_log_capacity` reports are retained, while the monotonic
+/// counters keep counting every interval.
+#[test]
+fn tuning_log_is_bounded_and_counters_are_not() {
+    let config = ServiceConfig {
+        tuning_log_capacity: 4,
+        // Park the timer so only the synchronous ticks below run.
+        tuning_interval: Duration::from_secs(3600),
+        ..ServiceConfig::fast(2)
+    };
+    let service = LockService::start(config).unwrap();
+    for _ in 0..10 {
+        service.run_tuning_interval_now();
+    }
+    assert_eq!(service.tuning_reports().len(), 4);
+    let counters = service.tuning_counters();
+    assert_eq!(counters.intervals, 10);
+    assert!(counters.grow_decisions + counters.shrink_decisions <= counters.intervals);
+}
+
 /// Reconnecting after the previous session dropped is fine.
 #[test]
 fn reconnect_after_drop_is_allowed() {

@@ -21,7 +21,10 @@ fn main() {
     config.tuning_interval = Duration::from_millis(25);
     // Start the pool small so the DSS burst visibly forces growth.
     config.initial_lock_bytes = 256 * 1024;
-    let service = Arc::new(LockService::start(config).expect("service start"));
+    let service = Arc::new(LockService::start(config).unwrap_or_else(|e| {
+        eprintln!("service start failed: {e}");
+        std::process::exit(e.exit_code());
+    }));
     println!(
         "service up: {} shards, tuning every {:?}, pool {} bytes",
         service.shard_count(),
