@@ -1,4 +1,4 @@
-//! What does the TCP front-end cost? Three drivers run the identical
+//! What does the TCP front-end cost? Four drivers run the identical
 //! disjoint OLTP workload (per-thread private table: IX + 20 X row
 //! locks + commit, no conflicts) against the same service
 //! configuration:
@@ -11,22 +11,125 @@
 //! * **wire (pipelined)** — the same client, but each transaction's
 //!   intent + row locks ride one flush and replies are collected
 //!   afterwards. One RTT per *transaction* amortizes the network; the
-//!   gap to in-process that remains is codec + syscall + handoff cost.
+//!   per-lock codec pass, frame, and reply handoff remain.
+//! * **wire (batched)** — the whole lock set travels as one
+//!   `LockBatch` frame answered by one `BatchOutcomes` frame: one
+//!   codec pass, one syscall and one reader→writer handoff per
+//!   *transaction*, and the server takes each shard latch once per
+//!   group instead of once per lock.
 //!
-//! The interesting number is the ratio between the three, not the
+//! The interesting number is the ratio between the four, not the
 //! absolute throughput.
+//!
+//! The binary also runs a **codec allocation audit** before the timed
+//! benches: a counting global allocator proves the `encode_*_into` /
+//! `decode_lock_batch_into` hot path touches the heap zero times per
+//! frame once its scratch buffers are warm (the before/after counts
+//! are printed so regressions show up as a nonzero delta).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{BatchSize, Criterion, Throughput};
 
-use locktune_lockmgr::{AppId, LockMode, ResourceId, RowId, TableId};
-use locktune_net::wire::Request;
-use locktune_net::{Client, Reply, Server};
+use locktune_lockmgr::{AppId, LockMode, LockOutcome, ResourceId, RowId, TableId};
+use locktune_net::wire::{self, Reply, Request};
+use locktune_net::{BatchOutcome, Client, Server};
 use locktune_service::{LockService, ServiceConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 const TXNS_PER_THREAD: u64 = 200;
 const ROWS_PER_TXN: u64 = 20;
+
+// -- counting allocator ---------------------------------------------------
+
+/// Pass-through [`System`] allocator that counts allocation events
+/// (alloc + realloc; frees are uncounted — the audit cares about heap
+/// *traffic* on the hot path, and a free implies a prior alloc).
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Prove the steady-state codec path is allocation-free: warm the
+/// scratch buffers with one cold pass (counted, printed), then run
+/// many hot iterations of the full encode/decode cycle a server
+/// connection performs per transaction and assert the allocation
+/// counter did not move.
+fn codec_alloc_audit() {
+    let items: Vec<(ResourceId, LockMode)> =
+        std::iter::once((ResourceId::Table(TableId(1)), LockMode::IX))
+            .chain((0..ROWS_PER_TXN).map(|r| (ResourceId::Row(TableId(1), RowId(r)), LockMode::X)))
+            .collect();
+    let outcomes: Vec<BatchOutcome> = items
+        .iter()
+        .map(|_| BatchOutcome::Done(Ok(LockOutcome::Granted)))
+        .collect();
+
+    let mut frame: Vec<u8> = Vec::new();
+    let mut decoded: Vec<(ResourceId, LockMode)> = Vec::new();
+    let mut lock_frame: Vec<u8> = Vec::new();
+    let lock_req = Request::Lock {
+        res: ResourceId::Row(TableId(1), RowId(0)),
+        mode: LockMode::X,
+    };
+    let lock_reply = Reply::Lock(Ok(LockOutcome::Granted));
+
+    let one_cycle = |frame: &mut Vec<u8>,
+                     decoded: &mut Vec<(ResourceId, LockMode)>,
+                     lock_frame: &mut Vec<u8>| {
+        // Client side: encode the batch; server side: decode it into
+        // the reused item buffer and encode the coalesced reply.
+        wire::encode_lock_batch_into(frame, 7, &items);
+        let id = wire::decode_lock_batch_into(&frame[4..], decoded)
+            .expect("self-encoded batch decodes")
+            .expect("is a batch frame");
+        assert_eq!(id, 7);
+        wire::encode_batch_outcomes_into(frame, id, &outcomes);
+        // Single-lock path for comparison: request + reply encode.
+        wire::encode_request_into(lock_frame, 8, &lock_req);
+        wire::encode_reply_into(lock_frame, 8, &lock_reply);
+    };
+
+    let before_cold = ALLOC_EVENTS.load(Ordering::Relaxed);
+    one_cycle(&mut frame, &mut decoded, &mut lock_frame);
+    let cold = ALLOC_EVENTS.load(Ordering::Relaxed) - before_cold;
+
+    const HOT_ITERS: u64 = 100_000;
+    let before_hot = ALLOC_EVENTS.load(Ordering::Relaxed);
+    for _ in 0..HOT_ITERS {
+        one_cycle(&mut frame, &mut decoded, &mut lock_frame);
+    }
+    let hot = ALLOC_EVENTS.load(Ordering::Relaxed) - before_hot;
+
+    println!("codec allocation audit ({} items/batch):", items.len());
+    println!("  cold pass (buffer growth): {cold} allocation events");
+    println!("  {HOT_ITERS} warm cycles:        {hot} allocation events");
+    assert_eq!(
+        hot, 0,
+        "steady-state codec path allocated {hot} times over {HOT_ITERS} cycles"
+    );
+}
+
+// -- workload drivers -----------------------------------------------------
 
 fn service() -> Arc<LockService> {
     let config = ServiceConfig {
@@ -62,6 +165,13 @@ fn rig(threads: u32) -> Rig {
     }
 }
 
+#[derive(Clone, Copy)]
+enum WireMode {
+    Sync,
+    Pipelined,
+    Batched,
+}
+
 fn run_in_process(svc: &Arc<LockService>, threads: u32) {
     let handles: Vec<_> = (0..threads)
         .map(|t| {
@@ -89,7 +199,7 @@ fn run_in_process(svc: &Arc<LockService>, threads: u32) {
     }
 }
 
-fn run_wire(rig: Rig, pipelined: bool) -> Rig {
+fn run_wire(rig: Rig, mode: WireMode) -> Rig {
     let handles: Vec<_> = rig
         .clients
         .into_iter()
@@ -97,11 +207,12 @@ fn run_wire(rig: Rig, pipelined: bool) -> Rig {
         .map(|(t, mut client)| {
             std::thread::spawn(move || {
                 let table = TableId(t as u32);
+                let mut items = Vec::with_capacity(ROWS_PER_TXN as usize + 1);
                 for txn in 0..TXNS_PER_THREAD {
-                    if pipelined {
-                        run_txn_pipelined(&mut client, table, txn);
-                    } else {
-                        run_txn_sync(&mut client, table, txn);
+                    match mode {
+                        WireMode::Sync => run_txn_sync(&mut client, table, txn),
+                        WireMode::Pipelined => run_txn_pipelined(&mut client, table, txn),
+                        WireMode::Batched => run_txn_batched(&mut client, table, txn, &mut items),
                     }
                 }
                 client
@@ -156,6 +267,48 @@ fn run_txn_pipelined(client: &mut Client, table: TableId, txn: u64) {
     client.unlock_all().unwrap();
 }
 
+///// The whole transaction rides **one flush**: the `LockBatch` frame
+/// and the commit. This is safe precisely because of the batch's
+/// stop-on-session-fatal semantics — the server executes in order, so
+/// the commit lands after the batch either fully granted (commit) or
+/// stopped (the `UnlockAll` releases the granted prefix, which is
+/// exactly the abort path). Individually pipelined locks cannot
+/// piggyback their commit this way without giving up the decision
+/// point.
+fn run_txn_batched(
+    client: &mut Client,
+    table: TableId,
+    txn: u64,
+    items: &mut Vec<(ResourceId, LockMode)>,
+) {
+    items.clear();
+    items.push((ResourceId::Table(table), LockMode::IX));
+    for r in 0..ROWS_PER_TXN {
+        let row = RowId(txn * ROWS_PER_TXN + r);
+        items.push((ResourceId::Row(table, row), LockMode::X));
+    }
+    let batch_id = client.send_lock_batch(items).unwrap();
+    let commit_id = client.send(&Request::UnlockAll).unwrap();
+    match client.wait(batch_id).unwrap() {
+        Reply::BatchOutcomes(outcomes) => {
+            assert_eq!(outcomes.len(), items.len());
+            for (i, outcome) in outcomes.iter().enumerate() {
+                assert!(
+                    outcome.is_granted(),
+                    "disjoint batch item {i} failed: {outcome:?}"
+                );
+            }
+        }
+        other => panic!("expected BatchOutcomes, got {other:?}"),
+    }
+    match client.wait(commit_id).unwrap() {
+        Reply::UnlockAll(Ok(report)) => {
+            assert_eq!(report.released_locks, items.len() as u64)
+        }
+        other => panic!("commit failed: {other:?}"),
+    }
+}
+
 fn bench_net_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("net_overhead");
     for threads in [1u32, 4] {
@@ -174,14 +327,21 @@ fn bench_net_overhead(c: &mut Criterion) {
         g.bench_function(format!("wire_sync_{threads}_threads"), |b| {
             b.iter_batched(
                 || rig(threads),
-                |r| run_wire(r, false),
+                |r| run_wire(r, WireMode::Sync),
                 BatchSize::LargeInput,
             )
         });
         g.bench_function(format!("wire_pipelined_{threads}_threads"), |b| {
             b.iter_batched(
                 || rig(threads),
-                |r| run_wire(r, true),
+                |r| run_wire(r, WireMode::Pipelined),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("wire_batched_{threads}_threads"), |b| {
+            b.iter_batched(
+                || rig(threads),
+                |r| run_wire(r, WireMode::Batched),
                 BatchSize::LargeInput,
             )
         });
@@ -189,9 +349,11 @@ fn bench_net_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_net_overhead
-);
-criterion_main!(benches);
+// Hand-written main (instead of `criterion_main!`): the allocation
+// audit must run first, on a quiet single-threaded process, before the
+// benches put the allocator to work.
+fn main() {
+    codec_alloc_audit();
+    let mut c = Criterion::default().sample_size(10);
+    bench_net_overhead(&mut c);
+}

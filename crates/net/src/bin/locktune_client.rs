@@ -5,13 +5,16 @@
 //! locktune-client [--addr HOST:PORT] [--workers N] [--txns N]
 //!                 [--tables N] [--rows N] [--oltp-rows N] [--dss-rows N]
 //!                 [--dss-percent P] [--seed S] [--min-intervals N]
-//!                 [--skip-kill]
+//!                 [--skip-kill] [--batch]
 //! ```
 //!
 //! Each worker thread owns one TCP connection and runs the same two
 //! transaction footprints the in-process stress driver uses: OLTP (IX
 //! on a table, a handful of X row locks, commit) and DSS scans (IS on
-//! a table, a large pipelined batch of S row locks, commit). After the
+//! a table, a large pipelined batch of S row locks, commit). With
+//! `--batch` each transaction's lock set travels as a single
+//! `LockBatch` frame answered by a single `BatchOutcomes` frame
+//! instead of N pipelined LOCK frames. After the
 //! timed phase one extra connection takes locks and is **killed**
 //! (socket hard-shutdown, no unlock) to prove the server releases a
 //! dead client's locks; the run then polls until the pool drains,
@@ -26,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use locktune_lockmgr::{LockError, LockMode, ResourceId, RowId, TableId};
 use locktune_net::wire::Request;
-use locktune_net::{Client, ClientError, Reply};
+use locktune_net::{BatchOutcome, Client, ClientError, Reply};
 use locktune_service::ServiceError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +47,7 @@ struct Args {
     seed: u64,
     min_intervals: u64,
     skip_kill: bool,
+    batch: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         min_intervals: 0,
         skip_kill: false,
+        batch: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -77,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
                 args.min_intervals = parse(&value("--min-intervals")?, "--min-intervals")?
             }
             "--skip-kill" => args.skip_kill = true,
+            "--batch" => args.batch = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -108,13 +114,15 @@ fn count_failure(e: &ServiceError, counters: &Counters) {
     };
 }
 
-/// One remote transaction: the lock phase is **pipelined** — the table
-/// intent and every row lock ride one socket flush; the server
-/// executes them in order, so the intent is granted before the first
-/// row request runs. Replies are then collected by id. After the first
-/// failure the rest of the batch is cascade noise (`MissingIntent`
-/// after a timed-out intent, `DeadlockVictim` repeats) and is not
-/// counted.
+/// One remote transaction. The lock phase is **pipelined** by
+/// default — the table intent and every row lock ride one socket
+/// flush; the server executes them in order, so the intent is granted
+/// before the first row request runs, and replies are collected by
+/// id. With `--batch` the same lock set travels as one `LockBatch`
+/// frame instead. Either way, after the first failure the rest of the
+/// lock set is cascade noise (`MissingIntent` after a timed-out
+/// intent, `DeadlockVictim` repeats, `Skipped` in batch mode) and is
+/// not counted.
 fn run_txn(
     client: &mut Client,
     rng: &mut StdRng,
@@ -129,11 +137,8 @@ fn run_txn(
         (LockMode::IX, LockMode::X, args.oltp_rows)
     };
 
-    let mut ids = Vec::with_capacity(rows as usize + 1);
-    ids.push(client.send(&Request::Lock {
-        res: ResourceId::Table(table),
-        mode: table_mode,
-    })?);
+    let mut locks = Vec::with_capacity(rows as usize + 1);
+    locks.push((ResourceId::Table(table), table_mode));
     let start = rng.gen_range_u64(0, args.rows_per_table);
     for i in 0..rows {
         let row = if dss {
@@ -142,25 +147,39 @@ fn run_txn(
         } else {
             RowId(rng.gen_range_u64(0, args.rows_per_table))
         };
-        ids.push(client.send(&Request::Lock {
-            res: ResourceId::Row(table, row),
-            mode: row_mode,
-        })?);
+        locks.push((ResourceId::Row(table, row), row_mode));
     }
 
     let mut failure: Option<ServiceError> = None;
-    for id in ids {
-        match client.wait(id)? {
-            Reply::Lock(Ok(_)) => {}
-            Reply::Lock(Err(e)) => {
+    if args.batch {
+        for outcome in client.lock_batch(&locks)? {
+            if let BatchOutcome::Done(Err(e)) = outcome {
                 if failure.is_none() {
                     failure = Some(e);
                 }
             }
-            other => {
-                return Err(ClientError::Protocol(format!(
-                    "expected Lock reply, got {other:?}"
-                )))
+        }
+    } else {
+        let mut ids = Vec::with_capacity(locks.len());
+        for (res, mode) in &locks {
+            ids.push(client.send(&Request::Lock {
+                res: *res,
+                mode: *mode,
+            })?);
+        }
+        for id in ids {
+            match client.wait(id)? {
+                Reply::Lock(Ok(_)) => {}
+                Reply::Lock(Err(e)) => {
+                    if failure.is_none() {
+                        failure = Some(e);
+                    }
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected Lock reply, got {other:?}"
+                    )))
+                }
             }
         }
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! locktune-server [--addr HOST:PORT] [--shards N] [--tuning-ms MS]
 //!                 [--deadlock-ms MS] [--timeout-ms MS] [--log-capacity N]
-//!                 [--initial-kb KB]
+//!                 [--initial-kb KB] [--reply-queue N]
 //! ```
 //!
 //! Defaults mirror `ServiceConfig::fast(8)` — millisecond tuning so a
@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use locktune_net::Server;
+use locktune_net::{Server, ServerConfig};
 use locktune_service::{LockService, ServiceConfig};
 
 struct Args {
@@ -25,6 +25,7 @@ struct Args {
     timeout_ms: u64,
     log_capacity: usize,
     initial_kb: u64,
+    reply_queue: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         timeout_ms: 2_000,
         log_capacity: 512,
         initial_kb: 2 * 1024,
+        reply_queue: ServerConfig::default().reply_queue_capacity,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -50,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
                 args.log_capacity = parse(&value("--log-capacity")?, "--log-capacity")?
             }
             "--initial-kb" => args.initial_kb = parse(&value("--initial-kb")?, "--initial-kb")?,
+            "--reply-queue" => args.reply_queue = parse(&value("--reply-queue")?, "--reply-queue")?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -88,7 +91,10 @@ fn main() {
         }
     };
 
-    let server = match Server::bind(Arc::clone(&service), &args.addr) {
+    let server_config = ServerConfig {
+        reply_queue_capacity: args.reply_queue,
+    };
+    let server = match Server::bind_with_config(Arc::clone(&service), &args.addr, server_config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("locktune-server: bind {}: {e}", args.addr);

@@ -7,16 +7,20 @@
 //! of requests rides one socket flush and replies are collected by
 //! request id afterwards. Replies arriving while waiting for a
 //! different id are stashed, so completions can be consumed in any
-//! order.
+//! order. [`Client::lock_batch`] goes one further: the whole lock set
+//! travels as a single `LockBatch` frame answered by a single
+//! `BatchOutcomes` frame — one codec pass and one syscall per
+//! direction per transaction. Encode and receive buffers are reused
+//! across calls, so steady-state requests allocate nothing.
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 
 use locktune_lockmgr::{LockMode, LockOutcome, ResourceId, UnlockReport};
-use locktune_service::ServiceError;
+use locktune_service::{BatchOutcome, ServiceError};
 
-use crate::wire::{self, Reply, Request, StatsSnapshot, ValidateReport};
+use crate::wire::{self, Reply, Request, StatsSnapshot, ValidateReport, MAX_BATCH};
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -56,6 +60,14 @@ pub struct Client {
     next_id: u64,
     /// Replies that arrived while waiting for a different id.
     stash: HashMap<u64, Reply>,
+    /// Frames queued since the last flush. Lets [`Client::wait`] skip
+    /// the flush entirely when nothing is pending (e.g. draining a
+    /// pipelined batch's replies one id at a time).
+    dirty: bool,
+    /// Reusable encode buffer: steady-state sends allocate nothing.
+    encode_buf: Vec<u8>,
+    /// Reusable receive buffer for frame payloads.
+    read_buf: Vec<u8>,
 }
 
 impl Client {
@@ -69,47 +81,80 @@ impl Client {
             reader: BufReader::new(read_half),
             next_id: 1,
             stash: HashMap::new(),
+            dirty: false,
+            encode_buf: Vec::new(),
+            read_buf: Vec::new(),
         })
     }
 
     // -- pipelining API --------------------------------------------------
 
-    /// Queue `req` without waiting (or even flushing); returns the
-    /// request id to [`Client::wait`] on.
-    pub fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
+    fn push_frame(&mut self) -> Result<u64, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        wire::write_request(&mut self.writer, id, req)?;
+        self.writer.write_all(&self.encode_buf)?;
+        self.dirty = true;
         Ok(id)
     }
 
-    /// Push queued requests onto the wire.
+    /// Queue `req` without waiting (or even flushing); returns the
+    /// request id to [`Client::wait`] on.
+    pub fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
+        wire::encode_request_into(&mut self.encode_buf, self.next_id, req);
+        self.push_frame()
+    }
+
+    /// Queue one `LockBatch` frame for `items` without building a
+    /// [`Request`] (no allocation); returns the request id whose
+    /// [`Reply::BatchOutcomes`] to [`Client::wait`] on.
+    pub fn send_lock_batch(
+        &mut self,
+        items: &[(ResourceId, LockMode)],
+    ) -> Result<u64, ClientError> {
+        if items.len() > MAX_BATCH {
+            return Err(ClientError::Protocol(format!(
+                "lock batch of {} items exceeds MAX_BATCH ({MAX_BATCH})",
+                items.len()
+            )));
+        }
+        wire::encode_lock_batch_into(&mut self.encode_buf, self.next_id, items);
+        self.push_frame()
+    }
+
+    /// Push queued requests onto the wire (no-op when nothing is
+    /// queued).
     pub fn flush(&mut self) -> Result<(), ClientError> {
-        self.writer.flush()?;
+        if self.dirty {
+            self.writer.flush()?;
+            self.dirty = false;
+        }
         Ok(())
     }
 
-    /// Block until the reply for `id` arrives (flushing first, so a
-    /// forgotten flush cannot deadlock the caller against its own
-    /// buffer). Replies for other ids are stashed for their own waits.
+    /// Block until the reply for `id` arrives. The out-of-order stash
+    /// is checked first; only a miss flushes (so a forgotten flush
+    /// cannot deadlock the caller against its own buffer, and a hit
+    /// touches no socket state at all). Replies for other ids are
+    /// stashed for their own waits.
     pub fn wait(&mut self, id: u64) -> Result<Reply, ClientError> {
         if let Some(reply) = self.stash.remove(&id) {
             return Ok(reply);
         }
         self.flush()?;
         loop {
-            match wire::read_reply(&mut self.reader)? {
-                None => {
-                    return Err(ClientError::Io(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "server closed the connection",
-                    )))
-                }
-                Some((got, reply)) if got == id => return Ok(reply),
-                Some((got, reply)) => {
-                    self.stash.insert(got, reply);
-                }
+            if !wire::read_payload_into(&mut self.reader, &mut self.read_buf)? {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
             }
+            let (got, reply) = wire::decode_reply(&self.read_buf).map_err(|e| {
+                ClientError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+            })?;
+            if got == id {
+                return Ok(reply);
+            }
+            self.stash.insert(got, reply);
         }
     }
 
@@ -127,6 +172,30 @@ impl Client {
             Reply::Lock(Ok(outcome)) => Ok(outcome),
             Reply::Lock(Err(e)) => Err(ClientError::Service(e)),
             other => Err(unexpected("Lock", &other)),
+        }
+    }
+
+    /// Acquire a whole lock set in one frame and one round trip (at
+    /// most [`MAX_BATCH`] items). Returns one [`BatchOutcome`] per
+    /// item, in request order: the server stops at the first
+    /// session-fatal error (timeout, deadlock abort, shutdown) and
+    /// reports everything it never attempted as
+    /// [`BatchOutcome::Skipped`], so the granted prefix is exactly the
+    /// `Done(Ok(..))` entries. Rides the pipelining machinery — mix
+    /// freely with [`Client::send`]/[`Client::wait`].
+    pub fn lock_batch(
+        &mut self,
+        items: &[(ResourceId, LockMode)],
+    ) -> Result<Vec<BatchOutcome>, ClientError> {
+        let id = self.send_lock_batch(items)?;
+        match self.wait(id)? {
+            Reply::BatchOutcomes(outcomes) if outcomes.len() == items.len() => Ok(outcomes),
+            Reply::BatchOutcomes(outcomes) => Err(ClientError::Protocol(format!(
+                "batch of {} items answered with {} outcomes",
+                items.len(),
+                outcomes.len()
+            ))),
+            other => Err(unexpected("BatchOutcomes", &other)),
         }
     }
 

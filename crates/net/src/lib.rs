@@ -9,9 +9,11 @@
 //! Three layers, all `std::net` + threads — no async runtime, matching
 //! the service crate's design:
 //!
-//! * [`wire`] — compact length-prefixed binary frames (LOCK, UNLOCK,
-//!   UNLOCK_ALL, STATS, PING, VALIDATE and typed replies) with
-//!   explicit request-id correlation so clients can pipeline;
+//! * [`wire`] — compact length-prefixed binary frames (LOCK,
+//!   LOCK_BATCH, UNLOCK, UNLOCK_ALL, STATS, PING, VALIDATE and typed
+//!   replies) with explicit request-id correlation so clients can
+//!   pipeline, and `encode_*_into`/`read_payload_into` twins so the
+//!   hot path encodes and decodes without heap allocation;
 //! * [`server`] — a threaded TCP server owning a
 //!   [`LockService`](locktune_service::LockService): each accepted
 //!   connection gets a server-allocated `AppId` and a reader/writer
@@ -27,5 +29,6 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError};
-pub use server::Server;
-pub use wire::{Reply, Request, StatsSnapshot, ValidateReport, WireError};
+pub use locktune_service::BatchOutcome;
+pub use server::{Server, ServerConfig};
+pub use wire::{Reply, Request, StatsSnapshot, ValidateReport, WireError, MAX_BATCH};

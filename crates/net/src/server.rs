@@ -11,9 +11,17 @@
 //!   unchanged; replies are handed to the writer as they complete
 //!   (completion order == arrival order for a single connection, and
 //!   ids correlate regardless);
-//! * the writer drains a channel of pre-encoded reply frames onto the
-//!   socket, flushing whenever the channel runs empty — consecutive
-//!   replies to a pipelining client coalesce into one TCP segment.
+//! * the writer drains a **bounded** channel of pre-encoded reply
+//!   frames onto the socket, flushing whenever the channel runs
+//!   empty — consecutive replies to a pipelining client coalesce into
+//!   one TCP segment, and a client that stops reading backpressures
+//!   its own reader instead of growing server memory (see
+//!   [`ServerConfig::reply_queue_capacity`]). Spent frames return to
+//!   the reader over a freelist, so the whole
+//!   read → decode → execute → encode → write cycle runs without heap
+//!   allocation at steady state; `LockBatch` frames dispatch through
+//!   `Session::lock_many` (one shard-latch pass per shard group) and
+//!   answer with one coalesced `BatchOutcomes` frame.
 //!
 //! **Disconnect semantics**: whatever ends the reader loop — clean
 //! EOF, a mid-frame kill, a protocol error, an I/O error — the reader
@@ -25,17 +33,44 @@ use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use locktune_lockmgr::AppId;
-use locktune_service::{LockService, Session};
+use crossbeam::channel::{self, Receiver, TryRecvError};
+use locktune_lockmgr::{AppId, LockMode, ResourceId};
+use locktune_service::{BatchOutcome, LockService, Session};
 
 use crate::wire::{self, Reply, Request, StatsSnapshot, ValidateReport};
 
+/// Tunables for the TCP front-end (the lock service itself is
+/// configured separately via `ServiceConfig`).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Capacity of each connection's reader→writer reply channel, in
+    /// encoded frames. The channel is **bounded**: when a client stops
+    /// reading its replies, the writer blocks on the socket, the
+    /// channel fills, and the connection's reader blocks on the send —
+    /// so the misbehaving client backpressures *itself* (its own
+    /// unread requests pile up in kernel socket buffers) instead of
+    /// growing server memory without bound.
+    pub reply_queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            // Deep enough that a pipelining client never stalls its
+            // reader in normal operation (a whole MAX_BATCH
+            // transaction is one frame), shallow enough to cap
+            // per-connection memory.
+            reply_queue_capacity: 128,
+        }
+    }
+}
+
 struct Shared {
     service: Arc<LockService>,
+    config: ServerConfig,
     shutdown: AtomicBool,
     /// Next server-allocated application id. Network sessions never
     /// reuse a live id because the counter only moves forward; if an
@@ -67,12 +102,24 @@ pub struct Server {
 impl Server {
     /// Bind `addr` (port 0 picks a free port; see
     /// [`Server::local_addr`]) and start accepting connections for
-    /// `service`.
+    /// `service`, with default [`ServerConfig`].
     pub fn bind(service: Arc<LockService>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        Self::bind_with_config(service, addr, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit front-end tunables.
+    pub fn bind_with_config(
+        service: Arc<LockService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             service,
+            config: ServerConfig {
+                reply_queue_capacity: config.reply_queue_capacity.max(1),
+            },
             shutdown: AtomicBool::new(false),
             next_app: AtomicU32::new(1),
             next_conn: AtomicU64::new(1),
@@ -191,38 +238,89 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
+/// Spent reply frames the writer hands back to the reader for reuse.
+/// Bounded in count and in retained capacity so a burst of huge Pong
+/// frames cannot pin memory.
+type Freelist = Arc<Mutex<Vec<Vec<u8>>>>;
+
+/// Largest frame capacity worth keeping on the freelist. Lock and
+/// batch replies are far below this; only oversized Pong echoes ever
+/// exceed it.
+const RECYCLE_MAX_BYTES: usize = 16 * 1024;
+
 /// The reader loop: decode → execute on the blocking session → queue
 /// the encoded reply for the writer. Returns when the connection dies
 /// for any reason; the session (and with it every lock) is released on
 /// return.
+///
+/// The reply channel is **bounded** (see
+/// [`ServerConfig::reply_queue_capacity`]): a client that stops
+/// reading eventually blocks this thread on `tx.send`, which stops it
+/// reading further requests — backpressure, not unbounded buffering.
+///
+/// Allocation discipline: the frame payload, the decoded batch items
+/// and the batch outcomes all live in buffers reused across requests,
+/// and encoded reply frames come back from the writer via a freelist —
+/// steady state, a lock/batch request is served without touching the
+/// heap.
 fn serve_connection(
     shared: &Arc<Shared>,
     session: Session,
     read_stream: TcpStream,
     write_stream: TcpStream,
 ) {
-    let (tx, rx) = mpsc::channel::<Vec<u8>>();
-    let writer = std::thread::Builder::new()
-        .name("locktune-conn-writer".into())
-        .spawn(move || writer_loop(rx, write_stream));
+    let (tx, rx) = channel::bounded::<Vec<u8>>(shared.config.reply_queue_capacity);
+    let freelist: Freelist = Arc::new(Mutex::new(Vec::new()));
+    let retain = shared.config.reply_queue_capacity + 2;
+    let writer = {
+        let freelist = Arc::clone(&freelist);
+        std::thread::Builder::new()
+            .name("locktune-conn-writer".into())
+            .spawn(move || writer_loop(rx, write_stream, &freelist, retain))
+    };
     let writer = match writer {
         Ok(w) => w,
         Err(_) => return,
     };
 
     let mut r = BufReader::new(read_stream);
+    let mut payload: Vec<u8> = Vec::new();
+    let mut batch_items: Vec<(ResourceId, LockMode)> = Vec::new();
+    let mut outcomes: Vec<BatchOutcome> = Vec::new();
     loop {
-        match wire::read_request(&mut r) {
+        match wire::read_payload_into(&mut r, &mut payload) {
             // Clean EOF, mid-frame kill, protocol error, I/O error:
             // identical teardown either way — drop the session,
             // release the locks.
-            Ok(None) | Err(_) => break,
-            Ok(Some((id, req))) => {
-                let reply = execute(shared, &session, req);
-                if tx.send(wire::encode_reply(id, &reply)).is_err() {
-                    break; // writer died (client gone)
-                }
+            Ok(false) | Err(_) => break,
+            Ok(true) => {}
+        }
+        let mut frame = freelist
+            .lock()
+            .unwrap()
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(64));
+        // Batches bypass the owning `Request` entirely: decode into
+        // the reused item buffer, execute shard-grouped, encode the
+        // coalesced reply from the reused outcome buffer.
+        let encoded = match wire::decode_lock_batch_into(&payload, &mut batch_items) {
+            Ok(Some(id)) => {
+                session.lock_many_into(&batch_items, &mut outcomes);
+                wire::encode_batch_outcomes_into(&mut frame, id, &outcomes);
+                true
             }
+            Ok(None) => match wire::decode_request(&payload) {
+                Ok((id, req)) => {
+                    let reply = execute(shared, &session, req);
+                    wire::encode_reply_into(&mut frame, id, &reply);
+                    true
+                }
+                Err(_) => false,
+            },
+            Err(_) => false,
+        };
+        if !encoded || tx.send(frame).is_err() {
+            break; // protocol error, or writer died (client gone)
         }
     }
     drop(tx);
@@ -230,12 +328,25 @@ fn serve_connection(
     // `session` drops here: cancel_wait + unlock_all on every shard.
 }
 
-fn writer_loop(rx: mpsc::Receiver<Vec<u8>>, stream: TcpStream) {
+/// Return a spent reply frame for reuse (subject to the freelist's
+/// size and count bounds).
+fn recycle(freelist: &Freelist, retain: usize, mut frame: Vec<u8>) {
+    if frame.capacity() <= RECYCLE_MAX_BYTES {
+        let mut fl = freelist.lock().unwrap();
+        if fl.len() < retain {
+            frame.clear();
+            fl.push(frame);
+        }
+    }
+}
+
+fn writer_loop(rx: Receiver<Vec<u8>>, stream: TcpStream, freelist: &Freelist, retain: usize) {
     let mut w = BufWriter::new(stream);
     while let Ok(frame) = rx.recv() {
         if w.write_all(&frame).is_err() {
             return;
         }
+        recycle(freelist, retain, frame);
         // Coalesce: only flush once no further reply is ready.
         loop {
             match rx.try_recv() {
@@ -243,9 +354,10 @@ fn writer_loop(rx: mpsc::Receiver<Vec<u8>>, stream: TcpStream) {
                     if w.write_all(&next).is_err() {
                         return;
                     }
+                    recycle(freelist, retain, next);
                 }
-                Err(mpsc::TryRecvError::Empty) => break,
-                Err(mpsc::TryRecvError::Disconnected) => {
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
                     let _ = w.flush();
                     return;
                 }
@@ -266,6 +378,9 @@ fn execute(shared: &Arc<Shared>, session: &Session, req: Request) -> Reply {
         Request::Stats => Reply::Stats(snapshot(&shared.service)),
         Request::Ping(echo) => Reply::Pong(echo),
         Request::Validate => Reply::Validate(validate(&shared.service)),
+        // Decoded generically only when the zero-alloc path above was
+        // bypassed (tests feeding frames through `decode_request`).
+        Request::LockBatch(items) => Reply::BatchOutcomes(session.lock_many(&items)),
     }
 }
 

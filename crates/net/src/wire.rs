@@ -26,10 +26,19 @@
 //! frame, an unknown tag, or trailing garbage is a protocol error and
 //! the peer drops the connection (the server then releases the
 //! connection's locks, see the server docs).
+//!
+//! A transaction that knows its lock set up front should ship it as
+//! one [`Request::LockBatch`] (up to [`MAX_BATCH`] resource/mode
+//! pairs, one request id) and get back one [`Reply::BatchOutcomes`]
+//! frame: one frame, one syscall and one reader→writer handoff per
+//! *transaction* instead of per lock. Every `encode_*` function has an
+//! `encode_*_into` twin writing into a caller-reused buffer — combined
+//! with [`read_payload_into`] and [`decode_lock_batch_into`], the
+//! steady-state encode/decode path performs **zero** heap allocation.
 
 use locktune_lockmgr::{AppId, LockError, LockMode, LockOutcome, ResourceId, RowId, TableId};
 use locktune_lockmgr::{LockStats, UnlockReport};
-use locktune_service::ServiceError;
+use locktune_service::{BatchOutcome, ServiceError};
 
 /// Upper bound on a frame's payload (opcode + id + body). Large enough
 /// for any fixed-layout message and a generous ping echo; small enough
@@ -39,6 +48,14 @@ pub const MAX_PAYLOAD: usize = 64 * 1024;
 /// Bytes of payload before the body: opcode (1) + request id (8).
 pub const HEADER_LEN: usize = 9;
 
+/// Largest number of items in a [`Request::LockBatch`]. Chosen so the
+/// **worst-case reply** still fits one frame: a `BatchOutcomes` item is
+/// at most 16 bytes (tag + `ServiceError::Lock(NotHeld(Row(..)))`), so
+/// `HEADER_LEN + 4 + 4095 × 16 = 65 533 ≤ MAX_PAYLOAD`. The request
+/// side is smaller (≤ 14 bytes/item). One more item could overflow the
+/// reply, so the decoder rejects larger counts outright.
+pub const MAX_BATCH: usize = 4095;
+
 // Request opcodes.
 const OP_LOCK: u8 = 0x01;
 const OP_UNLOCK: u8 = 0x02;
@@ -46,6 +63,7 @@ const OP_UNLOCK_ALL: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_PING: u8 = 0x05;
 const OP_VALIDATE: u8 = 0x06;
+const OP_LOCK_BATCH: u8 = 0x07;
 
 // Reply opcodes (request opcode | 0x80).
 const OP_LOCK_REPLY: u8 = 0x81;
@@ -54,6 +72,7 @@ const OP_UNLOCK_ALL_REPLY: u8 = 0x83;
 const OP_STATS_REPLY: u8 = 0x84;
 const OP_PONG: u8 = 0x85;
 const OP_VALIDATE_REPLY: u8 = 0x86;
+const OP_LOCK_BATCH_REPLY: u8 = 0x87;
 
 /// A decoded client→server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +99,12 @@ pub enum Request {
     Ping(Vec<u8>),
     /// Run the server's cross-shard accounting audit.
     Validate,
+    /// Acquire a whole lock set in one frame (at most [`MAX_BATCH`]
+    /// items). The server executes it via `Session::lock_many` —
+    /// shard-grouped, stop on the first session-fatal error — and
+    /// answers with one [`Reply::BatchOutcomes`] carrying a per-item
+    /// outcome in request order.
+    LockBatch(Vec<(ResourceId, LockMode)>),
 }
 
 /// A decoded server→client message.
@@ -98,6 +123,11 @@ pub enum Reply {
     /// Outcome of a [`Request::Validate`]: the audited slot counts, or
     /// the accounting-divergence message if the audit failed.
     Validate(Result<ValidateReport, String>),
+    /// Outcome of a [`Request::LockBatch`]: one entry per requested
+    /// item, in request order. Entries after the first session-fatal
+    /// error are [`BatchOutcome::Skipped`] — the granted prefix is
+    /// exactly the set of `Done(Ok(..))` entries.
+    BatchOutcomes(Vec<BatchOutcome>),
 }
 
 /// Server state snapshot carried by [`Reply::Stats`].
@@ -150,6 +180,8 @@ pub enum WireError {
     },
     /// Bytes were left over after the message was fully decoded.
     TrailingBytes(usize),
+    /// A lock batch declared more than [`MAX_BATCH`] items.
+    BatchTooLarge(usize),
 }
 
 impl std::fmt::Display for WireError {
@@ -159,6 +191,9 @@ impl std::fmt::Display for WireError {
             WireError::BadLength(n) => write!(f, "bad frame length {n}"),
             WireError::BadTag { what, tag } => write!(f, "bad {what} tag {tag:#04x}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+            WireError::BatchTooLarge(n) => {
+                write!(f, "lock batch of {n} items exceeds {MAX_BATCH}")
+            }
         }
     }
 }
@@ -424,6 +459,41 @@ fn get_result<T>(
     }
 }
 
+fn put_batch_outcome(out: &mut Vec<u8>, item: &BatchOutcome) {
+    match item {
+        BatchOutcome::Done(Ok(o)) => {
+            out.push(0);
+            put_outcome(out, *o);
+        }
+        BatchOutcome::Done(Err(e)) => {
+            out.push(1);
+            put_service_error(out, e);
+        }
+        BatchOutcome::Skipped => out.push(2),
+    }
+}
+
+fn get_batch_outcome(r: &mut Reader<'_>) -> Result<BatchOutcome, WireError> {
+    match r.u8()? {
+        0 => Ok(BatchOutcome::Done(Ok(get_outcome(r)?))),
+        1 => Ok(BatchOutcome::Done(Err(get_service_error(r)?))),
+        2 => Ok(BatchOutcome::Skipped),
+        tag => Err(WireError::BadTag {
+            what: "batch outcome",
+            tag,
+        }),
+    }
+}
+
+/// Read and bounds-check a batch count prefix.
+fn get_batch_len(r: &mut Reader<'_>) -> Result<usize, WireError> {
+    let n = r.u32()? as usize;
+    if n > MAX_BATCH {
+        return Err(WireError::BatchTooLarge(n));
+    }
+    Ok(n)
+}
+
 fn put_unlock_report(out: &mut Vec<u8>, rep: &UnlockReport) {
     put_u64(out, rep.released_locks);
     put_u64(out, rep.freed_slots);
@@ -506,34 +576,74 @@ fn get_snapshot(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
 // Frame encode/decode
 // ---------------------------------------------------------------------
 
-fn frame(opcode: u8, id: u64, body: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
-    let mut out = Vec::with_capacity(32);
+/// Write one frame (length prefix, header, body) into `out`, which is
+/// cleared first. The hot-path entry point: a caller reusing `out`
+/// across frames encodes with **zero** steady-state heap allocation
+/// (the buffer keeps its capacity; everything is `extend_from_slice`).
+fn frame_into(out: &mut Vec<u8>, opcode: u8, id: u64, body: impl FnOnce(&mut Vec<u8>)) {
+    out.clear();
     // Length placeholder, patched below.
-    put_u32(&mut out, 0);
+    put_u32(out, 0);
     out.push(opcode);
-    put_u64(&mut out, id);
-    body(&mut out);
+    put_u64(out, id);
+    body(out);
     let len = (out.len() - 4) as u32;
     out[..4].copy_from_slice(&len.to_le_bytes());
     // MAX_PAYLOAD is enforced where it protects someone: in
     // `read_payload`, on the receiving side. An oversize frame (only
     // possible via a huge Ping echo) is rejected by the peer.
-    out
 }
 
-/// Encode `req` as a complete frame (length prefix included).
-pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+/// Encode `req` as a complete frame into `out` (cleared first; length
+/// prefix included). Reuse `out` across calls for allocation-free
+/// steady-state encoding.
+pub fn encode_request_into(out: &mut Vec<u8>, id: u64, req: &Request) {
     match req {
-        Request::Lock { res, mode } => frame(OP_LOCK, id, |out| {
+        Request::Lock { res, mode } => frame_into(out, OP_LOCK, id, |out| {
             put_resource(out, *res);
             out.push(mode_tag(*mode));
         }),
-        Request::Unlock { res } => frame(OP_UNLOCK, id, |out| put_resource(out, *res)),
-        Request::UnlockAll => frame(OP_UNLOCK_ALL, id, |_| {}),
-        Request::Stats => frame(OP_STATS, id, |_| {}),
-        Request::Ping(echo) => frame(OP_PING, id, |out| put_bytes(out, echo)),
-        Request::Validate => frame(OP_VALIDATE, id, |_| {}),
+        Request::Unlock { res } => frame_into(out, OP_UNLOCK, id, |out| put_resource(out, *res)),
+        Request::UnlockAll => frame_into(out, OP_UNLOCK_ALL, id, |_| {}),
+        Request::Stats => frame_into(out, OP_STATS, id, |_| {}),
+        Request::Ping(echo) => frame_into(out, OP_PING, id, |out| put_bytes(out, echo)),
+        Request::Validate => frame_into(out, OP_VALIDATE, id, |_| {}),
+        Request::LockBatch(items) => encode_lock_batch_into(out, id, items),
     }
+}
+
+/// Encode a [`Request::LockBatch`] frame straight from a slice, so
+/// callers batching from their own buffers need not build (and heap-
+/// allocate) a `Request` first. `items.len()` must be ≤ [`MAX_BATCH`]
+/// (debug-asserted here, enforced by the peer's decoder).
+pub fn encode_lock_batch_into(out: &mut Vec<u8>, id: u64, items: &[(ResourceId, LockMode)]) {
+    debug_assert!(items.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+    frame_into(out, OP_LOCK_BATCH, id, |out| {
+        put_u32(out, items.len() as u32);
+        for (res, mode) in items {
+            put_resource(out, *res);
+            out.push(mode_tag(*mode));
+        }
+    });
+}
+
+/// Encode a [`Reply::BatchOutcomes`] frame straight from a slice (the
+/// server reuses one outcome buffer across batches).
+pub fn encode_batch_outcomes_into(out: &mut Vec<u8>, id: u64, items: &[BatchOutcome]) {
+    frame_into(out, OP_LOCK_BATCH_REPLY, id, |out| {
+        put_u32(out, items.len() as u32);
+        for item in items {
+            put_batch_outcome(out, item);
+        }
+    });
+}
+
+/// Encode `req` as a complete frame (length prefix included).
+/// Allocating convenience wrapper over [`encode_request_into`].
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    encode_request_into(&mut out, id, req);
+    out
 }
 
 /// Decode a request payload (frame minus the length prefix).
@@ -553,6 +663,16 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
         OP_STATS => Request::Stats,
         OP_PING => Request::Ping(r.bytes()?),
         OP_VALIDATE => Request::Validate,
+        OP_LOCK_BATCH => {
+            let n = get_batch_len(&mut r)?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                let res = get_resource(&mut r)?;
+                let mode = get_mode(&mut r)?;
+                items.push((res, mode));
+            }
+            Request::LockBatch(items)
+        }
         tag => {
             return Err(WireError::BadTag {
                 what: "request opcode",
@@ -564,21 +684,49 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
     Ok((id, req))
 }
 
-/// Encode `reply` as a complete frame (length prefix included).
-pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
+/// If `payload` is a [`Request::LockBatch`] frame, decode its items
+/// into `items` (cleared first) and return `Some(request id)`; any
+/// other opcode returns `None` untouched so the caller falls back to
+/// [`decode_request`]. A server reusing `items` across frames decodes
+/// its hot path with zero steady-state heap allocation.
+pub fn decode_lock_batch_into(
+    payload: &[u8],
+    items: &mut Vec<(ResourceId, LockMode)>,
+) -> Result<Option<u64>, WireError> {
+    let mut r = Reader::new(payload);
+    if r.u8()? != OP_LOCK_BATCH {
+        return Ok(None);
+    }
+    let id = r.u64()?;
+    let n = get_batch_len(&mut r)?;
+    items.clear();
+    items.reserve(n);
+    for _ in 0..n {
+        let res = get_resource(&mut r)?;
+        let mode = get_mode(&mut r)?;
+        items.push((res, mode));
+    }
+    r.finish()?;
+    Ok(Some(id))
+}
+
+/// Encode `reply` as a complete frame into `out` (cleared first;
+/// length prefix included). Reuse `out` across calls for
+/// allocation-free steady-state encoding.
+pub fn encode_reply_into(out: &mut Vec<u8>, id: u64, reply: &Reply) {
     match reply {
-        Reply::Lock(res) => frame(OP_LOCK_REPLY, id, |out| {
+        Reply::Lock(res) => frame_into(out, OP_LOCK_REPLY, id, |out| {
             put_result(out, res, |out, o| put_outcome(out, *o))
         }),
-        Reply::Unlock(res) => frame(OP_UNLOCK_REPLY, id, |out| {
+        Reply::Unlock(res) => frame_into(out, OP_UNLOCK_REPLY, id, |out| {
             put_result(out, res, put_unlock_report)
         }),
-        Reply::UnlockAll(res) => frame(OP_UNLOCK_ALL_REPLY, id, |out| {
+        Reply::UnlockAll(res) => frame_into(out, OP_UNLOCK_ALL_REPLY, id, |out| {
             put_result(out, res, put_unlock_report)
         }),
-        Reply::Stats(snap) => frame(OP_STATS_REPLY, id, |out| put_snapshot(out, snap)),
-        Reply::Pong(echo) => frame(OP_PONG, id, |out| put_bytes(out, echo)),
-        Reply::Validate(res) => frame(OP_VALIDATE_REPLY, id, |out| match res {
+        Reply::Stats(snap) => frame_into(out, OP_STATS_REPLY, id, |out| put_snapshot(out, snap)),
+        Reply::Pong(echo) => frame_into(out, OP_PONG, id, |out| put_bytes(out, echo)),
+        Reply::Validate(res) => frame_into(out, OP_VALIDATE_REPLY, id, |out| match res {
             Ok(rep) => {
                 out.push(0);
                 put_u64(out, rep.charged_slots);
@@ -589,7 +737,16 @@ pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
                 put_bytes(out, msg.as_bytes());
             }
         }),
+        Reply::BatchOutcomes(items) => encode_batch_outcomes_into(out, id, items),
     }
+}
+
+/// Encode `reply` as a complete frame (length prefix included).
+/// Allocating convenience wrapper over [`encode_reply_into`].
+pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    encode_reply_into(&mut out, id, reply);
+    out
 }
 
 /// Decode a reply payload (frame minus the length prefix).
@@ -616,6 +773,14 @@ pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), WireError> {
                 })
             }
         }),
+        OP_LOCK_BATCH_REPLY => {
+            let n = get_batch_len(&mut r)?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(get_batch_outcome(&mut r)?);
+            }
+            Reply::BatchOutcomes(items)
+        }
         tag => {
             return Err(WireError::BadTag {
                 what: "reply opcode",
@@ -635,16 +800,19 @@ fn wire_to_io(e: WireError) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, e)
 }
 
-/// Read one length-prefixed payload. `Ok(None)` on clean EOF at a
-/// frame boundary; mid-frame EOF is `UnexpectedEof`.
-fn read_payload(r: &mut impl std::io::Read) -> std::io::Result<Option<Vec<u8>>> {
+/// Read one length-prefixed payload into `buf`, which is resized to
+/// exactly the payload length (its capacity is reused across frames,
+/// so a caller looping with one buffer reads with zero steady-state
+/// heap allocation). `Ok(false)` on clean EOF at a frame boundary;
+/// mid-frame EOF is `UnexpectedEof`.
+pub fn read_payload_into(r: &mut impl std::io::Read, buf: &mut Vec<u8>) -> std::io::Result<bool> {
     let mut len_buf = [0u8; 4];
     // Hand-rolled first read so EOF-before-any-byte is clean EOF while
     // EOF mid-prefix is an error.
     let mut filled = 0;
     while filled < len_buf.len() {
         match r.read(&mut len_buf[filled..])? {
-            0 if filled == 0 => return Ok(None),
+            0 if filled == 0 => return Ok(false),
             0 => {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
@@ -658,9 +826,16 @@ fn read_payload(r: &mut impl std::io::Read) -> std::io::Result<Option<Vec<u8>>> 
     if !(HEADER_LEN..=MAX_PAYLOAD).contains(&len) {
         return Err(wire_to_io(WireError::BadLength(len)));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(true)
+}
+
+/// Read one length-prefixed payload. `Ok(None)` on clean EOF at a
+/// frame boundary; mid-frame EOF is `UnexpectedEof`.
+fn read_payload(r: &mut impl std::io::Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut payload = Vec::new();
+    Ok(read_payload_into(r, &mut payload)?.then_some(payload))
 }
 
 /// Write one encoded request frame (no flush; callers batch-flush to

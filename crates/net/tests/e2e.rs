@@ -6,9 +6,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use locktune_lockmgr::{LockMode, LockOutcome, ResourceId, RowId, TableId};
+use locktune_lockmgr::{LockError, LockMode, LockOutcome, ResourceId, RowId, TableId};
 use locktune_net::wire::Request;
-use locktune_net::{Client, ClientError, Reply, Server};
+use locktune_net::{BatchOutcome, Client, ClientError, Reply, Server, ServerConfig};
 use locktune_service::{LockService, ServiceConfig, ServiceError};
 
 fn server(timeout: Option<Duration>) -> (Server, String) {
@@ -170,6 +170,162 @@ fn pipelined_batch_correlates_by_id_and_executes_in_order() {
         }
     }
     assert_eq!(client.unlock_all().unwrap().released_locks, 33);
+    server.shutdown();
+}
+
+#[test]
+fn lock_batch_round_trip_with_request_scoped_error() {
+    let (server, addr) = server(None);
+    let mut client = Client::connect(&addr).unwrap();
+
+    // One frame carries intent + rows; the third item asks for a row
+    // on a table with no intent — a request-scoped LockError, which
+    // must NOT stop the batch (only session-fatal errors do).
+    let t = TableId(1);
+    let items = vec![
+        (ResourceId::Table(t), LockMode::IX),
+        (ResourceId::Row(t, RowId(0)), LockMode::X),
+        (ResourceId::Row(TableId(2), RowId(0)), LockMode::X),
+        (ResourceId::Row(t, RowId(1)), LockMode::X),
+    ];
+    let outcomes = client.lock_batch(&items).unwrap();
+    assert_eq!(outcomes.len(), 4);
+    assert_eq!(outcomes[0], BatchOutcome::Done(Ok(LockOutcome::Granted)));
+    assert_eq!(outcomes[1], BatchOutcome::Done(Ok(LockOutcome::Granted)));
+    assert!(
+        matches!(
+            outcomes[2],
+            BatchOutcome::Done(Err(ServiceError::Lock(LockError::MissingIntent(_))))
+        ),
+        "expected MissingIntent mid-batch, got {:?}",
+        outcomes[2]
+    );
+    assert_eq!(
+        outcomes[3],
+        BatchOutcome::Done(Ok(LockOutcome::Granted)),
+        "item after a request-scoped error must still execute"
+    );
+
+    // Only the granted prefix counts toward the session's lock set.
+    assert_eq!(client.unlock_all().unwrap().released_locks, 3);
+
+    // Empty batches are legal and answered with an empty outcome list.
+    assert!(client.lock_batch(&[]).unwrap().is_empty());
+
+    wait_for_drain(&mut client);
+    client.validate().expect("audit after batch");
+    server.shutdown();
+}
+
+#[test]
+fn client_killed_mid_batch_releases_granted_prefix() {
+    let (server, addr) = server(Some(Duration::from_secs(3)));
+    let table = TableId(4);
+
+    // A holder pins row 5 so the victim's batch blocks mid-way with a
+    // granted prefix (intent + rows 0..5) already on the books.
+    let mut holder = Client::connect(&addr).unwrap();
+    holder.lock(ResourceId::Table(table), LockMode::IX).unwrap();
+    holder
+        .lock(ResourceId::Row(table, RowId(5)), LockMode::X)
+        .unwrap();
+
+    let mut items = vec![(ResourceId::Table(table), LockMode::IX)];
+    for r in 0..10 {
+        items.push((ResourceId::Row(table, RowId(r)), LockMode::X));
+    }
+    let mut victim = Client::connect(&addr).unwrap();
+    victim.send_lock_batch(&items).unwrap();
+    victim.flush().unwrap();
+    // Give the server time to execute into the blocking row, then
+    // hard-kill the socket while lock_many is parked on row 5.
+    std::thread::sleep(Duration::from_millis(150));
+    victim.kill();
+
+    // Unblock the batch; the server then discovers the dead socket and
+    // must release everything the victim was granted.
+    holder.unlock_all().unwrap();
+
+    let mut survivor = Client::connect(&addr).unwrap();
+    let start = Instant::now();
+    survivor
+        .lock(ResourceId::Table(table), LockMode::X)
+        .expect("granted batch prefix must be released after the kill");
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "grant only came via timeout, not via disconnect cleanup"
+    );
+    survivor.unlock_all().unwrap();
+
+    wait_for_drain(&mut survivor);
+    survivor
+        .validate()
+        .expect("audit passes after mid-batch kill cleanup");
+    server.shutdown();
+}
+
+#[test]
+fn stalled_reader_backpressures_itself_not_the_server() {
+    // A deliberately tiny reply queue: with the old unbounded channel a
+    // client that stops reading let replies pile up in server memory;
+    // now the writer blocks on the socket, the two-slot queue fills,
+    // and that connection's reader stops consuming requests.
+    let config = ServiceConfig::fast(4);
+    let service = Arc::new(LockService::start(config).expect("service start"));
+    let server = Server::bind_with_config(
+        service,
+        "127.0.0.1:0",
+        ServerConfig {
+            reply_queue_capacity: 2,
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    // The storm client pipelines a pile of sizeable pings and stalls
+    // (no reads) before draining. Sized so the *request* direction
+    // always fits client+kernel buffering — the test must not rely on
+    // kernel buffer sizes for progress, only the reply direction backs
+    // up.
+    const PINGS: usize = 24;
+    const ECHO: usize = 1024;
+    let addr2 = addr.clone();
+    let storm = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr2).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..PINGS {
+            let echo: Vec<u8> = (0..ECHO).map(|b| ((b + i) % 251) as u8).collect();
+            ids.push((c.send(&Request::Ping(echo.clone())).unwrap(), echo));
+        }
+        c.flush().unwrap();
+        // Stall: replies are in flight but nobody reads them.
+        std::thread::sleep(Duration::from_millis(600));
+        for (id, sent) in ids {
+            match c.wait(id).unwrap() {
+                Reply::Pong(back) => assert_eq!(back, sent, "echo corrupted under backpressure"),
+                other => panic!("expected Pong, got {other:?}"),
+            }
+        }
+    });
+
+    // While the storm client is stalled, an unrelated connection must
+    // stay fully responsive — backpressure is per-connection.
+    let mut bystander = Client::connect(&addr).unwrap();
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let mut probes = 0u32;
+    while Instant::now() < deadline {
+        let start = Instant::now();
+        bystander.ping(vec![7; 64]).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "bystander ping stalled behind another connection's backlog"
+        );
+        probes += 1;
+    }
+    assert!(probes > 0);
+
+    // The stalled client eventually drains every reply intact.
+    storm.join().expect("storm client failed");
     server.shutdown();
 }
 

@@ -7,10 +7,11 @@ use locktune_lockmgr::{
     AppId, LockError, LockMode, LockOutcome, LockStats, ResourceId, RowId, TableId, UnlockReport,
 };
 use locktune_net::wire::{
-    decode_reply, decode_request, encode_reply, encode_request, Reply, Request, StatsSnapshot,
-    ValidateReport, HEADER_LEN, MAX_PAYLOAD,
+    decode_lock_batch_into, decode_reply, decode_request, encode_lock_batch_into, encode_reply,
+    encode_request, Reply, Request, StatsSnapshot, ValidateReport, WireError, HEADER_LEN,
+    MAX_BATCH, MAX_PAYLOAD,
 };
-use locktune_service::ServiceError;
+use locktune_service::{BatchOutcome, ServiceError};
 use proptest::prelude::*;
 
 fn resource() -> BoxedStrategy<ResourceId> {
@@ -76,6 +77,16 @@ fn request() -> BoxedStrategy<Request> {
         Just(Request::Stats),
         proptest::collection::vec(any::<u8>(), 0..512).prop_map(Request::Ping),
         Just(Request::Validate),
+        proptest::collection::vec((resource(), mode()), 0..40).prop_map(Request::LockBatch),
+    ]
+    .boxed()
+}
+
+fn batch_outcome() -> BoxedStrategy<BatchOutcome> {
+    prop_oneof![
+        outcome().prop_map(|o| BatchOutcome::Done(Ok(o))),
+        service_error().prop_map(|e| BatchOutcome::Done(Err(e))),
+        Just(BatchOutcome::Skipped),
     ]
     .boxed()
 }
@@ -137,6 +148,7 @@ fn reply() -> BoxedStrategy<Reply> {
         }),
         proptest::collection::vec(97u8..123, 1..64)
             .prop_map(|msg| { Reply::Validate(Err(String::from_utf8(msg).unwrap())) }),
+        proptest::collection::vec(batch_outcome(), 0..40).prop_map(Reply::BatchOutcomes),
     ]
     .boxed()
 }
@@ -156,6 +168,29 @@ proptest! {
         for cut in 0..payload.len() {
             prop_assert!(decode_request(&payload[..cut]).is_err());
         }
+    }
+
+    /// The server's allocation-free batch fast path
+    /// (`decode_lock_batch_into`) agrees with the generic decoder and
+    /// reuses (clears) its output buffer.
+    #[test]
+    fn lock_batch_fast_path_matches_generic_decode(
+        id in any::<u64>(),
+        items in proptest::collection::vec((resource(), mode()), 0..40),
+    ) {
+        let frame = encode_request(id, &Request::LockBatch(items.clone()));
+        let payload = &frame[4..];
+
+        // Pre-poison the buffer: decode must clear it, not append.
+        let mut fast = vec![(ResourceId::Table(TableId(u32::MAX)), LockMode::X); 3];
+        prop_assert_eq!(decode_lock_batch_into(payload, &mut fast), Ok(Some(id)));
+        prop_assert_eq!(&fast, &items);
+        prop_assert_eq!(decode_request(payload), Ok((id, Request::LockBatch(items))));
+
+        // A non-batch frame is declined (Ok(None)), not an error, and
+        // leaves the buffer untouched for the generic fallback path.
+        let other = encode_request(id, &Request::UnlockAll);
+        prop_assert_eq!(decode_lock_batch_into(&other[4..], &mut fast), Ok(None));
     }
 
     /// Same for replies.
@@ -188,4 +223,98 @@ fn max_length_frame_through_framed_io() {
     assert_eq!(back, req);
     // Nothing left behind.
     assert!(buf.len() == 4 + MAX_PAYLOAD);
+}
+
+/// Empty batches are legal frames in both directions (a zero-item
+/// `LockBatch` is answered by a zero-item `BatchOutcomes`).
+#[test]
+fn empty_batch_roundtrips() {
+    let frame = encode_request(9, &Request::LockBatch(Vec::new()));
+    assert_eq!(
+        decode_request(&frame[4..]),
+        Ok((9, Request::LockBatch(Vec::new())))
+    );
+
+    let frame = encode_reply(9, &Reply::BatchOutcomes(Vec::new()));
+    assert_eq!(
+        decode_reply(&frame[4..]),
+        Ok((9, Reply::BatchOutcomes(Vec::new())))
+    );
+}
+
+/// A `MAX_BATCH`-item batch — worst-case item encodings on both the
+/// request and the reply side — still fits one frame, which is the
+/// whole point of the `MAX_BATCH` derivation.
+#[test]
+fn max_batch_worst_case_fits_one_frame() {
+    // Request side: Row resources are the widest item encoding.
+    let items: Vec<(ResourceId, LockMode)> = (0..MAX_BATCH)
+        .map(|i| {
+            (
+                ResourceId::Row(TableId(i as u32), RowId(u64::MAX - i as u64)),
+                LockMode::X,
+            )
+        })
+        .collect();
+    let mut frame = Vec::new();
+    encode_lock_batch_into(&mut frame, 3, &items);
+    assert!(
+        frame.len() - 4 <= MAX_PAYLOAD,
+        "request payload {}",
+        frame.len() - 4
+    );
+    assert_eq!(
+        decode_request(&frame[4..]),
+        Ok((3, Request::LockBatch(items)))
+    );
+
+    // Reply side: Done(Err(Lock(NotHeld(Row)))) is the widest outcome.
+    let outcomes: Vec<BatchOutcome> = (0..MAX_BATCH)
+        .map(|i| {
+            BatchOutcome::Done(Err(ServiceError::Lock(LockError::NotHeld(
+                ResourceId::Row(TableId(i as u32), RowId(i as u64)),
+            ))))
+        })
+        .collect();
+    let frame = encode_reply(3, &Reply::BatchOutcomes(outcomes.clone()));
+    assert!(
+        frame.len() - 4 <= MAX_PAYLOAD,
+        "reply payload {}",
+        frame.len() - 4
+    );
+    assert_eq!(
+        decode_reply(&frame[4..]),
+        Ok((3, Reply::BatchOutcomes(outcomes)))
+    );
+}
+
+/// A hand-crafted frame claiming more than `MAX_BATCH` items is
+/// rejected from the count alone — before the decoder tries to
+/// allocate or read the items.
+#[test]
+fn oversized_batch_count_rejected() {
+    let mut frame = Vec::new();
+    encode_lock_batch_into(&mut frame, 1, &[]);
+    let count_at = 4 + HEADER_LEN; // length prefix + opcode + id
+    frame[count_at..count_at + 4].copy_from_slice(&((MAX_BATCH as u32) + 1).to_le_bytes());
+
+    let over = MAX_BATCH + 1;
+    assert_eq!(
+        decode_request(&frame[4..]),
+        Err(WireError::BatchTooLarge(over))
+    );
+    let mut items = Vec::new();
+    assert_eq!(
+        decode_lock_batch_into(&frame[4..], &mut items),
+        Err(WireError::BatchTooLarge(over))
+    );
+
+    // Same guard on the reply side.
+    let mut frame = Vec::new();
+    locktune_net::wire::encode_batch_outcomes_into(&mut frame, 1, &[]);
+    frame[count_at..count_at + 4].copy_from_slice(&((MAX_BATCH as u32) + 1).to_le_bytes());
+    assert_eq!(
+        decode_reply(&frame[4..]),
+        Err(WireError::BatchTooLarge(over))
+    );
 }

@@ -33,5 +33,5 @@ pub mod stress;
 mod tuning;
 
 pub use config::{ConfigError, ServiceConfig};
-pub use service::{LockService, ServiceError, Session, TuningCounters};
+pub use service::{BatchOutcome, LockService, ServiceError, Session, TuningCounters};
 pub use stress::{run_stress, StressConfig, StressReport};

@@ -79,6 +79,41 @@ impl From<LockError> for ServiceError {
     }
 }
 
+/// Per-request slot in a [`Session::lock_many`] result.
+///
+/// A batch stops at the first **session-fatal** error (timeout,
+/// deadlock abort, shutdown): requests the stop prevented from running
+/// are reported [`BatchOutcome::Skipped`], so the caller knows exactly
+/// which locks it holds (every `Done(Ok(..))` entry) when it aborts.
+/// Request-scoped lock errors (missing intent, out of lock memory, …)
+/// do **not** stop the batch — the remaining requests still execute,
+/// matching what a client pipelining N individual `lock()` calls
+/// observes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// The request executed; this is exactly what the equivalent
+    /// [`Session::lock`] call would have returned.
+    Done(Result<LockOutcome, ServiceError>),
+    /// The request never ran because an earlier request in the batch
+    /// hit a session-fatal error.
+    Skipped,
+}
+
+impl BatchOutcome {
+    /// The executed result, if the request ran.
+    pub fn done(&self) -> Option<&Result<LockOutcome, ServiceError>> {
+        match self {
+            BatchOutcome::Done(r) => Some(r),
+            BatchOutcome::Skipped => None,
+        }
+    }
+
+    /// True when the request ran and was granted (in any form).
+    pub fn is_granted(&self) -> bool {
+        matches!(self, BatchOutcome::Done(Ok(_)))
+    }
+}
+
 /// Message waking a parked application.
 #[derive(Debug, Clone, Copy)]
 enum WakeMessage {
@@ -660,6 +695,106 @@ impl Session {
         match outcome? {
             LockOutcome::Queued | LockOutcome::QueuedWithEscalation { .. } => self.await_grant(res),
             immediate => Ok(immediate),
+        }
+    }
+
+    /// Acquire a whole lock set with one shard-latch pass per shard
+    /// group instead of one per lock. See [`Session::lock_many_into`].
+    pub fn lock_many(&self, reqs: &[(ResourceId, LockMode)]) -> Vec<BatchOutcome> {
+        let mut out = Vec::new();
+        self.lock_many_into(reqs, &mut out);
+        out
+    }
+
+    /// [`Session::lock_many`] writing into a caller-owned buffer
+    /// (cleared first), so a server looping over batches reuses one
+    /// allocation. `out` always comes back with exactly `reqs.len()`
+    /// entries.
+    ///
+    /// Semantics: requests are partitioned by owning shard (groups
+    /// ordered by first appearance, original order preserved inside a
+    /// group — requests against the same table always keep their
+    /// relative order because a table's rows and its intent lock hash
+    /// to the same shard) and each group executes under **one** shard
+    /// latch acquisition instead of one per lock. A request that
+    /// queues releases the latch, parks exactly as [`Session::lock`]
+    /// does, and the group resumes under a fresh latch pass after the
+    /// grant. Per-request outcomes, wait/park behavior, magazine
+    /// accounting and tuning-hook bookkeeping are identical to issuing
+    /// the same requests as sequential `lock()` calls; only the
+    /// cross-shard interleaving differs, which a single session cannot
+    /// observe. The first session-fatal error (timeout, deadlock
+    /// abort, shutdown) stops the batch; see [`BatchOutcome`].
+    pub fn lock_many_into(&self, reqs: &[(ResourceId, LockMode)], out: &mut Vec<BatchOutcome>) {
+        out.clear();
+        out.resize(reqs.len(), BatchOutcome::Skipped);
+        if reqs.is_empty() {
+            return;
+        }
+        // Same stale-abort check `lock()` runs; once per batch (the
+        // sweeper cannot abort a session that is running, only one
+        // parked in `await_grant`, which reports it directly).
+        if self.pending_abort() {
+            out[0] = BatchOutcome::Done(Err(ServiceError::DeadlockVictim));
+            return;
+        }
+
+        // Partition by shard, groups in first-appearance order.
+        let nshards = self.inner.shards.len();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); nshards];
+        let mut order: Vec<usize> = Vec::new();
+        for (i, (res, _)) in reqs.iter().enumerate() {
+            let idx = self.inner.shard_index(*res);
+            if groups[idx].is_empty() {
+                order.push(idx);
+            }
+            groups[idx].push(i);
+        }
+
+        for shard_idx in order {
+            self.mark_touched(shard_idx);
+            let group = &groups[shard_idx];
+            let mut pos = 0;
+            while pos < group.len() {
+                // One latch pass: run requests until one queues (or the
+                // group ends), collecting grant notices for delivery
+                // after the latch drops — exactly where sequential
+                // `lock()` delivers them.
+                let mut queued: Option<(usize, ResourceId)> = None;
+                let notices = {
+                    let mut hooks = self.session_hooks();
+                    let mut m = self.inner.shards[shard_idx].lock();
+                    while pos < group.len() {
+                        let i = group[pos];
+                        let (res, mode) = reqs[i];
+                        pos += 1;
+                        match m.lock(self.app, res, mode, &mut hooks) {
+                            Ok(LockOutcome::Queued | LockOutcome::QueuedWithEscalation { .. }) => {
+                                queued = Some((i, res));
+                                break;
+                            }
+                            Ok(o) => out[i] = BatchOutcome::Done(Ok(o)),
+                            // Request-scoped: record and keep going,
+                            // like a pipelining client would.
+                            Err(e) => out[i] = BatchOutcome::Done(Err(ServiceError::Lock(e))),
+                        }
+                    }
+                    m.take_notifications()
+                };
+                self.inner.deliver(notices);
+                if let Some((i, res)) = queued {
+                    match self.await_grant(res) {
+                        Ok(o) => out[i] = BatchOutcome::Done(Ok(o)),
+                        Err(e) => {
+                            // Session-fatal: the lock set cannot
+                            // complete; everything not yet attempted
+                            // stays Skipped.
+                            out[i] = BatchOutcome::Done(Err(e));
+                            return;
+                        }
+                    }
+                }
+            }
         }
     }
 
