@@ -85,6 +85,12 @@ struct SharedInner {
     total_bytes: AtomicU64,
     total_slots: AtomicU64,
     used_slots: AtomicU64,
+    /// Dry-pool reclaim sweeps that found slots to steal (observability
+    /// counter — a nonzero rate means shards are running each other's
+    /// magazines dry and the pool is undersized for the moment).
+    reclaim_sweeps: AtomicU64,
+    /// Slots those sweeps pulled back from sibling depots.
+    reclaimed_slots: AtomicU64,
 }
 
 impl SharedInner {
@@ -152,6 +158,8 @@ impl SharedLockMemoryPool {
             total_bytes: AtomicU64::new(pool.total_bytes()),
             total_slots: AtomicU64::new(pool.total_slots()),
             used_slots: AtomicU64::new(pool.used_slots()),
+            reclaim_sweeps: AtomicU64::new(0),
+            reclaimed_slots: AtomicU64::new(0),
             pool: Mutex::new(pool),
         });
         SharedLockMemoryPool {
@@ -240,7 +248,22 @@ impl SharedLockMemoryPool {
             }
             stolen.append(&mut lock_depot(&d));
         }
+        if !stolen.is_empty() {
+            self.inner.reclaim_sweeps.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .reclaimed_slots
+                .fetch_add(stolen.len() as u64, Ordering::Relaxed);
+        }
         stolen
+    }
+
+    /// Totals of the dry-pool magazine reclaim: `(sweeps that found
+    /// slots, slots reclaimed)`. Monotonic since pool creation.
+    pub fn reclaim_counters(&self) -> (u64, u64) {
+        (
+            self.inner.reclaim_sweeps.load(Ordering::Relaxed),
+            self.inner.reclaimed_slots.load(Ordering::Relaxed),
+        )
     }
 
     /// One pool trip: free `returned` into the pool, then allocate up
@@ -499,6 +522,12 @@ mod tests {
 
         // Only a's hot tier stays out of reach — the documented slack.
         assert_eq!(a.cached_slots(), HOT_MAX - 1);
+
+        // The sweep shows up in the observability counters: exactly a's
+        // depot was reclaimable.
+        let (sweeps, slots) = shared.reclaim_counters();
+        assert_eq!(sweeps, 1);
+        assert_eq!(slots, (CACHE_BATCH - HOT_MAX) as u64);
 
         // Exactly a's depot (CACHE_BATCH - HOT_MAX slots) was
         // reclaimable; once b takes it all, exhaustion is genuine.

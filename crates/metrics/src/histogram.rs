@@ -8,8 +8,31 @@
 
 use locktune_sim::SimDuration;
 
-/// Number of buckets: 2^63 µs is far beyond any simulated duration.
-const BUCKETS: usize = 64;
+/// Number of log2 buckets: 2^63 is far beyond any recorded quantity.
+pub const BUCKETS: usize = 64;
+
+/// The bucket holding value `v`: bucket *k* covers `[2^k, 2^(k+1))`
+/// with bucket 0 covering `[0, 2)`. Shared by [`DurationHistogram`]
+/// and the lock-free [`crate::AtomicHistogram`] so their merged counts
+/// agree bucket-for-bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 2 {
+        0
+    } else {
+        63 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper edge of bucket `k` (`u64::MAX` for the last).
+#[inline]
+pub fn bucket_upper_edge(k: usize) -> u64 {
+    if k >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << k).saturating_sub(1)
+    }
+}
 
 /// A histogram of durations.
 #[derive(Debug, Clone)]
@@ -40,11 +63,7 @@ impl DurationHistogram {
     /// Record one duration.
     pub fn record(&mut self, d: SimDuration) {
         let us = d.as_micros();
-        let bucket = if us < 2 {
-            0
-        } else {
-            63 - us.leading_zeros() as usize
-        };
+        let bucket = bucket_index(us);
         self.counts[bucket.min(BUCKETS - 1)] += 1;
         self.total += 1;
         self.sum_micros += us as u128;
@@ -81,12 +100,7 @@ impl DurationHistogram {
         for (k, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                let upper = if k >= 63 {
-                    u64::MAX
-                } else {
-                    (2u64 << k).saturating_sub(1)
-                };
-                return SimDuration::from_micros(upper.min(self.max_micros));
+                return SimDuration::from_micros(bucket_upper_edge(k).min(self.max_micros));
             }
         }
         self.max()

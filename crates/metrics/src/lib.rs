@@ -8,14 +8,16 @@
 //! plain data — no clocks, no I/O besides the explicit CSV writer — so
 //! recording never perturbs the simulation.
 
+pub mod atomic;
 pub mod csv;
 pub mod histogram;
 pub mod series;
 pub mod summary;
 pub mod window;
 
+pub use atomic::{AtomicHistogram, HistogramSnapshot};
 pub use csv::write_csv;
-pub use histogram::DurationHistogram;
+pub use histogram::{bucket_index, bucket_upper_edge, DurationHistogram, BUCKETS};
 pub use series::TimeSeries;
 pub use summary::Summary;
 pub use window::ThroughputWindow;

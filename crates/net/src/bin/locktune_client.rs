@@ -5,7 +5,7 @@
 //! locktune-client [--addr HOST:PORT] [--workers N] [--txns N]
 //!                 [--tables N] [--rows N] [--oltp-rows N] [--dss-rows N]
 //!                 [--dss-percent P] [--seed S] [--min-intervals N]
-//!                 [--skip-kill] [--batch]
+//!                 [--skip-kill] [--batch] [--scrape]
 //! ```
 //!
 //! Each worker thread owns one TCP connection and runs the same two
@@ -22,12 +22,19 @@
 //!
 //! Exits nonzero if the audit fails, locks outlive the clients, or
 //! fewer than `--min-intervals` tuning intervals ran server-side.
+//!
+//! `--scrape` additionally audits the METRICS endpoint against both
+//! the `Stats` reply and this client's own observations: the two
+//! server endpoints must agree exactly, the wait histogram must have
+//! timed every wait, and the server's escalation/victim/timeout
+//! counters must be consistent with (at least) what the client saw
+//! on the wire.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use locktune_lockmgr::{LockError, LockMode, ResourceId, RowId, TableId};
+use locktune_lockmgr::{LockError, LockMode, LockOutcome, ResourceId, RowId, TableId};
 use locktune_net::wire::Request;
 use locktune_net::{BatchOutcome, Client, ClientError, Reply};
 use locktune_service::ServiceError;
@@ -48,6 +55,7 @@ struct Args {
     min_intervals: u64,
     skip_kill: bool,
     batch: bool,
+    scrape: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
         min_intervals: 0,
         skip_kill: false,
         batch: false,
+        scrape: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -83,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--skip-kill" => args.skip_kill = true,
             "--batch" => args.batch = true,
+            "--scrape" => args.scrape = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -99,6 +109,10 @@ struct Counters {
     timeouts: AtomicU64,
     victims: AtomicU64,
     oom: AtomicU64,
+    /// `GrantedAfterEscalation` outcomes observed on the wire. A lower
+    /// bound on server-side escalations: an escalation that happens
+    /// while a request is *queued* resolves to a plain `Granted` reply.
+    escalations_seen: AtomicU64,
 }
 
 /// Classify a transaction-level failure; anything else is a bug in the
@@ -153,10 +167,18 @@ fn run_txn(
     let mut failure: Option<ServiceError> = None;
     if args.batch {
         for outcome in client.lock_batch(&locks)? {
-            if let BatchOutcome::Done(Err(e)) = outcome {
-                if failure.is_none() {
-                    failure = Some(e);
+            match outcome {
+                BatchOutcome::Done(Ok(o)) => {
+                    if matches!(o, LockOutcome::GrantedAfterEscalation { .. }) {
+                        counters.escalations_seen.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
+                BatchOutcome::Done(Err(e)) => {
+                    if failure.is_none() {
+                        failure = Some(e);
+                    }
+                }
+                BatchOutcome::Skipped => {}
             }
         }
     } else {
@@ -169,7 +191,11 @@ fn run_txn(
         }
         for id in ids {
             match client.wait(id)? {
-                Reply::Lock(Ok(_)) => {}
+                Reply::Lock(Ok(o)) => {
+                    if matches!(o, LockOutcome::GrantedAfterEscalation { .. }) {
+                        counters.escalations_seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 Reply::Lock(Err(e)) => {
                     if failure.is_none() {
                         failure = Some(e);
@@ -350,6 +376,90 @@ fn main() {
     if !drained {
         exit = 1;
     }
+
+    // Cross-endpoint metrics audit: METRICS vs Stats vs what this
+    // client saw on the wire. Everything is quiescent by now (only the
+    // control connection is live), so the invariants are exact.
+    if args.scrape {
+        let snap = control.metrics(0, 0).unwrap_or_else(|e| {
+            eprintln!("locktune-client: metrics scrape: {e}");
+            std::process::exit(1);
+        });
+        let mut check = |ok: bool, msg: String| {
+            if ok {
+                println!("metrics audit:     {msg}");
+            } else {
+                eprintln!("metrics audit:     FAILED: {msg}");
+                exit = 1;
+            }
+        };
+        check(
+            snap.lock_stats.escalations == stats.stats.escalations,
+            format!(
+                "escalations agree across endpoints ({} == {})",
+                snap.lock_stats.escalations, stats.stats.escalations
+            ),
+        );
+        check(
+            snap.lock_stats.waits == stats.stats.waits,
+            format!(
+                "waits agree across endpoints ({} == {})",
+                snap.lock_stats.waits, stats.stats.waits
+            ),
+        );
+        check(
+            snap.counters.batches == stats.batches
+                && snap.counters.batch_items == stats.batch_items,
+            format!(
+                "batch counters agree ({} batches, {} items)",
+                stats.batches, stats.batch_items
+            ),
+        );
+        check(
+            snap.lock_wait_micros.count() == snap.lock_stats.waits,
+            format!(
+                "every wait timed exactly once ({} == {})",
+                snap.lock_wait_micros.count(),
+                snap.lock_stats.waits
+            ),
+        );
+        let esc_seen = counters.escalations_seen.load(Ordering::Relaxed);
+        check(
+            snap.lock_stats.escalations >= esc_seen,
+            format!(
+                "server escalations ({}) cover client-observed ({esc_seen})",
+                snap.lock_stats.escalations
+            ),
+        );
+        let victims = counters.victims.load(Ordering::Relaxed);
+        check(
+            snap.counters.deadlock_victims >= victims,
+            format!(
+                "server victim aborts ({}) cover client-observed ({victims})",
+                snap.counters.deadlock_victims
+            ),
+        );
+        let timeouts = counters.timeouts.load(Ordering::Relaxed);
+        check(
+            snap.counters.timeouts >= timeouts,
+            format!(
+                "server timeouts ({}) cover client-observed ({timeouts})",
+                snap.counters.timeouts
+            ),
+        );
+        check(
+            snap.pool_bytes > 0 && snap.free_fraction > 0.0,
+            format!(
+                "pool gauges live ({} bytes, {:.3} free)",
+                snap.pool_bytes, snap.free_fraction
+            ),
+        );
+        check(
+            snap.tuning_intervals >= stats.tuning_intervals,
+            format!("tuner still ticking ({} intervals)", snap.tuning_intervals),
+        );
+    }
+
     if stats.tuning_intervals < args.min_intervals {
         eprintln!(
             "locktune-client: only {} tuning intervals (need >= {})",

@@ -1,0 +1,275 @@
+//! Live terminal dashboard for a locktune server.
+//!
+//! ```text
+//! locktune-top [--addr HOST:PORT] [--interval-ms MS] [--frames N]
+//!              [--max-events N] [--once]
+//! ```
+//!
+//! Polls the server's METRICS endpoint every `--interval-ms` (default
+//! 500) and redraws a one-screen summary: the lock pool against the
+//! tuner's free band, the MAXLOCKS attenuation curve's current output,
+//! grant/wait/escalation rates computed from counter deltas, lock-wait
+//! latency quantiles and the tail of the event journal. `--frames N`
+//! stops after N redraws (0 = run until killed); `--once` prints a
+//! single Prometheus text page instead of the dashboard — the form a
+//! metrics agent or the CI smoke test consumes.
+//!
+//! The tuning-tick cursor is fed back on every poll, so each interval
+//! crosses the wire exactly once no matter how long the dashboard
+//! runs. Exit codes: `1` usage, `2` connect/scrape failure.
+
+use std::time::Duration;
+
+use locktune_net::{Client, MetricsSnapshot};
+use locktune_obs::{prom, EventKind, JournalEvent};
+
+struct Args {
+    addr: String,
+    interval_ms: u64,
+    frames: u64,
+    max_events: u32,
+    once: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7474".into(),
+        interval_ms: 500,
+        frames: 0,
+        max_events: 64,
+        once: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--interval-ms" => args.interval_ms = parse(&value("--interval-ms")?, "--interval-ms")?,
+            "--frames" => args.frames = parse(&value("--frames")?, "--frames")?,
+            "--max-events" => args.max_events = parse(&value("--max-events")?, "--max-events")?,
+            "--once" => args.once = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value {s:?} for {name}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("locktune-top: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut client = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("locktune-top: connect {}: {e}", args.addr);
+            std::process::exit(2);
+        }
+    };
+
+    let mut cursor = 0u64;
+    let mut prev: Option<MetricsSnapshot> = None;
+    let mut frame = 0u64;
+    loop {
+        let snap = match client.metrics(cursor, args.max_events) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("locktune-top: scrape failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        cursor = snap.next_tick_seq;
+        if args.once {
+            print!("{}", prom::render(&snap));
+            return;
+        }
+        frame += 1;
+        draw(&args.addr, &snap, prev.as_ref());
+        prev = Some(snap);
+        if args.frames != 0 && frame >= args.frames {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(args.interval_ms.max(1)));
+    }
+}
+
+/// Counter delta per second between two polls, from the server's own
+/// uptime clock (immune to client-side scheduling jitter).
+fn rate(now: u64, before: u64, dt_ms: u64) -> f64 {
+    if dt_ms == 0 {
+        return 0.0;
+    }
+    now.saturating_sub(before) as f64 * 1000.0 / dt_ms as f64
+}
+
+fn kib(bytes: u64) -> f64 {
+    bytes as f64 / 1024.0
+}
+
+/// A 40-cell bar of the pool's used fraction, with the tuner's free
+/// band marked: `#` used, `.` free, `|` at the band edges (the tuner
+/// steers the boundary between `#` and `.` to sit between the `|`s).
+fn band_bar(snap: &MetricsSnapshot) -> String {
+    const W: usize = 40;
+    let used = ((snap.used_percent() / 100.0) * W as f64).round() as usize;
+    // Free fraction is measured from the right edge.
+    let lo = W - ((snap.max_free_fraction * W as f64).round() as usize).min(W);
+    let hi = W - ((snap.min_free_fraction * W as f64).round() as usize).min(W);
+    let mut bar = String::with_capacity(W + 2);
+    for i in 0..W {
+        if i == lo || i == hi {
+            bar.push('|');
+        } else if i < used {
+            bar.push('#');
+        } else {
+            bar.push('.');
+        }
+    }
+    bar
+}
+
+fn fmt_event(e: &JournalEvent) -> String {
+    let at = format!("{:>8.3}s", e.at_ms as f64 / 1000.0);
+    match e.kind {
+        EventKind::Escalation {
+            app,
+            table,
+            exclusive,
+        } => format!(
+            "{at}  escalation      app {} table {}{}",
+            app.0,
+            table.0,
+            if exclusive { " (exclusive)" } else { "" }
+        ),
+        EventKind::DeadlockVictim { app } => {
+            format!("{at}  deadlock victim app {}", app.0)
+        }
+        EventKind::SyncGrowth { granted_bytes } => {
+            format!("{at}  sync growth     +{:.0} KiB", kib(granted_bytes))
+        }
+        EventKind::TunerResize {
+            from_bytes,
+            to_bytes,
+        } => format!(
+            "{at}  tuner resize    {:.0} -> {:.0} KiB",
+            kib(from_bytes),
+            kib(to_bytes)
+        ),
+        EventKind::DepotReclaim { slots } => {
+            format!("{at}  depot reclaim   {slots} slots")
+        }
+    }
+}
+
+fn draw(addr: &str, snap: &MetricsSnapshot, prev: Option<&MetricsSnapshot>) {
+    let s = &snap.lock_stats;
+    let c = &snap.counters;
+    let dt_ms = prev.map_or(0, |p| snap.uptime_ms.saturating_sub(p.uptime_ms));
+    let (grants_s, waits_s, esc_s, victims_s) = match prev {
+        Some(p) => (
+            rate(s.grants, p.lock_stats.grants, dt_ms),
+            rate(s.waits, p.lock_stats.waits, dt_ms),
+            rate(s.escalations, p.lock_stats.escalations, dt_ms),
+            rate(c.deadlock_victims, p.counters.deadlock_victims, dt_ms),
+        ),
+        None => (0.0, 0.0, 0.0, 0.0),
+    };
+    let wait = &snap.lock_wait_micros;
+    let latch = &snap.latch_hold_nanos;
+
+    // ANSI clear + home; plain prints below so the page also reads
+    // fine when piped to a file.
+    print!("\x1b[2J\x1b[H");
+    println!(
+        "locktune-top — {addr}   up {:.1}s   apps {}   scrape Δ {}ms",
+        snap.uptime_ms as f64 / 1000.0,
+        snap.connected_apps,
+        dt_ms
+    );
+    println!(
+        "\nlock memory  {:>10.0} KiB   slots {}/{}   free {:.3} (band {:.2}–{:.2}{})",
+        kib(snap.pool_bytes),
+        snap.pool_slots_used,
+        snap.pool_slots_total,
+        snap.free_fraction,
+        snap.min_free_fraction,
+        snap.max_free_fraction,
+        if snap.in_free_band() { ", in band" } else { "" },
+    );
+    println!("  [{}]", band_bar(snap));
+    println!(
+        "MAXLOCKS     app_percent {:>6.2}%  (P·(1−(x/100)³) at x = {:.1}% used)",
+        snap.app_percent,
+        snap.used_percent()
+    );
+    println!(
+        "tuning       {} intervals ({} grow, {} shrink)   sync growth {} granted / {} denied",
+        snap.tuning_intervals,
+        snap.grow_decisions,
+        snap.shrink_decisions,
+        c.sync_growth_granted,
+        c.sync_growth_denied,
+    );
+    println!(
+        "\nrates        grants {grants_s:>9.1}/s   waits {waits_s:>7.1}/s   escalations {esc_s:>6.1}/s   victims {victims_s:>5.1}/s"
+    );
+    println!(
+        "totals       grants {:>9}   waits {:>7}   escalations {:>6}   timeouts {}   victims {}",
+        s.grants, s.waits, s.escalations, c.timeouts, c.deadlock_victims,
+    );
+    println!(
+        "lock wait    p50 {:>6}µs   p99 {:>6}µs   max {:>6}µs   ({} waits timed)",
+        wait.quantile(0.5),
+        wait.quantile(0.99),
+        wait.max,
+        wait.count(),
+    );
+    println!(
+        "latch hold   p50 {:>6}ns   p99 {:>6}ns   max {:>6}ns   (1-in-{} sampled)",
+        latch.quantile(0.5),
+        latch.quantile(0.99),
+        latch.max,
+        locktune_obs::LATCH_SAMPLE_PERIOD,
+    );
+    println!(
+        "batches      {} batches, {} items (mean {} items/batch)   reply-queue hwm {}",
+        c.batches,
+        c.batch_items,
+        snap.batch_size.mean(),
+        snap.reply_queue_hwm,
+    );
+
+    if !snap.ticks.is_empty() {
+        println!("\nrecent tuning ticks");
+        for t in snap.ticks.iter().rev().take(4) {
+            println!(
+                "  #{:<5} {:?}: {:.0} -> {:.0} KiB (target {:.0}, +{:.0}/-{:.0})",
+                t.seq,
+                t.reason,
+                kib(t.current_bytes),
+                kib(t.lock_bytes_after),
+                kib(t.target_bytes),
+                kib(t.funded_bytes),
+                kib(t.released_bytes),
+            );
+        }
+    }
+    if !snap.events.is_empty() {
+        println!(
+            "\nevents (journal: {} recorded, {} dropped)",
+            c.journal_recorded, c.journal_dropped
+        );
+        for e in snap.events.iter().rev().take(8) {
+            println!("  {}", fmt_event(e));
+        }
+    }
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+}

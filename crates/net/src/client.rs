@@ -18,6 +18,7 @@ use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 
 use locktune_lockmgr::{LockMode, LockOutcome, ResourceId, UnlockReport};
+use locktune_obs::MetricsSnapshot;
 use locktune_service::{BatchOutcome, ServiceError};
 
 use crate::wire::{self, Reply, Request, StatsSnapshot, ValidateReport, MAX_BATCH};
@@ -222,6 +223,27 @@ impl Client {
         match self.call(&Request::Stats)? {
             Reply::Stats(snap) => Ok(snap),
             other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Scrape the server's full telemetry: counters, gauges, merged
+    /// histograms, up to `max_events` journal events (server-capped at
+    /// [`wire::MAX_WIRE_EVENTS`]) and the tuning ticks since the
+    /// `reports_since` cursor — feed back the returned snapshot's
+    /// `next_tick_seq` to copy each interval exactly once. Journal
+    /// delivery is destructive server-side: pass `max_events: 0` to
+    /// leave the journal for another scraper.
+    pub fn metrics(
+        &mut self,
+        reports_since: u64,
+        max_events: u32,
+    ) -> Result<MetricsSnapshot, ClientError> {
+        match self.call(&Request::Metrics {
+            reports_since,
+            max_events,
+        })? {
+            Reply::Metrics(snap) => Ok(*snap),
+            other => Err(unexpected("Metrics", &other)),
         }
     }
 

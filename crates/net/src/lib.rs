@@ -22,13 +22,22 @@
 //!   error, or a killed client) always releases the connection's locks;
 //! * [`client`] — a synchronous client library with an explicit
 //!   pipelining API, used by the `locktune-client` remote load
-//!   generator binary.
+//!   generator and `locktune-top` dashboard binaries.
+//!
+//! The METRICS/0x08 request scrapes the service's `locktune-obs`
+//! telemetry (histograms, journal events, tuning ticks) in one frame;
+//! `locktune-top` renders it live and [`locktune_obs::prom::render`]
+//! turns it into a Prometheus text page.
 
 pub mod client;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError};
+pub use locktune_obs::MetricsSnapshot;
 pub use locktune_service::BatchOutcome;
 pub use server::{Server, ServerConfig};
-pub use wire::{Reply, Request, StatsSnapshot, ValidateReport, WireError, MAX_BATCH};
+pub use wire::{
+    Reply, Request, StatsSnapshot, ValidateReport, WireError, MAX_BATCH, MAX_WIRE_EVENTS,
+    MAX_WIRE_TICKS,
+};

@@ -79,6 +79,11 @@ struct Shared {
     next_app: AtomicU32,
     next_conn: AtomicU64,
     conns: Mutex<ConnTable>,
+    /// High-water mark across all connections' reply queues, in
+    /// frames. Sampled by each reader after queueing a reply; a value
+    /// near `reply_queue_capacity` means some client stopped draining
+    /// and backpressured its own reader.
+    reply_hwm: AtomicU64,
 }
 
 #[derive(Default)]
@@ -124,6 +129,7 @@ impl Server {
             next_app: AtomicU32::new(1),
             next_conn: AtomicU64::new(1),
             conns: Mutex::new(ConnTable::default()),
+            reply_hwm: AtomicU64::new(0),
         });
         let accept_thread = {
             let shared = Arc::clone(&shared);
@@ -322,6 +328,11 @@ fn serve_connection(
         if !encoded || tx.send(frame).is_err() {
             break; // protocol error, or writer died (client gone)
         }
+        // Post-send queue depth is the frames the writer hasn't drained
+        // yet — the congestion signal the Stats/Metrics replies expose.
+        shared
+            .reply_hwm
+            .fetch_max(tx.len() as u64, Ordering::Relaxed);
     }
     drop(tx);
     let _ = writer.join();
@@ -375,18 +386,35 @@ fn execute(shared: &Arc<Shared>, session: &Session, req: Request) -> Reply {
         Request::Lock { res, mode } => Reply::Lock(session.lock(res, mode)),
         Request::Unlock { res } => Reply::Unlock(session.unlock(res)),
         Request::UnlockAll => Reply::UnlockAll(session.unlock_all()),
-        Request::Stats => Reply::Stats(snapshot(&shared.service)),
+        Request::Stats => Reply::Stats(snapshot(shared)),
         Request::Ping(echo) => Reply::Pong(echo),
         Request::Validate => Reply::Validate(validate(&shared.service)),
         // Decoded generically only when the zero-alloc path above was
         // bypassed (tests feeding frames through `decode_request`).
         Request::LockBatch(items) => Reply::BatchOutcomes(session.lock_many(&items)),
+        Request::Metrics {
+            reports_since,
+            max_events,
+        } => {
+            let max = (max_events as usize).min(wire::MAX_WIRE_EVENTS);
+            let mut snap = shared.service.observe(reports_since, max);
+            // Keep the newest ticks if the retained window outgrows a
+            // frame; `next_tick_seq` still cursors past everything.
+            if snap.ticks.len() > wire::MAX_WIRE_TICKS {
+                let excess = snap.ticks.len() - wire::MAX_WIRE_TICKS;
+                snap.ticks.drain(..excess);
+            }
+            snap.reply_queue_hwm = shared.reply_hwm.load(Ordering::Relaxed);
+            Reply::Metrics(Box::new(snap))
+        }
     }
 }
 
-fn snapshot(service: &LockService) -> StatsSnapshot {
+fn snapshot(shared: &Arc<Shared>) -> StatsSnapshot {
+    let service = &shared.service;
     let pool = service.pool_stats();
     let tuning = service.tuning_counters();
+    let obs = service.obs_counters();
     StatsSnapshot {
         stats: service.stats(),
         pool_bytes: pool.bytes,
@@ -396,6 +424,9 @@ fn snapshot(service: &LockService) -> StatsSnapshot {
         tuning_intervals: tuning.intervals,
         grow_decisions: tuning.grow_decisions,
         shrink_decisions: tuning.shrink_decisions,
+        batches: obs.batches,
+        batch_items: obs.batch_items,
+        reply_queue_hwm: shared.reply_hwm.load(Ordering::Relaxed),
         app_percent: service.app_percent(),
     }
 }

@@ -36,8 +36,11 @@
 //! with [`read_payload_into`] and [`decode_lock_batch_into`], the
 //! steady-state encode/decode path performs **zero** heap allocation.
 
+use locktune_core::TuningReason;
 use locktune_lockmgr::{AppId, LockError, LockMode, LockOutcome, ResourceId, RowId, TableId};
 use locktune_lockmgr::{LockStats, UnlockReport};
+use locktune_metrics::{HistogramSnapshot, BUCKETS};
+use locktune_obs::{EventKind, JournalEvent, MetricsSnapshot, ObsCounters, TuningTick};
 use locktune_service::{BatchOutcome, ServiceError};
 
 /// Upper bound on a frame's payload (opcode + id + body). Large enough
@@ -56,6 +59,16 @@ pub const HEADER_LEN: usize = 9;
 /// reply, so the decoder rejects larger counts outright.
 pub const MAX_BATCH: usize = 4095;
 
+/// Largest number of journal events a [`Reply::Metrics`] frame may
+/// carry. With [`MAX_WIRE_TICKS`], the four sparse histograms and the
+/// fixed gauge/counter block, the worst-case frame stays well inside
+/// [`MAX_PAYLOAD`] (events are ≤ 26 bytes each).
+pub const MAX_WIRE_EVENTS: usize = 1024;
+
+/// Largest number of tuning ticks a [`Reply::Metrics`] frame may carry
+/// (ticks are 57 bytes each; see [`MAX_WIRE_EVENTS`]).
+pub const MAX_WIRE_TICKS: usize = 256;
+
 // Request opcodes.
 const OP_LOCK: u8 = 0x01;
 const OP_UNLOCK: u8 = 0x02;
@@ -64,6 +77,7 @@ const OP_STATS: u8 = 0x04;
 const OP_PING: u8 = 0x05;
 const OP_VALIDATE: u8 = 0x06;
 const OP_LOCK_BATCH: u8 = 0x07;
+const OP_METRICS: u8 = 0x08;
 
 // Reply opcodes (request opcode | 0x80).
 const OP_LOCK_REPLY: u8 = 0x81;
@@ -73,6 +87,7 @@ const OP_STATS_REPLY: u8 = 0x84;
 const OP_PONG: u8 = 0x85;
 const OP_VALIDATE_REPLY: u8 = 0x86;
 const OP_LOCK_BATCH_REPLY: u8 = 0x87;
+const OP_METRICS_REPLY: u8 = 0x88;
 
 /// A decoded client→server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +120,19 @@ pub enum Request {
     /// answers with one [`Reply::BatchOutcomes`] carrying a per-item
     /// outcome in request order.
     LockBatch(Vec<(ResourceId, LockMode)>),
+    /// Scrape the server's full telemetry: counters, gauges, merged
+    /// histograms, up to `max_events` journal events (capped at
+    /// [`MAX_WIRE_EVENTS`]) and the tuning ticks since `reports_since`
+    /// (feed back the reply's `next_tick_seq` to copy each interval
+    /// exactly once).
+    Metrics {
+        /// Tuning-tick cursor: only intervals with sequence ≥ this are
+        /// returned. 0 means "everything retained".
+        reports_since: u64,
+        /// Upper bound on journal events in the reply; 0 leaves the
+        /// journal untouched (its delivery is destructive).
+        max_events: u32,
+    },
 }
 
 /// A decoded server→client message.
@@ -128,6 +156,10 @@ pub enum Reply {
     /// error are [`BatchOutcome::Skipped`] — the granted prefix is
     /// exactly the set of `Done(Ok(..))` entries.
     BatchOutcomes(Vec<BatchOutcome>),
+    /// Outcome of a [`Request::Metrics`]: the server's full telemetry
+    /// snapshot (boxed — it is two orders of magnitude larger than
+    /// every other reply).
+    Metrics(Box<MetricsSnapshot>),
 }
 
 /// Server state snapshot carried by [`Reply::Stats`].
@@ -149,6 +181,15 @@ pub struct StatsSnapshot {
     pub grow_decisions: u64,
     /// Intervals that shrank the pool.
     pub shrink_decisions: u64,
+    /// `lock_many` batches executed (network `LockBatch` frames and
+    /// in-process batches alike).
+    pub batches: u64,
+    /// Total items across those batches.
+    pub batch_items: u64,
+    /// High-water mark of the server's per-connection reply queues, in
+    /// frames. A value near `reply_queue_capacity` means some client
+    /// stopped draining replies and backpressured its reader.
+    pub reply_queue_hwm: u64,
     /// Current externalized `lockPercentPerApplication`.
     pub app_percent: f64,
 }
@@ -182,6 +223,15 @@ pub enum WireError {
     TrailingBytes(usize),
     /// A lock batch declared more than [`MAX_BATCH`] items.
     BatchTooLarge(usize),
+    /// A counted collection declared more items than its wire bound
+    /// ([`MAX_WIRE_EVENTS`], [`MAX_WIRE_TICKS`], or a histogram's
+    /// bucket count).
+    TooMany {
+        /// Which collection carried it.
+        what: &'static str,
+        /// The declared count.
+        n: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -193,6 +243,9 @@ impl std::fmt::Display for WireError {
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
             WireError::BatchTooLarge(n) => {
                 write!(f, "lock batch of {n} items exceeds {MAX_BATCH}")
+            }
+            WireError::TooMany { what, n } => {
+                write!(f, "{what} count {n} exceeds the wire bound")
             }
         }
     }
@@ -555,6 +608,9 @@ fn put_snapshot(out: &mut Vec<u8>, s: &StatsSnapshot) {
     put_u64(out, s.tuning_intervals);
     put_u64(out, s.grow_decisions);
     put_u64(out, s.shrink_decisions);
+    put_u64(out, s.batches);
+    put_u64(out, s.batch_items);
+    put_u64(out, s.reply_queue_hwm);
     put_u64(out, s.app_percent.to_bits());
 }
 
@@ -568,7 +624,319 @@ fn get_snapshot(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
         tuning_intervals: r.u64()?,
         grow_decisions: r.u64()?,
         shrink_decisions: r.u64()?,
+        batches: r.u64()?,
+        batch_items: r.u64()?,
+        reply_queue_hwm: r.u64()?,
         app_percent: f64::from_bits(r.u64()?),
+    })
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn get_f64(r: &mut Reader<'_>) -> Result<f64, WireError> {
+    Ok(f64::from_bits(r.u64()?))
+}
+
+/// Sparse histogram encoding: `u8` non-zero bucket count, then
+/// `(u8 bucket index, u64 count)` pairs in strictly ascending index
+/// order, then `u64` sum and `u64` max. The snapshot's `total` never
+/// travels — the decoder re-derives it from the buckets
+/// ([`HistogramSnapshot::from_parts`]), so a frame cannot claim samples
+/// its buckets don't hold.
+fn put_histogram(out: &mut Vec<u8>, h: &HistogramSnapshot) {
+    let nonzero = h.counts.iter().filter(|&&c| c != 0).count() as u8;
+    out.push(nonzero);
+    for (k, &c) in h.counts.iter().enumerate() {
+        if c != 0 {
+            out.push(k as u8);
+            put_u64(out, c);
+        }
+    }
+    put_u64(out, h.sum);
+    put_u64(out, h.max);
+}
+
+fn get_histogram(r: &mut Reader<'_>) -> Result<HistogramSnapshot, WireError> {
+    let nonzero = r.u8()? as usize;
+    if nonzero > BUCKETS {
+        return Err(WireError::TooMany {
+            what: "histogram buckets",
+            n: nonzero,
+        });
+    }
+    let mut counts = [0u64; BUCKETS];
+    let mut last: Option<usize> = None;
+    for _ in 0..nonzero {
+        let k = r.u8()? as usize;
+        // Strictly ascending, in range and non-zero: exactly one legal
+        // encoding per snapshot, so decode(encode(h)) == h and a forged
+        // duplicate index cannot double-count a bucket.
+        let c = r.u64()?;
+        if k >= BUCKETS || last.is_some_and(|p| k <= p) || c == 0 {
+            return Err(WireError::BadTag {
+                what: "histogram bucket",
+                tag: k as u8,
+            });
+        }
+        counts[k] = c;
+        last = Some(k);
+    }
+    let sum = r.u64()?;
+    let max = r.u64()?;
+    Ok(HistogramSnapshot::from_parts(counts, sum, max))
+}
+
+fn put_event(out: &mut Vec<u8>, e: &JournalEvent) {
+    put_u64(out, e.seq);
+    put_u64(out, e.at_ms);
+    match e.kind {
+        EventKind::Escalation {
+            app,
+            table,
+            exclusive,
+        } => {
+            out.push(0);
+            put_u32(out, app.0);
+            put_u32(out, table.0);
+            out.push(exclusive as u8);
+        }
+        EventKind::DeadlockVictim { app } => {
+            out.push(1);
+            put_u32(out, app.0);
+        }
+        EventKind::SyncGrowth { granted_bytes } => {
+            out.push(2);
+            put_u64(out, granted_bytes);
+        }
+        EventKind::TunerResize {
+            from_bytes,
+            to_bytes,
+        } => {
+            out.push(3);
+            put_u64(out, from_bytes);
+            put_u64(out, to_bytes);
+        }
+        EventKind::DepotReclaim { slots } => {
+            out.push(4);
+            put_u64(out, slots);
+        }
+    }
+}
+
+fn get_event(r: &mut Reader<'_>) -> Result<JournalEvent, WireError> {
+    let seq = r.u64()?;
+    let at_ms = r.u64()?;
+    let kind = match r.u8()? {
+        0 => EventKind::Escalation {
+            app: AppId(r.u32()?),
+            table: TableId(r.u32()?),
+            exclusive: get_bool(r)?,
+        },
+        1 => EventKind::DeadlockVictim {
+            app: AppId(r.u32()?),
+        },
+        2 => EventKind::SyncGrowth {
+            granted_bytes: r.u64()?,
+        },
+        3 => EventKind::TunerResize {
+            from_bytes: r.u64()?,
+            to_bytes: r.u64()?,
+        },
+        4 => EventKind::DepotReclaim { slots: r.u64()? },
+        tag => return Err(WireError::BadTag { what: "event", tag }),
+    };
+    Ok(JournalEvent { seq, at_ms, kind })
+}
+
+fn reason_tag(reason: TuningReason) -> u8 {
+    match reason {
+        TuningReason::GrowForFreeTarget => 0,
+        TuningReason::WithinBand => 1,
+        TuningReason::ShrinkDeltaReduce => 2,
+        TuningReason::EscalationDoubling => 3,
+        TuningReason::ClampedToMin => 4,
+        TuningReason::ClampedToMax => 5,
+    }
+}
+
+fn get_reason(r: &mut Reader<'_>) -> Result<TuningReason, WireError> {
+    match r.u8()? {
+        0 => Ok(TuningReason::GrowForFreeTarget),
+        1 => Ok(TuningReason::WithinBand),
+        2 => Ok(TuningReason::ShrinkDeltaReduce),
+        3 => Ok(TuningReason::EscalationDoubling),
+        4 => Ok(TuningReason::ClampedToMin),
+        5 => Ok(TuningReason::ClampedToMax),
+        tag => Err(WireError::BadTag {
+            what: "tuning reason",
+            tag,
+        }),
+    }
+}
+
+fn put_tick(out: &mut Vec<u8>, t: &TuningTick) {
+    put_u64(out, t.seq);
+    out.push(reason_tag(t.reason));
+    put_u64(out, t.target_bytes);
+    put_u64(out, t.current_bytes);
+    put_u64(out, t.lock_bytes_after);
+    put_u64(out, t.funded_bytes);
+    put_u64(out, t.released_bytes);
+    put_f64(out, t.app_percent);
+}
+
+fn get_tick(r: &mut Reader<'_>) -> Result<TuningTick, WireError> {
+    Ok(TuningTick {
+        seq: r.u64()?,
+        reason: get_reason(r)?,
+        target_bytes: r.u64()?,
+        current_bytes: r.u64()?,
+        lock_bytes_after: r.u64()?,
+        funded_bytes: r.u64()?,
+        released_bytes: r.u64()?,
+        app_percent: get_f64(r)?,
+    })
+}
+
+fn put_obs_counters(out: &mut Vec<u8>, c: &ObsCounters) {
+    for v in [
+        c.timeouts,
+        c.batches,
+        c.batch_items,
+        c.deadlock_victims,
+        c.sync_growth_granted,
+        c.sync_growth_denied,
+        c.depot_reclaim_sweeps,
+        c.depot_reclaimed_slots,
+        c.journal_recorded,
+        c.journal_dropped,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+fn get_obs_counters(r: &mut Reader<'_>) -> Result<ObsCounters, WireError> {
+    Ok(ObsCounters {
+        timeouts: r.u64()?,
+        batches: r.u64()?,
+        batch_items: r.u64()?,
+        deadlock_victims: r.u64()?,
+        sync_growth_granted: r.u64()?,
+        sync_growth_denied: r.u64()?,
+        depot_reclaim_sweeps: r.u64()?,
+        depot_reclaimed_slots: r.u64()?,
+        journal_recorded: r.u64()?,
+        journal_dropped: r.u64()?,
+    })
+}
+
+fn put_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
+    debug_assert!(
+        m.events.len() <= MAX_WIRE_EVENTS,
+        "events exceed wire bound"
+    );
+    debug_assert!(m.ticks.len() <= MAX_WIRE_TICKS, "ticks exceed wire bound");
+    put_u64(out, m.uptime_ms);
+    put_lock_stats(out, &m.lock_stats);
+    put_obs_counters(out, &m.counters);
+    put_u64(out, m.pool_bytes);
+    put_u64(out, m.pool_slots_total);
+    put_u64(out, m.pool_slots_used);
+    put_u64(out, m.connected_apps);
+    put_f64(out, m.app_percent);
+    put_f64(out, m.min_free_fraction);
+    put_f64(out, m.max_free_fraction);
+    put_f64(out, m.free_fraction);
+    put_u64(out, m.tuning_intervals);
+    put_u64(out, m.grow_decisions);
+    put_u64(out, m.shrink_decisions);
+    put_u64(out, m.reply_queue_hwm);
+    put_histogram(out, &m.lock_wait_micros);
+    put_histogram(out, &m.latch_hold_nanos);
+    put_histogram(out, &m.batch_size);
+    put_histogram(out, &m.sync_stall_micros);
+    put_u32(out, m.events.len() as u32);
+    for e in &m.events {
+        put_event(out, e);
+    }
+    put_u64(out, m.next_event_seq);
+    put_u32(out, m.ticks.len() as u32);
+    for t in &m.ticks {
+        put_tick(out, t);
+    }
+    put_u64(out, m.next_tick_seq);
+}
+
+fn get_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
+    let uptime_ms = r.u64()?;
+    let lock_stats = get_lock_stats(r)?;
+    let counters = get_obs_counters(r)?;
+    let pool_bytes = r.u64()?;
+    let pool_slots_total = r.u64()?;
+    let pool_slots_used = r.u64()?;
+    let connected_apps = r.u64()?;
+    let app_percent = get_f64(r)?;
+    let min_free_fraction = get_f64(r)?;
+    let max_free_fraction = get_f64(r)?;
+    let free_fraction = get_f64(r)?;
+    let tuning_intervals = r.u64()?;
+    let grow_decisions = r.u64()?;
+    let shrink_decisions = r.u64()?;
+    let reply_queue_hwm = r.u64()?;
+    let lock_wait_micros = get_histogram(r)?;
+    let latch_hold_nanos = get_histogram(r)?;
+    let batch_size = get_histogram(r)?;
+    let sync_stall_micros = get_histogram(r)?;
+    let n_events = r.u32()? as usize;
+    if n_events > MAX_WIRE_EVENTS {
+        return Err(WireError::TooMany {
+            what: "journal events",
+            n: n_events,
+        });
+    }
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        events.push(get_event(r)?);
+    }
+    let next_event_seq = r.u64()?;
+    let n_ticks = r.u32()? as usize;
+    if n_ticks > MAX_WIRE_TICKS {
+        return Err(WireError::TooMany {
+            what: "tuning ticks",
+            n: n_ticks,
+        });
+    }
+    let mut ticks = Vec::with_capacity(n_ticks);
+    for _ in 0..n_ticks {
+        ticks.push(get_tick(r)?);
+    }
+    let next_tick_seq = r.u64()?;
+    Ok(MetricsSnapshot {
+        uptime_ms,
+        lock_stats,
+        counters,
+        pool_bytes,
+        pool_slots_total,
+        pool_slots_used,
+        connected_apps,
+        app_percent,
+        min_free_fraction,
+        max_free_fraction,
+        free_fraction,
+        tuning_intervals,
+        grow_decisions,
+        shrink_decisions,
+        reply_queue_hwm,
+        lock_wait_micros,
+        latch_hold_nanos,
+        batch_size,
+        sync_stall_micros,
+        events,
+        next_event_seq,
+        ticks,
+        next_tick_seq,
     })
 }
 
@@ -609,6 +977,13 @@ pub fn encode_request_into(out: &mut Vec<u8>, id: u64, req: &Request) {
         Request::Ping(echo) => frame_into(out, OP_PING, id, |out| put_bytes(out, echo)),
         Request::Validate => frame_into(out, OP_VALIDATE, id, |_| {}),
         Request::LockBatch(items) => encode_lock_batch_into(out, id, items),
+        Request::Metrics {
+            reports_since,
+            max_events,
+        } => frame_into(out, OP_METRICS, id, |out| {
+            put_u64(out, *reports_since);
+            put_u32(out, *max_events);
+        }),
     }
 }
 
@@ -673,6 +1048,10 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
             }
             Request::LockBatch(items)
         }
+        OP_METRICS => Request::Metrics {
+            reports_since: r.u64()?,
+            max_events: r.u32()?,
+        },
         tag => {
             return Err(WireError::BadTag {
                 what: "request opcode",
@@ -738,6 +1117,7 @@ pub fn encode_reply_into(out: &mut Vec<u8>, id: u64, reply: &Reply) {
             }
         }),
         Reply::BatchOutcomes(items) => encode_batch_outcomes_into(out, id, items),
+        Reply::Metrics(snap) => frame_into(out, OP_METRICS_REPLY, id, |out| put_metrics(out, snap)),
     }
 }
 
@@ -781,6 +1161,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), WireError> {
             }
             Reply::BatchOutcomes(items)
         }
+        OP_METRICS_REPLY => Reply::Metrics(Box::new(get_metrics(&mut r)?)),
         tag => {
             return Err(WireError::BadTag {
                 what: "reply opcode",

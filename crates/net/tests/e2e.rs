@@ -386,3 +386,71 @@ fn server_shutdown_disconnects_clients() {
         other => panic!("expected I/O error after server shutdown, got {other:?}"),
     }
 }
+
+/// The METRICS endpoint over a real socket: histogram/stat invariants
+/// hold end-to-end, the tick cursor advances, and batch counters plus
+/// the reply-queue high-water mark ride the extended Stats reply.
+#[test]
+fn metrics_scrape_over_the_wire() {
+    let (server, addr) = server(None);
+    let mut worker = Client::connect(&addr).unwrap();
+    let mut scraper = Client::connect(&addr).unwrap();
+
+    // Generate traffic: a batch, then a genuine cross-client wait.
+    let rows: Vec<_> = (0..16)
+        .map(|r| (ResourceId::Row(TableId(3), RowId(r)), LockMode::X))
+        .collect();
+    let mut batch = vec![(ResourceId::Table(TableId(3)), LockMode::IX)];
+    batch.extend(rows);
+    for o in worker.lock_batch(&batch).unwrap() {
+        assert!(matches!(o, BatchOutcome::Done(Ok(_))));
+    }
+
+    let table = ResourceId::Table(TableId(7));
+    worker.lock(table, LockMode::X).unwrap();
+    let blocked = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.lock(table, LockMode::S).unwrap();
+            c.unlock_all().unwrap();
+        }
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    worker.unlock_all().unwrap();
+    blocked.join().unwrap();
+
+    let snap = scraper.metrics(0, 64).unwrap();
+    assert!(snap.uptime_ms > 0);
+    assert_eq!(
+        snap.lock_wait_micros.count(),
+        snap.lock_stats.waits,
+        "every wait timed exactly once, over the wire too"
+    );
+    assert!(snap.lock_stats.waits >= 1);
+    assert!(snap.lock_wait_micros.max >= 10_000, "the wait was ~100ms");
+    assert_eq!(snap.counters.batches, 1);
+    assert_eq!(snap.counters.batch_items, batch.len() as u64);
+    assert!(snap.pool_bytes > 0);
+    assert!(snap.free_fraction > 0.0);
+
+    // The extended Stats reply carries the same batch counters and a
+    // live reply-queue high-water mark.
+    let stats = scraper.stats().unwrap();
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.batch_items, batch.len() as u64);
+    assert!(stats.reply_queue_hwm >= 1, "replies were sent");
+
+    // Cursor: feeding next_tick_seq back yields only new ticks, and
+    // the fast tuner (50ms) keeps producing them.
+    std::thread::sleep(Duration::from_millis(120));
+    let again = scraper.metrics(snap.next_tick_seq, 0).unwrap();
+    assert!(
+        again.next_tick_seq > snap.next_tick_seq,
+        "tuner kept ticking"
+    );
+    if let Some(first) = again.ticks.first() {
+        assert!(first.seq >= snap.next_tick_seq, "no tick delivered twice");
+    }
+    server.shutdown();
+}

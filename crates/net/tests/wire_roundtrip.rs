@@ -3,14 +3,17 @@
 //! decodes (every variable-length field is length-prefixed and every
 //! decoder consumes its payload exactly, so a cut anywhere is caught).
 
+use locktune_core::TuningReason;
 use locktune_lockmgr::{
     AppId, LockError, LockMode, LockOutcome, LockStats, ResourceId, RowId, TableId, UnlockReport,
 };
+use locktune_metrics::{HistogramSnapshot, BUCKETS};
 use locktune_net::wire::{
     decode_lock_batch_into, decode_reply, decode_request, encode_lock_batch_into, encode_reply,
     encode_request, Reply, Request, StatsSnapshot, ValidateReport, WireError, HEADER_LEN,
-    MAX_BATCH, MAX_PAYLOAD,
+    MAX_BATCH, MAX_PAYLOAD, MAX_WIRE_EVENTS, MAX_WIRE_TICKS,
 };
+use locktune_obs::{EventKind, JournalEvent, MetricsSnapshot, ObsCounters, TuningTick};
 use locktune_service::{BatchOutcome, ServiceError};
 use proptest::prelude::*;
 
@@ -78,6 +81,10 @@ fn request() -> BoxedStrategy<Request> {
         proptest::collection::vec(any::<u8>(), 0..512).prop_map(Request::Ping),
         Just(Request::Validate),
         proptest::collection::vec((resource(), mode()), 0..40).prop_map(Request::LockBatch),
+        (any::<u64>(), any::<u32>()).prop_map(|(reports_since, max_events)| Request::Metrics {
+            reports_since,
+            max_events,
+        }),
     ]
     .boxed()
 }
@@ -128,8 +135,138 @@ fn snapshot() -> BoxedStrategy<StatsSnapshot> {
             tuning_intervals: c.0,
             grow_decisions: c.1,
             shrink_decisions: c.2,
+            batches: c.0 ^ c.1,
+            batch_items: c.1 ^ c.2,
+            reply_queue_hwm: c.0 ^ c.2,
             app_percent,
         })
+        .boxed()
+}
+
+/// A histogram as the wire actually produces them: `total` derived
+/// from the buckets (`HistogramSnapshot::from_parts`), `max` no
+/// smaller than naturally possible given the buckets.
+fn histogram() -> BoxedStrategy<HistogramSnapshot> {
+    (
+        proptest::collection::vec((0..BUCKETS, 1u64..u64::MAX / (BUCKETS as u64)), 0..8usize),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(nonzero, sum, max)| {
+            let mut counts = [0u64; BUCKETS];
+            for (k, c) in nonzero {
+                counts[k] = c; // duplicates collapse: last write wins
+            }
+            HistogramSnapshot::from_parts(counts, sum, max)
+        })
+        .boxed()
+}
+
+fn event() -> BoxedStrategy<JournalEvent> {
+    let kind = prop_oneof![
+        (any::<u32>(), any::<u32>(), any::<bool>()).prop_map(|(a, t, exclusive)| {
+            EventKind::Escalation {
+                app: AppId(a),
+                table: TableId(t),
+                exclusive,
+            }
+        }),
+        any::<u32>().prop_map(|a| EventKind::DeadlockVictim { app: AppId(a) }),
+        any::<u64>().prop_map(|granted_bytes| EventKind::SyncGrowth { granted_bytes }),
+        (any::<u64>(), any::<u64>()).prop_map(|(from_bytes, to_bytes)| EventKind::TunerResize {
+            from_bytes,
+            to_bytes,
+        }),
+        any::<u64>().prop_map(|slots| EventKind::DepotReclaim { slots }),
+    ];
+    (any::<u64>(), any::<u64>(), kind)
+        .prop_map(|(seq, at_ms, kind)| JournalEvent { seq, at_ms, kind })
+        .boxed()
+}
+
+fn tick() -> BoxedStrategy<TuningTick> {
+    let reason = prop_oneof![
+        Just(TuningReason::GrowForFreeTarget),
+        Just(TuningReason::WithinBand),
+        Just(TuningReason::ShrinkDeltaReduce),
+        Just(TuningReason::EscalationDoubling),
+        Just(TuningReason::ClampedToMin),
+        Just(TuningReason::ClampedToMax),
+    ];
+    (
+        (any::<u64>(), reason, any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), 0.0f64..100.0),
+    )
+        .prop_map(|(a, b)| TuningTick {
+            seq: a.0,
+            reason: a.1,
+            target_bytes: a.2,
+            current_bytes: a.3,
+            lock_bytes_after: b.0,
+            funded_bytes: b.1,
+            released_bytes: b.2,
+            app_percent: b.3,
+        })
+        .boxed()
+}
+
+fn metrics() -> BoxedStrategy<MetricsSnapshot> {
+    (
+        (
+            any::<u64>(),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            (0.0f64..100.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        ),
+        (histogram(), histogram(), histogram(), histogram()),
+        proptest::collection::vec(event(), 0..12),
+        any::<u64>(),
+        proptest::collection::vec(tick(), 0..6),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(fixed, hists, events, next_event_seq, ticks, next_tick_seq)| {
+                let (uptime_ms, s, pool, fracs, t) = fixed;
+                MetricsSnapshot {
+                    uptime_ms,
+                    lock_stats: LockStats {
+                        grants: s.0,
+                        waits: s.1,
+                        escalations: s.2,
+                        deadlock_aborts: s.3,
+                        ..LockStats::default()
+                    },
+                    counters: ObsCounters {
+                        timeouts: s.0 ^ s.1,
+                        batches: s.1 ^ s.2,
+                        deadlock_victims: s.2 ^ s.3,
+                        journal_recorded: s.0 ^ s.3,
+                        ..ObsCounters::default()
+                    },
+                    pool_bytes: pool.0,
+                    pool_slots_total: pool.1,
+                    pool_slots_used: pool.2,
+                    connected_apps: pool.3,
+                    app_percent: fracs.0,
+                    min_free_fraction: fracs.1,
+                    max_free_fraction: fracs.2,
+                    free_fraction: fracs.3,
+                    tuning_intervals: t.0,
+                    grow_decisions: t.1,
+                    shrink_decisions: t.2,
+                    reply_queue_hwm: t.3,
+                    lock_wait_micros: hists.0,
+                    latch_hold_nanos: hists.1,
+                    batch_size: hists.2,
+                    sync_stall_micros: hists.3,
+                    events,
+                    next_event_seq,
+                    ticks,
+                    next_tick_seq,
+                }
+            },
+        )
         .boxed()
 }
 
@@ -149,6 +286,7 @@ fn reply() -> BoxedStrategy<Reply> {
         proptest::collection::vec(97u8..123, 1..64)
             .prop_map(|msg| { Reply::Validate(Err(String::from_utf8(msg).unwrap())) }),
         proptest::collection::vec(batch_outcome(), 0..40).prop_map(Reply::BatchOutcomes),
+        metrics().prop_map(|m| Reply::Metrics(Box::new(m))),
     ]
     .boxed()
 }
@@ -316,5 +454,104 @@ fn oversized_batch_count_rejected() {
     assert_eq!(
         decode_reply(&frame[4..]),
         Err(WireError::BatchTooLarge(over))
+    );
+}
+
+/// The worst-case Metrics reply — all four histograms with every
+/// bucket populated, the event and tick lists at their wire bounds
+/// with the widest item encodings — still fits one frame. This is the
+/// derivation behind `MAX_WIRE_EVENTS`/`MAX_WIRE_TICKS`.
+#[test]
+fn max_metrics_reply_fits_one_frame() {
+    let full_hist = HistogramSnapshot::from_parts([u64::MAX / 64; BUCKETS], u64::MAX, u64::MAX);
+    let snap = MetricsSnapshot {
+        lock_wait_micros: full_hist.clone(),
+        latch_hold_nanos: full_hist.clone(),
+        batch_size: full_hist.clone(),
+        sync_stall_micros: full_hist,
+        // Escalation is the widest event encoding (26 bytes).
+        events: (0..MAX_WIRE_EVENTS as u64)
+            .map(|i| JournalEvent {
+                seq: i,
+                at_ms: i,
+                kind: EventKind::Escalation {
+                    app: AppId(u32::MAX),
+                    table: TableId(u32::MAX),
+                    exclusive: true,
+                },
+            })
+            .collect(),
+        ticks: (0..MAX_WIRE_TICKS as u64)
+            .map(|i| TuningTick {
+                seq: i,
+                reason: TuningReason::EscalationDoubling,
+                target_bytes: u64::MAX,
+                current_bytes: u64::MAX,
+                lock_bytes_after: u64::MAX,
+                funded_bytes: u64::MAX,
+                released_bytes: u64::MAX,
+                app_percent: 100.0,
+            })
+            .collect(),
+        ..MetricsSnapshot::default()
+    };
+    let frame = encode_reply(5, &Reply::Metrics(Box::new(snap.clone())));
+    assert!(
+        frame.len() - 4 <= MAX_PAYLOAD,
+        "metrics payload {}",
+        frame.len() - 4
+    );
+    assert_eq!(
+        decode_reply(&frame[4..]),
+        Ok((5, Reply::Metrics(Box::new(snap))))
+    );
+}
+
+/// Forged Metrics frames are rejected structurally: an event count
+/// above the wire bound, and a histogram with a duplicate (or
+/// non-ascending) bucket index, both fail before any allocation
+/// proportional to the forged count.
+#[test]
+fn forged_metrics_counts_rejected() {
+    let base = encode_reply(1, &Reply::Metrics(Box::default()));
+    let payload = &base[4..];
+
+    // The default snapshot encodes its four empty histograms as
+    // (0 nonzero, sum, max) = 17 bytes each; the event count sits
+    // right after the fixed block of the header, 37 u64-width fields
+    // (uptime + 14 lock stats + 10 obs counters + 4 pool gauges +
+    // 4 f64s + 4 tuning counters) and the 4 histograms.
+    let events_at = HEADER_LEN + 37 * 8 + 4 * 17;
+    assert_eq!(
+        &payload[events_at..events_at + 4],
+        &0u32.to_le_bytes(),
+        "event-count offset drifted; update this test"
+    );
+    let mut forged = payload.to_vec();
+    forged[events_at..events_at + 4].copy_from_slice(&((MAX_WIRE_EVENTS as u32) + 1).to_le_bytes());
+    assert_eq!(
+        decode_reply(&forged),
+        Err(WireError::TooMany {
+            what: "journal events",
+            n: MAX_WIRE_EVENTS + 1,
+        })
+    );
+
+    // Duplicate bucket index: claim 2 nonzero buckets, both index 0.
+    let hist_at = HEADER_LEN + 37 * 8;
+    let mut forged = Vec::new();
+    forged.extend_from_slice(&payload[..hist_at]);
+    forged.push(2); // n_nonzero
+    for _ in 0..2 {
+        forged.push(0); // bucket index 0, twice
+        forged.extend_from_slice(&7u64.to_le_bytes());
+    }
+    forged.extend_from_slice(&payload[hist_at + 17..]);
+    assert_eq!(
+        decode_reply(&forged),
+        Err(WireError::BadTag {
+            what: "histogram bucket",
+            tag: 0,
+        })
     );
 }

@@ -1,0 +1,330 @@
+#![warn(missing_docs)]
+
+//! `locktune-obs` — always-on telemetry for the live lock service.
+//!
+//! The simulation harness records into `locktune-metrics` offline; the
+//! *live* service needs the same quantities without perturbing the hot
+//! path. This crate provides the three pieces the service threads
+//! through itself:
+//!
+//! * [`Obs`] — per-shard, cache-padded [`AtomicHistogram`] blocks plus
+//!   a handful of global counters, all lock-free on record and merged
+//!   only at scrape time;
+//! * [`EventJournal`] — a fixed-capacity lock-free MPSC ring of typed
+//!   [`EventKind`]s (escalations, deadlock victims, sync growth, tuner
+//!   resizes, depot reclaims) drainable without stopping the world;
+//! * [`MetricsSnapshot`] — the plain-data scrape result, with a
+//!   [`prom::render`] Prometheus-style text exposition.
+//!
+//! Overhead discipline (methodology in DESIGN.md §10): counters that
+//! `LockStats` already tracks are *not* double-counted here — they are
+//! read from the shards at scrape time. The only hot-path additions
+//! are (a) wait-path timing, which rides a path that already parks,
+//! and (b) shard-latch hold timing, sampled one op in
+//! [`LATCH_SAMPLE_PERIOD`] so the two `Instant::now()` calls amortize
+//! to well under a nanosecond per lock op.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use locktune_metrics::{AtomicHistogram, HistogramSnapshot};
+
+pub mod journal;
+pub mod prom;
+pub mod snapshot;
+
+pub use journal::{EventJournal, EventKind, JournalEvent, DEFAULT_JOURNAL_CAPACITY};
+pub use snapshot::{MetricsSnapshot, ObsCounters, TuningTick};
+
+use locktune_lockmgr::{AppId, TableId};
+
+/// Shard-latch holds are timed once every this many lock operations
+/// per session (a power of two so the tick test is a mask).
+pub const LATCH_SAMPLE_PERIOD: u64 = 64;
+
+/// Pads a value to its own cache line so one shard's histogram writes
+/// never invalidate a neighbour shard's line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// Per-shard instrumentation block. Written only by threads operating
+/// on that shard; merged across shards at scrape time.
+#[derive(Debug, Default)]
+struct ShardObs {
+    /// Queue-to-resolution time of blocked lock requests (µs).
+    lock_wait: AtomicHistogram,
+    /// Sampled shard-latch hold times (ns).
+    latch_hold: AtomicHistogram,
+}
+
+/// The service's instrumentation root: one per [`LockService`]
+/// (`LockService` owns it; sessions and background threads record into
+/// it through shared references).
+///
+/// [`LockService`]: https://docs.rs/locktune-service
+#[derive(Debug)]
+pub struct Obs {
+    start: Instant,
+    shards: Box<[CachePadded<ShardObs>]>,
+    journal: EventJournal,
+    batch_size: AtomicHistogram,
+    sync_stall: AtomicHistogram,
+    timeouts: AtomicU64,
+    batches: AtomicU64,
+    batch_items: AtomicU64,
+    deadlock_victims: AtomicU64,
+    sync_growth_granted: AtomicU64,
+    sync_growth_denied: AtomicU64,
+    /// Absolute allocator reclaim totals, mirrored from the pool at
+    /// scrape/tuning time (the allocator crate stays obs-agnostic).
+    depot_reclaim_sweeps: AtomicU64,
+    depot_reclaimed_slots: AtomicU64,
+}
+
+impl Obs {
+    /// Instrumentation for a service with `shards` lock-manager shards
+    /// and the default journal capacity.
+    pub fn new(shards: usize) -> Self {
+        Self::with_journal_capacity(shards, DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// [`Obs::new`] with an explicit journal capacity.
+    pub fn with_journal_capacity(shards: usize, journal_capacity: usize) -> Self {
+        Obs {
+            start: Instant::now(),
+            shards: (0..shards.max(1)).map(|_| CachePadded::default()).collect(),
+            journal: EventJournal::with_capacity(journal_capacity),
+            batch_size: AtomicHistogram::new(),
+            sync_stall: AtomicHistogram::new(),
+            timeouts: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_items: AtomicU64::new(0),
+            deadlock_victims: AtomicU64::new(0),
+            sync_growth_granted: AtomicU64::new(0),
+            sync_growth_denied: AtomicU64::new(0),
+            depot_reclaim_sweeps: AtomicU64::new(0),
+            depot_reclaimed_slots: AtomicU64::new(0),
+        }
+    }
+
+    /// Milliseconds since this `Obs` (i.e. the service) started.
+    pub fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// The service-start instant (timestamp epoch for wait timing).
+    pub fn start(&self) -> Instant {
+        self.start
+    }
+
+    // -- hot-path recording ----------------------------------------------
+
+    /// A blocked lock request on `shard` resolved after `micros` µs.
+    #[inline]
+    pub fn record_wait(&self, shard: usize, micros: u64) {
+        self.shards[shard & (self.shards.len() - 1)]
+            .0
+            .lock_wait
+            .record(micros);
+    }
+
+    /// A sampled shard-latch section on `shard` lasted `nanos` ns.
+    #[inline]
+    pub fn record_latch(&self, shard: usize, nanos: u64) {
+        self.shards[shard & (self.shards.len() - 1)]
+            .0
+            .latch_hold
+            .record(nanos);
+    }
+
+    /// A lock wait ended in `LOCKTIMEOUT`.
+    #[inline]
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A `lock_many` batch of `items` requests started executing.
+    #[inline]
+    pub fn record_batch(&self, items: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_items.fetch_add(items, Ordering::Relaxed);
+        self.batch_size.record(items);
+    }
+
+    // -- rare-event recording --------------------------------------------
+
+    /// A lock escalation ran (journaled; the counter lives in
+    /// `LockStats::escalations`).
+    pub fn record_escalation(&self, app: AppId, table: TableId, exclusive: bool) {
+        self.journal.record(
+            self.now_ms(),
+            EventKind::Escalation {
+                app,
+                table,
+                exclusive,
+            },
+        );
+    }
+
+    /// The deadlock sweeper aborted `app`.
+    pub fn record_victim(&self, app: AppId) {
+        self.deadlock_victims.fetch_add(1, Ordering::Relaxed);
+        self.journal
+            .record(self.now_ms(), EventKind::DeadlockVictim { app });
+    }
+
+    /// A synchronous-growth attempt stalled its request for `micros`
+    /// µs and was granted `granted_bytes` (0 = denied).
+    pub fn record_sync_stall(&self, micros: u64, granted_bytes: u64) {
+        self.sync_stall.record(micros);
+        if granted_bytes > 0 {
+            self.sync_growth_granted.fetch_add(1, Ordering::Relaxed);
+            self.journal
+                .record(self.now_ms(), EventKind::SyncGrowth { granted_bytes });
+        } else {
+            self.sync_growth_denied.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The tuning thread resized the pool.
+    pub fn record_tuner_resize(&self, from_bytes: u64, to_bytes: u64) {
+        self.journal.record(
+            self.now_ms(),
+            EventKind::TunerResize {
+                from_bytes,
+                to_bytes,
+            },
+        );
+    }
+
+    /// Mirror the allocator's absolute reclaim totals, journaling a
+    /// [`EventKind::DepotReclaim`] when slots were reclaimed since the
+    /// last call. Called from the tuning interval, not the hot path.
+    pub fn note_depot_reclaims(&self, sweeps: u64, slots: u64) {
+        let prev_slots = self.depot_reclaimed_slots.swap(slots, Ordering::Relaxed);
+        self.depot_reclaim_sweeps.store(sweeps, Ordering::Relaxed);
+        if slots > prev_slots {
+            self.journal.record(
+                self.now_ms(),
+                EventKind::DepotReclaim {
+                    slots: slots - prev_slots,
+                },
+            );
+        }
+    }
+
+    // -- scrape-time reads -----------------------------------------------
+
+    /// The event journal (drain with [`EventJournal::drain`]).
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// Freeze the instrumentation counters.
+    pub fn counters(&self) -> ObsCounters {
+        ObsCounters {
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_items: self.batch_items.load(Ordering::Relaxed),
+            deadlock_victims: self.deadlock_victims.load(Ordering::Relaxed),
+            sync_growth_granted: self.sync_growth_granted.load(Ordering::Relaxed),
+            sync_growth_denied: self.sync_growth_denied.load(Ordering::Relaxed),
+            depot_reclaim_sweeps: self.depot_reclaim_sweeps.load(Ordering::Relaxed),
+            depot_reclaimed_slots: self.depot_reclaimed_slots.load(Ordering::Relaxed),
+            journal_recorded: self.journal.recorded(),
+            journal_dropped: self.journal.dropped(),
+        }
+    }
+
+    /// Merge the per-shard lock-wait histograms.
+    pub fn lock_wait_micros(&self) -> HistogramSnapshot {
+        let mut acc = HistogramSnapshot::default();
+        for s in self.shards.iter() {
+            s.0.lock_wait.merge_into(&mut acc);
+        }
+        acc
+    }
+
+    /// Merge the per-shard latch-hold histograms (sampled, see
+    /// [`LATCH_SAMPLE_PERIOD`]).
+    pub fn latch_hold_nanos(&self) -> HistogramSnapshot {
+        let mut acc = HistogramSnapshot::default();
+        for s in self.shards.iter() {
+            s.0.latch_hold.merge_into(&mut acc);
+        }
+        acc
+    }
+
+    /// Snapshot the batch-size histogram.
+    pub fn batch_size(&self) -> HistogramSnapshot {
+        self.batch_size.snapshot()
+    }
+
+    /// Snapshot the sync-growth stall histogram.
+    pub fn sync_stall_micros(&self) -> HistogramSnapshot {
+        self.sync_stall.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_shard_histograms_merge() {
+        let obs = Obs::new(4);
+        obs.record_wait(0, 10);
+        obs.record_wait(3, 1000);
+        obs.record_latch(1, 200);
+        let waits = obs.lock_wait_micros();
+        assert_eq!(waits.count(), 2);
+        assert_eq!(waits.max, 1000);
+        assert_eq!(obs.latch_hold_nanos().count(), 1);
+    }
+
+    #[test]
+    fn shard_index_is_masked() {
+        // Out-of-range shard indices must not panic (belt and braces:
+        // Obs is sized to the service's shard count).
+        let obs = Obs::new(2);
+        obs.record_wait(7, 1);
+        assert_eq!(obs.lock_wait_micros().count(), 1);
+    }
+
+    #[test]
+    fn counters_and_events_flow() {
+        let obs = Obs::new(1);
+        obs.record_timeout();
+        obs.record_batch(20);
+        obs.record_victim(AppId(3));
+        obs.record_sync_stall(50, 4096);
+        obs.record_sync_stall(80, 0);
+        obs.record_escalation(AppId(1), TableId(2), true);
+        obs.record_tuner_resize(100, 200);
+        obs.note_depot_reclaims(1, 48);
+        obs.note_depot_reclaims(1, 48); // no delta → no event
+
+        let c = obs.counters();
+        assert_eq!(c.timeouts, 1);
+        assert_eq!(c.batches, 1);
+        assert_eq!(c.batch_items, 20);
+        assert_eq!(c.deadlock_victims, 1);
+        assert_eq!(c.sync_growth_granted, 1);
+        assert_eq!(c.sync_growth_denied, 1);
+        assert_eq!(c.depot_reclaim_sweeps, 1);
+        assert_eq!(c.depot_reclaimed_slots, 48);
+        // victim + sync growth + escalation + resize + reclaim = 5.
+        assert_eq!(c.journal_recorded, 5);
+
+        let mut events = Vec::new();
+        obs.journal().drain(&mut events, 100);
+        assert_eq!(events.len(), 5);
+        assert!(matches!(
+            events[4].kind,
+            EventKind::DepotReclaim { slots: 48 }
+        ));
+        assert_eq!(obs.batch_size().quantile(1.0), 20);
+        assert_eq!(obs.sync_stall_micros().count(), 2);
+    }
+}

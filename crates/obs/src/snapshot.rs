@@ -1,0 +1,155 @@
+//! Plain-data scrape results: everything a dashboard or the wire
+//! endpoint needs, frozen at one instant.
+
+use locktune_core::TuningReason;
+use locktune_lockmgr::LockStats;
+use locktune_memory::IntervalReport;
+use locktune_metrics::HistogramSnapshot;
+
+use crate::journal::JournalEvent;
+
+/// Monotonic counters maintained by the instrumentation layer itself
+/// (quantities the per-shard `LockStats` don't track).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsCounters {
+    /// Lock waits that ended in `LOCKTIMEOUT`.
+    pub timeouts: u64,
+    /// `lock_many` batches executed.
+    pub batches: u64,
+    /// Total items across those batches.
+    pub batch_items: u64,
+    /// Applications aborted by the deadlock sweeper.
+    pub deadlock_victims: u64,
+    /// Synchronous growth attempts that were granted.
+    pub sync_growth_granted: u64,
+    /// Synchronous growth attempts that were denied.
+    pub sync_growth_denied: u64,
+    /// Dry-pool magazine reclaim sweeps run by the allocator.
+    pub depot_reclaim_sweeps: u64,
+    /// Slots those sweeps pulled back from sibling depots.
+    pub depot_reclaimed_slots: u64,
+    /// Events recorded into the journal since start.
+    pub journal_recorded: u64,
+    /// Events the journal dropped because it was full.
+    pub journal_dropped: u64,
+}
+
+/// One tuning interval, compacted for the wire from the service's
+/// [`IntervalReport`] log. `seq` is the interval's position in the
+/// monotonic report sequence, so a poller can resume from
+/// `next_tick_seq` and never re-copy history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningTick {
+    /// Monotonic interval sequence number (0-based since start).
+    pub seq: u64,
+    /// Why the tuner chose its target.
+    pub reason: TuningReason,
+    /// The tuner's goal for the pool, in bytes.
+    pub target_bytes: u64,
+    /// Pool size the decision was computed against.
+    pub current_bytes: u64,
+    /// Pool size after applying the decision.
+    pub lock_bytes_after: u64,
+    /// Bytes taken from donors/overflow to fund growth.
+    pub funded_bytes: u64,
+    /// Bytes released back by shrinking.
+    pub released_bytes: u64,
+    /// `lockPercentPerApplication` recomputed at this tuning point.
+    pub app_percent: f64,
+}
+
+impl TuningTick {
+    /// Compact `report` (interval number `seq`) for the wire.
+    pub fn from_report(seq: u64, report: &IntervalReport) -> Self {
+        TuningTick {
+            seq,
+            reason: report.decision.reason,
+            target_bytes: report.decision.target_bytes,
+            current_bytes: report.decision.current_bytes,
+            lock_bytes_after: report.lock_bytes_after,
+            funded_bytes: report.funded_bytes,
+            released_bytes: report.released_bytes,
+            app_percent: report.decision.app_percent,
+        }
+    }
+}
+
+/// Everything `LockService::observe` returns and opcode `0x88`
+/// carries: counters, gauges, merged histograms, the drained journal
+/// tail and the new tuning ticks since the caller's cursor.
+///
+/// Histogram units: `lock_wait_micros` and `sync_stall_micros` are
+/// microseconds, `latch_hold_nanos` is nanoseconds (shard latch holds
+/// are far sub-microsecond), `batch_size` is items per batch.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Milliseconds since the service started.
+    pub uptime_ms: u64,
+    /// Aggregated lock-manager counters across all shards.
+    pub lock_stats: LockStats,
+    /// Instrumentation-layer counters.
+    pub counters: ObsCounters,
+    /// Lock pool size in bytes.
+    pub pool_bytes: u64,
+    /// Total lock-structure slots in the pool.
+    pub pool_slots_total: u64,
+    /// Allocated slots (atomic mirror; exact at quiescence).
+    pub pool_slots_used: u64,
+    /// Applications with a live session.
+    pub connected_apps: u64,
+    /// Current externalized `lockPercentPerApplication`
+    /// (`P·(1−(x/100)³)`).
+    pub app_percent: f64,
+    /// Lower edge of the tuner's free-fraction target band
+    /// (`minFreeLockMemory`).
+    pub min_free_fraction: f64,
+    /// Upper edge of the band (`maxFreeLockMemory`).
+    pub max_free_fraction: f64,
+    /// Current free fraction of the pool.
+    pub free_fraction: f64,
+    /// Tuning intervals run since start.
+    pub tuning_intervals: u64,
+    /// Intervals whose decision grew the pool.
+    pub grow_decisions: u64,
+    /// Intervals whose decision shrank the pool.
+    pub shrink_decisions: u64,
+    /// High-water mark of the server's reply queues, in frames (zero
+    /// for in-process scrapes; filled in by the TCP server).
+    pub reply_queue_hwm: u64,
+    /// Time from queueing to resolution of blocked lock requests (µs).
+    pub lock_wait_micros: HistogramSnapshot,
+    /// Shard latch hold times, sampled 1-in-64 (ns).
+    pub latch_hold_nanos: HistogramSnapshot,
+    /// Items per `lock_many` batch.
+    pub batch_size: HistogramSnapshot,
+    /// Stall time of requests that triggered synchronous growth (µs).
+    pub sync_stall_micros: HistogramSnapshot,
+    /// Journal events drained by this scrape (destructive: each event
+    /// is delivered to exactly one scraper).
+    pub events: Vec<JournalEvent>,
+    /// Sequence the next journal event will carry; `events` plus
+    /// `counters.journal_dropped` account for every lower sequence.
+    pub next_event_seq: u64,
+    /// Tuning intervals since the caller's `reports_since` cursor
+    /// (bounded by the service's report-log capacity).
+    pub ticks: Vec<TuningTick>,
+    /// Cursor to pass as `reports_since` on the next scrape.
+    pub next_tick_seq: u64,
+}
+
+impl MetricsSnapshot {
+    /// The paper's MAXLOCKS attenuation input `x`: lock memory used as
+    /// a percentage of the pool.
+    pub fn used_percent(&self) -> f64 {
+        if self.pool_slots_total == 0 {
+            0.0
+        } else {
+            100.0 * self.pool_slots_used as f64 / self.pool_slots_total as f64
+        }
+    }
+
+    /// True when the free fraction sits inside the tuner's target band.
+    pub fn in_free_band(&self) -> bool {
+        self.free_fraction >= self.min_free_fraction && self.free_fraction <= self.max_free_fraction
+    }
+}

@@ -32,11 +32,17 @@ use locktune_lockmgr::{
 };
 use locktune_memalloc::{LockMemoryPool, PoolBackend, PoolConfig, PoolStats, SharedLockMemoryPool};
 use locktune_memory::{DatabaseMemory, HeapKind, IntervalReport, PerfHeap, Stmm};
+use locktune_obs::{MetricsSnapshot, Obs, ObsCounters, TuningTick, LATCH_SAMPLE_PERIOD};
 use locktune_sim::SimDuration;
 use parking_lot::{Condvar, Mutex};
 
 use crate::config::{ConfigError, ServiceConfig};
 use crate::tuning::{ServiceHooks, TuningShared};
+
+/// Whether the hot-path recording call sites are live. A `const` so
+/// the obs-off build dead-code-eliminates them entirely — the A/B
+/// bench in `locktune-bench` holds this gate to its <2 % budget.
+pub(crate) const OBS_ENABLED: bool = cfg!(feature = "obs");
 
 type Shard = Mutex<LockManager<SharedLockMemoryPool>>;
 
@@ -144,6 +150,11 @@ pub struct TuningCounters {
 struct ReportLog {
     cap: usize,
     buf: VecDeque<IntervalReport>,
+    /// Reports ever pushed — the sequence number the *next* report
+    /// will carry. The retained window is
+    /// `[next_seq - buf.len(), next_seq)`, so pollers can resume from
+    /// a cursor instead of re-copying the whole ring every scrape.
+    next_seq: u64,
 }
 
 impl ReportLog {
@@ -152,6 +163,7 @@ impl ReportLog {
         ReportLog {
             cap,
             buf: VecDeque::with_capacity(cap),
+            next_seq: 0,
         }
     }
 
@@ -160,11 +172,23 @@ impl ReportLog {
             self.buf.pop_front();
         }
         self.buf.push_back(report);
+        self.next_seq += 1;
     }
 
     /// Oldest-retained → newest.
     fn snapshot(&self) -> Vec<IntervalReport> {
         self.buf.iter().cloned().collect()
+    }
+
+    /// Reports with sequence ≥ `since` (clamped to the retained
+    /// window), oldest first, plus the next sequence number — the
+    /// cursor for the following call. The first returned report's
+    /// sequence is `next_seq - reports.len()`.
+    fn since(&self, since: u64) -> (u64, Vec<IntervalReport>) {
+        let oldest = self.next_seq - self.buf.len() as u64;
+        let start = since.clamp(oldest, self.next_seq);
+        let skip = (start - oldest) as usize;
+        (self.next_seq, self.buf.iter().skip(skip).cloned().collect())
     }
 }
 
@@ -178,6 +202,10 @@ struct ServiceInner {
     tuning: TuningShared,
     registry: Mutex<HashMap<AppId, Sender<WakeMessage>>>,
     reports: Mutex<ReportLog>,
+    /// Instrumentation root. Always present; with the `obs` feature
+    /// off the recording call sites compile away and everything in
+    /// here scrapes empty/zero.
+    obs: Obs,
     tuning_intervals: AtomicU64,
     grow_decisions: AtomicU64,
     shrink_decisions: AtomicU64,
@@ -203,6 +231,7 @@ impl ServiceInner {
     fn hooks(&self) -> ServiceHooks<'_> {
         ServiceHooks {
             shared: &self.tuning,
+            obs: &self.obs,
             requests: None,
         }
     }
@@ -267,6 +296,12 @@ impl ServiceInner {
                 // edge capture and now: not a victim.
                 continue;
             }
+            if OBS_ENABLED {
+                // Confirmed: exactly one counter tick and one journal
+                // event per aborted application (the per-shard
+                // `deadlock_aborts` stat below counts shards visited).
+                self.obs.record_victim(v.app);
+            }
             // The victim is out of every wait queue and parked on its
             // channel; nothing can grant it until the Aborted message
             // below wakes it, so releasing its locks is safe.
@@ -310,6 +345,16 @@ impl ServiceInner {
             self.grow_decisions.fetch_add(1, Ordering::Relaxed);
         } else if report.decision.shrink_bytes() > 0 {
             self.shrink_decisions.fetch_add(1, Ordering::Relaxed);
+        }
+        if OBS_ENABLED {
+            if report.lock_bytes_after != report.decision.current_bytes {
+                self.obs
+                    .record_tuner_resize(report.decision.current_bytes, report.lock_bytes_after);
+            }
+            // Interval cadence is the natural place to surface the
+            // allocator's reclaim totals (and journal the delta).
+            let (sweeps, slots) = self.pool.reclaim_counters();
+            self.obs.note_depot_reclaims(sweeps, slots);
         }
         self.reports.lock().push(report);
         report
@@ -373,6 +418,7 @@ impl LockService {
         let inner = Arc::new(ServiceInner {
             tuning: TuningShared::new(stmm, mem),
             reports: Mutex::new(ReportLog::new(config.tuning_log_capacity)),
+            obs: Obs::new(config.shards),
             config,
             shards,
             shard_mask,
@@ -486,6 +532,7 @@ impl LockService {
             ever_waited: std::cell::Cell::new(false),
             requests: std::cell::Cell::new(1),
             touched_shards: std::cell::Cell::new(0),
+            obs_ticks: std::cell::Cell::new(0),
         })
     }
 
@@ -545,6 +592,16 @@ impl LockService {
         self.inner.reports.lock().snapshot()
     }
 
+    /// Reports with sequence ≥ `since` (clamped to the retained
+    /// window), oldest first, plus the cursor to pass next time. A
+    /// poller that feeds each call's returned cursor back in copies
+    /// each interval exactly once instead of re-cloning the whole ring
+    /// every scrape; the first returned report's sequence is
+    /// `cursor - reports.len()`.
+    pub fn tuning_reports_since(&self, since: u64) -> (u64, Vec<IntervalReport>) {
+        self.inner.reports.lock().since(since)
+    }
+
     /// Monotonic interval/decision totals since start.
     pub fn tuning_counters(&self) -> TuningCounters {
         TuningCounters {
@@ -557,6 +614,68 @@ impl LockService {
     /// Applications with a live session.
     pub fn connected_apps(&self) -> u64 {
         self.inner.tuning.num_applications.load(Ordering::Relaxed)
+    }
+
+    /// The instrumentation layer's own counters (cheap: a handful of
+    /// relaxed atomic loads, no shard latches).
+    pub fn obs_counters(&self) -> ObsCounters {
+        self.inner.obs.counters()
+    }
+
+    /// Scrape everything at once: counters, gauges, merged histograms,
+    /// up to `max_events` journal events and the tuning ticks since
+    /// the `reports_since` cursor (feed back
+    /// [`MetricsSnapshot::next_tick_seq`]). This is the in-process
+    /// twin of the wire's `Metrics` request.
+    ///
+    /// Journal delivery is **destructive**: each event goes to exactly
+    /// one scraper. Run one scrape pipeline (locktune-top, a metrics
+    /// agent, …) per service if you need the journal; the histograms
+    /// and counters are shared-safe.
+    pub fn observe(&self, reports_since: u64, max_events: usize) -> MetricsSnapshot {
+        let inner = &self.inner;
+        if OBS_ENABLED {
+            // Refresh the allocator-reclaim mirror so scrapes between
+            // tuning intervals still see fresh totals.
+            let (sweeps, slots) = inner.pool.reclaim_counters();
+            inner.obs.note_depot_reclaims(sweeps, slots);
+        }
+        let (next_tick_seq, reports) = self.tuning_reports_since(reports_since);
+        let first_seq = next_tick_seq - reports.len() as u64;
+        let ticks = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| TuningTick::from_report(first_seq + i as u64, r))
+            .collect();
+        let mut events = Vec::new();
+        inner.obs.journal().drain(&mut events, max_events);
+        let params = inner.config.params;
+        let tuning = self.tuning_counters();
+        MetricsSnapshot {
+            uptime_ms: inner.obs.now_ms(),
+            lock_stats: self.stats(),
+            counters: inner.obs.counters(),
+            pool_bytes: inner.pool.total_bytes(),
+            pool_slots_total: inner.pool.total_slots(),
+            pool_slots_used: inner.pool.used_slots(),
+            connected_apps: self.connected_apps(),
+            app_percent: self.app_percent(),
+            min_free_fraction: params.min_free_fraction,
+            max_free_fraction: params.max_free_fraction,
+            free_fraction: inner.pool.free_fraction(),
+            tuning_intervals: tuning.intervals,
+            grow_decisions: tuning.grow_decisions,
+            shrink_decisions: tuning.shrink_decisions,
+            reply_queue_hwm: 0,
+            lock_wait_micros: inner.obs.lock_wait_micros(),
+            latch_hold_nanos: inner.obs.latch_hold_nanos(),
+            batch_size: inner.obs.batch_size(),
+            sync_stall_micros: inner.obs.sync_stall_micros(),
+            events,
+            next_event_seq: inner.obs.journal().recorded(),
+            ticks,
+            next_tick_seq,
+        }
     }
 
     /// Run one tuning interval synchronously (tests and drivers that
@@ -639,6 +758,10 @@ pub struct Session {
     /// not one per shard. All-ones when the service has more than 64
     /// shards (the mask degrades to "visit everything").
     touched_shards: std::cell::Cell<u64>,
+    /// Latch operations issued by this session; every
+    /// [`LATCH_SAMPLE_PERIOD`]-th one is timed. Session-local so the
+    /// sampling tick is two `Cell` accesses, not a shared atomic.
+    obs_ticks: std::cell::Cell<u64>,
 }
 
 impl Session {
@@ -652,6 +775,31 @@ impl Session {
         ServiceHooks {
             shared: &self.inner.tuning,
             requests: Some(&self.requests),
+            obs: &self.inner.obs,
+        }
+    }
+
+    /// Start a latch-hold timer if this operation is a sample tick
+    /// (1-in-[`LATCH_SAMPLE_PERIOD`]). Call immediately after taking a
+    /// shard latch; pair with [`Session::finish_latch`] after dropping
+    /// it. Compiles to nothing in the obs-off build.
+    #[inline]
+    fn latch_timer(&self) -> Option<Instant> {
+        if !OBS_ENABLED {
+            return None;
+        }
+        let n = self.obs_ticks.get();
+        self.obs_ticks.set(n.wrapping_add(1));
+        (n & (LATCH_SAMPLE_PERIOD - 1) == 0).then(Instant::now)
+    }
+
+    /// Record a sampled latch hold on shard `idx`.
+    #[inline]
+    fn finish_latch(&self, idx: usize, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.inner
+                .obs
+                .record_latch(idx, t0.elapsed().as_nanos() as u64);
         }
     }
 
@@ -688,8 +836,12 @@ impl Session {
         let (outcome, notices) = {
             let mut hooks = self.session_hooks();
             let mut m = self.inner.shards[idx].lock();
+            let t0 = self.latch_timer();
             let outcome = m.lock(self.app, res, mode, &mut hooks);
-            (outcome, m.take_notifications())
+            let notices = m.take_notifications();
+            drop(m);
+            self.finish_latch(idx, t0);
+            (outcome, notices)
         };
         self.inner.deliver(notices);
         match outcome? {
@@ -731,6 +883,9 @@ impl Session {
         if reqs.is_empty() {
             return;
         }
+        if OBS_ENABLED {
+            self.inner.obs.record_batch(reqs.len() as u64);
+        }
         // Same stale-abort check `lock()` runs; once per batch (the
         // sweeper cannot abort a session that is running, only one
         // parked in `await_grant`, which reports it directly).
@@ -764,6 +919,7 @@ impl Session {
                 let notices = {
                     let mut hooks = self.session_hooks();
                     let mut m = self.inner.shards[shard_idx].lock();
+                    let t0 = self.latch_timer();
                     while pos < group.len() {
                         let i = group[pos];
                         let (res, mode) = reqs[i];
@@ -779,7 +935,10 @@ impl Session {
                             Err(e) => out[i] = BatchOutcome::Done(Err(ServiceError::Lock(e))),
                         }
                     }
-                    m.take_notifications()
+                    let notices = m.take_notifications();
+                    drop(m);
+                    self.finish_latch(shard_idx, t0);
+                    notices
                 };
                 self.inner.deliver(notices);
                 if let Some((i, res)) = queued {
@@ -802,8 +961,28 @@ impl Session {
     /// grant channel (see [`ServiceConfig::grant_spin`]).
     const GRANT_SPIN_STRIDE: u32 = 32;
 
-    /// Park until the queued request on `res` resolves.
+    /// Park until the queued request on `res` resolves, timing the
+    /// wait. The timer rides a path that already parks the thread, so
+    /// the two clock reads are invisible next to the wait itself;
+    /// every queued request passes through here (both `lock` and
+    /// `lock_many`), making `lock_wait_micros.total == LockStats.waits`
+    /// an exact invariant at quiescence.
     fn await_grant(&self, res: ResourceId) -> Result<LockOutcome, ServiceError> {
+        if !OBS_ENABLED {
+            return self.await_grant_inner(res);
+        }
+        let t0 = Instant::now();
+        let result = self.await_grant_inner(res);
+        self.inner
+            .obs
+            .record_wait(self.inner.shard_index(res), t0.elapsed().as_micros() as u64);
+        if matches!(result, Err(ServiceError::Timeout)) {
+            self.inner.obs.record_timeout();
+        }
+        result
+    }
+
+    fn await_grant_inner(&self, res: ResourceId) -> Result<LockOutcome, ServiceError> {
         self.ever_waited.set(true);
         let rx = self.rx.as_ref().expect("session channel live");
         let deadline = self
@@ -882,8 +1061,12 @@ impl Session {
         let (report, notices) = {
             let mut hooks = self.session_hooks();
             let mut m = self.inner.shards[idx].lock();
+            let t0 = self.latch_timer();
             let r = m.unlock(self.app, res, &mut hooks);
-            (r, m.take_notifications())
+            let notices = m.take_notifications();
+            drop(m);
+            self.finish_latch(idx, t0);
+            (r, notices)
         };
         self.inner.deliver(notices);
         Ok(report?)

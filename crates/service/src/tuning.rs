@@ -18,13 +18,17 @@
 
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use locktune_core::sync_growth::SyncGrant;
 use locktune_core::{LockMemoryBounds, SyncGrowth};
 use locktune_lockmgr::{AppId, TableId, TuningHooks};
 use locktune_memalloc::PoolUsage;
 use locktune_memory::{DatabaseMemory, Stmm};
+use locktune_obs::Obs;
 use parking_lot::Mutex;
+
+use crate::service::OBS_ENABLED;
 
 /// Pads a value to its own cache line. The hot-path atomics below are
 /// written by different threads at different rates; sharing a line
@@ -124,6 +128,8 @@ pub(crate) struct ServiceHooks<'a> {
     pub shared: &'a TuningShared,
     /// The calling session's request counter, if any.
     pub requests: Option<&'a std::cell::Cell<u64>>,
+    /// The service's instrumentation root (journal + histograms).
+    pub obs: &'a Obs,
 }
 
 impl TuningHooks for ServiceHooks<'_> {
@@ -153,17 +159,29 @@ impl TuningHooks for ServiceHooks<'_> {
     }
 
     fn sync_growth(&mut self, wanted_bytes: u64, pool: &PoolUsage) -> u64 {
+        // Sync growth is the rare stall path: the requesting session is
+        // already blocked behind a dry pool, so timing it here costs
+        // nothing measurable and captures exactly the latency the paper
+        // says synchronous growth is meant to bound.
+        let t0 = OBS_ENABLED.then(Instant::now);
         let num_apps = self.shared.num_applications.load(Ordering::Relaxed);
         let mut state = self.shared.state.lock();
         let params = *state.stmm.tuner().params();
         let overflow = state.mem.overflow_state();
-        match SyncGrowth::new(&params).request(wanted_bytes, pool.bytes, num_apps, &overflow) {
-            SyncGrant::Granted { bytes } => {
-                state.mem.note_lock_sync_growth(bytes);
-                bytes
-            }
-            SyncGrant::Denied(_) => 0,
+        let granted =
+            match SyncGrowth::new(&params).request(wanted_bytes, pool.bytes, num_apps, &overflow) {
+                SyncGrant::Granted { bytes } => {
+                    state.mem.note_lock_sync_growth(bytes);
+                    bytes
+                }
+                SyncGrant::Denied(_) => 0,
+            };
+        drop(state);
+        if let Some(t0) = t0 {
+            self.obs
+                .record_sync_stall(t0.elapsed().as_micros() as u64, granted);
         }
+        granted
     }
 
     fn on_pool_resized(&mut self, pool: &PoolUsage) {
@@ -175,7 +193,10 @@ impl TuningHooks for ServiceHooks<'_> {
         state.stmm.tuner_mut().on_resize(used, &bounds);
     }
 
-    fn on_escalation(&mut self, _app: AppId, _table: TableId, _exclusive: bool) {
+    fn on_escalation(&mut self, app: AppId, table: TableId, exclusive: bool) {
         self.shared.escalations.fetch_add(1, Ordering::Relaxed);
+        if OBS_ENABLED {
+            self.obs.record_escalation(app, table, exclusive);
+        }
     }
 }
