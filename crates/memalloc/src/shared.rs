@@ -57,6 +57,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, Weak};
 
+use locktune_faults::{FaultInjector, FaultSite};
+
 use crate::backend::PoolBackend;
 use crate::config::PoolConfig;
 use crate::error::PoolError;
@@ -91,6 +93,10 @@ struct SharedInner {
     reclaim_sweeps: AtomicU64,
     /// Slots those sweeps pulled back from sibling depots.
     reclaimed_slots: AtomicU64,
+    /// Fault injection for the [`FaultSite::AllocFail`] site. Inert
+    /// (a constant-false check, folded away) unless the build enables
+    /// the `faults` feature *and* the run arms an injector.
+    faults: FaultInjector,
 }
 
 impl SharedInner {
@@ -150,6 +156,13 @@ impl Drop for SharedLockMemoryPool {
 impl SharedLockMemoryPool {
     /// Wrap an owned pool.
     pub fn new(pool: LockMemoryPool) -> Self {
+        Self::with_fault_injector(pool, FaultInjector::disabled())
+    }
+
+    /// Wrap an owned pool with a fault injector consulted on every
+    /// allocation (the [`FaultSite::AllocFail`] site). All clones of
+    /// the returned handle share the injector.
+    pub fn with_fault_injector(pool: LockMemoryPool, faults: FaultInjector) -> Self {
         let config = *pool.config();
         let inner = Arc::new(SharedInner {
             config,
@@ -160,6 +173,7 @@ impl SharedLockMemoryPool {
             used_slots: AtomicU64::new(pool.used_slots()),
             reclaim_sweeps: AtomicU64::new(0),
             reclaimed_slots: AtomicU64::new(0),
+            faults,
             pool: Mutex::new(pool),
         });
         SharedLockMemoryPool {
@@ -305,6 +319,12 @@ impl PoolBackend for SharedLockMemoryPool {
     }
 
     fn allocate(&mut self) -> Result<SlotHandle, PoolError> {
+        // Injected OOM: surface `Exhausted` before any state changes,
+        // exactly as a genuinely dry pool would. The caller's recovery
+        // machinery (sync growth, escalation, shed mode) takes over.
+        if self.inner.faults.should(FaultSite::AllocFail) {
+            return Err(PoolError::Exhausted);
+        }
         // Fast path: no synchronisation.
         if let Some(h) = self.hot.pop() {
             return Ok(h);
@@ -546,6 +566,30 @@ mod tests {
         a.free(held_by_a).unwrap();
         drop(a);
         drop(b);
+        assert_eq!(shared.used_slots(), 0);
+        shared.validate();
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn injected_alloc_faults_surface_as_exhausted() {
+        use locktune_faults::FaultPlan;
+        // Burst: the first 2 of every 4 checks inject. The pool has
+        // plenty of memory, so every Exhausted below is injected.
+        let inj = FaultPlan::new(1).burst(FaultSite::AllocFail, 4, 2).build();
+        let mut shared = SharedLockMemoryPool::with_fault_injector(
+            LockMemoryPool::with_bytes(PoolConfig::default(), 128 * 1024),
+            inj.clone(),
+        );
+        assert!(matches!(shared.allocate(), Err(PoolError::Exhausted)));
+        assert!(matches!(shared.allocate(), Err(PoolError::Exhausted)));
+        let a = shared.allocate().expect("check 2 of 4 passes");
+        let b = shared.allocate().expect("check 3 of 4 passes");
+        assert_eq!(inj.injected(FaultSite::AllocFail), 2);
+        // Accounting is untouched by injected failures.
+        shared.free(a).unwrap();
+        shared.free(b).unwrap();
+        shared.flush_cache();
         assert_eq!(shared.used_slots(), 0);
         shared.validate();
     }

@@ -5,7 +5,7 @@
 //! locktune-client [--addr HOST:PORT] [--workers N] [--txns N]
 //!                 [--tables N] [--rows N] [--oltp-rows N] [--dss-rows N]
 //!                 [--dss-percent P] [--seed S] [--min-intervals N]
-//!                 [--skip-kill] [--batch] [--scrape]
+//!                 [--skip-kill] [--batch] [--scrape] [--chaos]
 //! ```
 //!
 //! Each worker thread owns one TCP connection and runs the same two
@@ -29,6 +29,21 @@
 //! timed every wait, and the server's escalation/victim/timeout
 //! counters must be consistent with (at least) what the client saw
 //! on the wire.
+//!
+//! `--chaos` drives the same workload through self-healing
+//! [`ReconnectingClient`] sessions against a server running with
+//! `--fault-seed`: injected disconnects, torn frames and stalls
+//! surface as [`ClientError::Reconnected`] (the transaction is
+//! abandoned and restarted — never silently retried), shed-mode
+//! rejections as retryable `Overloaded` failures, and admission
+//! refusals as backed-off `Busy` retries. Both are counted and
+//! reported; the run still ends with the same drain poll and
+//! accounting audit — chaos must not leak a single lock slot. The
+//! lock phase always travels as one `LockBatch` frame in this mode
+//! (the reconnect wrapper deliberately has no pipelining API, since
+//! half-sent pipelines have no sane replay semantics), and the kill
+//! phase is skipped — injected disconnects already exercise dead
+//! -client teardown continuously.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -36,7 +51,9 @@ use std::time::{Duration, Instant};
 
 use locktune_lockmgr::{LockError, LockMode, LockOutcome, ResourceId, RowId, TableId};
 use locktune_net::wire::Request;
-use locktune_net::{BatchOutcome, Client, ClientError, Reply};
+use locktune_net::{
+    BatchOutcome, Client, ClientError, ReconnectConfig, ReconnectStats, ReconnectingClient, Reply,
+};
 use locktune_service::ServiceError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -56,6 +73,7 @@ struct Args {
     skip_kill: bool,
     batch: bool,
     scrape: bool,
+    chaos: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         skip_kill: false,
         batch: false,
         scrape: false,
+        chaos: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -93,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
             "--skip-kill" => args.skip_kill = true,
             "--batch" => args.batch = true,
             "--scrape" => args.scrape = true,
+            "--chaos" => args.chaos = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -113,6 +133,12 @@ struct Counters {
     /// bound on server-side escalations: an escalation that happens
     /// while a request is *queued* resolves to a plain `Granted` reply.
     escalations_seen: AtomicU64,
+    /// `--chaos` only: transactions abandoned because the connection
+    /// died mid-flight and was re-established (every one of these is a
+    /// fault the service recovered from).
+    reconnected_txns: AtomicU64,
+    /// `--chaos` only: transactions rejected retryably by shed mode.
+    shed_rejections: AtomicU64,
 }
 
 /// Classify a transaction-level failure; anything else is a bug in the
@@ -128,21 +154,9 @@ fn count_failure(e: &ServiceError, counters: &Counters) {
     };
 }
 
-/// One remote transaction. The lock phase is **pipelined** by
-/// default — the table intent and every row lock ride one socket
-/// flush; the server executes them in order, so the intent is granted
-/// before the first row request runs, and replies are collected by
-/// id. With `--batch` the same lock set travels as one `LockBatch`
-/// frame instead. Either way, after the first failure the rest of the
-/// lock set is cascade noise (`MissingIntent` after a timed-out
-/// intent, `DeadlockVictim` repeats, `Skipped` in batch mode) and is
-/// not counted.
-fn run_txn(
-    client: &mut Client,
-    rng: &mut StdRng,
-    args: &Args,
-    counters: &Counters,
-) -> Result<(), ClientError> {
+/// Roll one transaction's lock footprint: a table intent plus row
+/// locks — contiguous S rows for a DSS scan, random X rows for OLTP.
+fn build_lock_set(rng: &mut StdRng, args: &Args) -> Vec<(ResourceId, LockMode)> {
     let table = TableId(rng.gen_range_u64(0, args.tables as u64) as u32);
     let dss = rng.gen_range_u64(0, 100) < args.dss_percent as u64;
     let (table_mode, row_mode, rows) = if dss {
@@ -163,7 +177,25 @@ fn run_txn(
         };
         locks.push((ResourceId::Row(table, row), row_mode));
     }
+    locks
+}
 
+/// One remote transaction. The lock phase is **pipelined** by
+/// default — the table intent and every row lock ride one socket
+/// flush; the server executes them in order, so the intent is granted
+/// before the first row request runs, and replies are collected by
+/// id. With `--batch` the same lock set travels as one `LockBatch`
+/// frame instead. Either way, after the first failure the rest of the
+/// lock set is cascade noise (`MissingIntent` after a timed-out
+/// intent, `DeadlockVictim` repeats, `Skipped` in batch mode) and is
+/// not counted.
+fn run_txn(
+    client: &mut Client,
+    rng: &mut StdRng,
+    args: &Args,
+    counters: &Counters,
+) -> Result<(), ClientError> {
+    let locks = build_lock_set(rng, args);
     let mut failure: Option<ServiceError> = None;
     if args.batch {
         for outcome in client.lock_batch(&locks)? {
@@ -225,6 +257,89 @@ fn run_txn(
     Ok(())
 }
 
+/// [`run_txn`] under chaos: the same footprint through a
+/// [`ReconnectingClient`]. Three extra outcomes are survivable and
+/// counted instead of fatal:
+///
+/// * [`ClientError::Reconnected`] — the connection died (injected or
+///   real) and a fresh session now exists; the old session's locks are
+///   already released server-side, so the transaction is simply
+///   abandoned and the next iteration starts clean. Never retried
+///   in place: a lock request is not idempotent.
+/// * [`ServiceError::Overloaded`] — shed mode turned the batch away;
+///   strict 2PL still runs `unlock_all` to drop anything granted
+///   before the rejection.
+/// * The usual timeout / deadlock-victim / OOM aborts, counted as in
+///   the plain run.
+fn run_txn_chaos(
+    rc: &mut ReconnectingClient,
+    rng: &mut StdRng,
+    args: &Args,
+    counters: &Counters,
+) -> Result<(), ClientError> {
+    let locks = build_lock_set(rng, args);
+    let outcomes = match rc.lock_batch(&locks) {
+        Ok(o) => o,
+        Err(ClientError::Reconnected) => {
+            counters.reconnected_txns.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        Err(e) => return Err(e),
+    };
+    let mut failure: Option<ServiceError> = None;
+    for outcome in outcomes {
+        match outcome {
+            BatchOutcome::Done(Ok(o)) => {
+                if matches!(o, LockOutcome::GrantedAfterEscalation { .. }) {
+                    counters.escalations_seen.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            BatchOutcome::Done(Err(e)) => {
+                if failure.is_none() {
+                    failure = Some(e);
+                }
+            }
+            BatchOutcome::Skipped => {}
+        }
+    }
+    let commit = rc.unlock_all();
+    match (failure, commit) {
+        (_, Err(ClientError::Reconnected)) => {
+            // The release raced a disconnect; the server's teardown
+            // released everything anyway. Still not a commit.
+            counters.reconnected_txns.fetch_add(1, Ordering::Relaxed);
+        }
+        (Some(ServiceError::Overloaded), _) => {
+            counters.shed_rejections.fetch_add(1, Ordering::Relaxed);
+        }
+        (Some(e), _) => count_failure(&e, counters),
+        (None, Err(ClientError::Service(ServiceError::Overloaded))) => {
+            counters.shed_rejections.fetch_add(1, Ordering::Relaxed);
+        }
+        (None, Err(ClientError::Service(e))) => count_failure(&e, counters),
+        (None, Err(other)) => return Err(other),
+        (None, Ok(_)) => {
+            counters.committed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    Ok(())
+}
+
+/// Retry an idempotent *read* across [`ClientError::Reconnected`]
+/// signals (safe precisely because stats/validate/metrics take no
+/// locks — the non-idempotency argument does not apply to them).
+fn read_retry<T>(
+    rc: &mut ReconnectingClient,
+    mut op: impl FnMut(&mut ReconnectingClient) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    loop {
+        match op(rc) {
+            Err(ClientError::Reconnected) => continue,
+            other => return other,
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -236,8 +351,11 @@ fn main() {
 
     let counters = Arc::new(Counters::default());
     println!(
-        "locktune-client: {} workers x {} txns against {}",
-        args.workers, args.txns, args.addr
+        "locktune-client: {} workers x {} txns against {}{}",
+        args.workers,
+        args.txns,
+        args.addr,
+        if args.chaos { " (chaos mode)" } else { "" }
     );
 
     let start = Instant::now();
@@ -245,23 +363,47 @@ fn main() {
         .map(|w| {
             let args = args.clone();
             let counters = Arc::clone(&counters);
-            std::thread::spawn(move || -> Result<(), String> {
-                let mut client = Client::connect(&args.addr)
-                    .map_err(|e| format!("worker {w}: connect {}: {e}", args.addr))?;
+            std::thread::spawn(move || -> Result<ReconnectStats, String> {
                 let mut rng = StdRng::seed_from_u64(args.seed + w as u64);
-                for _ in 0..args.txns {
-                    run_txn(&mut client, &mut rng, &args, &counters)
-                        .map_err(|e| format!("worker {w}: {e}"))?;
+                if args.chaos {
+                    let policy = ReconnectConfig {
+                        max_attempts: 50,
+                        base_delay: Duration::from_millis(5),
+                        max_delay: Duration::from_millis(200),
+                        seed: args.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    };
+                    let mut rc = ReconnectingClient::connect(&args.addr, policy)
+                        .map_err(|e| format!("worker {w}: connect {}: {e}", args.addr))?;
+                    for _ in 0..args.txns {
+                        run_txn_chaos(&mut rc, &mut rng, &args, &counters)
+                            .map_err(|e| format!("worker {w}: {e}"))?;
+                    }
+                    Ok(rc.stats())
+                } else {
+                    let mut client = Client::connect(&args.addr)
+                        .map_err(|e| format!("worker {w}: connect {}: {e}", args.addr))?;
+                    for _ in 0..args.txns {
+                        run_txn(&mut client, &mut rng, &args, &counters)
+                            .map_err(|e| format!("worker {w}: {e}"))?;
+                    }
+                    Ok(ReconnectStats::default())
                 }
-                Ok(())
             })
         })
         .collect();
     let mut failed = false;
+    let mut reconnect_stats = ReconnectStats::default();
     for w in workers {
-        if let Err(e) = w.join().expect("worker panicked") {
-            eprintln!("locktune-client: {e}");
-            failed = true;
+        match w.join().expect("worker panicked") {
+            Ok(s) => {
+                reconnect_stats.reconnects += s.reconnects;
+                reconnect_stats.busy_refusals += s.busy_refusals;
+                reconnect_stats.failed_attempts += s.failed_attempts;
+            }
+            Err(e) => {
+                eprintln!("locktune-client: {e}");
+                failed = true;
+            }
         }
     }
     let mixed_secs = start.elapsed().as_secs_f64();
@@ -271,7 +413,10 @@ fn main() {
 
     // Kill phase: take locks on a fresh connection and hard-kill it.
     // The server must notice the dead socket and release everything.
-    if !args.skip_kill {
+    // Chaos mode skips it: injected disconnects already exercise
+    // dead-client teardown continuously, and a fault could kill this
+    // plain (non-reconnecting) connection mid-setup.
+    if !args.skip_kill && !args.chaos {
         let mut doomed = match Client::connect(&args.addr) {
             Ok(c) => c,
             Err(e) => {
@@ -296,8 +441,11 @@ fn main() {
     }
 
     // Control connection: wait for the pool to drain (the server reaps
-    // dead connections asynchronously), then audit.
-    let mut control = match Client::connect(&args.addr) {
+    // dead connections asynchronously), then audit. A reconnecting
+    // session so an injected fault on this connection cannot fail the
+    // audit phase; the reads are idempotent, so retrying across a
+    // `Reconnected` is sound (see `read_retry`).
+    let mut control = match ReconnectingClient::connect(&args.addr, ReconnectConfig::default()) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("locktune-client: control connect: {e}");
@@ -306,7 +454,7 @@ fn main() {
     };
     let deadline = Instant::now() + Duration::from_secs(5);
     let drained = loop {
-        match control.stats() {
+        match read_retry(&mut control, |c| c.stats_snapshot()) {
             Ok(s) if s.pool_slots_used == 0 => break true,
             Ok(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
             Ok(s) => {
@@ -323,11 +471,11 @@ fn main() {
         }
     };
 
-    let stats = control.stats().unwrap_or_else(|e| {
+    let stats = read_retry(&mut control, |c| c.stats_snapshot()).unwrap_or_else(|e| {
         eprintln!("locktune-client: stats: {e}");
         std::process::exit(1);
     });
-    let audit = control.validate();
+    let audit = read_retry(&mut control, |c| c.validate());
 
     let committed = counters.committed.load(Ordering::Relaxed);
     println!("--- remote stress report ---");
@@ -359,6 +507,20 @@ fn main() {
     println!("shrink decisions:  {}", stats.shrink_decisions);
     println!("pool bytes:        {}", stats.pool_bytes);
     println!("pool slots used:   {}", stats.pool_slots_used);
+    if args.chaos {
+        println!(
+            "chaos recovery:    {} txns abandoned to reconnects ({} cycles, {} busy refusals, {} failed attempts)",
+            counters.reconnected_txns.load(Ordering::Relaxed),
+            reconnect_stats.reconnects,
+            reconnect_stats.busy_refusals,
+            reconnect_stats.failed_attempts,
+        );
+        println!(
+            "chaos recovery:    {} shed rejections, {} watchdog restarts server-side",
+            counters.shed_rejections.load(Ordering::Relaxed),
+            stats.watchdog_restarts,
+        );
+    }
 
     let mut exit = 0;
     match audit {
@@ -381,7 +543,7 @@ fn main() {
     // client saw on the wire. Everything is quiescent by now (only the
     // control connection is live), so the invariants are exact.
     if args.scrape {
-        let snap = control.metrics(0, 0).unwrap_or_else(|e| {
+        let snap = read_retry(&mut control, |c| c.metrics(0, 0)).unwrap_or_else(|e| {
             eprintln!("locktune-client: metrics scrape: {e}");
             std::process::exit(1);
         });

@@ -3,19 +3,24 @@
 //! ```text
 //! locktune-server [--addr HOST:PORT] [--shards N] [--tuning-ms MS]
 //!                 [--deadlock-ms MS] [--timeout-ms MS] [--log-capacity N]
-//!                 [--initial-kb KB] [--reply-queue N]
+//!                 [--initial-kb KB] [--reply-queue N] [--max-conns N]
+//!                 [--shed-threshold N] [--fault-seed SEED]
 //! ```
 //!
 //! Defaults mirror `ServiceConfig::fast(8)` — millisecond tuning so a
-//! short remote stress burst sees live grow/shrink decisions. Exit
-//! codes: `1` usage, `2` invalid configuration, `3` thread-spawn
-//! failure, `4` bind failure.
+//! short remote stress burst sees live grow/shrink decisions.
+//! `--fault-seed` arms the standard chaos profile (sporadic allocation
+//! failures, torn/stalled/dropped reply frames, a couple of
+//! background-thread panics) with the given deterministic seed; it
+//! requires a binary built with `--features faults`. Exit codes: `1`
+//! usage, `2` invalid configuration, `3` thread-spawn failure, `4`
+//! bind failure.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use locktune_net::{Server, ServerConfig};
-use locktune_service::{LockService, ServiceConfig};
+use locktune_service::{FaultInjector, FaultPlan, FaultSite, LockService, ServiceConfig};
 
 struct Args {
     addr: String,
@@ -26,6 +31,27 @@ struct Args {
     log_capacity: usize,
     initial_kb: u64,
     reply_queue: usize,
+    max_conns: usize,
+    shed_threshold: u32,
+    fault_seed: Option<u64>,
+}
+
+/// The standard chaos profile: every fault site armed, panics capped
+/// so the run stays a *recovery* exercise rather than a crash loop.
+/// Purely a function of the seed — two servers started with the same
+/// seed inject identically given the same check sequence.
+fn chaos_plan(seed: u64) -> FaultInjector {
+    FaultPlan::new(seed)
+        .rate(FaultSite::AllocFail, 0.02)
+        .burst(FaultSite::WireStall, 97, 1)
+        .burst(FaultSite::WireTorn, 251, 1)
+        .burst(FaultSite::WireDisconnect, 403, 1)
+        .rate(FaultSite::TunerPanic, 1.0)
+        .limit(FaultSite::TunerPanic, 2)
+        .rate(FaultSite::SweeperPanic, 1.0)
+        .limit(FaultSite::SweeperPanic, 2)
+        .stall(Duration::from_millis(2))
+        .build()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +64,9 @@ fn parse_args() -> Result<Args, String> {
         log_capacity: 512,
         initial_kb: 2 * 1024,
         reply_queue: ServerConfig::default().reply_queue_capacity,
+        max_conns: ServerConfig::default().max_connections,
+        shed_threshold: 0,
+        fault_seed: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -53,6 +82,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--initial-kb" => args.initial_kb = parse(&value("--initial-kb")?, "--initial-kb")?,
             "--reply-queue" => args.reply_queue = parse(&value("--reply-queue")?, "--reply-queue")?,
+            "--max-conns" => args.max_conns = parse(&value("--max-conns")?, "--max-conns")?,
+            "--shed-threshold" => {
+                args.shed_threshold = parse(&value("--shed-threshold")?, "--shed-threshold")?
+            }
+            "--fault-seed" => {
+                args.fault_seed = Some(parse(&value("--fault-seed")?, "--fault-seed")?)
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -72,6 +108,20 @@ fn main() {
         }
     };
 
+    let faults = match args.fault_seed {
+        Some(seed) => {
+            if !locktune_faults::ENABLED {
+                eprintln!(
+                    "locktune-server: --fault-seed needs a build with --features faults \
+                     (this binary compiled the injection sites out)"
+                );
+                std::process::exit(2);
+            }
+            chaos_plan(seed)
+        }
+        None => FaultInjector::disabled(),
+    };
+
     let config = ServiceConfig {
         tuning_interval: Duration::from_millis(args.tuning_ms),
         deadlock_interval: Duration::from_millis(args.deadlock_ms),
@@ -81,9 +131,10 @@ fn main() {
         // keep: DSS bursts push it past the free target and force
         // growth, quiescence shrinks it back.
         initial_lock_bytes: args.initial_kb * 1024,
+        shed_oom_threshold: args.shed_threshold,
         ..ServiceConfig::fast(args.shards)
     };
-    let service = match LockService::start(config) {
+    let service = match LockService::start_with_faults(config, faults.clone()) {
         Ok(s) => Arc::new(s),
         Err(e) => {
             eprintln!("locktune-server: service start failed: {e}");
@@ -93,6 +144,9 @@ fn main() {
 
     let server_config = ServerConfig {
         reply_queue_capacity: args.reply_queue,
+        max_connections: args.max_conns,
+        faults,
+        ..ServerConfig::default()
     };
     let server = match Server::bind_with_config(Arc::clone(&service), &args.addr, server_config) {
         Ok(s) => s,
@@ -108,6 +162,9 @@ fn main() {
         service.config().tuning_interval,
         service.config().lock_wait_timeout,
     );
+    if let Some(seed) = args.fault_seed {
+        println!("locktune-server: chaos profile armed (seed {seed})");
+    }
 
     // Serve until killed; the accept thread does all the work.
     loop {

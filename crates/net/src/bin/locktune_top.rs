@@ -165,6 +165,21 @@ fn fmt_event(e: &JournalEvent) -> String {
         EventKind::DepotReclaim { slots } => {
             format!("{at}  depot reclaim   {slots} slots")
         }
+        EventKind::WatchdogRestart { thread } => {
+            format!("{at}  watchdog        respawned {thread:?} thread")
+        }
+        EventKind::ClientEvicted { app } => {
+            format!("{at}  client evicted  app {} (reply queue stuck)", app.0)
+        }
+        EventKind::ShedEngaged { ooms } => {
+            format!("{at}  shed engaged    {ooms} OOM denials in window")
+        }
+        EventKind::ShedReleased => {
+            format!("{at}  shed released   pressure cleared")
+        }
+        EventKind::FaultInjected { site, count } => {
+            format!("{at}  fault injected  site {site} x{count}")
+        }
     }
 }
 
@@ -244,6 +259,15 @@ fn draw(addr: &str, snap: &MetricsSnapshot, prev: Option<&MetricsSnapshot>) {
         c.batch_items,
         snap.batch_size.mean(),
         snap.reply_queue_hwm,
+    );
+    println!(
+        "resilience   watchdog restarts {}   evicted {}   shed {} on / {} off ({} rejected)   faults {}",
+        c.watchdog_restarts,
+        c.clients_evicted,
+        c.shed_engaged,
+        c.shed_released,
+        c.shed_rejected,
+        c.faults_injected,
     );
 
     if !snap.ticks.is_empty() {

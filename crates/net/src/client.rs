@@ -34,6 +34,20 @@ pub enum ClientError {
     /// The server broke protocol (wrong reply type for the request, or
     /// an accounting-validation failure message).
     Protocol(String),
+    /// The server refused the connection at admission
+    /// ([`Reply::Busy`]: its `max_connections` cap is reached). The
+    /// connection is dead; retry with backoff.
+    Busy,
+    /// A [`ReconnectingClient`] lost its connection mid-operation and
+    /// established a **new session**. Every lock held by the old
+    /// session is gone (the server released them on disconnect) and
+    /// whether the in-flight request took effect is unknowable — the
+    /// caller must restart its transaction from the top. Issued
+    /// instead of silently retrying precisely because lock requests
+    /// are not idempotent.
+    ///
+    /// [`ReconnectingClient`]: crate::ReconnectingClient
+    Reconnected,
 }
 
 impl std::fmt::Display for ClientError {
@@ -42,6 +56,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Service(e) => write!(f, "service: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::Busy => f.write_str("server busy: connection refused at admission"),
+            ClientError::Reconnected => {
+                f.write_str("reconnected with a new session; previous locks are gone")
+            }
         }
     }
 }
@@ -152,6 +170,12 @@ impl Client {
             let (got, reply) = wire::decode_reply(&self.read_buf).map_err(|e| {
                 ClientError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
             })?;
+            // Busy is server-initiated (id 0, sent at admission before
+            // any request was read) and terminal for the connection —
+            // surface it no matter which id the caller waits on.
+            if matches!(reply, Reply::Busy) {
+                return Err(ClientError::Busy);
+            }
             if got == id {
                 return Ok(reply);
             }

@@ -22,7 +22,12 @@
 //!   error, or a killed client) always releases the connection's locks;
 //! * [`client`] — a synchronous client library with an explicit
 //!   pipelining API, used by the `locktune-client` remote load
-//!   generator and `locktune-top` dashboard binaries.
+//!   generator and `locktune-top` dashboard binaries;
+//! * [`reconnect`] — a self-healing client wrapper (exponential
+//!   backoff with jitter, `Busy`-aware) with explicit
+//!   session-lost semantics: a mid-operation disconnect surfaces as
+//!   [`ClientError::Reconnected`] rather than a silent retry, because
+//!   lock requests are not idempotent.
 //!
 //! The METRICS/0x08 request scrapes the service's `locktune-obs`
 //! telemetry (histograms, journal events, tuning ticks) in one frame;
@@ -30,12 +35,14 @@
 //! turns it into a Prometheus text page.
 
 pub mod client;
+pub mod reconnect;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use locktune_obs::MetricsSnapshot;
 pub use locktune_service::BatchOutcome;
+pub use reconnect::{ReconnectConfig, ReconnectStats, ReconnectingClient};
 pub use server::{Server, ServerConfig};
 pub use wire::{
     Reply, Request, StatsSnapshot, ValidateReport, WireError, MAX_BATCH, MAX_WIRE_EVENTS,

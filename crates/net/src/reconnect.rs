@@ -1,0 +1,242 @@
+//! A self-healing wrapper around [`Client`]: automatic reconnect with
+//! exponential backoff and jitter, plus **explicit session-lost
+//! semantics**.
+//!
+//! Lock requests are not idempotent — when a connection dies mid-call
+//! there is no way to know whether the server executed the request,
+//! and every lock the old session held is released by the server's
+//! disconnect teardown. A wrapper that silently retried would
+//! therefore re-acquire *some* locks while the caller still believes
+//! it holds its whole set. [`ReconnectingClient`] refuses to guess:
+//! when an operation hits an I/O failure it re-establishes a fresh
+//! session (backoff + jitter, honoring the server's [`Reply::Busy`]
+//! admission refusals) and then fails the operation with
+//! [`ClientError::Reconnected`], telling the caller to restart its
+//! transaction from the top. Subsequent calls run normally on the new
+//! session.
+//!
+//! [`Reply::Busy`]: crate::wire::Reply::Busy
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Duration;
+
+use locktune_lockmgr::{LockMode, LockOutcome, ResourceId, UnlockReport};
+use locktune_obs::MetricsSnapshot;
+use locktune_service::BatchOutcome;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::client::{Client, ClientError};
+use crate::wire::StatsSnapshot;
+
+/// Reconnect policy for a [`ReconnectingClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReconnectConfig {
+    /// Connection attempts per (re)connect cycle before giving up and
+    /// surfacing the last error.
+    pub max_attempts: u32,
+    /// Delay before the second attempt; doubles each further attempt.
+    /// (The first attempt of a cycle is immediate.)
+    pub base_delay: Duration,
+    /// Ceiling on the exponential delay (jitter can exceed it by up to
+    /// half).
+    pub max_delay: Duration,
+    /// Seed for the jitter generator, so a chaos run's retry timing is
+    /// as reproducible as its fault schedule.
+    pub seed: u64,
+}
+
+impl Default for ReconnectConfig {
+    fn default() -> Self {
+        ReconnectConfig {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
+/// Counters a harness reads after a run to pair every disconnect with
+/// its recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconnectStats {
+    /// Successful mid-operation reconnects (each one also surfaced a
+    /// [`ClientError::Reconnected`] to the caller).
+    pub reconnects: u64,
+    /// Attempts refused with [`ClientError::Busy`] (admission cap).
+    pub busy_refusals: u64,
+    /// Individual failed connection attempts, across all cycles.
+    pub failed_attempts: u64,
+}
+
+/// A [`Client`] that re-establishes its connection instead of staying
+/// dead. See the module docs for the (deliberate) failure semantics.
+pub struct ReconnectingClient {
+    addr: SocketAddr,
+    config: ReconnectConfig,
+    client: Option<Client>,
+    rng: StdRng,
+    stats: ReconnectStats,
+}
+
+impl ReconnectingClient {
+    /// Resolve `addr` and establish the first session (with the same
+    /// backoff policy reconnects use).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        config: ReconnectConfig,
+    ) -> Result<ReconnectingClient, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Io(std::io::Error::other("address resolved to nothing")))?;
+        let mut c = ReconnectingClient {
+            addr,
+            config,
+            client: None,
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: ReconnectStats::default(),
+        };
+        c.establish()?;
+        Ok(c)
+    }
+
+    /// Recovery counters so far.
+    pub fn stats(&self) -> ReconnectStats {
+        self.stats
+    }
+
+    /// True while a session is established.
+    pub fn is_connected(&self) -> bool {
+        self.client.is_some()
+    }
+
+    /// Exponential delay for attempt `n` of a cycle, with up to +50 %
+    /// deterministic jitter so a fleet of clients refused together
+    /// doesn't retry in lockstep.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .config
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.config.max_delay);
+        let nanos = exp.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let jitter = if nanos == 0 {
+            0
+        } else {
+            self.rng.gen_range_u64(0, nanos / 2 + 1)
+        };
+        exp + Duration::from_nanos(jitter)
+    }
+
+    /// One connect cycle: up to `max_attempts` tries with backoff. A
+    /// TCP connect that succeeds is probed with a ping so a Busy
+    /// refusal (accepted, then turned away at admission) counts as a
+    /// failed attempt rather than a live session.
+    fn establish(&mut self) -> Result<(), ClientError> {
+        self.client = None;
+        let mut last = ClientError::Io(std::io::Error::other("no connection attempts made"));
+        for attempt in 0..self.config.max_attempts.max(1) {
+            if attempt > 0 {
+                let delay = self.backoff(attempt - 1);
+                std::thread::sleep(delay);
+            }
+            match Client::connect(self.addr) {
+                Ok(mut client) => match client.ping(Vec::new()) {
+                    Ok(_) => {
+                        self.client = Some(client);
+                        return Ok(());
+                    }
+                    Err(e) => {
+                        if matches!(e, ClientError::Busy) {
+                            self.stats.busy_refusals += 1;
+                        }
+                        last = e;
+                    }
+                },
+                Err(e) => last = ClientError::Io(e),
+            }
+            self.stats.failed_attempts += 1;
+        }
+        Err(last)
+    }
+
+    /// Run `op` on the live session. An I/O death (or a stray Busy —
+    /// either way the connection is unusable) triggers a reconnect
+    /// cycle; success of that cycle surfaces as
+    /// [`ClientError::Reconnected`], its failure as the reconnect
+    /// error. Service and protocol errors pass straight through — the
+    /// connection is still good.
+    fn run<T>(
+        &mut self,
+        op: impl FnOnce(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        if self.client.is_none() {
+            // A previous cycle failed outright; this call starts on a
+            // fresh session, so no Reconnected signal is needed.
+            self.establish()?;
+        }
+        let client = self.client.as_mut().expect("established above");
+        match op(client) {
+            Ok(v) => Ok(v),
+            Err(e @ (ClientError::Io(_) | ClientError::Busy)) => {
+                self.client = None;
+                match self.establish() {
+                    Ok(()) => {
+                        self.stats.reconnects += 1;
+                        Err(ClientError::Reconnected)
+                    }
+                    Err(_) => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`Client::lock`] with reconnect semantics.
+    pub fn lock(&mut self, res: ResourceId, mode: LockMode) -> Result<LockOutcome, ClientError> {
+        self.run(|c| c.lock(res, mode))
+    }
+
+    /// [`Client::lock_batch`] with reconnect semantics.
+    pub fn lock_batch(
+        &mut self,
+        items: &[(ResourceId, LockMode)],
+    ) -> Result<Vec<BatchOutcome>, ClientError> {
+        self.run(|c| c.lock_batch(items))
+    }
+
+    /// [`Client::unlock`] with reconnect semantics.
+    pub fn unlock(&mut self, res: ResourceId) -> Result<UnlockReport, ClientError> {
+        self.run(|c| c.unlock(res))
+    }
+
+    /// [`Client::unlock_all`] with reconnect semantics.
+    pub fn unlock_all(&mut self) -> Result<UnlockReport, ClientError> {
+        self.run(|c| c.unlock_all())
+    }
+
+    /// [`Client::ping`] with reconnect semantics.
+    pub fn ping(&mut self, echo: Vec<u8>) -> Result<Vec<u8>, ClientError> {
+        self.run(|c| c.ping(echo))
+    }
+
+    /// [`Client::stats`] with reconnect semantics.
+    pub fn stats_snapshot(&mut self) -> Result<StatsSnapshot, ClientError> {
+        self.run(|c| c.stats())
+    }
+
+    /// [`Client::metrics`] with reconnect semantics.
+    pub fn metrics(
+        &mut self,
+        reports_since: u64,
+        max_events: u32,
+    ) -> Result<MetricsSnapshot, ClientError> {
+        self.run(|c| c.metrics(reports_since, max_events))
+    }
+
+    /// [`Client::validate`] with reconnect semantics.
+    pub fn validate(&mut self) -> Result<crate::wire::ValidateReport, ClientError> {
+        self.run(|c| c.validate())
+    }
+}

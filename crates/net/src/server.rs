@@ -32,11 +32,13 @@
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{self, Receiver, TryRecvError};
+use crossbeam::channel::{self, Receiver, SendTimeoutError, TryRecvError};
+use locktune_faults::{FaultInjector, FaultSite};
 use locktune_lockmgr::{AppId, LockMode, ResourceId};
 use locktune_service::{BatchOutcome, LockService, Session};
 
@@ -54,6 +56,26 @@ pub struct ServerConfig {
     /// unread requests pile up in kernel socket buffers) instead of
     /// growing server memory without bound.
     pub reply_queue_capacity: usize,
+    /// Maximum concurrently served connections. Each connection costs
+    /// two threads plus a bounded reply queue, so the cap bounds
+    /// server-side resource use under a connection storm. A connection
+    /// arriving at the cap is refused *politely*: the server writes a
+    /// single [`Reply::Busy`] frame (id 0) and closes the socket, so
+    /// the client can distinguish "overloaded, retry after backoff"
+    /// from a crash.
+    pub max_connections: usize,
+    /// How long a connection's reader waits on the **full** reply
+    /// queue before declaring the client too slow and evicting it
+    /// (socket shutdown, locks released via session drop). Ordinary
+    /// backpressure stalls are far shorter than this; a queue that
+    /// stays full past the deadline means the client stopped reading
+    /// entirely while two server threads sit pinned on it.
+    pub eviction_deadline: Duration,
+    /// Wire-level fault injection (torn frames, stalls, disconnects on
+    /// the writer path). Inert by default and compiled to nothing
+    /// without the `faults` feature; chaos harnesses pass an armed
+    /// injector here, usually a clone of the one driving the service.
+    pub faults: FaultInjector,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +86,9 @@ impl Default for ServerConfig {
             // transaction is one frame), shallow enough to cap
             // per-connection memory.
             reply_queue_capacity: 128,
+            max_connections: 1024,
+            eviction_deadline: Duration::from_secs(5),
+            faults: FaultInjector::disabled(),
         }
     }
 }
@@ -78,6 +103,10 @@ struct Shared {
     /// past it.
     next_app: AtomicU32,
     next_conn: AtomicU64,
+    /// Connections currently admitted (incremented at admission,
+    /// decremented when the reader exits). Gate for
+    /// [`ServerConfig::max_connections`].
+    conn_count: AtomicUsize,
     conns: Mutex<ConnTable>,
     /// High-water mark across all connections' reply queues, in
     /// frames. Sampled by each reader after queueing a reply; a value
@@ -124,10 +153,13 @@ impl Server {
             service,
             config: ServerConfig {
                 reply_queue_capacity: config.reply_queue_capacity.max(1),
+                max_connections: config.max_connections.max(1),
+                ..config
             },
             shutdown: AtomicBool::new(false),
             next_app: AtomicU32::new(1),
             next_conn: AtomicU64::new(1),
+            conn_count: AtomicUsize::new(0),
             conns: Mutex::new(ConnTable::default()),
             reply_hwm: AtomicU64::new(0),
         });
@@ -214,9 +246,39 @@ fn allocate_session(shared: &Shared) -> Option<Session> {
     None
 }
 
+/// Join connection threads that have already exited, so a long-lived
+/// server under reconnect churn doesn't accumulate one handle per
+/// connection ever served.
+fn reap_finished(shared: &Shared) {
+    let done: Vec<JoinHandle<()>> = {
+        let mut conns = shared.conns.lock().unwrap();
+        let (done, live) = std::mem::take(&mut conns.handles)
+            .into_iter()
+            .partition(|h| h.is_finished());
+        conns.handles = live;
+        done
+    };
+    for h in done {
+        let _ = h.join();
+    }
+}
+
 fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    reap_finished(shared);
+    // Admission: over the cap the client gets an explicit Busy frame
+    // (retryable, id 0) instead of a silent close. The count is
+    // reserved optimistically and released on every refusal path; the
+    // reader thread releases it when the connection ends.
+    let admitted = shared.conn_count.fetch_add(1, Ordering::AcqRel);
+    if admitted >= shared.config.max_connections {
+        shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+        let _ = wire::write_reply(&mut (&stream), 0, &Reply::Busy);
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
     let Some(session) = allocate_session(shared) else {
         // Id space exhausted (pathological); refuse the connection.
+        shared.conn_count.fetch_sub(1, Ordering::AcqRel);
         let _ = stream.shutdown(Shutdown::Both);
         return;
     };
@@ -224,7 +286,10 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
     let read_stream = match stream.try_clone() {
         Ok(s) => s,
-        Err(_) => return,
+        Err(_) => {
+            shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
     };
     let reader = {
         let shared = Arc::clone(shared);
@@ -237,10 +302,16 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 }
                 serve_connection(&shared, session, read_stream, stream);
                 shared.conns.lock().unwrap().streams.remove(&conn_id);
+                shared.conn_count.fetch_sub(1, Ordering::AcqRel);
             })
     };
-    if let Ok(handle) = reader {
-        shared.conns.lock().unwrap().handles.push(handle);
+    match reader {
+        Ok(handle) => shared.conns.lock().unwrap().handles.push(handle),
+        // Spawn failed: the closure (and the session in it) was
+        // dropped without running, so the slot must be released here.
+        Err(_) => {
+            shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 }
 
@@ -280,9 +351,10 @@ fn serve_connection(
     let retain = shared.config.reply_queue_capacity + 2;
     let writer = {
         let freelist = Arc::clone(&freelist);
+        let faults = shared.config.faults.clone();
         std::thread::Builder::new()
             .name("locktune-conn-writer".into())
-            .spawn(move || writer_loop(rx, write_stream, &freelist, retain))
+            .spawn(move || writer_loop(rx, write_stream, &freelist, retain, &faults))
     };
     let writer = match writer {
         Ok(w) => w,
@@ -325,8 +397,24 @@ fn serve_connection(
             },
             Err(_) => false,
         };
-        if !encoded || tx.send(frame).is_err() {
-            break; // protocol error, or writer died (client gone)
+        if !encoded {
+            break; // protocol error
+        }
+        match tx.send_timeout(frame, shared.config.eviction_deadline) {
+            Ok(()) => {}
+            // Queue full for the whole deadline: the client stopped
+            // draining replies. Ordinary backpressure already stalled
+            // this reader; past the deadline the connection is evicted
+            // so its two threads (and its locks, via session drop)
+            // stop being pinned by a dead-but-connected peer.
+            Err(SendTimeoutError::Timeout(_)) => {
+                shared.service.note_client_evicted(session.app());
+                let _ = r.get_ref().shutdown(Shutdown::Both);
+                break;
+            }
+            Err(SendTimeoutError::Disconnected(_)) => {
+                break; // writer died (client gone)
+            }
         }
         // Post-send queue depth is the frames the writer hasn't drained
         // yet — the congestion signal the Stats/Metrics replies expose.
@@ -351,10 +439,39 @@ fn recycle(freelist: &Freelist, retain: usize, mut frame: Vec<u8>) {
     }
 }
 
-fn writer_loop(rx: Receiver<Vec<u8>>, stream: TcpStream, freelist: &Freelist, retain: usize) {
+/// Write one frame, consulting the fault injector first. Returns
+/// `false` when the connection must die (write error or an injected
+/// torn-frame / disconnect fault). With faults compiled out the three
+/// `should` checks are constant `false` and this is just `write_all`.
+fn write_frame(w: &mut BufWriter<TcpStream>, frame: &[u8], faults: &FaultInjector) -> bool {
+    if faults.should(FaultSite::WireStall) {
+        std::thread::sleep(faults.stall());
+    }
+    if faults.should(FaultSite::WireTorn) {
+        // Half a frame, then kill the socket: the client observes a
+        // length prefix whose payload never completes.
+        let _ = w.write_all(&frame[..frame.len() / 2]);
+        let _ = w.flush();
+        let _ = w.get_ref().shutdown(Shutdown::Both);
+        return false;
+    }
+    if faults.should(FaultSite::WireDisconnect) {
+        let _ = w.get_ref().shutdown(Shutdown::Both);
+        return false;
+    }
+    w.write_all(frame).is_ok()
+}
+
+fn writer_loop(
+    rx: Receiver<Vec<u8>>,
+    stream: TcpStream,
+    freelist: &Freelist,
+    retain: usize,
+    faults: &FaultInjector,
+) {
     let mut w = BufWriter::new(stream);
     while let Ok(frame) = rx.recv() {
-        if w.write_all(&frame).is_err() {
+        if !write_frame(&mut w, &frame, faults) {
             return;
         }
         recycle(freelist, retain, frame);
@@ -362,7 +479,7 @@ fn writer_loop(rx: Receiver<Vec<u8>>, stream: TcpStream, freelist: &Freelist, re
         loop {
             match rx.try_recv() {
                 Ok(next) => {
-                    if w.write_all(&next).is_err() {
+                    if !write_frame(&mut w, &next, faults) {
                         return;
                     }
                     recycle(freelist, retain, next);
@@ -428,6 +545,7 @@ fn snapshot(shared: &Arc<Shared>) -> StatsSnapshot {
         batch_items: obs.batch_items,
         reply_queue_hwm: shared.reply_hwm.load(Ordering::Relaxed),
         app_percent: service.app_percent(),
+        watchdog_restarts: service.watchdog_restarts(),
     }
 }
 

@@ -40,7 +40,7 @@ use locktune_core::TuningReason;
 use locktune_lockmgr::{AppId, LockError, LockMode, LockOutcome, ResourceId, RowId, TableId};
 use locktune_lockmgr::{LockStats, UnlockReport};
 use locktune_metrics::{HistogramSnapshot, BUCKETS};
-use locktune_obs::{EventKind, JournalEvent, MetricsSnapshot, ObsCounters, TuningTick};
+use locktune_obs::{EventKind, JournalEvent, MetricsSnapshot, ObsCounters, ThreadRole, TuningTick};
 use locktune_service::{BatchOutcome, ServiceError};
 
 /// Upper bound on a frame's payload (opcode + id + body). Large enough
@@ -88,6 +88,9 @@ const OP_PONG: u8 = 0x85;
 const OP_VALIDATE_REPLY: u8 = 0x86;
 const OP_LOCK_BATCH_REPLY: u8 = 0x87;
 const OP_METRICS_REPLY: u8 = 0x88;
+// Server-initiated (no matching request opcode; sent with id 0 when
+// the connection is refused at admission).
+const OP_BUSY: u8 = 0x90;
 
 /// A decoded client→server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,6 +163,11 @@ pub enum Reply {
     /// snapshot (boxed — it is two orders of magnitude larger than
     /// every other reply).
     Metrics(Box<MetricsSnapshot>),
+    /// The server refused the connection at admission: its
+    /// `max_connections` cap is reached. Sent with request id 0 (the
+    /// refusal precedes any request) and immediately followed by a
+    /// shutdown of the socket. Retryable after a backoff.
+    Busy,
 }
 
 /// Server state snapshot carried by [`Reply::Stats`].
@@ -192,6 +200,10 @@ pub struct StatsSnapshot {
     pub reply_queue_hwm: u64,
     /// Current externalized `lockPercentPerApplication`.
     pub app_percent: f64,
+    /// Background threads (tuner + sweeper) respawned by the service
+    /// watchdog since start. Non-zero means a thread panicked and was
+    /// recovered.
+    pub watchdog_restarts: u64,
 }
 
 /// Audit result carried by [`Reply::Validate`].
@@ -464,6 +476,7 @@ fn put_service_error(out: &mut Vec<u8>, e: &ServiceError) {
             out.push(4);
             put_u32(out, app.0);
         }
+        ServiceError::Overloaded => out.push(5),
     }
 }
 
@@ -474,6 +487,7 @@ fn get_service_error(r: &mut Reader<'_>) -> Result<ServiceError, WireError> {
         2 => Ok(ServiceError::DeadlockVictim),
         3 => Ok(ServiceError::ShuttingDown),
         4 => Ok(ServiceError::AlreadyConnected(AppId(r.u32()?))),
+        5 => Ok(ServiceError::Overloaded),
         tag => Err(WireError::BadTag {
             what: "service error",
             tag,
@@ -612,6 +626,7 @@ fn put_snapshot(out: &mut Vec<u8>, s: &StatsSnapshot) {
     put_u64(out, s.batch_items);
     put_u64(out, s.reply_queue_hwm);
     put_u64(out, s.app_percent.to_bits());
+    put_u64(out, s.watchdog_restarts);
 }
 
 fn get_snapshot(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
@@ -628,6 +643,7 @@ fn get_snapshot(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
         batch_items: r.u64()?,
         reply_queue_hwm: r.u64()?,
         app_percent: f64::from_bits(r.u64()?),
+        watchdog_restarts: r.u64()?,
     })
 }
 
@@ -722,6 +738,28 @@ fn put_event(out: &mut Vec<u8>, e: &JournalEvent) {
             out.push(4);
             put_u64(out, slots);
         }
+        // Tags 5–9 match the journal's own packing order.
+        EventKind::WatchdogRestart { thread } => {
+            out.push(5);
+            out.push(match thread {
+                ThreadRole::Tuner => 0,
+                ThreadRole::Sweeper => 1,
+            });
+        }
+        EventKind::ClientEvicted { app } => {
+            out.push(6);
+            put_u32(out, app.0);
+        }
+        EventKind::ShedEngaged { ooms } => {
+            out.push(7);
+            put_u64(out, ooms);
+        }
+        EventKind::ShedReleased => out.push(8),
+        EventKind::FaultInjected { site, count } => {
+            out.push(9);
+            out.push(site);
+            put_u64(out, count);
+        }
     }
 }
 
@@ -745,6 +783,27 @@ fn get_event(r: &mut Reader<'_>) -> Result<JournalEvent, WireError> {
             to_bytes: r.u64()?,
         },
         4 => EventKind::DepotReclaim { slots: r.u64()? },
+        5 => EventKind::WatchdogRestart {
+            thread: match r.u8()? {
+                0 => ThreadRole::Tuner,
+                1 => ThreadRole::Sweeper,
+                tag => {
+                    return Err(WireError::BadTag {
+                        what: "thread role",
+                        tag,
+                    })
+                }
+            },
+        },
+        6 => EventKind::ClientEvicted {
+            app: AppId(r.u32()?),
+        },
+        7 => EventKind::ShedEngaged { ooms: r.u64()? },
+        8 => EventKind::ShedReleased,
+        9 => EventKind::FaultInjected {
+            site: r.u8()?,
+            count: r.u64()?,
+        },
         tag => return Err(WireError::BadTag { what: "event", tag }),
     };
     Ok(JournalEvent { seq, at_ms, kind })
@@ -812,6 +871,12 @@ fn put_obs_counters(out: &mut Vec<u8>, c: &ObsCounters) {
         c.depot_reclaimed_slots,
         c.journal_recorded,
         c.journal_dropped,
+        c.watchdog_restarts,
+        c.clients_evicted,
+        c.shed_engaged,
+        c.shed_released,
+        c.shed_rejected,
+        c.faults_injected,
     ] {
         put_u64(out, v);
     }
@@ -829,6 +894,12 @@ fn get_obs_counters(r: &mut Reader<'_>) -> Result<ObsCounters, WireError> {
         depot_reclaimed_slots: r.u64()?,
         journal_recorded: r.u64()?,
         journal_dropped: r.u64()?,
+        watchdog_restarts: r.u64()?,
+        clients_evicted: r.u64()?,
+        shed_engaged: r.u64()?,
+        shed_released: r.u64()?,
+        shed_rejected: r.u64()?,
+        faults_injected: r.u64()?,
     })
 }
 
@@ -1118,6 +1189,7 @@ pub fn encode_reply_into(out: &mut Vec<u8>, id: u64, reply: &Reply) {
         }),
         Reply::BatchOutcomes(items) => encode_batch_outcomes_into(out, id, items),
         Reply::Metrics(snap) => frame_into(out, OP_METRICS_REPLY, id, |out| put_metrics(out, snap)),
+        Reply::Busy => frame_into(out, OP_BUSY, id, |_| {}),
     }
 }
 
@@ -1162,6 +1234,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), WireError> {
             Reply::BatchOutcomes(items)
         }
         OP_METRICS_REPLY => Reply::Metrics(Box::new(get_metrics(&mut r)?)),
+        OP_BUSY => Reply::Busy,
         tag => {
             return Err(WireError::BadTag {
                 what: "reply opcode",

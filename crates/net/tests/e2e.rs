@@ -8,7 +8,10 @@ use std::time::{Duration, Instant};
 
 use locktune_lockmgr::{LockError, LockMode, LockOutcome, ResourceId, RowId, TableId};
 use locktune_net::wire::Request;
-use locktune_net::{BatchOutcome, Client, ClientError, Reply, Server, ServerConfig};
+use locktune_net::{
+    BatchOutcome, Client, ClientError, ReconnectConfig, ReconnectingClient, Reply, Server,
+    ServerConfig,
+};
 use locktune_service::{LockService, ServiceConfig, ServiceError};
 
 fn server(timeout: Option<Duration>) -> (Server, String) {
@@ -277,6 +280,7 @@ fn stalled_reader_backpressures_itself_not_the_server() {
         "127.0.0.1:0",
         ServerConfig {
             reply_queue_capacity: 2,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");
@@ -326,6 +330,176 @@ fn stalled_reader_backpressures_itself_not_the_server() {
 
     // The stalled client eventually drains every reply intact.
     storm.join().expect("storm client failed");
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_refuses_with_busy_then_recovers() {
+    let service = Arc::new(LockService::start(ServiceConfig::fast(2)).expect("service start"));
+    let server = Server::bind_with_config(
+        service,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let mut first = Client::connect(&addr).unwrap();
+    first.ping(vec![1]).unwrap(); // fully admitted
+
+    // At the cap the server answers with an explicit Busy frame and
+    // closes — not a silent RST the client can't tell from a crash.
+    let mut second = Client::connect(&addr).unwrap();
+    match second.ping(vec![2]) {
+        Err(ClientError::Busy) => {}
+        other => panic!("expected Busy at the connection cap, got {other:?}"),
+    }
+
+    // Capacity frees once the first client leaves (its reader thread
+    // releases the slot asynchronously, so poll).
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut retry = Client::connect(&addr).unwrap();
+        match retry.ping(vec![3]) {
+            Ok(_) => break,
+            Err(ClientError::Busy) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "slot never freed after the first client left"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            other => panic!("expected Busy or success, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn reconnecting_client_backs_off_through_busy_refusals() {
+    let service = Arc::new(LockService::start(ServiceConfig::fast(2)).expect("service start"));
+    let server = Server::bind_with_config(
+        service,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let mut hog = Client::connect(&addr).unwrap();
+    hog.ping(vec![1]).unwrap();
+
+    // Free the slot while the reconnecting client is mid-backoff.
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        drop(hog);
+    });
+
+    let mut rc = ReconnectingClient::connect(
+        &addr,
+        ReconnectConfig {
+            max_attempts: 50,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(50),
+            seed: 42,
+        },
+    )
+    .expect("reconnecting client admitted once the slot frees");
+    release.join().unwrap();
+
+    assert!(
+        rc.stats().busy_refusals >= 1,
+        "the first attempts should have been refused Busy: {:?}",
+        rc.stats()
+    );
+    rc.lock(ResourceId::Table(TableId(1)), LockMode::X).unwrap();
+    rc.unlock_all().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn slow_client_is_evicted_and_its_locks_freed() {
+    let config = ServiceConfig {
+        // Long enough that the survivor's grant can only come from the
+        // eviction teardown, not from a lock timeout.
+        lock_wait_timeout: Some(Duration::from_secs(20)),
+        ..ServiceConfig::fast(2)
+    };
+    let service = Arc::new(LockService::start(config).expect("service start"));
+    let server = Server::bind_with_config(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ServerConfig {
+            reply_queue_capacity: 2,
+            eviction_deadline: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let table = ResourceId::Table(TableId(9));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let (locked_tx, locked_rx) = std::sync::mpsc::channel();
+
+    // The zombie takes a lock, then floods pings without ever reading
+    // a reply. Big echoes fill the reply-direction TCP buffers, the
+    // writer blocks, the two-slot queue fills, and the reader sits in
+    // its deadline send. Crucially the socket stays open the whole
+    // time — only the server's eviction may end this connection.
+    let zombie = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.lock(table, LockMode::X).unwrap();
+            locked_tx.send(()).unwrap();
+            let echo = vec![0xABu8; 60 * 1024];
+            for _ in 0..512 {
+                // The server may reset us mid-flood (that's the point);
+                // keep the socket open regardless.
+                if c.send(&Request::Ping(echo.clone())).is_err() {
+                    break;
+                }
+            }
+            let _ = c.flush();
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    };
+    locked_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("zombie must take its lock first");
+
+    // The survivor's conflicting lock is granted only when the
+    // server evicts the zombie and tears its session down.
+    let mut survivor = Client::connect(&addr).unwrap();
+    let start = Instant::now();
+    survivor
+        .lock(table, LockMode::X)
+        .expect("zombie's lock must be freed by eviction");
+    assert!(
+        start.elapsed() < Duration::from_secs(15),
+        "grant came from lock timeout, not eviction"
+    );
+    survivor.unlock_all().unwrap();
+    assert!(
+        service.obs_counters().clients_evicted >= 1,
+        "eviction must be journaled"
+    );
+
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    zombie.join().unwrap();
+    wait_for_drain(&mut survivor);
+    survivor.validate().expect("audit after eviction");
     server.shutdown();
 }
 

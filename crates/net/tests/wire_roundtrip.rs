@@ -13,7 +13,7 @@ use locktune_net::wire::{
     encode_request, Reply, Request, StatsSnapshot, ValidateReport, WireError, HEADER_LEN,
     MAX_BATCH, MAX_PAYLOAD, MAX_WIRE_EVENTS, MAX_WIRE_TICKS,
 };
-use locktune_obs::{EventKind, JournalEvent, MetricsSnapshot, ObsCounters, TuningTick};
+use locktune_obs::{EventKind, JournalEvent, MetricsSnapshot, ObsCounters, ThreadRole, TuningTick};
 use locktune_service::{BatchOutcome, ServiceError};
 use proptest::prelude::*;
 
@@ -68,6 +68,7 @@ fn service_error() -> BoxedStrategy<ServiceError> {
         Just(ServiceError::DeadlockVictim),
         Just(ServiceError::ShuttingDown),
         any::<u32>().prop_map(|a| ServiceError::AlreadyConnected(AppId(a))),
+        Just(ServiceError::Overloaded),
     ]
     .boxed()
 }
@@ -139,6 +140,7 @@ fn snapshot() -> BoxedStrategy<StatsSnapshot> {
             batch_items: c.1 ^ c.2,
             reply_queue_hwm: c.0 ^ c.2,
             app_percent,
+            watchdog_restarts: a.0 ^ c.2,
         })
         .boxed()
 }
@@ -178,6 +180,12 @@ fn event() -> BoxedStrategy<JournalEvent> {
             to_bytes,
         }),
         any::<u64>().prop_map(|slots| EventKind::DepotReclaim { slots }),
+        prop_oneof![Just(ThreadRole::Tuner), Just(ThreadRole::Sweeper)]
+            .prop_map(|thread| EventKind::WatchdogRestart { thread }),
+        any::<u32>().prop_map(|a| EventKind::ClientEvicted { app: AppId(a) }),
+        any::<u64>().prop_map(|ooms| EventKind::ShedEngaged { ooms }),
+        Just(EventKind::ShedReleased),
+        (0u8..6, any::<u64>()).prop_map(|(site, count)| EventKind::FaultInjected { site, count }),
     ];
     (any::<u64>(), any::<u64>(), kind)
         .prop_map(|(seq, at_ms, kind)| JournalEvent { seq, at_ms, kind })
@@ -287,6 +295,7 @@ fn reply() -> BoxedStrategy<Reply> {
             .prop_map(|msg| { Reply::Validate(Err(String::from_utf8(msg).unwrap())) }),
         proptest::collection::vec(batch_outcome(), 0..40).prop_map(Reply::BatchOutcomes),
         metrics().prop_map(|m| Reply::Metrics(Box::new(m))),
+        Just(Reply::Busy),
     ]
     .boxed()
 }
@@ -340,6 +349,51 @@ proptest! {
         prop_assert_eq!(decode_reply(payload), Ok((id, reply)));
         for cut in 0..payload.len() {
             prop_assert!(decode_reply(&payload[..cut]).is_err());
+        }
+    }
+
+    /// Random corruption (one flipped bit anywhere in a valid request
+    /// payload) never panics a decoder, and whatever still decodes is a
+    /// self-consistent value: re-encoding it yields a frame that
+    /// decodes back to the same value. There is no checksum, so a flip
+    /// in a data field legitimately decodes to a different value — the
+    /// guarantee is structural sanity, not integrity.
+    #[test]
+    fn bit_flipped_request_never_panics_or_misdecodes(
+        id in any::<u64>(),
+        req in request(),
+        pos_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let frame = encode_request(id, &req);
+        let mut mutated = frame[4..].to_vec();
+        let pos = (pos_seed as usize) % mutated.len();
+        mutated[pos] ^= 1 << bit;
+        // Both decode paths must survive arbitrary corruption.
+        let mut items = Vec::new();
+        let _ = decode_lock_batch_into(&mutated, &mut items);
+        if let Ok((got_id, got)) = decode_request(&mutated) {
+            let re = encode_request(got_id, &got);
+            prop_assert_eq!(decode_request(&re[4..]), Ok((got_id, got)));
+        }
+    }
+
+    /// Same for replies (the client's exposure to a corrupted or
+    /// hostile server).
+    #[test]
+    fn bit_flipped_reply_never_panics_or_misdecodes(
+        id in any::<u64>(),
+        reply in reply(),
+        pos_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let frame = encode_reply(id, &reply);
+        let mut mutated = frame[4..].to_vec();
+        let pos = (pos_seed as usize) % mutated.len();
+        mutated[pos] ^= 1 << bit;
+        if let Ok((got_id, got)) = decode_reply(&mutated) {
+            let re = encode_reply(got_id, &got);
+            prop_assert_eq!(decode_reply(&re[4..]), Ok((got_id, got)));
         }
     }
 }
@@ -518,10 +572,10 @@ fn forged_metrics_counts_rejected() {
 
     // The default snapshot encodes its four empty histograms as
     // (0 nonzero, sum, max) = 17 bytes each; the event count sits
-    // right after the fixed block of the header, 37 u64-width fields
-    // (uptime + 14 lock stats + 10 obs counters + 4 pool gauges +
+    // right after the fixed block of the header, 43 u64-width fields
+    // (uptime + 14 lock stats + 16 obs counters + 4 pool gauges +
     // 4 f64s + 4 tuning counters) and the 4 histograms.
-    let events_at = HEADER_LEN + 37 * 8 + 4 * 17;
+    let events_at = HEADER_LEN + 43 * 8 + 4 * 17;
     assert_eq!(
         &payload[events_at..events_at + 4],
         &0u32.to_le_bytes(),
@@ -538,7 +592,7 @@ fn forged_metrics_counts_rejected() {
     );
 
     // Duplicate bucket index: claim 2 nonzero buckets, both index 0.
-    let hist_at = HEADER_LEN + 37 * 8;
+    let hist_at = HEADER_LEN + 43 * 8;
     let mut forged = Vec::new();
     forged.extend_from_slice(&payload[..hist_at]);
     forged.push(2); // n_nonzero

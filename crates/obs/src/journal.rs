@@ -67,6 +67,45 @@ pub enum EventKind {
         /// Slots reclaimed since the previous `DepotReclaim` event.
         slots: u64,
     },
+    /// The watchdog found a dead background thread and respawned it.
+    WatchdogRestart {
+        /// Which thread was restarted.
+        thread: ThreadRole,
+    },
+    /// The server evicted a client whose reply queue stayed full past
+    /// the eviction deadline.
+    ClientEvicted {
+        /// The evicted application.
+        app: AppId,
+    },
+    /// Sustained pool exhaustion engaged shed mode: new lock requests
+    /// are rejected with a retryable error until pressure clears.
+    ShedEngaged {
+        /// `OutOfLockMemory` errors observed in the window that
+        /// tripped the threshold.
+        ooms: u64,
+    },
+    /// Shed mode released: an interval passed with no exhaustion and
+    /// the pool has free memory again.
+    ShedReleased,
+    /// Faults deliberately injected at one site since the previous
+    /// `FaultInjected` event for that site (only under the `faults`
+    /// feature with an armed injector).
+    FaultInjected {
+        /// `locktune_faults::FaultSite::index()` of the site.
+        site: u8,
+        /// Injections since the last event for this site.
+        count: u64,
+    },
+}
+
+/// Background thread named by a [`EventKind::WatchdogRestart`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadRole {
+    /// The STMM tuning thread.
+    Tuner,
+    /// The deadlock sweeper.
+    Sweeper,
 }
 
 /// One drained journal entry.
@@ -87,6 +126,11 @@ const TAG_DEADLOCK_VICTIM: u64 = 1;
 const TAG_SYNC_GROWTH: u64 = 2;
 const TAG_TUNER_RESIZE: u64 = 3;
 const TAG_DEPOT_RECLAIM: u64 = 4;
+const TAG_WATCHDOG_RESTART: u64 = 5;
+const TAG_CLIENT_EVICTED: u64 = 6;
+const TAG_SHED_ENGAGED: u64 = 7;
+const TAG_SHED_RELEASED: u64 = 8;
+const TAG_FAULT_INJECTED: u64 = 9;
 
 fn pack(kind: EventKind) -> (u64, u64, u64) {
     match kind {
@@ -106,6 +150,18 @@ fn pack(kind: EventKind) -> (u64, u64, u64) {
             to_bytes,
         } => (TAG_TUNER_RESIZE, from_bytes, to_bytes),
         EventKind::DepotReclaim { slots } => (TAG_DEPOT_RECLAIM, slots, 0),
+        EventKind::WatchdogRestart { thread } => (
+            TAG_WATCHDOG_RESTART,
+            match thread {
+                ThreadRole::Tuner => 0,
+                ThreadRole::Sweeper => 1,
+            },
+            0,
+        ),
+        EventKind::ClientEvicted { app } => (TAG_CLIENT_EVICTED, app.0 as u64, 0),
+        EventKind::ShedEngaged { ooms } => (TAG_SHED_ENGAGED, ooms, 0),
+        EventKind::ShedReleased => (TAG_SHED_RELEASED, 0, 0),
+        EventKind::FaultInjected { site, count } => (TAG_FAULT_INJECTED, site as u64, count),
     }
 }
 
@@ -123,6 +179,22 @@ fn unpack(tag: u64, w2: u64, w3: u64) -> EventKind {
         TAG_TUNER_RESIZE => EventKind::TunerResize {
             from_bytes: w2,
             to_bytes: w3,
+        },
+        TAG_WATCHDOG_RESTART => EventKind::WatchdogRestart {
+            thread: if w2 == 0 {
+                ThreadRole::Tuner
+            } else {
+                ThreadRole::Sweeper
+            },
+        },
+        TAG_CLIENT_EVICTED => EventKind::ClientEvicted {
+            app: AppId(w2 as u32),
+        },
+        TAG_SHED_ENGAGED => EventKind::ShedEngaged { ooms: w2 },
+        TAG_SHED_RELEASED => EventKind::ShedReleased,
+        TAG_FAULT_INJECTED => EventKind::FaultInjected {
+            site: w2 as u8,
+            count: w3,
         },
         // Tags only ever come from `pack`, so anything else is
         // unreachable; map it to the least information-bearing kind
@@ -306,6 +378,16 @@ mod tests {
                 to_bytes: 2,
             },
             EventKind::DepotReclaim { slots: 99 },
+            EventKind::WatchdogRestart {
+                thread: ThreadRole::Tuner,
+            },
+            EventKind::WatchdogRestart {
+                thread: ThreadRole::Sweeper,
+            },
+            EventKind::ClientEvicted { app: AppId(3) },
+            EventKind::ShedEngaged { ooms: 17 },
+            EventKind::ShedReleased,
+            EventKind::FaultInjected { site: 4, count: 2 },
         ];
         for kind in kinds {
             let (tag, w2, w3) = pack(kind);

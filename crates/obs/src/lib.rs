@@ -33,7 +33,7 @@ pub mod journal;
 pub mod prom;
 pub mod snapshot;
 
-pub use journal::{EventJournal, EventKind, JournalEvent, DEFAULT_JOURNAL_CAPACITY};
+pub use journal::{EventJournal, EventKind, JournalEvent, ThreadRole, DEFAULT_JOURNAL_CAPACITY};
 pub use snapshot::{MetricsSnapshot, ObsCounters, TuningTick};
 
 use locktune_lockmgr::{AppId, TableId};
@@ -80,6 +80,14 @@ pub struct Obs {
     /// scrape/tuning time (the allocator crate stays obs-agnostic).
     depot_reclaim_sweeps: AtomicU64,
     depot_reclaimed_slots: AtomicU64,
+    watchdog_restarts: AtomicU64,
+    clients_evicted: AtomicU64,
+    shed_engaged: AtomicU64,
+    shed_released: AtomicU64,
+    shed_rejected: AtomicU64,
+    /// Absolute injected-fault total, mirrored from the fault injector
+    /// at tuning time (like the depot reclaim mirror).
+    faults_injected: AtomicU64,
 }
 
 impl Obs {
@@ -105,6 +113,12 @@ impl Obs {
             sync_growth_denied: AtomicU64::new(0),
             depot_reclaim_sweeps: AtomicU64::new(0),
             depot_reclaimed_slots: AtomicU64::new(0),
+            watchdog_restarts: AtomicU64::new(0),
+            clients_evicted: AtomicU64::new(0),
+            shed_engaged: AtomicU64::new(0),
+            shed_released: AtomicU64::new(0),
+            shed_rejected: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
         }
     }
 
@@ -214,6 +228,55 @@ impl Obs {
         }
     }
 
+    /// The watchdog respawned a dead background thread.
+    pub fn record_watchdog_restart(&self, thread: journal::ThreadRole) {
+        self.watchdog_restarts.fetch_add(1, Ordering::Relaxed);
+        self.journal
+            .record(self.now_ms(), EventKind::WatchdogRestart { thread });
+    }
+
+    /// The server evicted `app` for a reply queue stuck at capacity.
+    pub fn record_client_evicted(&self, app: AppId) {
+        self.clients_evicted.fetch_add(1, Ordering::Relaxed);
+        self.journal
+            .record(self.now_ms(), EventKind::ClientEvicted { app });
+    }
+
+    /// Shed mode engaged after `ooms` exhaustion errors in one window.
+    pub fn record_shed_engaged(&self, ooms: u64) {
+        self.shed_engaged.fetch_add(1, Ordering::Relaxed);
+        self.journal
+            .record(self.now_ms(), EventKind::ShedEngaged { ooms });
+    }
+
+    /// Shed mode released.
+    pub fn record_shed_released(&self) {
+        self.shed_released.fetch_add(1, Ordering::Relaxed);
+        self.journal.record(self.now_ms(), EventKind::ShedReleased);
+    }
+
+    /// A lock request was rejected because shed mode is engaged.
+    #[inline]
+    pub fn record_shed_rejected(&self) {
+        self.shed_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `delta` new injections at fault site `site`
+    /// (`FaultSite::index()`) and journal them as one
+    /// [`EventKind::FaultInjected`]. The service calls this from the
+    /// tuning interval with the delta since its previous mirror of the
+    /// injector's counters; a zero delta records nothing.
+    pub fn note_faults_injected(&self, site: u8, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        self.faults_injected.fetch_add(delta, Ordering::Relaxed);
+        self.journal.record(
+            self.now_ms(),
+            EventKind::FaultInjected { site, count: delta },
+        );
+    }
+
     // -- scrape-time reads -----------------------------------------------
 
     /// The event journal (drain with [`EventJournal::drain`]).
@@ -234,6 +297,12 @@ impl Obs {
             depot_reclaimed_slots: self.depot_reclaimed_slots.load(Ordering::Relaxed),
             journal_recorded: self.journal.recorded(),
             journal_dropped: self.journal.dropped(),
+            watchdog_restarts: self.watchdog_restarts.load(Ordering::Relaxed),
+            clients_evicted: self.clients_evicted.load(Ordering::Relaxed),
+            shed_engaged: self.shed_engaged.load(Ordering::Relaxed),
+            shed_released: self.shed_released.load(Ordering::Relaxed),
+            shed_rejected: self.shed_rejected.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 
@@ -304,6 +373,14 @@ mod tests {
         obs.record_tuner_resize(100, 200);
         obs.note_depot_reclaims(1, 48);
         obs.note_depot_reclaims(1, 48); // no delta → no event
+        obs.record_watchdog_restart(ThreadRole::Sweeper);
+        obs.record_client_evicted(AppId(9));
+        obs.record_shed_engaged(17);
+        obs.record_shed_rejected();
+        obs.record_shed_rejected();
+        obs.record_shed_released();
+        obs.note_faults_injected(0, 3);
+        obs.note_faults_injected(2, 0); // zero delta → no event
 
         let c = obs.counters();
         assert_eq!(c.timeouts, 1);
@@ -314,15 +391,32 @@ mod tests {
         assert_eq!(c.sync_growth_denied, 1);
         assert_eq!(c.depot_reclaim_sweeps, 1);
         assert_eq!(c.depot_reclaimed_slots, 48);
-        // victim + sync growth + escalation + resize + reclaim = 5.
-        assert_eq!(c.journal_recorded, 5);
+        assert_eq!(c.watchdog_restarts, 1);
+        assert_eq!(c.clients_evicted, 1);
+        assert_eq!(c.shed_engaged, 1);
+        assert_eq!(c.shed_released, 1);
+        assert_eq!(c.shed_rejected, 2);
+        assert_eq!(c.faults_injected, 3);
+        // victim + sync growth + escalation + resize + reclaim
+        // + restart + eviction + shed engage/release + fault = 10.
+        assert_eq!(c.journal_recorded, 10);
 
         let mut events = Vec::new();
         obs.journal().drain(&mut events, 100);
-        assert_eq!(events.len(), 5);
+        assert_eq!(events.len(), 10);
         assert!(matches!(
             events[4].kind,
             EventKind::DepotReclaim { slots: 48 }
+        ));
+        assert!(matches!(
+            events[5].kind,
+            EventKind::WatchdogRestart {
+                thread: ThreadRole::Sweeper
+            }
+        ));
+        assert!(matches!(
+            events[9].kind,
+            EventKind::FaultInjected { site: 0, count: 3 }
         ));
         assert_eq!(obs.batch_size().quantile(1.0), 20);
         assert_eq!(obs.sync_stall_micros().count(), 2);

@@ -209,6 +209,42 @@ pub fn render(snap: &MetricsSnapshot) -> String {
     );
     counter(
         &mut out,
+        "locktune_watchdog_restarts_total",
+        "Dead tuner/sweeper threads respawned by the watchdog.",
+        c.watchdog_restarts,
+    );
+    counter(
+        &mut out,
+        "locktune_clients_evicted_total",
+        "Clients evicted for a reply queue stuck at capacity.",
+        c.clients_evicted,
+    );
+    counter(
+        &mut out,
+        "locktune_shed_engaged_total",
+        "Times shed mode engaged under sustained pool exhaustion.",
+        c.shed_engaged,
+    );
+    counter(
+        &mut out,
+        "locktune_shed_released_total",
+        "Times shed mode released.",
+        c.shed_released,
+    );
+    counter(
+        &mut out,
+        "locktune_shed_rejected_total",
+        "Lock requests rejected while shed mode was engaged.",
+        c.shed_rejected,
+    );
+    counter(
+        &mut out,
+        "locktune_faults_injected_total",
+        "Deliberately injected faults (faults feature only).",
+        c.faults_injected,
+    );
+    counter(
+        &mut out,
         "locktune_journal_events_total",
         "Events recorded into the journal.",
         c.journal_recorded,
@@ -278,6 +314,12 @@ mod tests {
             "locktune_deadlock_victims_total",
             "locktune_free_fraction",
             "locktune_tuning_intervals_total",
+            "locktune_watchdog_restarts_total",
+            "locktune_clients_evicted_total",
+            "locktune_shed_engaged_total",
+            "locktune_shed_released_total",
+            "locktune_shed_rejected_total",
+            "locktune_faults_injected_total",
         ] {
             assert!(page.contains(name), "missing {name}");
         }

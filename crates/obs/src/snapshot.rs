@@ -32,6 +32,20 @@ pub struct ObsCounters {
     pub journal_recorded: u64,
     /// Events the journal dropped because it was full.
     pub journal_dropped: u64,
+    /// Dead tuner/sweeper threads the watchdog respawned.
+    pub watchdog_restarts: u64,
+    /// Clients evicted for holding their reply queue full past the
+    /// eviction deadline.
+    pub clients_evicted: u64,
+    /// Times shed mode engaged (sustained pool exhaustion).
+    pub shed_engaged: u64,
+    /// Times shed mode released.
+    pub shed_released: u64,
+    /// Lock requests rejected while shed mode was engaged.
+    pub shed_rejected: u64,
+    /// Faults deliberately injected across all sites (`faults`
+    /// feature only; zero in production builds).
+    pub faults_injected: u64,
 }
 
 /// One tuning interval, compacted for the wire from the service's

@@ -24,7 +24,7 @@ pub enum ConfigError {
     /// A background thread could not be spawned (OS resource failure,
     /// not a configuration mistake).
     Spawn {
-        /// Which thread (`"tuning"` / `"deadlock"`).
+        /// Which thread (`"tuning"` / `"deadlock"` / `"watchdog"`).
         thread: &'static str,
         /// The OS error, stringified (io::Error is not `Clone`).
         message: String,
@@ -106,6 +106,20 @@ pub struct ServiceConfig {
     pub params: TunerParams,
     /// Per-shard lock manager structure.
     pub manager: LockManagerConfig,
+    /// How often the watchdog thread checks the tuner and deadlock
+    /// sweeper for unexpected exits (a panic, injected or otherwise)
+    /// and respawns the dead thread. `Duration::ZERO` disables the
+    /// watchdog entirely — no thread is spawned.
+    pub watchdog_interval: Duration,
+    /// Shed mode: once this many `OutOfLockMemory` denials surface to
+    /// sessions within one tuning interval, the service stops
+    /// accepting new lock requests ([`ServiceError::Overloaded`])
+    /// until an interval passes with zero denials and free memory in
+    /// the pool. `0` disables shedding (the default — denials then
+    /// surface individually, exactly as before).
+    ///
+    /// [`ServiceError::Overloaded`]: crate::service::ServiceError::Overloaded
+    pub shed_oom_threshold: u32,
 }
 
 impl Default for ServiceConfig {
@@ -122,6 +136,8 @@ impl Default for ServiceConfig {
             heap_fraction: 0.70,
             params: TunerParams::default(),
             manager: LockManagerConfig::default(),
+            watchdog_interval: Duration::from_millis(250),
+            shed_oom_threshold: 0,
         }
     }
 }
@@ -136,6 +152,7 @@ impl ServiceConfig {
             deadlock_interval: Duration::from_millis(10),
             lock_wait_timeout: Some(Duration::from_secs(2)),
             initial_lock_bytes: 2 * 1024 * 1024,
+            watchdog_interval: Duration::from_millis(20),
             ..Default::default()
         }
     }

@@ -33,5 +33,9 @@ pub mod stress;
 mod tuning;
 
 pub use config::{ConfigError, ServiceConfig};
-pub use service::{BatchOutcome, LockService, ServiceError, Session, TuningCounters};
+pub use locktune_faults::{FaultInjector, FaultPlan, FaultSite};
+pub use service::{
+    BatchOutcome, LockService, ServiceError, Session, ShutdownReport, ThreadExit, ThreadHealth,
+    TuningCounters,
+};
 pub use stress::{run_stress, StressConfig, StressReport};

@@ -26,13 +26,16 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use locktune_core::TunerParams;
+use locktune_faults::{FaultInjector, FaultSite, SITE_COUNT};
 use locktune_lockmgr::{
     AppId, DeadlockDetector, GrantNotice, LockError, LockManager, LockMode, LockOutcome, LockStats,
     ResourceId, UnlockReport,
 };
 use locktune_memalloc::{LockMemoryPool, PoolBackend, PoolConfig, PoolStats, SharedLockMemoryPool};
 use locktune_memory::{DatabaseMemory, HeapKind, IntervalReport, PerfHeap, Stmm};
-use locktune_obs::{MetricsSnapshot, Obs, ObsCounters, TuningTick, LATCH_SAMPLE_PERIOD};
+use locktune_obs::{
+    MetricsSnapshot, Obs, ObsCounters, ThreadRole, TuningTick, LATCH_SAMPLE_PERIOD,
+};
 use locktune_sim::SimDuration;
 use parking_lot::{Condvar, Mutex};
 
@@ -61,6 +64,11 @@ pub enum ServiceError {
     /// [`LockService::try_connect`] was asked for an [`AppId`] that
     /// already has a live session.
     AlreadyConnected(AppId),
+    /// Shed mode is engaged: sustained lock-memory exhaustion crossed
+    /// [`ServiceConfig::shed_oom_threshold`] and the service is
+    /// rejecting new lock requests until pressure clears. Retryable —
+    /// back off and resubmit; locks already held are unaffected.
+    Overloaded,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -73,6 +81,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::AlreadyConnected(app) => {
                 write!(f, "{app} is already connected")
             }
+            ServiceError::Overloaded => f.write_str("service shedding load, retry later"),
         }
     }
 }
@@ -192,6 +201,86 @@ impl ReportLog {
     }
 }
 
+/// How a background thread left its loop, as observed at join time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreadExit {
+    /// The loop saw the shutdown flag and returned.
+    #[default]
+    Clean,
+    /// The thread panicked (join returned an error payload).
+    Panicked,
+}
+
+/// Liveness snapshot of the background threads, plus how many times
+/// the watchdog has had to respawn each one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadHealth {
+    /// The tuning thread is running.
+    pub tuner_alive: bool,
+    /// The deadlock sweeper is running.
+    pub sweeper_alive: bool,
+    /// Tuner respawns since start.
+    pub tuner_restarts: u64,
+    /// Sweeper respawns since start.
+    pub sweeper_restarts: u64,
+}
+
+/// What [`LockService::shutdown`] observed while joining the
+/// background threads: the final exit kind of each, and the lifetime
+/// restart totals. A healthy run reports `Clean`/`Clean` with zero
+/// restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Final exit of the tuning thread.
+    pub tuner: ThreadExit,
+    /// Final exit of the deadlock sweeper.
+    pub sweeper: ThreadExit,
+    /// Tuner respawns over the service's lifetime.
+    pub tuner_restarts: u64,
+    /// Sweeper respawns over the service's lifetime.
+    pub sweeper_restarts: u64,
+}
+
+impl ShutdownReport {
+    /// True when both threads exited cleanly at shutdown (they may
+    /// still have been restarted earlier; check the counters).
+    pub fn is_clean(&self) -> bool {
+        self.tuner == ThreadExit::Clean && self.sweeper == ThreadExit::Clean
+    }
+}
+
+/// One background thread's join handle and its most recent observed
+/// exit. The handle lives here (not on [`LockService`]) so the
+/// watchdog can join a dead thread and install the respawn's handle.
+#[derive(Default)]
+struct ThreadSlot {
+    handle: Option<std::thread::JoinHandle<()>>,
+    last_exit: ThreadExit,
+}
+
+impl ThreadSlot {
+    fn is_alive(&self) -> bool {
+        self.handle.as_ref().is_some_and(|h| !h.is_finished())
+    }
+
+    /// Join `handle` (which must be finished or finishing) and record
+    /// how it exited.
+    fn join(&mut self) {
+        if let Some(h) = self.handle.take() {
+            self.last_exit = match h.join() {
+                Ok(()) => ThreadExit::Clean,
+                Err(_) => ThreadExit::Panicked,
+            };
+        }
+    }
+}
+
+#[derive(Default)]
+struct ThreadTable {
+    tuner: ThreadSlot,
+    sweeper: ThreadSlot,
+}
+
 struct ServiceInner {
     config: ServiceConfig,
     shards: Vec<Shard>,
@@ -209,6 +298,24 @@ struct ServiceInner {
     tuning_intervals: AtomicU64,
     grow_decisions: AtomicU64,
     shrink_decisions: AtomicU64,
+    /// Fault-injection plan. Disabled (every check constant-false) in
+    /// production; [`LockService::start_with_faults`] arms it.
+    faults: FaultInjector,
+    /// The background threads' handles, owned behind a lock so the
+    /// watchdog can swap in respawns while the service runs.
+    threads: Mutex<ThreadTable>,
+    tuner_restarts: AtomicU64,
+    sweeper_restarts: AtomicU64,
+    /// Shed mode engaged: reject new lock requests until a tuning
+    /// interval passes without an `OutOfLockMemory` denial.
+    shed: AtomicBool,
+    /// `OutOfLockMemory` denials surfaced to sessions in the current
+    /// tuning-interval window (swapped to zero each interval).
+    shed_ooms: AtomicU64,
+    /// Per-site injected-fault totals already journaled; the tuning
+    /// interval journals the delta (same mirror pattern as the
+    /// allocator's reclaim counters).
+    fault_seen: Mutex<[u64; SITE_COUNT]>,
     shutdown: AtomicBool,
     park: Mutex<()>,
     park_cv: Condvar,
@@ -317,6 +424,37 @@ impl ServiceInner {
         }
     }
 
+    /// Kill the calling background thread if the fault plan says so.
+    /// Sits at the top of the loop body, so no latch is held when the
+    /// panic unwinds.
+    fn maybe_inject_panic(&self, site: FaultSite) {
+        if self.faults.should(site) {
+            panic!("injected {site} fault");
+        }
+    }
+
+    /// Whether lock requests should be rejected right now. The
+    /// threshold check keeps the disabled (default) configuration to
+    /// one branch on an immediate — no atomic load.
+    #[inline]
+    fn shed_active(&self) -> bool {
+        self.config.shed_oom_threshold != 0 && self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Record an `OutOfLockMemory` denial that surfaced to a session;
+    /// engage shed mode once the window crosses the threshold.
+    fn note_oom_denial(&self) {
+        let threshold = self.config.shed_oom_threshold;
+        if threshold == 0 {
+            return;
+        }
+        let ooms = self.shed_ooms.fetch_add(1, Ordering::Relaxed) + 1;
+        // swap, not store: only the engaging thread journals the event.
+        if ooms >= u64::from(threshold) && !self.shed.swap(true, Ordering::Relaxed) && OBS_ENABLED {
+            self.obs.record_shed_engaged(ooms);
+        }
+    }
+
     /// One STMM tuning interval over the shared pool.
     fn run_tuning_interval(&self) -> IntervalReport {
         let escalations = self.tuning.escalations.swap(0, Ordering::Relaxed);
@@ -355,6 +493,31 @@ impl ServiceInner {
             // allocator's reclaim totals (and journal the delta).
             let (sweeps, slots) = self.pool.reclaim_counters();
             self.obs.note_depot_reclaims(sweeps, slots);
+            // Same delta-mirror for the fault injector's per-site
+            // totals (all zero, and the loop free, when disabled).
+            let counts = self.faults.injected_counts();
+            let mut seen = self.fault_seen.lock();
+            for (site, (&now, last)) in counts.iter().zip(seen.iter_mut()).enumerate() {
+                if now > *last {
+                    self.obs.note_faults_injected(site as u8, now - *last);
+                    *last = now;
+                }
+            }
+        }
+        // Shed-mode release: an interval with zero surfaced denials
+        // and free memory back in the pool means the resize (or the
+        // drained workload) relieved the pressure. Engagement happens
+        // inline in `note_oom_denial`; only release rides the
+        // interval, so the mode can flap at most once per interval.
+        if self.config.shed_oom_threshold != 0 {
+            let window = self.shed_ooms.swap(0, Ordering::Relaxed);
+            if window == 0
+                && self.pool.free_fraction() > 0.0
+                && self.shed.swap(false, Ordering::Relaxed)
+                && OBS_ENABLED
+            {
+                self.obs.record_shed_released();
+            }
         }
         self.reports.lock().push(report);
         report
@@ -383,22 +546,106 @@ impl ServiceInner {
     }
 }
 
+/// Spawn the STMM tuning thread.
+fn spawn_tuner(inner: Arc<ServiceInner>) -> std::io::Result<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("locktune-stmm".into())
+        .spawn(move || {
+            while inner.park(inner.config.tuning_interval) {
+                inner.maybe_inject_panic(FaultSite::TunerPanic);
+                inner.run_tuning_interval();
+            }
+        })
+}
+
+/// Spawn the deadlock sweeper thread.
+fn spawn_sweeper(inner: Arc<ServiceInner>) -> std::io::Result<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("locktune-deadlock".into())
+        .spawn(move || {
+            while inner.park(inner.config.deadlock_interval) {
+                inner.maybe_inject_panic(FaultSite::SweeperPanic);
+                inner.sweep_deadlocks();
+            }
+        })
+}
+
+/// One watchdog pass: join any background thread that died and, if
+/// the service is still running, respawn it. A panic between two loop
+/// iterations loses at most one interval of tuning or sweeping — no
+/// lock-table state is touched outside the shard latches, so the
+/// respawn picks up exactly where the victim left off.
+fn watchdog_scan(inner: &Arc<ServiceInner>) {
+    let mut table = inner.threads.lock();
+    for role in [ThreadRole::Tuner, ThreadRole::Sweeper] {
+        let slot = match role {
+            ThreadRole::Tuner => &mut table.tuner,
+            ThreadRole::Sweeper => &mut table.sweeper,
+        };
+        if slot.handle.is_none() || slot.is_alive() {
+            continue;
+        }
+        slot.join();
+        if inner.shutdown.load(Ordering::Acquire) || slot.last_exit == ThreadExit::Clean {
+            // A clean exit without shutdown cannot happen (the loops
+            // only return on the flag); respawning one would mask the
+            // bug if it ever does.
+            continue;
+        }
+        let spawned = match role {
+            ThreadRole::Tuner => spawn_tuner(Arc::clone(inner)),
+            ThreadRole::Sweeper => spawn_sweeper(Arc::clone(inner)),
+        };
+        if let Ok(handle) = spawned {
+            slot.handle = Some(handle);
+            let restarts = match role {
+                ThreadRole::Tuner => &inner.tuner_restarts,
+                ThreadRole::Sweeper => &inner.sweeper_restarts,
+            };
+            restarts.fetch_add(1, Ordering::Relaxed);
+            if OBS_ENABLED {
+                inner.obs.record_watchdog_restart(role);
+            }
+        }
+        // Respawn failure (OS thread exhaustion): leave the slot
+        // empty; `thread_health` reports the thread dead and the next
+        // scan retries nothing — the condition is not transient at
+        // this scale.
+    }
+}
+
 /// The concurrent lock service. See the module docs for the design.
 pub struct LockService {
     inner: Arc<ServiceInner>,
-    tuner_thread: Option<std::thread::JoinHandle<()>>,
-    sweeper_thread: Option<std::thread::JoinHandle<()>>,
+    watchdog_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl LockService {
     /// Validate `config`, build the shards and start the background
     /// threads.
     pub fn start(config: ServiceConfig) -> Result<LockService, ConfigError> {
+        Self::start_with_faults(config, FaultInjector::disabled())
+    }
+
+    /// [`LockService::start`] with an armed fault injector: the pool's
+    /// allocator consults it before every slot allocation and the
+    /// background threads consult it at the top of every loop
+    /// iteration. Pass the same injector (it is a cheap `Arc` clone)
+    /// to the network server to correlate wire faults with service
+    /// faults under one seed. With the `faults` feature off the
+    /// injector is inert and this is identical to `start`.
+    pub fn start_with_faults(
+        config: ServiceConfig,
+        faults: FaultInjector,
+    ) -> Result<LockService, ConfigError> {
         config.validate()?;
         let pool_config =
             PoolConfig::new(config.params.block_bytes, config.params.lock_struct_bytes);
         let initial = config.initial_lock_bytes.max(config.params.block_bytes);
-        let pool = SharedLockMemoryPool::new(LockMemoryPool::with_bytes(pool_config, initial));
+        let pool = SharedLockMemoryPool::with_fault_injector(
+            LockMemoryPool::with_bytes(pool_config, initial),
+            faults.clone(),
+        );
 
         let shards = (0..config.shards)
             .map(|_| Mutex::new(LockManager::new(pool.clone(), config.manager)))
@@ -427,36 +674,23 @@ impl LockService {
             tuning_intervals: AtomicU64::new(0),
             grow_decisions: AtomicU64::new(0),
             shrink_decisions: AtomicU64::new(0),
+            faults,
+            threads: Mutex::new(ThreadTable::default()),
+            tuner_restarts: AtomicU64::new(0),
+            sweeper_restarts: AtomicU64::new(0),
+            shed: AtomicBool::new(false),
+            shed_ooms: AtomicU64::new(0),
+            fault_seen: Mutex::new([0; SITE_COUNT]),
             shutdown: AtomicBool::new(false),
             park: Mutex::new(()),
             park_cv: Condvar::new(),
         });
 
-        let tuner = {
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("locktune-stmm".into())
-                .spawn(move || {
-                    while inner.park(inner.config.tuning_interval) {
-                        inner.run_tuning_interval();
-                    }
-                })
-                .map_err(|e| ConfigError::Spawn {
-                    thread: "tuning",
-                    message: e.to_string(),
-                })?
-        };
-        let sweeper = {
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("locktune-deadlock".into())
-                .spawn(move || {
-                    while inner.park(inner.config.deadlock_interval) {
-                        inner.sweep_deadlocks();
-                    }
-                })
-        };
-        let sweeper = match sweeper {
+        let tuner = spawn_tuner(Arc::clone(&inner)).map_err(|e| ConfigError::Spawn {
+            thread: "tuning",
+            message: e.to_string(),
+        })?;
+        let sweeper = match spawn_sweeper(Arc::clone(&inner)) {
             Ok(t) => t,
             Err(e) => {
                 // Don't leak the already-running tuner thread.
@@ -468,11 +702,41 @@ impl LockService {
                 });
             }
         };
+        {
+            let mut table = inner.threads.lock();
+            table.tuner.handle = Some(tuner);
+            table.sweeper.handle = Some(sweeper);
+        }
+
+        let watchdog_thread = if inner.config.watchdog_interval.is_zero() {
+            None
+        } else {
+            let wd = Arc::clone(&inner);
+            let spawned = std::thread::Builder::new()
+                .name("locktune-watchdog".into())
+                .spawn(move || {
+                    while wd.park(wd.config.watchdog_interval) {
+                        watchdog_scan(&wd);
+                    }
+                });
+            match spawned {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    inner.request_shutdown();
+                    let mut table = inner.threads.lock();
+                    table.tuner.join();
+                    table.sweeper.join();
+                    return Err(ConfigError::Spawn {
+                        thread: "watchdog",
+                        message: e.to_string(),
+                    });
+                }
+            }
+        };
 
         Ok(LockService {
             inner,
-            tuner_thread: Some(tuner),
-            sweeper_thread: Some(sweeper),
+            watchdog_thread,
         })
     }
 
@@ -715,25 +979,64 @@ impl LockService {
         self.inner.config.params
     }
 
-    /// Stop the background threads and return once they have joined.
-    pub fn shutdown(mut self) {
-        self.stop_threads();
+    /// Liveness of the background threads (and the watchdog's restart
+    /// totals). Cheap — one table lock and two `is_finished` probes —
+    /// so health endpoints can poll it.
+    pub fn thread_health(&self) -> ThreadHealth {
+        let table = self.inner.threads.lock();
+        ThreadHealth {
+            tuner_alive: table.tuner.is_alive(),
+            sweeper_alive: table.sweeper.is_alive(),
+            tuner_restarts: self.inner.tuner_restarts.load(Ordering::Relaxed),
+            sweeper_restarts: self.inner.sweeper_restarts.load(Ordering::Relaxed),
+        }
     }
 
-    fn stop_threads(&mut self) {
+    /// Total background-thread respawns (tuner + sweeper) since start.
+    pub fn watchdog_restarts(&self) -> u64 {
+        self.inner.tuner_restarts.load(Ordering::Relaxed)
+            + self.inner.sweeper_restarts.load(Ordering::Relaxed)
+    }
+
+    /// Record a slow-client eviction in the journal and counters. The
+    /// service never evicts anyone itself — the TCP front-end calls
+    /// this when it abandons a connection whose reply queue stayed
+    /// full past its deadline, so the event lands in the same journal
+    /// as the rest of the degraded-mode record. No-op without `obs`.
+    pub fn note_client_evicted(&self, app: AppId) {
+        if OBS_ENABLED {
+            self.inner.obs.record_client_evicted(app);
+        }
+    }
+
+    /// Stop the background threads and return once they have joined,
+    /// reporting whether each exited cleanly or panicked.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.stop_threads()
+    }
+
+    fn stop_threads(&mut self) -> ShutdownReport {
         self.inner.request_shutdown();
-        if let Some(t) = self.tuner_thread.take() {
+        // Watchdog first: once it is gone, nothing respawns the
+        // threads we are about to join.
+        if let Some(t) = self.watchdog_thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.sweeper_thread.take() {
-            let _ = t.join();
+        let mut table = self.inner.threads.lock();
+        table.tuner.join();
+        table.sweeper.join();
+        ShutdownReport {
+            tuner: table.tuner.last_exit,
+            sweeper: table.sweeper.last_exit,
+            tuner_restarts: self.inner.tuner_restarts.load(Ordering::Relaxed),
+            sweeper_restarts: self.inner.sweeper_restarts.load(Ordering::Relaxed),
         }
     }
 }
 
 impl Drop for LockService {
     fn drop(&mut self) {
-        self.stop_threads();
+        let _ = self.stop_threads();
     }
 }
 
@@ -830,6 +1133,12 @@ impl Session {
         if self.pending_abort() {
             return Err(ServiceError::DeadlockVictim);
         }
+        if self.inner.shed_active() {
+            if OBS_ENABLED {
+                self.inner.obs.record_shed_rejected();
+            }
+            return Err(ServiceError::Overloaded);
+        }
 
         let idx = self.inner.shard_index(res);
         self.mark_touched(idx);
@@ -844,9 +1153,17 @@ impl Session {
             (outcome, notices)
         };
         self.inner.deliver(notices);
-        match outcome? {
-            LockOutcome::Queued | LockOutcome::QueuedWithEscalation { .. } => self.await_grant(res),
-            immediate => Ok(immediate),
+        match outcome {
+            Ok(LockOutcome::Queued | LockOutcome::QueuedWithEscalation { .. }) => {
+                self.await_grant(res)
+            }
+            Ok(immediate) => Ok(immediate),
+            Err(e) => {
+                if e == LockError::OutOfLockMemory {
+                    self.inner.note_oom_denial();
+                }
+                Err(ServiceError::Lock(e))
+            }
         }
     }
 
@@ -893,6 +1210,16 @@ impl Session {
             out[0] = BatchOutcome::Done(Err(ServiceError::DeadlockVictim));
             return;
         }
+        // Shed mode rejects the whole batch up front — same shape a
+        // session-fatal error on the first request produces, so
+        // callers already handle it.
+        if self.inner.shed_active() {
+            if OBS_ENABLED {
+                self.inner.obs.record_shed_rejected();
+            }
+            out[0] = BatchOutcome::Done(Err(ServiceError::Overloaded));
+            return;
+        }
 
         // Partition by shard, groups in first-appearance order.
         let nshards = self.inner.shards.len();
@@ -932,7 +1259,12 @@ impl Session {
                             Ok(o) => out[i] = BatchOutcome::Done(Ok(o)),
                             // Request-scoped: record and keep going,
                             // like a pipelining client would.
-                            Err(e) => out[i] = BatchOutcome::Done(Err(ServiceError::Lock(e))),
+                            Err(e) => {
+                                if e == LockError::OutOfLockMemory {
+                                    self.inner.note_oom_denial();
+                                }
+                                out[i] = BatchOutcome::Done(Err(ServiceError::Lock(e)));
+                            }
                         }
                     }
                     let notices = m.take_notifications();

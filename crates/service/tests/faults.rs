@@ -1,0 +1,159 @@
+//! Self-healing behavior: background-thread health reporting, the
+//! watchdog's respawn of panicked threads, and shed mode under
+//! sustained lock-memory exhaustion. The fault-driven tests need the
+//! `faults` feature (`cargo test -p locktune-service --features
+//! faults`); the health/shutdown contract tests always run.
+
+use std::time::Duration;
+
+use locktune_lockmgr::{AppId, LockMode, ResourceId, TableId};
+use locktune_service::{LockService, ServiceConfig, ThreadExit};
+
+fn table(t: u32) -> ResourceId {
+    ResourceId::Table(TableId(t))
+}
+
+#[test]
+fn thread_health_reports_live_threads_and_clean_shutdown() {
+    let service = LockService::start(ServiceConfig::fast(4)).unwrap();
+    let health = service.thread_health();
+    assert!(health.tuner_alive, "tuner should be running");
+    assert!(health.sweeper_alive, "sweeper should be running");
+    assert_eq!(health.tuner_restarts, 0);
+    assert_eq!(health.sweeper_restarts, 0);
+    assert_eq!(service.watchdog_restarts(), 0);
+
+    let report = service.shutdown();
+    assert!(report.is_clean(), "no faults, so both exits clean");
+    assert_eq!(report.tuner, ThreadExit::Clean);
+    assert_eq!(report.sweeper, ThreadExit::Clean);
+    assert_eq!(report.tuner_restarts, 0);
+    assert_eq!(report.sweeper_restarts, 0);
+}
+
+#[test]
+fn zero_watchdog_interval_disables_the_watchdog() {
+    let config = ServiceConfig {
+        watchdog_interval: Duration::ZERO,
+        ..ServiceConfig::fast(2)
+    };
+    let service = LockService::start(config).unwrap();
+    let session = service.connect(AppId(1));
+    session.lock(table(1), LockMode::X).unwrap();
+    session.unlock_all().unwrap();
+    drop(session);
+    assert!(service.shutdown().is_clean());
+}
+
+#[cfg(feature = "faults")]
+mod injected {
+    use super::*;
+    use locktune_service::{FaultPlan, FaultSite, ServiceError};
+    use std::time::Instant;
+
+    /// Panicked tuner and sweeper threads are joined and respawned by
+    /// the watchdog; the restart counters converge on the injection
+    /// limits and the final shutdown is clean.
+    #[test]
+    fn watchdog_respawns_panicked_threads() {
+        let faults = FaultPlan::new(7)
+            .rate(FaultSite::TunerPanic, 1.0)
+            .limit(FaultSite::TunerPanic, 2)
+            .rate(FaultSite::SweeperPanic, 1.0)
+            .limit(FaultSite::SweeperPanic, 1)
+            .build();
+        let config = ServiceConfig {
+            tuning_interval: Duration::from_millis(10),
+            deadlock_interval: Duration::from_millis(10),
+            watchdog_interval: Duration::from_millis(5),
+            ..ServiceConfig::fast(2)
+        };
+        let service = LockService::start_with_faults(config, faults.clone()).unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let h = service.thread_health();
+            if h.tuner_restarts == 2 && h.sweeper_restarts == 1 && h.tuner_alive && h.sweeper_alive
+            {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "watchdog never converged: {h:?} (injected {:?})",
+                faults.injected_counts()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(faults.injected(FaultSite::TunerPanic), 2);
+        assert_eq!(faults.injected(FaultSite::SweeperPanic), 1);
+        #[cfg(feature = "obs")]
+        assert_eq!(service.obs_counters().watchdog_restarts, 3);
+
+        // The respawned threads are the ones that must exit cleanly.
+        let report = service.shutdown();
+        assert!(report.is_clean(), "post-restart shutdown: {report:?}");
+        assert_eq!(report.tuner_restarts, 2);
+        assert_eq!(report.sweeper_restarts, 1);
+    }
+
+    /// Sustained `OutOfLockMemory` engages shed mode (new requests get
+    /// the retryable `Overloaded`), and a pressure-free tuning
+    /// interval releases it.
+    #[test]
+    fn shed_mode_engages_and_releases() {
+        let faults = FaultPlan::new(11).rate(FaultSite::AllocFail, 1.0).build();
+        let config = ServiceConfig {
+            // Manual tuning ticks only: the release decision must not
+            // race a background interval mid-assertion.
+            tuning_interval: Duration::from_secs(3600),
+            shed_oom_threshold: 1,
+            ..ServiceConfig::fast(2)
+        };
+        let service = LockService::start_with_faults(config, faults.clone()).unwrap();
+        let session = service.connect(AppId(1));
+
+        let denied = session.lock(table(1), LockMode::X);
+        assert!(
+            matches!(denied, Err(ServiceError::Lock(_))),
+            "first request hits injected exhaustion: {denied:?}"
+        );
+        // Threshold 1: the surfaced denial engaged shed mode.
+        assert_eq!(
+            session.lock(table(2), LockMode::X),
+            Err(ServiceError::Overloaded)
+        );
+        let mut batch = Vec::new();
+        session.lock_many_into(&[(table(3), LockMode::S)], &mut batch);
+        assert_eq!(
+            batch[0].done(),
+            Some(&Err(ServiceError::Overloaded)),
+            "batches are shed too"
+        );
+
+        // End the storm so the post-release retry allocates normally.
+        faults.disarm();
+
+        // Interval 1 consumes the window that contains the denial;
+        // interval 2 sees a quiet window and releases.
+        service.run_tuning_interval_now();
+        assert_eq!(
+            session.lock(table(2), LockMode::X),
+            Err(ServiceError::Overloaded),
+            "still engaged: the engaging window was not quiet"
+        );
+        service.run_tuning_interval_now();
+        session.lock(table(2), LockMode::X).unwrap();
+        session.unlock_all().unwrap();
+
+        #[cfg(feature = "obs")]
+        {
+            let c = service.obs_counters();
+            assert_eq!(c.shed_engaged, 1);
+            assert_eq!(c.shed_released, 1);
+            assert!(c.shed_rejected >= 3);
+        }
+        drop(session);
+        service.validate();
+        assert!(service.shutdown().is_clean());
+    }
+}

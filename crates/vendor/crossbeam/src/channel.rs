@@ -43,6 +43,25 @@ impl<T> fmt::Display for SendError<T> {
     }
 }
 
+/// Error returned by [`Sender::send_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The channel stayed full for the whole timeout; the message is
+    /// handed back.
+    Timeout(T),
+    /// Every receiver dropped; the message is handed back.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("timed out waiting on send operation"),
+            SendTimeoutError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Error returned by [`Receiver::recv`] when the channel is empty and
 /// every sender is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +191,38 @@ impl<T> Sender<T> {
                         .not_full
                         .wait(st)
                         .unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        st.buf.push_back(value);
+        self.shared.len.store(st.buf.len(), Ordering::Release);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Send a message, giving up after `timeout` if a bounded channel
+    /// stays full. The unsent message rides back in the error.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            match st.cap {
+                Some(cap) if st.buf.len() >= cap => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(SendTimeoutError::Timeout(value));
+                    }
+                    let (g, _) = self
+                        .shared
+                        .not_full
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = g;
                 }
                 _ => break,
             }
@@ -380,6 +431,20 @@ mod tests {
         let a = rx.try_iter().count();
         let b = h.join().unwrap();
         assert_eq!(a + b, 100);
+    }
+
+    #[test]
+    fn send_timeout_expires_on_full_channel() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let err = tx.send_timeout(2, Duration::from_millis(5)).unwrap_err();
+        assert_eq!(err, SendTimeoutError::Timeout(2));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.send_timeout(2, Duration::from_millis(5)).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        drop(rx);
+        let err = tx.send_timeout(3, Duration::from_millis(5)).unwrap_err();
+        assert_eq!(err, SendTimeoutError::Disconnected(3));
     }
 
     #[test]

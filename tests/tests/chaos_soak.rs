@@ -1,0 +1,292 @@
+//! Chaos soak: the full TCP stack under a deterministic fault
+//! schedule, checked for *paired recovery* — every injected fault must
+//! leave a matching trace of the service healing itself, and the run
+//! must end with the same exact accounting a fault-free run ends with.
+//!
+//! Only built with `--features faults`; the plan's seed fixes the
+//! entire fault schedule, so each seed is a reproducible scenario:
+//!
+//! * injected tuner/sweeper panics → watchdog respawns (counted,
+//!   journaled, threads alive at the end);
+//! * injected torn frames / stalls / disconnects on the wire →
+//!   [`ReconnectingClient`] reconnect cycles with explicit
+//!   `Reconnected` transaction aborts, never silent retries;
+//! * injected allocation failures → clean per-request
+//!   `OutOfLockMemory` aborts (and shed-mode rejections if sustained);
+//! * after the storm: pool drains to zero used slots and the shard /
+//!   pool accounting audit passes exactly.
+
+#![cfg(feature = "faults")]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use locktune_lockmgr::{LockError, LockMode, ResourceId, RowId, TableId};
+use locktune_net::{ClientError, ReconnectConfig, ReconnectingClient, Server, ServerConfig};
+use locktune_obs::EventKind;
+use locktune_service::{
+    BatchOutcome, FaultInjector, FaultPlan, FaultSite, LockService, ServiceConfig, ServiceError,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WORKERS: u64 = 4;
+const TXNS_PER_WORKER: u64 = 60;
+
+/// The storm profile. Rates are calibrated so a run of
+/// `WORKERS * TXNS_PER_WORKER` transactions sees every fault site
+/// fire at least once while still terminating quickly.
+fn plan(seed: u64) -> FaultInjector {
+    FaultPlan::new(seed)
+        // ~1 in 50 pool allocations fails.
+        .rate(FaultSite::AllocFail, 0.02)
+        // Periodic wire faults: a stalled write, a torn frame and a
+        // hard disconnect, each on its own cadence.
+        .burst(FaultSite::WireStall, 97, 1)
+        .burst(FaultSite::WireTorn, 151, 1)
+        .burst(FaultSite::WireDisconnect, 211, 1)
+        .stall(Duration::from_millis(1))
+        // Both background threads die (twice each) the moment they
+        // run; the watchdog must bring them back.
+        .rate(FaultSite::TunerPanic, 1.0)
+        .limit(FaultSite::TunerPanic, 2)
+        .rate(FaultSite::SweeperPanic, 1.0)
+        .limit(FaultSite::SweeperPanic, 2)
+        .build()
+}
+
+struct WorkerReport {
+    committed: u64,
+    aborted: u64,
+    reconnected_txns: u64,
+    reconnect_cycles: u64,
+}
+
+/// One worker: small OLTP-ish transactions through a reconnecting
+/// session. Every survivable failure is tolerated and counted;
+/// anything else fails the test.
+fn worker(addr: std::net::SocketAddr, seed: u64) -> WorkerReport {
+    let policy = ReconnectConfig {
+        max_attempts: 50,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(100),
+        seed,
+    };
+    let mut rc = ReconnectingClient::connect(addr, policy).expect("worker connect");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = WorkerReport {
+        committed: 0,
+        aborted: 0,
+        reconnected_txns: 0,
+        reconnect_cycles: 0,
+    };
+    for _ in 0..TXNS_PER_WORKER {
+        let table = TableId(rng.gen_range_u64(0, 8) as u32);
+        let mut locks = vec![(ResourceId::Table(table), LockMode::IX)];
+        for _ in 0..4 {
+            let row = RowId(rng.gen_range_u64(0, 256));
+            locks.push((ResourceId::Row(table, row), LockMode::X));
+        }
+        let outcomes = match rc.lock_batch(&locks) {
+            Ok(o) => o,
+            Err(ClientError::Reconnected) => {
+                // Session replaced mid-transaction: old locks are
+                // already released server-side; abandon and move on.
+                report.reconnected_txns += 1;
+                continue;
+            }
+            Err(e) => panic!("worker lock_batch: {e}"),
+        };
+        let failed = outcomes.iter().any(|o| {
+            matches!(
+                o,
+                BatchOutcome::Done(Err(ServiceError::Timeout
+                    | ServiceError::DeadlockVictim
+                    | ServiceError::Overloaded
+                    | ServiceError::Lock(LockError::OutOfLockMemory)))
+            )
+        });
+        match rc.unlock_all() {
+            Ok(_) => {
+                if failed {
+                    report.aborted += 1;
+                } else {
+                    report.committed += 1;
+                }
+            }
+            Err(ClientError::Reconnected) => report.reconnected_txns += 1,
+            Err(ClientError::Service(_)) => report.aborted += 1,
+            Err(e) => panic!("worker unlock_all: {e}"),
+        }
+    }
+    report.reconnect_cycles = rc.stats().reconnects;
+    report
+}
+
+/// Poll `cond` until it holds or `deadline` elapses.
+fn eventually(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= end {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn run_chaos(seed: u64) {
+    let faults = plan(seed);
+    assert!(faults.is_armed(), "plan must arm the injector");
+
+    let config = ServiceConfig {
+        shed_oom_threshold: 8,
+        ..ServiceConfig::fast(4)
+    };
+    let service =
+        Arc::new(LockService::start_with_faults(config, faults.clone()).expect("service start"));
+    let server = Server::bind_with_config(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ServerConfig {
+            reply_queue_capacity: 32,
+            max_connections: 16,
+            eviction_deadline: Duration::from_secs(2),
+            faults: faults.clone(),
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|w| std::thread::spawn(move || worker(addr, seed ^ (w + 1).wrapping_mul(0x9E37))))
+        .collect();
+    let mut committed = 0;
+    let mut reconnected_txns = 0;
+    let mut reconnect_cycles = 0;
+    for w in workers {
+        let r = w.join().expect("worker panicked");
+        committed += r.committed;
+        reconnected_txns += r.reconnected_txns;
+        reconnect_cycles += r.reconnect_cycles;
+    }
+    // The storm must not have prevented all progress.
+    assert!(committed > 0, "no transaction survived the storm");
+
+    // The workload can outrun the background threads' intervals: let
+    // the panic sites exhaust their limits (each thread dies twice and
+    // is respawned in between) before stopping the storm, then disarm
+    // so the recovery checks race nothing.
+    assert!(
+        eventually(Duration::from_secs(10), || {
+            faults.injected(FaultSite::TunerPanic) == 2
+                && faults.injected(FaultSite::SweeperPanic) == 2
+        }),
+        "panic sites did not reach their limits: tuner {}, sweeper {}",
+        faults.injected(FaultSite::TunerPanic),
+        faults.injected(FaultSite::SweeperPanic),
+    );
+    faults.disarm();
+
+    // Every injected panic must be paired with a watchdog respawn,
+    // and both threads must end the run alive.
+    let tuner_panics = faults.injected(FaultSite::TunerPanic);
+    let sweeper_panics = faults.injected(FaultSite::SweeperPanic);
+    assert!(
+        eventually(Duration::from_secs(10), || {
+            let h = service.thread_health();
+            h.tuner_alive
+                && h.sweeper_alive
+                && h.tuner_restarts == tuner_panics
+                && h.sweeper_restarts == sweeper_panics
+        }),
+        "watchdog did not pair every injected panic with a respawn: {:?}",
+        service.thread_health()
+    );
+
+    // Every injected wire fault must be paired with a client-side
+    // reconnect cycle (and those cycles must have been surfaced as
+    // explicit transaction aborts, not silent retries).
+    let kills = faults.injected(FaultSite::WireTorn) + faults.injected(FaultSite::WireDisconnect);
+    assert!(kills > 0, "wire-fault sites never fired; storm too weak");
+    assert!(
+        reconnect_cycles > 0,
+        "{kills} injected wire kills but no client reconnected"
+    );
+    assert!(
+        reconnected_txns > 0,
+        "reconnects happened but no transaction observed `Reconnected`"
+    );
+
+    // Alloc faults fired and were survived (the audit below proves the
+    // aborts they caused leaked nothing).
+    assert!(
+        faults.injected(FaultSite::AllocFail) > 0,
+        "alloc-fault site never fired; storm too weak"
+    );
+
+    // Drain: all clients are gone; the server tears their sessions
+    // down asynchronously and every lock slot must come back.
+    assert!(
+        eventually(Duration::from_secs(10), || service.pool_used_slots() == 0),
+        "{} lock slots leaked after all clients disconnected",
+        service.pool_used_slots()
+    );
+    service.validate();
+
+    // The journal must carry the recovery record: respawns and the
+    // injection events themselves.
+    let counters = service.obs_counters();
+    assert_eq!(
+        counters.watchdog_restarts,
+        tuner_panics + sweeper_panics,
+        "journaled restarts must match injected panics"
+    );
+    assert!(
+        counters.faults_injected > 0,
+        "fault injections must be journaled"
+    );
+    let snap = service.observe(0, 4096);
+    let journaled_restarts = snap
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::WatchdogRestart { .. }))
+        .count() as u64;
+    assert_eq!(
+        journaled_restarts,
+        tuner_panics + sweeper_panics,
+        "every watchdog respawn must appear in the journal"
+    );
+    assert!(
+        snap.events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::FaultInjected { .. })),
+        "fault injection must appear in the journal"
+    );
+
+    server.shutdown();
+    let report = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| panic!("service still shared after server shutdown"))
+        .shutdown();
+    assert!(
+        report.is_clean(),
+        "threads must shut down cleanly after the storm: {report:?}"
+    );
+}
+
+#[test]
+fn chaos_soak_seed_7() {
+    run_chaos(7);
+}
+
+#[test]
+fn chaos_soak_seed_1984() {
+    run_chaos(1984);
+}
+
+#[test]
+fn chaos_soak_seed_0xdb2() {
+    run_chaos(0xDB2);
+}
