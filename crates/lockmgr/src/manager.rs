@@ -360,10 +360,16 @@ impl<P: PoolBackend> LockManager<P> {
         let handles = match self.allocate_slots(slots_needed, hooks) {
             Ok(h) => h,
             Err(()) => {
-                let reclaimed = self.reclaim_by_escalation(slots_needed as u64, hooks);
-                match (reclaimed, self.allocate_slots(slots_needed, hooks)) {
-                    (true, Ok(h)) => h,
-                    _ => {
+                // Escalation may or may not report success, but the
+                // retry can also succeed through synchronous growth or
+                // a sibling-depot reclaim inside `allocate_slots` — so
+                // the retry's own result is the only thing that
+                // decides, and its handles must never be discarded
+                // (dropping a SlotHandle leaks the slot).
+                self.reclaim_by_escalation(slots_needed as u64, hooks);
+                match self.allocate_slots(slots_needed, hooks) {
+                    Ok(h) => h,
+                    Err(()) => {
                         // No victim could be escalated in place. DB2's
                         // last resort is the requester itself: collapse
                         // its own row locks into a table lock, waiting

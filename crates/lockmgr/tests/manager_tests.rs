@@ -458,6 +458,53 @@ fn out_of_memory_when_no_remedy() {
     m.validate();
 }
 
+/// Hooks that deny the first `denials` sync-growth requests and grant
+/// every one after that.
+struct GrowSecondTry {
+    denials: u32,
+}
+
+impl TuningHooks for GrowSecondTry {
+    fn on_lock_request(&mut self, _: &PoolUsage) -> f64 {
+        98.0
+    }
+    fn sync_growth(&mut self, wanted: u64, _: &PoolUsage) -> u64 {
+        if self.denials > 0 {
+            self.denials -= 1;
+            0
+        } else {
+            wanted
+        }
+    }
+    fn on_pool_resized(&mut self, _: &PoolUsage) {}
+}
+
+#[test]
+fn retry_allocation_after_failed_reclaim_keeps_its_slots() {
+    let mut m = small_manager(1); // 8 slots
+    let mut h = GrowSecondTry { denials: 1 };
+    // Fill the pool with table locks: nothing can be escalated, so the
+    // reclaim pass between the two allocation attempts frees nothing.
+    for t in 0..4u32 {
+        m.lock(app(t), table(t), LockMode::IS, &mut h).unwrap();
+    }
+    assert_eq!(m.pool().free_slots(), 0);
+    // First allocation attempt: pool dry and growth denied. Reclaim
+    // finds no victim, but the retry's growth request is granted — the
+    // slots it allocates must back the granted lock, never be dropped
+    // (dropping them would both deny the request spuriously and leak
+    // pool usage).
+    let out = m.lock(app(9), table(9), LockMode::IS, &mut h).unwrap();
+    assert_eq!(out, LockOutcome::Granted);
+    assert_eq!(m.stats().denials, 0);
+    for t in 0..4u32 {
+        m.unlock_all(app(t), &mut h);
+    }
+    m.unlock_all(app(9), &mut h);
+    assert_eq!(m.pool().used_slots(), 0, "no slots may leak");
+    m.validate();
+}
+
 #[test]
 fn deadlock_detected_and_victim_aborted() {
     let mut m = big_manager();

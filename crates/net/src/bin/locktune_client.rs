@@ -6,6 +6,7 @@
 //!                 [--tables N] [--rows N] [--oltp-rows N] [--dss-rows N]
 //!                 [--dss-percent P] [--seed S] [--min-intervals N]
 //!                 [--skip-kill] [--batch] [--scrape] [--chaos]
+//!                 [--tenant ID] [--tenants N --tenant-mode MODE]
 //! ```
 //!
 //! Each worker thread owns one TCP connection and runs the same two
@@ -29,6 +30,26 @@
 //! timed every wait, and the server's escalation/victim/timeout
 //! counters must be consistent with (at least) what the client saw
 //! on the wire.
+//!
+//! `--tenant ID` binds every connection to one tenant of a
+//! `locktune-server --tenants N` and runs the standard stress against
+//! it (stats and drain polls read the machine-wide rollup). `--tenants
+//! N` instead drives a whole multi-tenant stress from one process;
+//! `--tenant-mode` picks the shape:
+//!
+//! * `noisy` (default) — tenant 0 surges pure DSS scans while tenants
+//!   `1..N` run pure OLTP: the noisy-neighbor experiment. The report
+//!   prints each tenant's budget share, p99 lock wait and escalations,
+//!   plus the donation flow the arbiter produced.
+//! * `flash` — a quiet equal load on every tenant, then a flash crowd
+//!   (3x workers, scan-heavy) slams the last tenant.
+//! * `churn` — tenants are created, loaded and dropped mid-run while a
+//!   background tenant keeps working; after every drop the machine
+//!   rollup must account for every byte (`free + Σ budgets ==
+//!   machine`), i.e. churn reclaims 100% of a dropped tenant's budget.
+//!
+//! All tenant modes end with the machine-wide drain poll and
+//! accounting audit.
 //!
 //! `--chaos` drives the same workload through self-healing
 //! [`ReconnectingClient`] sessions against a server running with
@@ -74,6 +95,9 @@ struct Args {
     batch: bool,
     scrape: bool,
     chaos: bool,
+    tenant: Option<u32>,
+    tenants: usize,
+    tenant_mode: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -92,6 +116,9 @@ fn parse_args() -> Result<Args, String> {
         batch: false,
         scrape: false,
         chaos: false,
+        tenant: None,
+        tenants: 0,
+        tenant_mode: "noisy".into(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -113,8 +140,34 @@ fn parse_args() -> Result<Args, String> {
             "--batch" => args.batch = true,
             "--scrape" => args.scrape = true,
             "--chaos" => args.chaos = true,
+            "--tenant" => args.tenant = Some(parse(&value("--tenant")?, "--tenant")?),
+            "--tenants" => args.tenants = parse(&value("--tenants")?, "--tenants")?,
+            "--tenant-mode" => args.tenant_mode = value("--tenant-mode")?,
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if (args.tenant.is_some() || args.tenants > 0) && args.chaos {
+        return Err(
+            "--tenant/--tenants cannot combine with --chaos (reconnects lose the tenant \
+                    binding; use the server-side chaos soak instead)"
+                .into(),
+        );
+    }
+    if args.tenant.is_some() && args.scrape {
+        return Err(
+            "--tenant cannot combine with --scrape (the unbound control connection \
+                    scrapes a machine rollup with empty histograms)"
+                .into(),
+        );
+    }
+    if args.tenants > 0 && !matches!(args.tenant_mode.as_str(), "noisy" | "flash" | "churn") {
+        return Err(format!(
+            "unknown --tenant-mode {:?} (expected noisy, flash or churn)",
+            args.tenant_mode
+        ));
+    }
+    if args.tenants == 1 && args.tenant_mode == "noisy" {
+        return Err("--tenant-mode noisy needs --tenants >= 2 (a neighbor to be noisy at)".into());
     }
     Ok(args)
 }
@@ -309,11 +362,11 @@ fn run_txn_chaos(
             // released everything anyway. Still not a commit.
             counters.reconnected_txns.fetch_add(1, Ordering::Relaxed);
         }
-        (Some(ServiceError::Overloaded), _) => {
+        (Some(ServiceError::Overloaded { .. }), _) => {
             counters.shed_rejections.fetch_add(1, Ordering::Relaxed);
         }
         (Some(e), _) => count_failure(&e, counters),
-        (None, Err(ClientError::Service(ServiceError::Overloaded))) => {
+        (None, Err(ClientError::Service(ServiceError::Overloaded { .. }))) => {
             counters.shed_rejections.fetch_add(1, Ordering::Relaxed);
         }
         (None, Err(ClientError::Service(e))) => count_failure(&e, counters),
@@ -340,6 +393,311 @@ fn read_retry<T>(
     }
 }
 
+/// Spawn `count` workers bound to `tenant`, each driving `wargs.txns`
+/// transactions of the `wargs` footprint over its own connection.
+fn spawn_tenant_workers(
+    tenant: u32,
+    count: usize,
+    wargs: &Args,
+    counters: &Arc<Counters>,
+) -> Vec<std::thread::JoinHandle<Result<(), String>>> {
+    (0..count)
+        .map(|w| {
+            let wargs = wargs.clone();
+            let counters = Arc::clone(counters);
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut rng =
+                    StdRng::seed_from_u64(wargs.seed ^ (u64::from(tenant) << 32) ^ w as u64);
+                let mut client = Client::connect(&wargs.addr)
+                    .map_err(|e| format!("tenant {tenant} worker {w}: connect: {e}"))?;
+                client
+                    .hello(tenant)
+                    .map_err(|e| format!("tenant {tenant} worker {w}: hello: {e}"))?;
+                for _ in 0..wargs.txns {
+                    run_txn(&mut client, &mut rng, &wargs, &counters)
+                        .map_err(|e| format!("tenant {tenant} worker {w}: {e}"))?;
+                }
+                Ok(())
+            })
+        })
+        .collect()
+}
+
+fn join_workers(workers: Vec<std::thread::JoinHandle<Result<(), String>>>) {
+    let mut failed = false;
+    for w in workers {
+        if let Err(e) = w.join().expect("worker panicked") {
+            eprintln!("locktune-client: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Print the budget partition and check the ledger invariant the whole
+/// subsystem stands on: every machine byte is either some tenant's
+/// budget or free — churn, donations and sheds never leak any.
+fn audit_rollup(control: &mut Client, exit: &mut i32) -> locktune_net::TenantStatsReply {
+    let reply = control.tenant_stats(0).unwrap_or_else(|e| {
+        eprintln!("locktune-client: tenant stats: {e}");
+        std::process::exit(1);
+    });
+    let r = &reply.rollup;
+    println!("--- machine budget partition ---");
+    println!(
+        "machine {} MiB, free {} MiB, {} arbitrations, {} donations ({} MiB moved)",
+        r.machine_budget / MIB,
+        r.free_budget / MIB,
+        r.arbitrations,
+        r.donations,
+        r.donated_bytes / MIB,
+    );
+    for t in &r.tenants {
+        println!(
+            "tenant {:>3}: budget {:>4} MiB ({:>4.1}% share)  pool {:>8} B  benefit {:>8.2}  \
+             esc {:>4}  denials {:>4}{}",
+            t.id,
+            t.budget / MIB,
+            100.0 * t.budget as f64 / r.machine_budget as f64,
+            t.pool_bytes,
+            t.benefit,
+            t.escalations,
+            t.denials,
+            if t.shedding { "  SHEDDING" } else { "" },
+        );
+    }
+    let sum: u64 = r.tenants.iter().map(|t| t.budget).sum();
+    if sum + r.free_budget == r.machine_budget {
+        println!(
+            "accounting:        exact (sum of budgets {} MiB + free {} MiB == machine {} MiB)",
+            sum / MIB,
+            r.free_budget / MIB,
+            r.machine_budget / MIB,
+        );
+    } else {
+        eprintln!(
+            "accounting:        FAILED: budgets {} + free {} != machine {}",
+            sum, r.free_budget, r.machine_budget,
+        );
+        *exit = 1;
+    }
+    reply
+}
+
+/// Wait for every tenant's pool to drain (machine-wide merged gauge),
+/// then run the remote machine audit.
+fn drain_and_validate(control: &mut Client, exit: &mut i32) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match control.stats() {
+            Ok(s) if s.pool_slots_used == 0 => break,
+            Ok(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            Ok(s) => {
+                eprintln!(
+                    "locktune-client: {} slots still held after all clients disconnected",
+                    s.pool_slots_used
+                );
+                *exit = 1;
+                break;
+            }
+            Err(e) => {
+                eprintln!("locktune-client: stats: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    match control.validate() {
+        Ok(report) => println!(
+            "validate:          zero divergence machine-wide ({} slots charged)",
+            report.charged_slots
+        ),
+        Err(e) => {
+            eprintln!("validate:          FAILED: {e}");
+            *exit = 1;
+        }
+    }
+}
+
+/// Scrape one tenant's own metrics (histograms are per-tenant: they
+/// only travel on a *bound* connection).
+fn tenant_p99_and_escalations(addr: &str, tenant: u32) -> (u64, u64) {
+    let mut c = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("locktune-client: tenant {tenant} scrape connect: {e}");
+        std::process::exit(1);
+    });
+    c.hello(tenant).unwrap_or_else(|e| {
+        eprintln!("locktune-client: tenant {tenant} scrape hello: {e}");
+        std::process::exit(1);
+    });
+    let snap = c.metrics(0, 0).unwrap_or_else(|e| {
+        eprintln!("locktune-client: tenant {tenant} metrics: {e}");
+        std::process::exit(1);
+    });
+    (
+        snap.lock_wait_micros.quantile(0.99),
+        snap.lock_stats.escalations,
+    )
+}
+
+const MIB: u64 = 1024 * 1024;
+
+/// The multi-tenant stress driver (`--tenants N`). Never returns.
+fn run_tenant_stress(args: &Args) -> ! {
+    let mut control = Client::connect(&args.addr).unwrap_or_else(|e| {
+        eprintln!("locktune-client: control connect {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    let n = args.tenants as u32;
+    let mut exit = 0;
+
+    match args.tenant_mode.as_str() {
+        "noisy" => {
+            // Tenant 0 is the noisy neighbor: pure contiguous scans,
+            // the footprint that blows past any fixed lock budget.
+            // Everyone else runs the well-behaved OLTP profile.
+            let dss = Args {
+                dss_percent: 100,
+                ..args.clone()
+            };
+            let oltp = Args {
+                dss_percent: 0,
+                ..args.clone()
+            };
+            println!(
+                "locktune-client: noisy neighbor — tenant 0 scans ({} workers), tenants 1..{} \
+                 OLTP ({} workers each)",
+                args.workers, n, args.workers,
+            );
+            let dss_counters = Arc::new(Counters::default());
+            let oltp_counters = Arc::new(Counters::default());
+            let mut workers = spawn_tenant_workers(0, args.workers, &dss, &dss_counters);
+            for t in 1..n {
+                workers.extend(spawn_tenant_workers(t, args.workers, &oltp, &oltp_counters));
+            }
+            join_workers(workers);
+            println!(
+                "dss tenant:        {} committed, {} oom, {} timeouts",
+                dss_counters.committed.load(Ordering::Relaxed),
+                dss_counters.oom.load(Ordering::Relaxed),
+                dss_counters.timeouts.load(Ordering::Relaxed),
+            );
+            println!(
+                "oltp cohort:       {} committed, {} oom, {} timeouts",
+                oltp_counters.committed.load(Ordering::Relaxed),
+                oltp_counters.oom.load(Ordering::Relaxed),
+                oltp_counters.timeouts.load(Ordering::Relaxed),
+            );
+            for t in 0..n {
+                let (p99, esc) = tenant_p99_and_escalations(&args.addr, t);
+                println!(
+                    "tenant {t:>3}: p99 lock wait {p99:>8} us, {esc:>5} escalations{}",
+                    if t == 0 { "  <- noisy" } else { "" },
+                );
+            }
+        }
+        "flash" => {
+            // Phase 1: a polite equal load everywhere. Phase 2: a
+            // flash crowd — 3x the connections, scan-heavy — slams the
+            // last tenant while the rest stay idle.
+            let quiet = Args {
+                dss_percent: 0,
+                txns: args.txns / 2,
+                ..args.clone()
+            };
+            println!(
+                "locktune-client: flash crowd — phase 1: {} tenants x {} workers (quiet OLTP)",
+                n, args.workers,
+            );
+            let counters = Arc::new(Counters::default());
+            let mut workers = Vec::new();
+            for t in 0..n {
+                workers.extend(spawn_tenant_workers(t, args.workers, &quiet, &counters));
+            }
+            join_workers(workers);
+            let crowd_tenant = n - 1;
+            let crowd = Args {
+                dss_percent: 50,
+                ..args.clone()
+            };
+            println!(
+                "locktune-client: flash crowd — phase 2: {} workers slam tenant {crowd_tenant}",
+                args.workers * 3,
+            );
+            let crowd_counters = Arc::new(Counters::default());
+            join_workers(spawn_tenant_workers(
+                crowd_tenant,
+                args.workers * 3,
+                &crowd,
+                &crowd_counters,
+            ));
+            println!(
+                "flash crowd:       {} committed, {} oom, {} timeouts on tenant {crowd_tenant}",
+                crowd_counters.committed.load(Ordering::Relaxed),
+                crowd_counters.oom.load(Ordering::Relaxed),
+                crowd_counters.timeouts.load(Ordering::Relaxed),
+            );
+        }
+        "churn" => {
+            // Tenants come and go under load. Tenant 0 keeps a steady
+            // background workload the whole time; transient tenants
+            // 900+ are created, hammered and dropped. Every drop must
+            // return the tenant's entire budget to the free pool.
+            let background = Args {
+                dss_percent: 0,
+                ..args.clone()
+            };
+            let bg_counters = Arc::new(Counters::default());
+            let bg = spawn_tenant_workers(0, 1, &background, &bg_counters);
+            let burst = Args {
+                txns: args.txns / 2,
+                ..args.clone()
+            };
+            for cycle in 0..3u32 {
+                let id = 900 + cycle;
+                let granted = control.tenant_create(id).unwrap_or_else(|e| {
+                    eprintln!("locktune-client: create tenant {id}: {e}");
+                    std::process::exit(1);
+                });
+                let churn_counters = Arc::new(Counters::default());
+                join_workers(spawn_tenant_workers(
+                    id,
+                    args.workers.div_ceil(2),
+                    &burst,
+                    &churn_counters,
+                ));
+                let reclaimed = control.tenant_drop(id).unwrap_or_else(|e| {
+                    eprintln!("locktune-client: drop tenant {id}: {e}");
+                    std::process::exit(1);
+                });
+                println!(
+                    "churn cycle {cycle}: tenant {id} granted {} MiB, committed {}, dropped — \
+                     reclaimed {} MiB",
+                    granted / MIB,
+                    churn_counters.committed.load(Ordering::Relaxed),
+                    reclaimed / MIB,
+                );
+                let reply = audit_rollup(&mut control, &mut exit);
+                if reply.rollup.tenants.iter().any(|t| t.id == id) {
+                    eprintln!("locktune-client: dropped tenant {id} still in the rollup");
+                    exit = 1;
+                }
+            }
+            join_workers(bg);
+            println!(
+                "background:        {} committed on tenant 0 across all churn cycles",
+                bg_counters.committed.load(Ordering::Relaxed),
+            );
+        }
+        other => unreachable!("validated in parse_args: {other}"),
+    }
+
+    audit_rollup(&mut control, &mut exit);
+    drain_and_validate(&mut control, &mut exit);
+    std::process::exit(exit);
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -348,6 +706,10 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    if args.tenants > 0 {
+        run_tenant_stress(&args);
+    }
 
     let counters = Arc::new(Counters::default());
     println!(
@@ -382,6 +744,11 @@ fn main() {
                 } else {
                     let mut client = Client::connect(&args.addr)
                         .map_err(|e| format!("worker {w}: connect {}: {e}", args.addr))?;
+                    if let Some(t) = args.tenant {
+                        client
+                            .hello(t)
+                            .map_err(|e| format!("worker {w}: hello: {e}"))?;
+                    }
                     for _ in 0..args.txns {
                         run_txn(&mut client, &mut rng, &args, &counters)
                             .map_err(|e| format!("worker {w}: {e}"))?;
@@ -426,6 +793,9 @@ fn main() {
         };
         let table = TableId(args.tables); // private table, uncontended
         let held = (|| -> Result<(), ClientError> {
+            if let Some(t) = args.tenant {
+                doomed.hello(t)?;
+            }
             doomed.lock(ResourceId::Table(table), LockMode::IX)?;
             for r in 0..32 {
                 doomed.lock(ResourceId::Row(table, RowId(r)), LockMode::X)?;

@@ -5,6 +5,8 @@
 //!                 [--deadlock-ms MS] [--timeout-ms MS] [--log-capacity N]
 //!                 [--initial-kb KB] [--reply-queue N] [--max-conns N]
 //!                 [--shed-threshold N] [--fault-seed SEED]
+//!                 [--tenants N] [--machine-mb MB] [--arbiter-ms MS]
+//!                 [--quantum-kb KB] [--floor-kb KB] [--initial-grant-mb MB]
 //! ```
 //!
 //! Defaults mirror `ServiceConfig::fast(8)` — millisecond tuning so a
@@ -12,15 +14,30 @@
 //! `--fault-seed` arms the standard chaos profile (sporadic allocation
 //! failures, torn/stalled/dropped reply frames, a couple of
 //! background-thread panics) with the given deterministic seed; it
-//! requires a binary built with `--features faults`. Exit codes: `1`
-//! usage, `2` invalid configuration, `3` thread-spawn failure, `4`
-//! bind failure.
+//! requires a binary built with `--features faults`.
+//!
+//! `--tenants N` (N >= 1) starts the multi-tenant backend instead: N
+//! logical databases with ids `0..N`, each its own `LockService` and
+//! tuner, under one `--machine-mb` budget split equally at startup
+//! (`--initial-grant-mb` overrides the per-tenant grant — set it below
+//! the equal split to leave free-pool headroom for tenants created
+//! later, e.g. by the client's churn mode).
+//! The cross-tenant arbiter wakes every `--arbiter-ms` and moves up to
+//! `--quantum-kb` per pass from the lowest-benefit donor to the
+//! highest-benefit recipient; `--arbiter-ms 0` disables it, which is
+//! the static-equal-split baseline the noisy-neighbor A/B compares
+//! against. Clients bind a connection to a tenant with the HELLO
+//! frame (`locktune-client --tenant ID`).
+//!
+//! Exit codes: `1` usage, `2` invalid configuration, `3` thread-spawn
+//! failure, `4` bind failure.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use locktune_net::{Server, ServerConfig};
 use locktune_service::{FaultInjector, FaultPlan, FaultSite, LockService, ServiceConfig};
+use locktune_tenants::{TenantDirectory, TenantsConfig};
 
 struct Args {
     addr: String,
@@ -34,6 +51,12 @@ struct Args {
     max_conns: usize,
     shed_threshold: u32,
     fault_seed: Option<u64>,
+    tenants: usize,
+    machine_mb: u64,
+    arbiter_ms: u64,
+    quantum_kb: u64,
+    floor_kb: u64,
+    initial_grant_mb: u64,
 }
 
 /// The standard chaos profile: every fault site armed, panics capped
@@ -67,6 +90,12 @@ fn parse_args() -> Result<Args, String> {
         max_conns: ServerConfig::default().max_connections,
         shed_threshold: 0,
         fault_seed: None,
+        tenants: 0,
+        machine_mb: 64,
+        arbiter_ms: 100,
+        quantum_kb: 2 * 1024,
+        floor_kb: 2 * 1024,
+        initial_grant_mb: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -88,6 +117,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--fault-seed" => {
                 args.fault_seed = Some(parse(&value("--fault-seed")?, "--fault-seed")?)
+            }
+            "--tenants" => args.tenants = parse(&value("--tenants")?, "--tenants")?,
+            "--machine-mb" => args.machine_mb = parse(&value("--machine-mb")?, "--machine-mb")?,
+            "--arbiter-ms" => args.arbiter_ms = parse(&value("--arbiter-ms")?, "--arbiter-ms")?,
+            "--quantum-kb" => args.quantum_kb = parse(&value("--quantum-kb")?, "--quantum-kb")?,
+            "--floor-kb" => args.floor_kb = parse(&value("--floor-kb")?, "--floor-kb")?,
+            "--initial-grant-mb" => {
+                args.initial_grant_mb = parse(&value("--initial-grant-mb")?, "--initial-grant-mb")?
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -134,6 +171,18 @@ fn main() {
         shed_oom_threshold: args.shed_threshold,
         ..ServiceConfig::fast(args.shards)
     };
+
+    let server_config = ServerConfig {
+        reply_queue_capacity: args.reply_queue,
+        max_connections: args.max_conns,
+        faults: faults.clone(),
+        ..ServerConfig::default()
+    };
+
+    if args.tenants > 0 {
+        serve_tenants(&args, config, faults, server_config);
+    }
+
     let service = match LockService::start_with_faults(config, faults.clone()) {
         Ok(s) => Arc::new(s),
         Err(e) => {
@@ -142,12 +191,6 @@ fn main() {
         }
     };
 
-    let server_config = ServerConfig {
-        reply_queue_capacity: args.reply_queue,
-        max_connections: args.max_conns,
-        faults,
-        ..ServerConfig::default()
-    };
     let server = match Server::bind_with_config(Arc::clone(&service), &args.addr, server_config) {
         Ok(s) => s,
         Err(e) => {
@@ -167,6 +210,75 @@ fn main() {
     }
 
     // Serve until killed; the accept thread does all the work.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Start the multi-tenant backend: N tenants under one machine budget,
+/// the arbiter rebalancing between them (or parked, for the static
+/// baseline). Never returns.
+fn serve_tenants(
+    args: &Args,
+    service_template: ServiceConfig,
+    faults: FaultInjector,
+    server_config: ServerConfig,
+) -> ! {
+    const KIB: u64 = 1024;
+    const MIB: u64 = 1024 * 1024;
+    let machine = args.machine_mb * MIB;
+    let config = TenantsConfig {
+        machine_budget_bytes: machine,
+        floor_bytes: args.floor_kb * KIB,
+        // Equal split at startup — the arbiter (if on) moves budget
+        // from there as per-tenant pressure diverges. An explicit
+        // smaller grant leaves free-pool headroom for churned-in
+        // tenants.
+        initial_grant_bytes: if args.initial_grant_mb > 0 {
+            args.initial_grant_mb * MIB
+        } else {
+            machine / args.tenants as u64
+        },
+        quantum_bytes: args.quantum_kb * KIB,
+        arbiter_interval: Duration::from_millis(args.arbiter_ms),
+        service: service_template,
+        ..TenantsConfig::default()
+    };
+    let directory = match TenantDirectory::start_with_faults(config, faults) {
+        Ok(d) => Arc::new(d),
+        Err(e) => {
+            eprintln!("locktune-server: tenant directory start failed: {e}");
+            std::process::exit(e.exit_code());
+        }
+    };
+    for id in 0..args.tenants as u32 {
+        if let Err(e) = directory.create_tenant(id) {
+            eprintln!("locktune-server: create tenant {id}: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+    let server =
+        match Server::bind_tenants_with_config(Arc::clone(&directory), &args.addr, server_config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("locktune-server: bind {}: {e}", args.addr);
+                std::process::exit(4);
+            }
+        };
+    println!(
+        "locktune-server listening on {} ({} tenants, {} MiB machine budget, arbiter {})",
+        server.local_addr(),
+        args.tenants,
+        args.machine_mb,
+        if args.arbiter_ms == 0 {
+            "off (static split)".to_string()
+        } else {
+            format!("every {} ms", args.arbiter_ms)
+        },
+    );
+    if let Some(seed) = args.fault_seed {
+        println!("locktune-server: chaos profile armed (seed {seed})");
+    }
     loop {
         std::thread::park();
     }

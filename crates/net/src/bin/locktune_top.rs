@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! locktune-top [--addr HOST:PORT] [--interval-ms MS] [--frames N]
-//!              [--max-events N] [--once]
+//!              [--max-events N] [--once] [--tenants]
 //! ```
 //!
 //! Polls the server's METRICS endpoint every `--interval-ms` (default
@@ -14,13 +14,22 @@
 //! single Prometheus text page instead of the dashboard — the form a
 //! metrics agent or the CI smoke test consumes.
 //!
+//! `--tenants` switches to the multi-tenant view of a `locktune-server
+//! --tenants N`: a machine partition bar (each cell one tenant's slice
+//! of the budget), a per-tenant row with its own used-vs-budget bar,
+//! budget share, benefit score and escalation/denial totals, and the
+//! live donation flow (who funded whom, at what benefit gap). The
+//! donation cursor is fed back on every poll, so each donation prints
+//! exactly once.
+//!
 //! The tuning-tick cursor is fed back on every poll, so each interval
 //! crosses the wire exactly once no matter how long the dashboard
 //! runs. Exit codes: `1` usage, `2` connect/scrape failure.
 
+use std::collections::VecDeque;
 use std::time::Duration;
 
-use locktune_net::{Client, MetricsSnapshot};
+use locktune_net::{Client, MetricsSnapshot, TenantDonation, TenantStatsReply};
 use locktune_obs::{prom, EventKind, JournalEvent};
 
 struct Args {
@@ -29,6 +38,7 @@ struct Args {
     frames: u64,
     max_events: u32,
     once: bool,
+    tenants: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         frames: 0,
         max_events: 64,
         once: false,
+        tenants: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -48,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
             "--frames" => args.frames = parse(&value("--frames")?, "--frames")?,
             "--max-events" => args.max_events = parse(&value("--max-events")?, "--max-events")?,
             "--once" => args.once = true,
+            "--tenants" => args.tenants = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -74,6 +86,10 @@ fn main() {
         }
     };
 
+    if args.tenants {
+        tenants_view(&args, &mut client);
+    }
+
     let mut cursor = 0u64;
     let mut prev: Option<MetricsSnapshot> = None;
     let mut frame = 0u64;
@@ -98,6 +114,128 @@ fn main() {
         }
         std::thread::sleep(Duration::from_millis(args.interval_ms.max(1)));
     }
+}
+
+/// The `--tenants` loop: poll TENANT_STATS, feed the donation cursor
+/// back, redraw the budget-partition dashboard. Never returns.
+fn tenants_view(args: &Args, client: &mut Client) -> ! {
+    let mut cursor = 0u64;
+    let mut recent: VecDeque<TenantDonation> = VecDeque::new();
+    let mut frame = 0u64;
+    loop {
+        let reply = match client.tenant_stats(cursor) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("locktune-top: tenant stats scrape failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        cursor = reply.next_donation_seq;
+        for d in &reply.donations {
+            recent.push_back(*d);
+        }
+        while recent.len() > 8 {
+            recent.pop_front();
+        }
+        frame += 1;
+        draw_tenants(&args.addr, &reply, &recent, !args.once);
+        if args.once || (args.frames != 0 && frame >= args.frames) {
+            std::process::exit(0);
+        }
+        std::thread::sleep(Duration::from_millis(args.interval_ms.max(1)));
+    }
+}
+
+/// One 60-cell bar partitioning the machine budget: each tenant's
+/// slice is drawn with the last digit of its id, free budget as `.`.
+fn partition_bar(reply: &TenantStatsReply) -> String {
+    const W: usize = 60;
+    let machine = reply.rollup.machine_budget.max(1);
+    let mut bar = String::with_capacity(W);
+    for t in &reply.rollup.tenants {
+        let cells = ((t.budget as f64 / machine as f64) * W as f64).round() as usize;
+        let digit = char::from_digit(t.id % 10, 10).unwrap_or('?');
+        bar.extend(std::iter::repeat_n(digit, cells.max(1)));
+    }
+    while bar.len() < W {
+        bar.push('.');
+    }
+    bar.truncate(W);
+    bar
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn draw_tenants(
+    addr: &str,
+    reply: &TenantStatsReply,
+    recent: &VecDeque<TenantDonation>,
+    clear: bool,
+) {
+    let r = &reply.rollup;
+    if clear {
+        print!("\x1b[2J\x1b[H");
+    }
+    println!(
+        "locktune-top — {addr}   {} tenants   machine {:.0} MiB   free {:.0} MiB",
+        r.tenants.len(),
+        mib(r.machine_budget),
+        mib(r.free_budget),
+    );
+    println!(
+        "arbiter      {} passes, {} donations, {:.0} MiB moved",
+        r.arbitrations,
+        r.donations,
+        mib(r.donated_bytes),
+    );
+    println!("\nbudget  [{}]", partition_bar(reply));
+    println!();
+    for t in &r.tenants {
+        // Per-tenant band bar: this tenant's pool usage against its
+        // own budget ceiling (the arbiter moves the ceiling, the
+        // tenant's tuner moves the `#`s underneath it).
+        const W: usize = 30;
+        let used = if t.budget == 0 {
+            0
+        } else {
+            (((t.pool_bytes as f64 / t.budget as f64) * W as f64).round() as usize).min(W)
+        };
+        let bar: String = (0..W).map(|i| if i < used { '#' } else { '.' }).collect();
+        println!(
+            "tenant {:>3} [{bar}] {:>6.0} MiB ({:>4.1}%)  benefit {:>8.2}  apps {:>3}  \
+             esc {:>5}  denials {:>5}{}",
+            t.id,
+            mib(t.budget),
+            100.0 * t.budget as f64 / r.machine_budget.max(1) as f64,
+            t.benefit,
+            t.connected_apps,
+            t.escalations,
+            t.denials,
+            if t.shedding { "  SHEDDING" } else { "" },
+        );
+    }
+    if !recent.is_empty() {
+        println!("\ndonation flow (newest last)");
+        for d in recent {
+            let from = match d.from {
+                Some(id) => format!("tenant {id}"),
+                None => "free pool".into(),
+            };
+            println!(
+                "  #{:<5} {:>8.3}s  {from} -> tenant {}  {:.0} MiB  (benefit {:.2} -> {:.2})",
+                d.seq,
+                d.at_ms as f64 / 1000.0,
+                d.to,
+                mib(d.bytes),
+                d.from_benefit,
+                d.to_benefit,
+            );
+        }
+    }
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
 }
 
 /// Counter delta per second between two polls, from the server's own

@@ -21,7 +21,9 @@ use locktune_lockmgr::{LockMode, LockOutcome, ResourceId, UnlockReport};
 use locktune_obs::MetricsSnapshot;
 use locktune_service::{BatchOutcome, ServiceError};
 
-use crate::wire::{self, Reply, Request, StatsSnapshot, ValidateReport, MAX_BATCH};
+use crate::wire::{
+    self, Reply, Request, StatsSnapshot, TenantCtl, TenantStatsReply, ValidateReport, MAX_BATCH,
+};
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -278,6 +280,51 @@ impl Client {
             Reply::Pong(back) if back == sent => Ok(back),
             Reply::Pong(_) => Err(ClientError::Protocol("pong echo mismatch".into())),
             other => Err(unexpected("Ping", &other)),
+        }
+    }
+
+    /// Bind this connection to `tenant` on a multi-tenant server. Must
+    /// precede any lock traffic there; single-tenant servers accept
+    /// `hello(0)` as a no-op, so it is safe to send unconditionally. A
+    /// refusal (unknown tenant, double bind) surfaces as
+    /// [`ClientError::Protocol`] with the server's message.
+    pub fn hello(&mut self, tenant: u32) -> Result<(), ClientError> {
+        match self.call(&Request::Hello { tenant })? {
+            Reply::Hello(Ok(())) => Ok(()),
+            Reply::Hello(Err(msg)) => Err(ClientError::Protocol(msg)),
+            other => Err(unexpected("Hello", &other)),
+        }
+    }
+
+    /// Snapshot the machine-wide budget partition: one row per tenant
+    /// plus the donation records since `donations_since` (feed back
+    /// the reply's `next_donation_seq` to follow the flow without
+    /// gaps). On a single-tenant server the tenant table comes back
+    /// empty.
+    pub fn tenant_stats(&mut self, donations_since: u64) -> Result<TenantStatsReply, ClientError> {
+        match self.call(&Request::TenantStats { donations_since })? {
+            Reply::TenantStats(reply) => Ok(*reply),
+            other => Err(unexpected("TenantStats", &other)),
+        }
+    }
+
+    /// Create tenant `tenant` on a multi-tenant server; returns the
+    /// granted budget in bytes.
+    pub fn tenant_create(&mut self, tenant: u32) -> Result<u64, ClientError> {
+        self.tenant_ctl(TenantCtl::Create { tenant })
+    }
+
+    /// Drop tenant `tenant` (evicting its connections); returns the
+    /// reclaimed budget in bytes.
+    pub fn tenant_drop(&mut self, tenant: u32) -> Result<u64, ClientError> {
+        self.tenant_ctl(TenantCtl::Drop { tenant })
+    }
+
+    fn tenant_ctl(&mut self, action: TenantCtl) -> Result<u64, ClientError> {
+        match self.call(&Request::TenantCtl(action))? {
+            Reply::TenantCtl(Ok(bytes)) => Ok(bytes),
+            Reply::TenantCtl(Err(msg)) => Err(ClientError::Protocol(msg)),
+            other => Err(unexpected("TenantCtl", &other)),
         }
     }
 

@@ -42,9 +42,10 @@ pub mod wire;
 pub use client::{Client, ClientError};
 pub use locktune_obs::MetricsSnapshot;
 pub use locktune_service::BatchOutcome;
+pub use locktune_tenants::{MachineRollup, TenantDonation, TenantRow};
 pub use reconnect::{ReconnectConfig, ReconnectStats, ReconnectingClient};
 pub use server::{Server, ServerConfig};
 pub use wire::{
-    Reply, Request, StatsSnapshot, ValidateReport, WireError, MAX_BATCH, MAX_WIRE_EVENTS,
-    MAX_WIRE_TICKS,
+    Reply, Request, StatsSnapshot, TenantCtl, TenantStatsReply, ValidateReport, WireError,
+    MAX_BATCH, MAX_WIRE_DONATIONS, MAX_WIRE_EVENTS, MAX_WIRE_TENANTS, MAX_WIRE_TICKS,
 };

@@ -41,8 +41,11 @@ use crossbeam::channel::{self, Receiver, SendTimeoutError, TryRecvError};
 use locktune_faults::{FaultInjector, FaultSite};
 use locktune_lockmgr::{AppId, LockMode, ResourceId};
 use locktune_service::{BatchOutcome, LockService, Session};
+use locktune_tenants::{MachineRollup, TenantDirectory};
 
-use crate::wire::{self, Reply, Request, StatsSnapshot, ValidateReport};
+use crate::wire::{
+    self, Reply, Request, StatsSnapshot, TenantCtl, TenantStatsReply, ValidateReport,
+};
 
 /// Tunables for the TCP front-end (the lock service itself is
 /// configured separately via `ServiceConfig`).
@@ -93,8 +96,20 @@ impl Default for ServerConfig {
     }
 }
 
+/// What the front-end serves: one database, or a whole tenant
+/// directory with per-connection routing.
+enum Backend {
+    /// Classic single-database server: every connection gets a session
+    /// at admission, `Hello { tenant: 0 }` is an accepted no-op.
+    Single(Arc<LockService>),
+    /// Multi-tenant server: connections arrive **unbound** and must
+    /// send [`Request::Hello`] before any lock traffic. Unbound
+    /// Stats/Metrics/Validate report the machine-wide rollup.
+    Tenants(Arc<TenantDirectory>),
+}
+
 struct Shared {
-    service: Arc<LockService>,
+    backend: Backend,
     config: ServerConfig,
     shutdown: AtomicBool,
     /// Next server-allocated application id. Network sessions never
@@ -119,6 +134,10 @@ struct Shared {
 struct ConnTable {
     /// Read-half clones, kept so shutdown can unblock parked readers.
     streams: HashMap<u64, TcpStream>,
+    /// Which tenant each connection is bound to (multi-tenant mode;
+    /// populated by `Hello`). Dropping a tenant shuts down exactly
+    /// these connections' sockets.
+    bindings: HashMap<u64, u32>,
     /// Reader-thread handles (each joins its own writer before
     /// exiting). Finished entries join instantly.
     handles: Vec<JoinHandle<()>>,
@@ -147,10 +166,39 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
+        Self::bind_backend(Backend::Single(service), addr, config)
+    }
+
+    /// Bind a **multi-tenant** front-end for `directory`. Connections
+    /// arrive unbound and route to their tenant's service after a
+    /// [`Request::Hello`]; unbound Stats/Metrics/Validate report the
+    /// machine-wide rollup, and [`Request::TenantCtl`] churns tenants
+    /// mid-run (dropping a tenant evicts its connections).
+    pub fn bind_tenants(
+        directory: Arc<TenantDirectory>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<Server> {
+        Self::bind_tenants_with_config(directory, addr, ServerConfig::default())
+    }
+
+    /// [`Server::bind_tenants`] with explicit front-end tunables.
+    pub fn bind_tenants_with_config(
+        directory: Arc<TenantDirectory>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Self::bind_backend(Backend::Tenants(directory), addr, config)
+    }
+
+    fn bind_backend(
+        backend: Backend,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            service,
+            backend,
             config: ServerConfig {
                 reply_queue_capacity: config.reply_queue_capacity.max(1),
                 max_connections: config.max_connections.max(1),
@@ -233,13 +281,14 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
     }
 }
 
-/// Allocate an unused AppId. The counter is normally enough; the loop
-/// covers collision with an in-process session connected directly to
-/// the same service.
-fn allocate_session(shared: &Shared) -> Option<Session> {
+/// Allocate an unused AppId on `service`. The counter is normally
+/// enough; the loop covers collision with an in-process session
+/// connected directly to the same service. The counter is shared
+/// across tenants, so an app id is unique machine-wide.
+fn allocate_session(shared: &Shared, service: &Arc<LockService>) -> Option<Session> {
     for _ in 0..u16::MAX {
         let id = shared.next_app.fetch_add(1, Ordering::Relaxed);
-        if let Ok(session) = shared.service.try_connect(AppId(id)) {
+        if let Ok(session) = service.try_connect(AppId(id)) {
             return Some(session);
         }
     }
@@ -276,14 +325,34 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
         let _ = stream.shutdown(Shutdown::Both);
         return;
     }
-    let Some(session) = allocate_session(shared) else {
-        // Id space exhausted (pathological); refuse the connection.
-        shared.conn_count.fetch_sub(1, Ordering::AcqRel);
-        let _ = stream.shutdown(Shutdown::Both);
-        return;
+    // Single mode binds the session right here; multi-tenant
+    // connections start unbound and bind at their Hello frame.
+    let conn = match &shared.backend {
+        Backend::Single(service) => {
+            let Some(session) = allocate_session(shared, service) else {
+                // Id space exhausted (pathological); refuse the
+                // connection.
+                shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            };
+            ConnCtx {
+                session: Some(session),
+                service: Some(Arc::clone(service)),
+                tenant: None,
+                conn_id: 0,
+            }
+        }
+        Backend::Tenants(_) => ConnCtx {
+            session: None,
+            service: None,
+            tenant: None,
+            conn_id: 0,
+        },
     };
     stream.set_nodelay(true).ok();
     let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let conn = ConnCtx { conn_id, ..conn };
     let read_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => {
@@ -300,8 +369,11 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 if let Ok(s) = registered {
                     shared.conns.lock().unwrap().streams.insert(conn_id, s);
                 }
-                serve_connection(&shared, session, read_stream, stream);
-                shared.conns.lock().unwrap().streams.remove(&conn_id);
+                serve_connection(&shared, conn, read_stream, stream);
+                let mut conns = shared.conns.lock().unwrap();
+                conns.streams.remove(&conn_id);
+                conns.bindings.remove(&conn_id);
+                drop(conns);
                 shared.conn_count.fetch_sub(1, Ordering::AcqRel);
             })
     };
@@ -313,6 +385,16 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
             shared.conn_count.fetch_sub(1, Ordering::AcqRel);
         }
     }
+}
+
+/// Per-connection routing state. In single mode the session and
+/// service are fixed at admission; in multi-tenant mode both appear
+/// when the connection's `Hello` binds it to a tenant.
+struct ConnCtx {
+    session: Option<Session>,
+    service: Option<Arc<LockService>>,
+    tenant: Option<u32>,
+    conn_id: u64,
 }
 
 /// Spent reply frames the writer hands back to the reader for reuse.
@@ -342,7 +424,7 @@ const RECYCLE_MAX_BYTES: usize = 16 * 1024;
 /// heap.
 fn serve_connection(
     shared: &Arc<Shared>,
-    session: Session,
+    mut conn: ConnCtx,
     read_stream: TcpStream,
     write_stream: TcpStream,
 ) {
@@ -380,19 +462,26 @@ fn serve_connection(
             .unwrap_or_else(|| Vec::with_capacity(64));
         // Batches bypass the owning `Request` entirely: decode into
         // the reused item buffer, execute shard-grouped, encode the
-        // coalesced reply from the reused outcome buffer.
+        // coalesced reply from the reused outcome buffer. A batch on a
+        // connection with no session yet (multi-tenant, no Hello) is a
+        // protocol error, same as any lock traffic before the bind.
         let encoded = match wire::decode_lock_batch_into(&payload, &mut batch_items) {
-            Ok(Some(id)) => {
-                session.lock_many_into(&batch_items, &mut outcomes);
-                wire::encode_batch_outcomes_into(&mut frame, id, &outcomes);
-                true
-            }
-            Ok(None) => match wire::decode_request(&payload) {
-                Ok((id, req)) => {
-                    let reply = execute(shared, &session, req);
-                    wire::encode_reply_into(&mut frame, id, &reply);
+            Ok(Some(id)) => match conn.session.as_ref() {
+                Some(session) => {
+                    session.lock_many_into(&batch_items, &mut outcomes);
+                    wire::encode_batch_outcomes_into(&mut frame, id, &outcomes);
                     true
                 }
+                None => false,
+            },
+            Ok(None) => match wire::decode_request(&payload) {
+                Ok((id, req)) => match execute(shared, &mut conn, req) {
+                    Some(reply) => {
+                        wire::encode_reply_into(&mut frame, id, &reply);
+                        true
+                    }
+                    None => false,
+                },
                 Err(_) => false,
             },
             Err(_) => false,
@@ -408,7 +497,9 @@ fn serve_connection(
             // so its two threads (and its locks, via session drop)
             // stop being pinned by a dead-but-connected peer.
             Err(SendTimeoutError::Timeout(_)) => {
-                shared.service.note_client_evicted(session.app());
+                if let (Some(service), Some(session)) = (&conn.service, &conn.session) {
+                    service.note_client_evicted(session.app());
+                }
                 let _ = r.get_ref().shutdown(Shutdown::Both);
                 break;
             }
@@ -498,37 +589,157 @@ fn writer_loop(
     let _ = w.flush();
 }
 
-fn execute(shared: &Arc<Shared>, session: &Session, req: Request) -> Reply {
-    match req {
-        Request::Lock { res, mode } => Reply::Lock(session.lock(res, mode)),
-        Request::Unlock { res } => Reply::Unlock(session.unlock(res)),
-        Request::UnlockAll => Reply::UnlockAll(session.unlock_all()),
-        Request::Stats => Reply::Stats(snapshot(shared)),
+/// Execute one decoded request. `None` is a protocol violation the
+/// reader answers by dropping the connection — the only such case is
+/// lock traffic on a multi-tenant connection that never said Hello.
+fn execute(shared: &Arc<Shared>, conn: &mut ConnCtx, req: Request) -> Option<Reply> {
+    Some(match req {
+        Request::Lock { res, mode } => Reply::Lock(conn.session.as_ref()?.lock(res, mode)),
+        Request::Unlock { res } => Reply::Unlock(conn.session.as_ref()?.unlock(res)),
+        Request::UnlockAll => Reply::UnlockAll(conn.session.as_ref()?.unlock_all()),
+        // Decoded generically only when the zero-alloc path in
+        // `serve_connection` was bypassed (tests feeding frames
+        // through `decode_request`).
+        Request::LockBatch(items) => Reply::BatchOutcomes(conn.session.as_ref()?.lock_many(&items)),
+        Request::Stats => Reply::Stats(snapshot(shared, conn)),
         Request::Ping(echo) => Reply::Pong(echo),
-        Request::Validate => Reply::Validate(validate(&shared.service)),
-        // Decoded generically only when the zero-alloc path above was
-        // bypassed (tests feeding frames through `decode_request`).
-        Request::LockBatch(items) => Reply::BatchOutcomes(session.lock_many(&items)),
+        Request::Validate => Reply::Validate(validate(shared, conn)),
         Request::Metrics {
             reports_since,
             max_events,
-        } => {
-            let max = (max_events as usize).min(wire::MAX_WIRE_EVENTS);
-            let mut snap = shared.service.observe(reports_since, max);
-            // Keep the newest ticks if the retained window outgrows a
-            // frame; `next_tick_seq` still cursors past everything.
-            if snap.ticks.len() > wire::MAX_WIRE_TICKS {
-                let excess = snap.ticks.len() - wire::MAX_WIRE_TICKS;
-                snap.ticks.drain(..excess);
+        } => Reply::Metrics(Box::new(metrics(shared, conn, reports_since, max_events))),
+        Request::Hello { tenant } => Reply::Hello(hello(shared, conn, tenant)),
+        Request::TenantStats { donations_since } => {
+            Reply::TenantStats(Box::new(tenant_stats(shared, donations_since)))
+        }
+        Request::TenantCtl(action) => Reply::TenantCtl(tenant_ctl(shared, action)),
+    })
+}
+
+/// Bind the connection to `tenant`. Single-tenant servers accept only
+/// the conventional `tenant 0` no-op, so a client can say Hello
+/// unconditionally.
+fn hello(shared: &Arc<Shared>, conn: &mut ConnCtx, tenant: u32) -> Result<(), String> {
+    match &shared.backend {
+        Backend::Single(_) => {
+            if tenant == 0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "single-tenant server: tenant {tenant} does not exist"
+                ))
             }
-            snap.reply_queue_hwm = shared.reply_hwm.load(Ordering::Relaxed);
-            Reply::Metrics(Box::new(snap))
+        }
+        Backend::Tenants(dir) => {
+            if let Some(bound) = conn.tenant {
+                return Err(format!("connection already bound to tenant {bound}"));
+            }
+            let Some(service) = dir.tenant(tenant) else {
+                return Err(format!("tenant {tenant} does not exist"));
+            };
+            let Some(session) = allocate_session(shared, &service) else {
+                return Err("application id space exhausted".into());
+            };
+            conn.session = Some(session);
+            conn.service = Some(service);
+            conn.tenant = Some(tenant);
+            shared
+                .conns
+                .lock()
+                .unwrap()
+                .bindings
+                .insert(conn.conn_id, tenant);
+            Ok(())
         }
     }
 }
 
-fn snapshot(shared: &Arc<Shared>) -> StatsSnapshot {
-    let service = &shared.service;
+/// Machine rollup plus donation flow. On a single-tenant server the
+/// tenant table is empty (there is no budget partition to report) —
+/// the frame still answers, so `locktune-top` can probe either kind.
+fn tenant_stats(shared: &Arc<Shared>, donations_since: u64) -> TenantStatsReply {
+    match &shared.backend {
+        Backend::Single(_) => TenantStatsReply {
+            rollup: MachineRollup {
+                machine_budget: 0,
+                free_budget: 0,
+                arbitrations: 0,
+                donations: 0,
+                donated_bytes: 0,
+                tenants: Vec::new(),
+            },
+            donations: Vec::new(),
+            next_donation_seq: 0,
+        },
+        Backend::Tenants(dir) => {
+            let mut rollup = dir.rollup();
+            rollup.tenants.truncate(wire::MAX_WIRE_TENANTS);
+            let (next_donation_seq, mut donations) = dir.donations_since(donations_since);
+            // Keep the newest records if the window outgrew a frame;
+            // the cursor still moves past everything.
+            if donations.len() > wire::MAX_WIRE_DONATIONS {
+                let excess = donations.len() - wire::MAX_WIRE_DONATIONS;
+                donations.drain(..excess);
+            }
+            TenantStatsReply {
+                rollup,
+                donations,
+                next_donation_seq,
+            }
+        }
+    }
+}
+
+/// Create or drop a tenant. Dropping first shuts down the sockets of
+/// every connection bound to that tenant — their readers tear down
+/// their sessions (releasing the tenant's locks), and the tenant's
+/// service winds down once those handles are gone. The ledger
+/// reclaims the budget immediately either way.
+fn tenant_ctl(shared: &Arc<Shared>, action: TenantCtl) -> Result<u64, String> {
+    let Backend::Tenants(dir) = &shared.backend else {
+        return Err("single-tenant server: no tenant control".into());
+    };
+    match action {
+        TenantCtl::Create { tenant } => {
+            dir.create_tenant(tenant).map_err(|e| e.to_string())?;
+            Ok(dir.budget(tenant).map(|b| b.budget).unwrap_or(0))
+        }
+        TenantCtl::Drop { tenant } => {
+            let evict: Vec<TcpStream> = {
+                let mut conns = shared.conns.lock().unwrap();
+                let ids: Vec<u64> = conns
+                    .bindings
+                    .iter()
+                    .filter(|&(_, &t)| t == tenant)
+                    .map(|(&id, _)| id)
+                    .collect();
+                ids.iter()
+                    .filter_map(|id| {
+                        conns.bindings.remove(id);
+                        conns.streams.get(id).and_then(|s| s.try_clone().ok())
+                    })
+                    .collect()
+            };
+            for stream in evict {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            dir.drop_tenant(tenant).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn snapshot(shared: &Arc<Shared>, conn: &ConnCtx) -> StatsSnapshot {
+    match (&conn.service, &shared.backend) {
+        // Bound (or single mode): this connection's database.
+        (Some(service), _) => service_snapshot(shared, service),
+        // Unbound on a multi-tenant server: the machine-wide view.
+        (None, Backend::Tenants(dir)) => machine_snapshot(shared, dir),
+        // Unbound single never happens (sessions bind at admission).
+        (None, Backend::Single(service)) => service_snapshot(shared, &Arc::clone(service)),
+    }
+}
+
+fn service_snapshot(shared: &Arc<Shared>, service: &Arc<LockService>) -> StatsSnapshot {
     let pool = service.pool_stats();
     let tuning = service.tuning_counters();
     let obs = service.obs_counters();
@@ -549,9 +760,88 @@ fn snapshot(shared: &Arc<Shared>) -> StatsSnapshot {
     }
 }
 
+/// Every tenant summed: monotonic counters merge exactly; point-in-
+/// time gauges (pool sizes, connected apps) sum across the tenant
+/// pools. `app_percent` is per-database and has no machine-wide
+/// meaning, so the rollup reports 0.
+fn machine_snapshot(shared: &Arc<Shared>, dir: &Arc<TenantDirectory>) -> StatsSnapshot {
+    let tuning = dir.merged_tuning_counters();
+    let obs = dir.merged_obs_counters();
+    let mut snap = StatsSnapshot {
+        stats: dir.merged_stats(),
+        tuning_intervals: tuning.intervals,
+        grow_decisions: tuning.grow_decisions,
+        shrink_decisions: tuning.shrink_decisions,
+        batches: obs.batches,
+        batch_items: obs.batch_items,
+        reply_queue_hwm: shared.reply_hwm.load(Ordering::Relaxed),
+        watchdog_restarts: obs.watchdog_restarts,
+        ..StatsSnapshot::default()
+    };
+    for id in dir.tenant_ids() {
+        if let Some(service) = dir.tenant(id) {
+            let pool = service.pool_stats();
+            snap.pool_bytes += pool.bytes;
+            snap.pool_slots_total += pool.slots_total;
+            snap.pool_slots_used += service.pool_used_slots();
+            snap.connected_apps += service.connected_apps();
+        }
+    }
+    snap
+}
+
+fn metrics(
+    shared: &Arc<Shared>,
+    conn: &ConnCtx,
+    reports_since: u64,
+    max_events: u32,
+) -> locktune_obs::MetricsSnapshot {
+    let service = match (&conn.service, &shared.backend) {
+        (Some(service), _) => Arc::clone(service),
+        (None, Backend::Single(service)) => Arc::clone(service),
+        // Unbound scrape of a multi-tenant server: merged counters and
+        // stats, pool totals summed. Histograms, journal and ticks are
+        // per-tenant (bind to scrape them), so they stay empty here.
+        (None, Backend::Tenants(dir)) => {
+            let stats = machine_snapshot(shared, dir);
+            return locktune_obs::MetricsSnapshot {
+                lock_stats: stats.stats,
+                counters: dir.merged_obs_counters(),
+                pool_bytes: stats.pool_bytes,
+                pool_slots_total: stats.pool_slots_total,
+                pool_slots_used: stats.pool_slots_used,
+                connected_apps: stats.connected_apps,
+                tuning_intervals: stats.tuning_intervals,
+                grow_decisions: stats.grow_decisions,
+                shrink_decisions: stats.shrink_decisions,
+                reply_queue_hwm: stats.reply_queue_hwm,
+                ..locktune_obs::MetricsSnapshot::default()
+            };
+        }
+    };
+    let max = (max_events as usize).min(wire::MAX_WIRE_EVENTS);
+    let mut snap = service.observe(reports_since, max);
+    // Keep the newest ticks if the retained window outgrows a frame;
+    // `next_tick_seq` still cursors past everything.
+    if snap.ticks.len() > wire::MAX_WIRE_TICKS {
+        let excess = snap.ticks.len() - wire::MAX_WIRE_TICKS;
+        snap.ticks.drain(..excess);
+    }
+    snap.reply_queue_hwm = shared.reply_hwm.load(Ordering::Relaxed);
+    snap
+}
+
+fn validate(shared: &Arc<Shared>, conn: &ConnCtx) -> Result<ValidateReport, String> {
+    match (&conn.service, &shared.backend) {
+        (Some(service), _) => validate_service(service),
+        (None, Backend::Tenants(dir)) => validate_directory(dir),
+        (None, Backend::Single(service)) => validate_service(service),
+    }
+}
+
 /// Run the cross-shard audit, converting its panic (the audit's only
 /// failure signal) into a wire-safe error message.
-fn validate(service: &LockService) -> Result<ValidateReport, String> {
+fn validate_service(service: &LockService) -> Result<ValidateReport, String> {
     let service = std::panic::AssertUnwindSafe(service);
     std::panic::catch_unwind(|| {
         service.validate();
@@ -560,12 +850,32 @@ fn validate(service: &LockService) -> Result<ValidateReport, String> {
             pool_used_slots: service.pool_used_slots(),
         }
     })
-    .map_err(|panic| {
-        let msg = panic
-            .downcast_ref::<String>()
-            .map(String::as_str)
-            .or_else(|| panic.downcast_ref::<&str>().copied())
-            .unwrap_or("accounting validation failed");
-        msg.to_string()
+    .map_err(panic_message)
+}
+
+/// Machine-wide audit: the ledger partition, every tenant's own
+/// cross-shard accounting, and the summed slot counts.
+fn validate_directory(dir: &Arc<TenantDirectory>) -> Result<ValidateReport, String> {
+    let dir = std::panic::AssertUnwindSafe(dir);
+    std::panic::catch_unwind(|| {
+        dir.validate();
+        let mut report = ValidateReport::default();
+        for id in dir.tenant_ids() {
+            if let Some(service) = dir.tenant(id) {
+                report.charged_slots += service.charged_slots();
+                report.pool_used_slots += service.pool_used_slots();
+            }
+        }
+        report
     })
+    .map_err(panic_message)
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| panic.downcast_ref::<&str>().copied())
+        .unwrap_or("accounting validation failed")
+        .to_string()
 }

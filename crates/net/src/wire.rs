@@ -42,6 +42,7 @@ use locktune_lockmgr::{LockStats, UnlockReport};
 use locktune_metrics::{HistogramSnapshot, BUCKETS};
 use locktune_obs::{EventKind, JournalEvent, MetricsSnapshot, ObsCounters, ThreadRole, TuningTick};
 use locktune_service::{BatchOutcome, ServiceError};
+use locktune_tenants::{MachineRollup, TenantDonation, TenantRow};
 
 /// Upper bound on a frame's payload (opcode + id + body). Large enough
 /// for any fixed-layout message and a generous ping echo; small enough
@@ -69,6 +70,15 @@ pub const MAX_WIRE_EVENTS: usize = 1024;
 /// (ticks are 57 bytes each; see [`MAX_WIRE_EVENTS`]).
 pub const MAX_WIRE_TICKS: usize = 256;
 
+/// Largest number of per-tenant rows a [`Reply::TenantStats`] frame
+/// may carry (rows are 77 bytes each; with [`MAX_WIRE_DONATIONS`] the
+/// worst-case frame stays inside [`MAX_PAYLOAD`]).
+pub const MAX_WIRE_TENANTS: usize = 256;
+
+/// Largest number of donation records a [`Reply::TenantStats`] frame
+/// may carry (records are 49 bytes each; see [`MAX_WIRE_TENANTS`]).
+pub const MAX_WIRE_DONATIONS: usize = 512;
+
 // Request opcodes.
 const OP_LOCK: u8 = 0x01;
 const OP_UNLOCK: u8 = 0x02;
@@ -78,6 +88,9 @@ const OP_PING: u8 = 0x05;
 const OP_VALIDATE: u8 = 0x06;
 const OP_LOCK_BATCH: u8 = 0x07;
 const OP_METRICS: u8 = 0x08;
+const OP_HELLO: u8 = 0x09;
+const OP_TENANT_STATS: u8 = 0x0A;
+const OP_TENANT_CTL: u8 = 0x0B;
 
 // Reply opcodes (request opcode | 0x80).
 const OP_LOCK_REPLY: u8 = 0x81;
@@ -88,6 +101,9 @@ const OP_PONG: u8 = 0x85;
 const OP_VALIDATE_REPLY: u8 = 0x86;
 const OP_LOCK_BATCH_REPLY: u8 = 0x87;
 const OP_METRICS_REPLY: u8 = 0x88;
+const OP_HELLO_REPLY: u8 = 0x89;
+const OP_TENANT_STATS_REPLY: u8 = 0x8A;
+const OP_TENANT_CTL_REPLY: u8 = 0x8B;
 // Server-initiated (no matching request opcode; sent with id 0 when
 // the connection is refused at admission).
 const OP_BUSY: u8 = 0x90;
@@ -136,6 +152,43 @@ pub enum Request {
         /// journal untouched (its delivery is destructive).
         max_events: u32,
     },
+    /// Bind this connection to tenant `tenant` on a multi-tenant
+    /// server. Must precede any lock traffic there (a single-tenant
+    /// server accepts `Hello { tenant: 0 }` as a no-op, so clients can
+    /// send it unconditionally). Re-binding an already-bound
+    /// connection or naming an unknown tenant is refused.
+    Hello {
+        /// The tenant this connection's locks belong to.
+        tenant: u32,
+    },
+    /// Snapshot the machine-wide budget partition: one row per tenant
+    /// plus the donation records since `donations_since` (feed back the
+    /// reply's `next_donation_seq` to follow the flow without gaps).
+    TenantStats {
+        /// Donation cursor: only records with sequence ≥ this are
+        /// returned. 0 means "everything retained".
+        donations_since: u64,
+    },
+    /// Administrative tenant churn: create or drop a tenant mid-run.
+    TenantCtl(TenantCtl),
+}
+
+/// The action carried by a [`Request::TenantCtl`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantCtl {
+    /// Create the tenant: open its budget line from the free pool and
+    /// start its service. The reply's payload is the granted budget.
+    Create {
+        /// The tenant to create.
+        tenant: u32,
+    },
+    /// Drop the tenant: evict its connections, release its locks and
+    /// return its whole budget to the free pool. The reply's payload
+    /// is the reclaimed bytes.
+    Drop {
+        /// The tenant to drop.
+        tenant: u32,
+    },
 }
 
 /// A decoded server→client message.
@@ -163,11 +216,37 @@ pub enum Reply {
     /// snapshot (boxed — it is two orders of magnitude larger than
     /// every other reply).
     Metrics(Box<MetricsSnapshot>),
+    /// Outcome of a [`Request::Hello`]: `Ok` binds the connection,
+    /// `Err` carries the refusal (unknown tenant, double bind, or a
+    /// single-tenant server asked for a tenant other than 0).
+    Hello(Result<(), String>),
+    /// Outcome of a [`Request::TenantStats`]: the machine-wide budget
+    /// rollup and recent donation flow (boxed — it carries a row per
+    /// tenant).
+    TenantStats(Box<TenantStatsReply>),
+    /// Outcome of a [`Request::TenantCtl`]: the granted budget
+    /// (create) or reclaimed bytes (drop), or the refusal message.
+    TenantCtl(Result<u64, String>),
     /// The server refused the connection at admission: its
     /// `max_connections` cap is reached. Sent with request id 0 (the
     /// refusal precedes any request) and immediately followed by a
     /// shutdown of the socket. Retryable after a backoff.
     Busy,
+}
+
+/// Body of a [`Reply::TenantStats`] frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStatsReply {
+    /// The machine-wide snapshot (budget partition, arbitration totals
+    /// and one row per tenant, ascending by id). At most
+    /// [`MAX_WIRE_TENANTS`] rows travel; the server truncates beyond
+    /// that.
+    pub rollup: MachineRollup,
+    /// Donation records with sequence ≥ the request's cursor, oldest
+    /// first (at most [`MAX_WIRE_DONATIONS`]).
+    pub donations: Vec<TenantDonation>,
+    /// Cursor to feed back as the next request's `donations_since`.
+    pub next_donation_seq: u64,
 }
 
 /// Server state snapshot carried by [`Reply::Stats`].
@@ -476,7 +555,19 @@ fn put_service_error(out: &mut Vec<u8>, e: &ServiceError) {
             out.push(4);
             put_u32(out, app.0);
         }
-        ServiceError::Overloaded => out.push(5),
+        // Tag 5 + option<u32>: presence byte then the shedding
+        // tenant's id, so a multi-database client backs off exactly
+        // the tenant that rejected it.
+        ServiceError::Overloaded { tenant } => {
+            out.push(5);
+            match tenant {
+                Some(id) => {
+                    out.push(1);
+                    put_u32(out, *id);
+                }
+                None => out.push(0),
+            }
+        }
     }
 }
 
@@ -487,7 +578,19 @@ fn get_service_error(r: &mut Reader<'_>) -> Result<ServiceError, WireError> {
         2 => Ok(ServiceError::DeadlockVictim),
         3 => Ok(ServiceError::ShuttingDown),
         4 => Ok(ServiceError::AlreadyConnected(AppId(r.u32()?))),
-        5 => Ok(ServiceError::Overloaded),
+        5 => {
+            let tenant = match r.u8()? {
+                0 => None,
+                1 => Some(r.u32()?),
+                tag => {
+                    return Err(WireError::BadTag {
+                        what: "overloaded tenant",
+                        tag,
+                    })
+                }
+            };
+            Ok(ServiceError::Overloaded { tenant })
+        }
         tag => Err(WireError::BadTag {
             what: "service error",
             tag,
@@ -1011,6 +1114,185 @@ fn get_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
     })
 }
 
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn get_string(r: &mut Reader<'_>) -> Result<String, WireError> {
+    Ok(String::from_utf8_lossy(&r.bytes()?).into_owned())
+}
+
+fn put_tenant_row(out: &mut Vec<u8>, row: &TenantRow) {
+    put_u32(out, row.id);
+    put_u64(out, row.budget);
+    put_u64(out, row.floor);
+    put_u64(out, row.pool_bytes);
+    put_u64(out, row.pool_slots_used);
+    put_f64(out, row.free_fraction);
+    put_f64(out, row.benefit);
+    put_u64(out, row.connected_apps);
+    put_u64(out, row.escalations);
+    put_u64(out, row.denials);
+    out.push(row.shedding as u8);
+}
+
+fn get_tenant_row(r: &mut Reader<'_>) -> Result<TenantRow, WireError> {
+    Ok(TenantRow {
+        id: r.u32()?,
+        budget: r.u64()?,
+        floor: r.u64()?,
+        pool_bytes: r.u64()?,
+        pool_slots_used: r.u64()?,
+        free_fraction: get_f64(r)?,
+        benefit: get_f64(r)?,
+        connected_apps: r.u64()?,
+        escalations: r.u64()?,
+        denials: r.u64()?,
+        shedding: get_bool(r)?,
+    })
+}
+
+fn put_donation(out: &mut Vec<u8>, d: &TenantDonation) {
+    put_u64(out, d.seq);
+    put_u64(out, d.at_ms);
+    match d.from {
+        Some(id) => {
+            out.push(1);
+            put_u32(out, id);
+        }
+        None => out.push(0),
+    }
+    put_u32(out, d.to);
+    put_u64(out, d.bytes);
+    put_f64(out, d.from_benefit);
+    put_f64(out, d.to_benefit);
+}
+
+fn get_donation(r: &mut Reader<'_>) -> Result<TenantDonation, WireError> {
+    let seq = r.u64()?;
+    let at_ms = r.u64()?;
+    let from = match r.u8()? {
+        0 => None,
+        1 => Some(r.u32()?),
+        tag => {
+            return Err(WireError::BadTag {
+                what: "donation donor",
+                tag,
+            })
+        }
+    };
+    Ok(TenantDonation {
+        seq,
+        at_ms,
+        from,
+        to: r.u32()?,
+        bytes: r.u64()?,
+        from_benefit: get_f64(r)?,
+        to_benefit: get_f64(r)?,
+    })
+}
+
+fn put_tenant_stats(out: &mut Vec<u8>, t: &TenantStatsReply) {
+    debug_assert!(
+        t.rollup.tenants.len() <= MAX_WIRE_TENANTS,
+        "tenant rows exceed wire bound"
+    );
+    debug_assert!(
+        t.donations.len() <= MAX_WIRE_DONATIONS,
+        "donations exceed wire bound"
+    );
+    put_u64(out, t.rollup.machine_budget);
+    put_u64(out, t.rollup.free_budget);
+    put_u64(out, t.rollup.arbitrations);
+    put_u64(out, t.rollup.donations);
+    put_u64(out, t.rollup.donated_bytes);
+    put_u32(out, t.rollup.tenants.len() as u32);
+    for row in &t.rollup.tenants {
+        put_tenant_row(out, row);
+    }
+    put_u32(out, t.donations.len() as u32);
+    for d in &t.donations {
+        put_donation(out, d);
+    }
+    put_u64(out, t.next_donation_seq);
+}
+
+fn get_tenant_stats(r: &mut Reader<'_>) -> Result<TenantStatsReply, WireError> {
+    let machine_budget = r.u64()?;
+    let free_budget = r.u64()?;
+    let arbitrations = r.u64()?;
+    let donations_total = r.u64()?;
+    let donated_bytes = r.u64()?;
+    let n_rows = r.u32()? as usize;
+    if n_rows > MAX_WIRE_TENANTS {
+        return Err(WireError::TooMany {
+            what: "tenant rows",
+            n: n_rows,
+        });
+    }
+    let mut tenants = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        tenants.push(get_tenant_row(r)?);
+    }
+    let n_donations = r.u32()? as usize;
+    if n_donations > MAX_WIRE_DONATIONS {
+        return Err(WireError::TooMany {
+            what: "donations",
+            n: n_donations,
+        });
+    }
+    let mut donations = Vec::with_capacity(n_donations);
+    for _ in 0..n_donations {
+        donations.push(get_donation(r)?);
+    }
+    let next_donation_seq = r.u64()?;
+    Ok(TenantStatsReply {
+        rollup: MachineRollup {
+            machine_budget,
+            free_budget,
+            arbitrations,
+            donations: donations_total,
+            donated_bytes,
+            tenants,
+        },
+        donations,
+        next_donation_seq,
+    })
+}
+
+/// String-error result: `0` + nothing, or `1` + length-prefixed
+/// message (Hello binds, TenantCtl refusals).
+fn put_string_result<T>(
+    out: &mut Vec<u8>,
+    result: &Result<T, String>,
+    put_ok: impl FnOnce(&mut Vec<u8>, &T),
+) {
+    match result {
+        Ok(v) => {
+            out.push(0);
+            put_ok(out, v);
+        }
+        Err(msg) => {
+            out.push(1);
+            put_string(out, msg);
+        }
+    }
+}
+
+fn get_string_result<T>(
+    r: &mut Reader<'_>,
+    get_ok: impl FnOnce(&mut Reader<'_>) -> Result<T, WireError>,
+) -> Result<Result<T, String>, WireError> {
+    match r.u8()? {
+        0 => Ok(Ok(get_ok(r)?)),
+        1 => Ok(Err(get_string(r)?)),
+        tag => Err(WireError::BadTag {
+            what: "string result",
+            tag,
+        }),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Frame encode/decode
 // ---------------------------------------------------------------------
@@ -1054,6 +1336,20 @@ pub fn encode_request_into(out: &mut Vec<u8>, id: u64, req: &Request) {
         } => frame_into(out, OP_METRICS, id, |out| {
             put_u64(out, *reports_since);
             put_u32(out, *max_events);
+        }),
+        Request::Hello { tenant } => frame_into(out, OP_HELLO, id, |out| put_u32(out, *tenant)),
+        Request::TenantStats { donations_since } => frame_into(out, OP_TENANT_STATS, id, |out| {
+            put_u64(out, *donations_since)
+        }),
+        Request::TenantCtl(action) => frame_into(out, OP_TENANT_CTL, id, |out| match action {
+            TenantCtl::Create { tenant } => {
+                out.push(0);
+                put_u32(out, *tenant);
+            }
+            TenantCtl::Drop { tenant } => {
+                out.push(1);
+                put_u32(out, *tenant);
+            }
         }),
     }
 }
@@ -1123,6 +1419,20 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
             reports_since: r.u64()?,
             max_events: r.u32()?,
         },
+        OP_HELLO => Request::Hello { tenant: r.u32()? },
+        OP_TENANT_STATS => Request::TenantStats {
+            donations_since: r.u64()?,
+        },
+        OP_TENANT_CTL => Request::TenantCtl(match r.u8()? {
+            0 => TenantCtl::Create { tenant: r.u32()? },
+            1 => TenantCtl::Drop { tenant: r.u32()? },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "tenant ctl",
+                    tag,
+                })
+            }
+        }),
         tag => {
             return Err(WireError::BadTag {
                 what: "request opcode",
@@ -1189,6 +1499,15 @@ pub fn encode_reply_into(out: &mut Vec<u8>, id: u64, reply: &Reply) {
         }),
         Reply::BatchOutcomes(items) => encode_batch_outcomes_into(out, id, items),
         Reply::Metrics(snap) => frame_into(out, OP_METRICS_REPLY, id, |out| put_metrics(out, snap)),
+        Reply::Hello(res) => frame_into(out, OP_HELLO_REPLY, id, |out| {
+            put_string_result(out, res, |_, ()| {})
+        }),
+        Reply::TenantStats(t) => frame_into(out, OP_TENANT_STATS_REPLY, id, |out| {
+            put_tenant_stats(out, t)
+        }),
+        Reply::TenantCtl(res) => frame_into(out, OP_TENANT_CTL_REPLY, id, |out| {
+            put_string_result(out, res, |out, bytes| put_u64(out, *bytes))
+        }),
         Reply::Busy => frame_into(out, OP_BUSY, id, |_| {}),
     }
 }
@@ -1234,6 +1553,9 @@ pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), WireError> {
             Reply::BatchOutcomes(items)
         }
         OP_METRICS_REPLY => Reply::Metrics(Box::new(get_metrics(&mut r)?)),
+        OP_HELLO_REPLY => Reply::Hello(get_string_result(&mut r, |_| Ok(()))?),
+        OP_TENANT_STATS_REPLY => Reply::TenantStats(Box::new(get_tenant_stats(&mut r)?)),
+        OP_TENANT_CTL_REPLY => Reply::TenantCtl(get_string_result(&mut r, |r| r.u64())?),
         OP_BUSY => Reply::Busy,
         tag => {
             return Err(WireError::BadTag {

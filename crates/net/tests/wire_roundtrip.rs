@@ -10,9 +10,11 @@ use locktune_lockmgr::{
 use locktune_metrics::{HistogramSnapshot, BUCKETS};
 use locktune_net::wire::{
     decode_lock_batch_into, decode_reply, decode_request, encode_lock_batch_into, encode_reply,
-    encode_request, Reply, Request, StatsSnapshot, ValidateReport, WireError, HEADER_LEN,
-    MAX_BATCH, MAX_PAYLOAD, MAX_WIRE_EVENTS, MAX_WIRE_TICKS,
+    encode_request, Reply, Request, StatsSnapshot, TenantCtl, TenantStatsReply, ValidateReport,
+    WireError, HEADER_LEN, MAX_BATCH, MAX_PAYLOAD, MAX_WIRE_DONATIONS, MAX_WIRE_EVENTS,
+    MAX_WIRE_TENANTS, MAX_WIRE_TICKS,
 };
+use locktune_net::{MachineRollup, TenantDonation, TenantRow};
 use locktune_obs::{EventKind, JournalEvent, MetricsSnapshot, ObsCounters, ThreadRole, TuningTick};
 use locktune_service::{BatchOutcome, ServiceError};
 use proptest::prelude::*;
@@ -68,7 +70,8 @@ fn service_error() -> BoxedStrategy<ServiceError> {
         Just(ServiceError::DeadlockVictim),
         Just(ServiceError::ShuttingDown),
         any::<u32>().prop_map(|a| ServiceError::AlreadyConnected(AppId(a))),
-        Just(ServiceError::Overloaded),
+        Just(ServiceError::Overloaded { tenant: None }),
+        Just(ServiceError::Overloaded { tenant: Some(7) }),
     ]
     .boxed()
 }
@@ -86,8 +89,78 @@ fn request() -> BoxedStrategy<Request> {
             reports_since,
             max_events,
         }),
+        any::<u32>().prop_map(|tenant| Request::Hello { tenant }),
+        any::<u64>().prop_map(|donations_since| Request::TenantStats { donations_since }),
+        any::<u32>().prop_map(|tenant| Request::TenantCtl(TenantCtl::Create { tenant })),
+        any::<u32>().prop_map(|tenant| Request::TenantCtl(TenantCtl::Drop { tenant })),
     ]
     .boxed()
+}
+
+fn tenant_row() -> BoxedStrategy<TenantRow> {
+    (
+        (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), 0.0f64..1.0, 0.0f64..1e6),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()),
+    )
+        .prop_map(|(a, b, c)| TenantRow {
+            id: a.0,
+            budget: a.1,
+            floor: a.2,
+            pool_bytes: a.3,
+            pool_slots_used: b.0,
+            free_fraction: b.1,
+            benefit: b.2,
+            connected_apps: c.0,
+            escalations: c.1,
+            denials: c.2,
+            shedding: c.3,
+        })
+        .boxed()
+}
+
+fn donation() -> BoxedStrategy<TenantDonation> {
+    (
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop_oneof![Just(None), any::<u32>().prop_map(Some)],
+        ),
+        (any::<u32>(), any::<u64>(), 0.0f64..1e6, 0.0f64..1e6),
+    )
+        .prop_map(|(a, b)| TenantDonation {
+            seq: a.0,
+            at_ms: a.1,
+            from: a.2,
+            to: b.0,
+            bytes: b.1,
+            from_benefit: b.2,
+            to_benefit: b.3,
+        })
+        .boxed()
+}
+
+fn tenant_stats_reply() -> BoxedStrategy<TenantStatsReply> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        any::<u64>(),
+        proptest::collection::vec(tenant_row(), 0..8),
+        proptest::collection::vec(donation(), 0..8),
+        any::<u64>(),
+    )
+        .prop_map(|(a, donated, tenants, donations, next)| TenantStatsReply {
+            rollup: MachineRollup {
+                machine_budget: a.0,
+                free_budget: a.1,
+                arbitrations: a.2,
+                donations: a.3,
+                donated_bytes: donated,
+                tenants,
+            },
+            donations,
+            next_donation_seq: next,
+        })
+        .boxed()
 }
 
 fn batch_outcome() -> BoxedStrategy<BatchOutcome> {
@@ -295,6 +368,13 @@ fn reply() -> BoxedStrategy<Reply> {
             .prop_map(|msg| { Reply::Validate(Err(String::from_utf8(msg).unwrap())) }),
         proptest::collection::vec(batch_outcome(), 0..40).prop_map(Reply::BatchOutcomes),
         metrics().prop_map(|m| Reply::Metrics(Box::new(m))),
+        Just(Reply::Hello(Ok(()))),
+        proptest::collection::vec(97u8..123, 1..64)
+            .prop_map(|msg| Reply::Hello(Err(String::from_utf8(msg).unwrap()))),
+        tenant_stats_reply().prop_map(|t| Reply::TenantStats(Box::new(t))),
+        any::<u64>().prop_map(|bytes| Reply::TenantCtl(Ok(bytes))),
+        proptest::collection::vec(97u8..123, 1..64)
+            .prop_map(|msg| Reply::TenantCtl(Err(String::from_utf8(msg).unwrap()))),
         Just(Reply::Busy),
     ]
     .boxed()
@@ -558,6 +638,100 @@ fn max_metrics_reply_fits_one_frame() {
     assert_eq!(
         decode_reply(&frame[4..]),
         Ok((5, Reply::Metrics(Box::new(snap))))
+    );
+}
+
+/// The worst-case TenantStats reply — full tenant table, full donation
+/// window, every field at its widest encoding — fits one frame.
+#[test]
+fn max_tenant_stats_reply_fits_one_frame() {
+    let reply = TenantStatsReply {
+        rollup: MachineRollup {
+            machine_budget: u64::MAX,
+            free_budget: u64::MAX,
+            arbitrations: u64::MAX,
+            donations: u64::MAX,
+            donated_bytes: u64::MAX,
+            tenants: (0..MAX_WIRE_TENANTS as u32)
+                .map(|id| TenantRow {
+                    id,
+                    budget: u64::MAX,
+                    floor: u64::MAX,
+                    pool_bytes: u64::MAX,
+                    pool_slots_used: u64::MAX,
+                    free_fraction: 1.0,
+                    benefit: 1e300,
+                    connected_apps: u64::MAX,
+                    escalations: u64::MAX,
+                    denials: u64::MAX,
+                    shedding: true,
+                })
+                .collect(),
+        },
+        donations: (0..MAX_WIRE_DONATIONS as u64)
+            .map(|seq| TenantDonation {
+                seq,
+                at_ms: u64::MAX,
+                from: Some(u32::MAX),
+                to: u32::MAX,
+                bytes: u64::MAX,
+                from_benefit: 1e300,
+                to_benefit: 1e300,
+            })
+            .collect(),
+        next_donation_seq: u64::MAX,
+    };
+    let frame = encode_reply(6, &Reply::TenantStats(Box::new(reply.clone())));
+    assert!(
+        frame.len() - 4 <= MAX_PAYLOAD,
+        "tenant stats payload {}",
+        frame.len() - 4
+    );
+    assert_eq!(
+        decode_reply(&frame[4..]),
+        Ok((6, Reply::TenantStats(Box::new(reply))))
+    );
+}
+
+/// A forged tenant-row or donation count past the wire bound is
+/// rejected before any allocation happens.
+#[test]
+fn forged_tenant_stats_counts_rejected() {
+    let empty = TenantStatsReply {
+        rollup: MachineRollup {
+            machine_budget: 0,
+            free_budget: 0,
+            arbitrations: 0,
+            donations: 0,
+            donated_bytes: 0,
+            tenants: Vec::new(),
+        },
+        donations: Vec::new(),
+        next_donation_seq: 0,
+    };
+    let frame = encode_reply(1, &Reply::TenantStats(Box::new(empty)));
+    // Payload layout: header (9) + five u64 totals (40) + u32 row
+    // count at offset 49.
+    let mut forged = frame.clone();
+    forged[4 + 49..4 + 53].copy_from_slice(&(MAX_WIRE_TENANTS as u32 + 1).to_le_bytes());
+    let len = (forged.len() - 4) as u32;
+    forged[..4].copy_from_slice(&len.to_le_bytes());
+    assert_eq!(
+        decode_reply(&forged[4..]),
+        Err(WireError::TooMany {
+            what: "tenant rows",
+            n: MAX_WIRE_TENANTS + 1,
+        })
+    );
+    // Donation count sits right after the (empty) row table.
+    let mut forged = frame;
+    forged[4 + 53..4 + 57].copy_from_slice(&(MAX_WIRE_DONATIONS as u32 + 1).to_le_bytes());
+    assert_eq!(
+        decode_reply(&forged[4..]),
+        Err(WireError::TooMany {
+            what: "donations",
+            n: MAX_WIRE_DONATIONS + 1,
+        })
     );
 }
 

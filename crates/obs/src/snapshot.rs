@@ -48,6 +48,50 @@ pub struct ObsCounters {
     pub faults_injected: u64,
 }
 
+impl ObsCounters {
+    /// Accumulate `other` into `self`, field by field. A multi-tenant
+    /// host sums per-service counter snapshots into one machine-wide
+    /// rollup with this; every field is a monotonic total, so the sum
+    /// is exact. The destructured pattern makes adding a field without
+    /// extending the merge a compile error.
+    pub fn merge(&mut self, other: &ObsCounters) {
+        let ObsCounters {
+            timeouts,
+            batches,
+            batch_items,
+            deadlock_victims,
+            sync_growth_granted,
+            sync_growth_denied,
+            depot_reclaim_sweeps,
+            depot_reclaimed_slots,
+            journal_recorded,
+            journal_dropped,
+            watchdog_restarts,
+            clients_evicted,
+            shed_engaged,
+            shed_released,
+            shed_rejected,
+            faults_injected,
+        } = other;
+        self.timeouts += timeouts;
+        self.batches += batches;
+        self.batch_items += batch_items;
+        self.deadlock_victims += deadlock_victims;
+        self.sync_growth_granted += sync_growth_granted;
+        self.sync_growth_denied += sync_growth_denied;
+        self.depot_reclaim_sweeps += depot_reclaim_sweeps;
+        self.depot_reclaimed_slots += depot_reclaimed_slots;
+        self.journal_recorded += journal_recorded;
+        self.journal_dropped += journal_dropped;
+        self.watchdog_restarts += watchdog_restarts;
+        self.clients_evicted += clients_evicted;
+        self.shed_engaged += shed_engaged;
+        self.shed_released += shed_released;
+        self.shed_rejected += shed_rejected;
+        self.faults_injected += faults_injected;
+    }
+}
+
 /// One tuning interval, compacted for the wire from the service's
 /// [`IntervalReport`] log. `seq` is the interval's position in the
 /// monotonic report sequence, so a poller can resume from

@@ -118,8 +118,22 @@ pub struct ServiceConfig {
     /// the pool. `0` disables shedding (the default — denials then
     /// surface individually, exactly as before).
     ///
+    /// Shedding is evaluated **per service**: when many services run
+    /// under one multi-tenant directory, each tenant sheds (and
+    /// releases) independently, and its `Overloaded` rejections carry
+    /// this service's [`ServiceConfig::tenant_id`] so clients back off
+    /// the right database instead of the whole machine.
+    ///
     /// [`ServiceError::Overloaded`]: crate::service::ServiceError::Overloaded
     pub shed_oom_threshold: u32,
+    /// Identity stamped into tenant-scoped errors
+    /// ([`ServiceError::Overloaded`]) when this service is one logical
+    /// database inside a multi-tenant directory. `None` (the default)
+    /// for a standalone service — errors then carry no tenant and mean
+    /// "the whole server".
+    ///
+    /// [`ServiceError::Overloaded`]: crate::service::ServiceError::Overloaded
+    pub tenant_id: Option<u32>,
 }
 
 impl Default for ServiceConfig {
@@ -138,6 +152,7 @@ impl Default for ServiceConfig {
             manager: LockManagerConfig::default(),
             watchdog_interval: Duration::from_millis(250),
             shed_oom_threshold: 0,
+            tenant_id: None,
         }
     }
 }

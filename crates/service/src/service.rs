@@ -68,7 +68,17 @@ pub enum ServiceError {
     /// [`ServiceConfig::shed_oom_threshold`] and the service is
     /// rejecting new lock requests until pressure clears. Retryable —
     /// back off and resubmit; locks already held are unaffected.
-    Overloaded,
+    ///
+    /// `tenant` names the logical database that is shedding
+    /// ([`ServiceConfig::tenant_id`]): under a multi-tenant directory
+    /// each tenant sheds independently, and a client driving several
+    /// databases over one connection pool must back off only the one
+    /// that rejected it. `None` means a standalone (single-tenant)
+    /// service.
+    Overloaded {
+        /// The shedding tenant, if the service is tenant-scoped.
+        tenant: Option<u32>,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -81,7 +91,14 @@ impl std::fmt::Display for ServiceError {
             ServiceError::AlreadyConnected(app) => {
                 write!(f, "{app} is already connected")
             }
-            ServiceError::Overloaded => f.write_str("service shedding load, retry later"),
+            ServiceError::Overloaded { tenant: None } => {
+                f.write_str("service shedding load, retry later")
+            }
+            ServiceError::Overloaded {
+                tenant: Some(tenant),
+            } => {
+                write!(f, "tenant {tenant} shedding load, retry later")
+            }
         }
     }
 }
@@ -150,6 +167,19 @@ pub struct TuningCounters {
     pub grow_decisions: u64,
     /// Intervals whose decision shrank the pool.
     pub shrink_decisions: u64,
+}
+
+impl TuningCounters {
+    /// Fold `other` into `self`. The aggregation hook for anything
+    /// hosting several services (the multi-tenant directory, a
+    /// machine-wide `--scrape`): totals are monotonic snapshots, so
+    /// summing per-service snapshots is exact and — unlike draining
+    /// each service's report *ring* — never advances anyone's cursor.
+    pub fn merge(&mut self, other: TuningCounters) {
+        self.intervals += other.intervals;
+        self.grow_decisions += other.grow_decisions;
+        self.shrink_decisions += other.shrink_decisions;
+    }
 }
 
 /// Fixed-capacity keep-last-N log of [`IntervalReport`]s. A
@@ -306,6 +336,13 @@ struct ServiceInner {
     threads: Mutex<ThreadTable>,
     tuner_restarts: AtomicU64,
     sweeper_restarts: AtomicU64,
+    /// Upper bound on the lock pool's size in bytes, `0` = unlimited.
+    /// A multi-tenant arbiter writes each tenant's budget here; the
+    /// tuning interval clamps every resize target against it and
+    /// shrinks the pool back under a lowered ceiling, and sync growth
+    /// never grants past it. Plain store/load — enforcement rides the
+    /// existing tuning-mutex paths.
+    lock_memory_ceiling: AtomicU64,
     /// Shed mode engaged: reject new lock requests until a tuning
     /// interval passes without an `OutOfLockMemory` denial.
     shed: AtomicBool,
@@ -340,6 +377,8 @@ impl ServiceInner {
             shared: &self.tuning,
             obs: &self.obs,
             requests: None,
+            lock_ceiling: self.lock_memory_ceiling.load(Ordering::Relaxed),
+            block_bytes: self.config.params.block_bytes,
         }
     }
 
@@ -467,15 +506,41 @@ impl ServiceInner {
         }
         let pool_stats = self.pool.stats();
         let block = self.config.params.block_bytes;
+        let ceiling = self.lock_memory_ceiling.load(Ordering::Relaxed);
         let mut state = self.tuning.state.lock();
         let crate::tuning::TuningState { stmm, mem } = &mut *state;
         let pool = &self.pool;
         let report = stmm.run_interval(mem, &pool_stats, num_apps, escalations, |target_bytes| {
+            // Budget ceiling: the tuner proposes, the arbiter's grant
+            // caps. Clamping the *applied* size (not the decision) is
+            // safe — `set_lock_memory` reconciles the memory set to
+            // whatever the pool actually became, so bytes funded for a
+            // clamped grow flow back to overflow, not into a leak.
+            let target = if ceiling != 0 {
+                target_bytes.min(ceiling)
+            } else {
+                target_bytes
+            };
             pool.with(|p| {
-                p.resize_to_blocks(target_bytes / block);
+                p.resize_to_blocks(target / block);
                 p.total_bytes()
             })
         });
+        // A lowered ceiling must bite even on a "no change" interval
+        // (the tuner then never calls the resize closure): shrink the
+        // pool back under the budget and account the release like any
+        // other shrink. Partial when used blocks pin the tail; the
+        // next interval retries what remains.
+        if ceiling != 0 && pool.total_bytes() > ceiling {
+            let before = pool.total_bytes();
+            let actual = pool.with(|p| {
+                p.resize_to_blocks(ceiling / block);
+                p.total_bytes()
+            });
+            if actual < before {
+                state.mem.note_lock_shrink(before - actual);
+            }
+        }
         drop(state);
         self.tuning.publish_app_percent(report.decision.app_percent);
         self.tuning_intervals.fetch_add(1, Ordering::Relaxed);
@@ -678,6 +743,7 @@ impl LockService {
             threads: Mutex::new(ThreadTable::default()),
             tuner_restarts: AtomicU64::new(0),
             sweeper_restarts: AtomicU64::new(0),
+            lock_memory_ceiling: AtomicU64::new(0),
             shed: AtomicBool::new(false),
             shed_ooms: AtomicU64::new(0),
             fault_seen: Mutex::new([0; SITE_COUNT]),
@@ -864,6 +930,39 @@ impl LockService {
     /// `cursor - reports.len()`.
     pub fn tuning_reports_since(&self, since: u64) -> (u64, Vec<IntervalReport>) {
         self.inner.reports.lock().since(since)
+    }
+
+    /// Cap the lock pool at `ceiling` bytes (`None` lifts the cap).
+    /// The budget knob a multi-tenant arbiter turns: the next tuning
+    /// interval clamps every resize target against it and shrinks an
+    /// over-ceiling pool back under it (partial while used blocks pin
+    /// the tail), and synchronous growth stops granting at the
+    /// ceiling immediately. Raising it never forces anything — the
+    /// tuner simply regains headroom.
+    pub fn set_lock_memory_ceiling(&self, ceiling: Option<u64>) {
+        // 0 is the "unlimited" sentinel; an explicit zero-byte budget
+        // stores 1, which the block-floor arithmetic treats as "no
+        // room" everywhere it matters.
+        let raw = match ceiling {
+            Some(bytes) => bytes.max(1),
+            None => 0,
+        };
+        self.inner.lock_memory_ceiling.store(raw, Ordering::Relaxed);
+    }
+
+    /// The lock-memory ceiling currently in force, if any.
+    pub fn lock_memory_ceiling(&self) -> Option<u64> {
+        match self.inner.lock_memory_ceiling.load(Ordering::Relaxed) {
+            0 => None,
+            bytes => Some(bytes),
+        }
+    }
+
+    /// Whether shed mode is currently rejecting lock requests. A
+    /// relaxed load — exact enough for dashboards and the tenant
+    /// directory's per-tenant rows.
+    pub fn is_shedding(&self) -> bool {
+        self.inner.shed_active()
     }
 
     /// Monotonic interval/decision totals since start.
@@ -1079,6 +1178,8 @@ impl Session {
             shared: &self.inner.tuning,
             requests: Some(&self.requests),
             obs: &self.inner.obs,
+            lock_ceiling: self.inner.lock_memory_ceiling.load(Ordering::Relaxed),
+            block_bytes: self.inner.config.params.block_bytes,
         }
     }
 
@@ -1137,7 +1238,9 @@ impl Session {
             if OBS_ENABLED {
                 self.inner.obs.record_shed_rejected();
             }
-            return Err(ServiceError::Overloaded);
+            return Err(ServiceError::Overloaded {
+                tenant: self.inner.config.tenant_id,
+            });
         }
 
         let idx = self.inner.shard_index(res);
@@ -1217,7 +1320,9 @@ impl Session {
             if OBS_ENABLED {
                 self.inner.obs.record_shed_rejected();
             }
-            out[0] = BatchOutcome::Done(Err(ServiceError::Overloaded));
+            out[0] = BatchOutcome::Done(Err(ServiceError::Overloaded {
+                tenant: self.inner.config.tenant_id,
+            }));
             return;
         }
 

@@ -130,6 +130,18 @@ pub(crate) struct ServiceHooks<'a> {
     pub requests: Option<&'a std::cell::Cell<u64>>,
     /// The service's instrumentation root (journal + histograms).
     pub obs: &'a Obs,
+    /// Lock-memory budget ceiling in bytes, `0` = unlimited (loaded
+    /// once at hook construction — the arbiter's write rate is per
+    /// arbitration interval, so a stale read lasts one lock call).
+    /// Sync growth must never grant past it: the tuning interval would
+    /// claw the excess back anyway, and the whole point of a tenant
+    /// budget is that a surge cannot borrow another tenant's bytes
+    /// even for one interval.
+    pub lock_ceiling: u64,
+    /// Pool block size — the ceiling clamp floors the remaining room
+    /// to whole blocks, since the grant path rounds any nonzero ask
+    /// *up* to a block and would otherwise overshoot the budget.
+    pub block_bytes: u64,
 }
 
 impl TuningHooks for ServiceHooks<'_> {
@@ -164,19 +176,32 @@ impl TuningHooks for ServiceHooks<'_> {
         // nothing measurable and captures exactly the latency the paper
         // says synchronous growth is meant to bound.
         let t0 = OBS_ENABLED.then(Instant::now);
-        let num_apps = self.shared.num_applications.load(Ordering::Relaxed);
-        let mut state = self.shared.state.lock();
-        let params = *state.stmm.tuner().params();
-        let overflow = state.mem.overflow_state();
-        let granted =
+        // Budget ceiling: cap the ask at the room left under it. At or
+        // above the ceiling the request is denied outright — the
+        // session then sees `OutOfLockMemory` (or escalates), exactly
+        // as if the machine were out of memory, because for this
+        // tenant it is.
+        let wanted_bytes = if self.lock_ceiling != 0 {
+            let room = self.lock_ceiling.saturating_sub(pool.bytes);
+            wanted_bytes.min(room / self.block_bytes * self.block_bytes)
+        } else {
+            wanted_bytes
+        };
+        let granted = if wanted_bytes == 0 {
+            0
+        } else {
+            let num_apps = self.shared.num_applications.load(Ordering::Relaxed);
+            let mut state = self.shared.state.lock();
+            let params = *state.stmm.tuner().params();
+            let overflow = state.mem.overflow_state();
             match SyncGrowth::new(&params).request(wanted_bytes, pool.bytes, num_apps, &overflow) {
                 SyncGrant::Granted { bytes } => {
                     state.mem.note_lock_sync_growth(bytes);
                     bytes
                 }
                 SyncGrant::Denied(_) => 0,
-            };
-        drop(state);
+            }
+        };
         if let Some(t0) = t0 {
             self.obs
                 .record_sync_stall(t0.elapsed().as_micros() as u64, granted);

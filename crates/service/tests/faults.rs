@@ -120,13 +120,13 @@ mod injected {
         // Threshold 1: the surfaced denial engaged shed mode.
         assert_eq!(
             session.lock(table(2), LockMode::X),
-            Err(ServiceError::Overloaded)
+            Err(ServiceError::Overloaded { tenant: None })
         );
         let mut batch = Vec::new();
         session.lock_many_into(&[(table(3), LockMode::S)], &mut batch);
         assert_eq!(
             batch[0].done(),
-            Some(&Err(ServiceError::Overloaded)),
+            Some(&Err(ServiceError::Overloaded { tenant: None })),
             "batches are shed too"
         );
 
@@ -138,7 +138,7 @@ mod injected {
         service.run_tuning_interval_now();
         assert_eq!(
             session.lock(table(2), LockMode::X),
-            Err(ServiceError::Overloaded),
+            Err(ServiceError::Overloaded { tenant: None }),
             "still engaged: the engaging window was not quiet"
         );
         service.run_tuning_interval_now();
@@ -155,5 +155,62 @@ mod injected {
         drop(session);
         service.validate();
         assert!(service.shutdown().is_clean());
+    }
+
+    /// A tenant-scoped service ([`ServiceConfig::tenant_id`]) stamps
+    /// its id into every `Overloaded` rejection — both the single-lock
+    /// and the batch path — so a client driving several databases
+    /// backs off exactly the one that shed. Shedding stays a
+    /// per-service decision: a second service sharing the process but
+    /// configured as another tenant keeps granting throughout.
+    #[test]
+    fn shed_rejections_carry_the_tenant_id() {
+        let faults = FaultPlan::new(13).rate(FaultSite::AllocFail, 1.0).build();
+        let config = ServiceConfig {
+            tuning_interval: Duration::from_secs(3600),
+            shed_oom_threshold: 1,
+            tenant_id: Some(42),
+            ..ServiceConfig::fast(2)
+        };
+        let shedding = LockService::start_with_faults(config, faults.clone()).unwrap();
+        let healthy = LockService::start(ServiceConfig {
+            tenant_id: Some(7),
+            ..ServiceConfig::fast(2)
+        })
+        .unwrap();
+
+        let session = shedding.connect(AppId(1));
+        assert!(
+            matches!(
+                session.lock(table(1), LockMode::X),
+                Err(ServiceError::Lock(_))
+            ),
+            "first request hits injected exhaustion"
+        );
+        assert_eq!(
+            session.lock(table(2), LockMode::X),
+            Err(ServiceError::Overloaded { tenant: Some(42) }),
+            "single-lock rejection names the shedding tenant"
+        );
+        let mut batch = Vec::new();
+        session.lock_many_into(&[(table(3), LockMode::S)], &mut batch);
+        assert_eq!(
+            batch[0].done(),
+            Some(&Err(ServiceError::Overloaded { tenant: Some(42) })),
+            "batch rejection names the shedding tenant"
+        );
+
+        // Independence: tenant 7 shares nothing with tenant 42's shed
+        // decision and keeps granting.
+        let other = healthy.connect(AppId(1));
+        other.lock(table(1), LockMode::X).unwrap();
+        other.unlock_all().unwrap();
+        faults.disarm();
+        drop(session);
+        drop(other);
+        shedding.validate();
+        healthy.validate();
+        assert!(shedding.shutdown().is_clean());
+        assert!(healthy.shutdown().is_clean());
     }
 }

@@ -1,0 +1,350 @@
+//! The machine-wide budget ledger.
+//!
+//! Pure bookkeeping, no services and no threads: every byte of the
+//! configured machine budget is at all times either *free* or exactly
+//! one tenant's *budget*, and every operation preserves that
+//! partition. The arbiter, the directory's create/drop paths and the
+//! proptest suite all drive the same four verbs (create, drop,
+//! transfer, grant), so the conservation invariant is checked where
+//! the arithmetic lives rather than re-derived per caller.
+
+use std::collections::BTreeMap;
+
+/// Why a ledger operation was refused. Refusals never change state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerError {
+    /// `create` for an id that already has a budget.
+    DuplicateTenant(u32),
+    /// The named tenant has no budget line.
+    UnknownTenant(u32),
+    /// `create` could not cover the requested floor from the free
+    /// pool.
+    InsufficientFree {
+        /// The floor that had to be covered.
+        floor: u64,
+        /// Free bytes actually available.
+        free: u64,
+    },
+    /// A transfer would leave the donor below its floor.
+    BelowFloor(u32),
+    /// Donor and recipient are the same tenant.
+    SelfTransfer(u32),
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::DuplicateTenant(id) => write!(f, "tenant {id} already has a budget"),
+            LedgerError::UnknownTenant(id) => write!(f, "tenant {id} has no budget line"),
+            LedgerError::InsufficientFree { floor, free } => {
+                write!(f, "free pool ({free} B) cannot cover the floor ({floor} B)")
+            }
+            LedgerError::BelowFloor(id) => write!(f, "transfer would put tenant {id} below floor"),
+            LedgerError::SelfTransfer(id) => write!(f, "tenant {id} cannot donate to itself"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// One tenant's line in the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantBudget {
+    /// Bytes this tenant may size its lock pool up to.
+    pub budget: u64,
+    /// Bytes the arbiter may never take the budget below.
+    pub floor: u64,
+    /// Upper bound on the budget; `u64::MAX` when only the machine
+    /// budget limits the tenant.
+    pub ceiling: u64,
+}
+
+impl TenantBudget {
+    /// Room left under the ceiling.
+    fn headroom(&self) -> u64 {
+        self.ceiling.saturating_sub(self.budget)
+    }
+}
+
+/// The machine-wide partition: `free + Σ budgets == machine_budget`,
+/// always. See the module docs.
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    machine_budget: u64,
+    free: u64,
+    tenants: BTreeMap<u32, TenantBudget>,
+}
+
+impl BudgetLedger {
+    /// A ledger holding `machine_budget` bytes, all free.
+    pub fn new(machine_budget: u64) -> Self {
+        BudgetLedger {
+            machine_budget,
+            free: machine_budget,
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// The configured machine budget.
+    pub fn machine_budget(&self) -> u64 {
+        self.machine_budget
+    }
+
+    /// Bytes not currently granted to any tenant.
+    pub fn free(&self) -> u64 {
+        self.free
+    }
+
+    /// Number of tenants with a budget line.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when no tenant holds a budget.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The named tenant's line.
+    pub fn get(&self, id: u32) -> Option<TenantBudget> {
+        self.tenants.get(&id).copied()
+    }
+
+    /// All lines, ascending by tenant id (deterministic iteration —
+    /// the arbiter's tie-breaks must not depend on hash order).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, TenantBudget)> + '_ {
+        self.tenants.iter().map(|(&id, &b)| (id, b))
+    }
+
+    /// Open a budget line: grant `want` bytes (clamped to
+    /// `[floor, min(ceiling, free)]`) out of the free pool and return
+    /// the grant. Fails — changing nothing — if the id is taken or the
+    /// free pool cannot cover `floor`.
+    pub fn create(
+        &mut self,
+        id: u32,
+        floor: u64,
+        ceiling: u64,
+        want: u64,
+    ) -> Result<u64, LedgerError> {
+        if self.tenants.contains_key(&id) {
+            return Err(LedgerError::DuplicateTenant(id));
+        }
+        let ceiling = ceiling.max(floor);
+        if self.free < floor {
+            return Err(LedgerError::InsufficientFree {
+                floor,
+                free: self.free,
+            });
+        }
+        let grant = want.clamp(floor, ceiling).min(self.free);
+        self.free -= grant;
+        self.tenants.insert(
+            id,
+            TenantBudget {
+                budget: grant,
+                floor,
+                ceiling,
+            },
+        );
+        Ok(grant)
+    }
+
+    /// Close a budget line, returning every byte — floor included — to
+    /// the free pool. Returns the reclaimed amount.
+    pub fn drop_tenant(&mut self, id: u32) -> Result<u64, LedgerError> {
+        let line = self
+            .tenants
+            .remove(&id)
+            .ok_or(LedgerError::UnknownTenant(id))?;
+        self.free += line.budget;
+        Ok(line.budget)
+    }
+
+    /// Move up to `bytes` from `from`'s budget to `to`'s, clamped so
+    /// the donor keeps at least `min_keep` (the arbiter passes
+    /// `max(floor, donor's current pool size)` so a donation never
+    /// forces a shrink) and the recipient stays under its ceiling.
+    /// Returns the bytes actually moved — `0` is a legal outcome, not
+    /// an error.
+    pub fn transfer(
+        &mut self,
+        from: u32,
+        to: u32,
+        bytes: u64,
+        min_keep: u64,
+    ) -> Result<u64, LedgerError> {
+        if from == to {
+            return Err(LedgerError::SelfTransfer(from));
+        }
+        let donor = *self
+            .tenants
+            .get(&from)
+            .ok_or(LedgerError::UnknownTenant(from))?;
+        let recipient = *self
+            .tenants
+            .get(&to)
+            .ok_or(LedgerError::UnknownTenant(to))?;
+        let keep = min_keep.max(donor.floor);
+        let moved = bytes
+            .min(donor.budget.saturating_sub(keep))
+            .min(recipient.headroom());
+        if moved > 0 {
+            self.tenants.get_mut(&from).expect("checked above").budget -= moved;
+            self.tenants.get_mut(&to).expect("checked above").budget += moved;
+        }
+        Ok(moved)
+    }
+
+    /// Grant up to `bytes` from the free pool to `to` (clamped to the
+    /// free pool and the tenant's ceiling). Returns the bytes granted.
+    pub fn grant_free(&mut self, to: u32, bytes: u64) -> Result<u64, LedgerError> {
+        let line = *self
+            .tenants
+            .get(&to)
+            .ok_or(LedgerError::UnknownTenant(to))?;
+        let granted = bytes.min(self.free).min(line.headroom());
+        if granted > 0 {
+            self.free -= granted;
+            self.tenants.get_mut(&to).expect("checked above").budget += granted;
+        }
+        Ok(granted)
+    }
+
+    /// Return up to `bytes` of `from`'s budget to the free pool,
+    /// keeping at least `min_keep` (floored at the tenant's floor).
+    /// Returns the bytes withdrawn.
+    pub fn withdraw(&mut self, from: u32, bytes: u64, min_keep: u64) -> Result<u64, LedgerError> {
+        let line = *self
+            .tenants
+            .get(&from)
+            .ok_or(LedgerError::UnknownTenant(from))?;
+        let keep = min_keep.max(line.floor);
+        let taken = bytes.min(line.budget.saturating_sub(keep));
+        if taken > 0 {
+            self.tenants.get_mut(&from).expect("checked above").budget -= taken;
+            self.free += taken;
+        }
+        Ok(taken)
+    }
+
+    /// The conservation invariant, as a result (the proptest suite
+    /// asserts it after every step): budgets and the free pool
+    /// partition the machine budget exactly, and no tenant sits below
+    /// its floor or above its ceiling.
+    pub fn check(&self) -> Result<(), String> {
+        let granted: u64 = self.tenants.values().map(|b| b.budget).sum();
+        let total = granted
+            .checked_add(self.free)
+            .ok_or_else(|| "budget sum overflowed".to_string())?;
+        if total != self.machine_budget {
+            return Err(format!(
+                "granted ({granted}) + free ({}) != machine budget ({})",
+                self.free, self.machine_budget
+            ));
+        }
+        for (&id, line) in &self.tenants {
+            if line.budget < line.floor {
+                return Err(format!(
+                    "tenant {id} budget {} below floor {}",
+                    line.budget, line.floor
+                ));
+            }
+            if line.budget > line.ceiling {
+                return Err(format!(
+                    "tenant {id} budget {} above ceiling {}",
+                    line.budget, line.ceiling
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`BudgetLedger::check`], panicking on violation.
+    ///
+    /// # Panics
+    /// Panics with the violation message.
+    pub fn audit(&self) {
+        if let Err(msg) = self.check() {
+            panic!("budget ledger divergence: {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1024 * 1024;
+
+    #[test]
+    fn create_grants_within_bounds_and_conserves() {
+        let mut l = BudgetLedger::new(64 * MIB);
+        assert_eq!(l.create(1, 2 * MIB, u64::MAX, 16 * MIB).unwrap(), 16 * MIB);
+        assert_eq!(l.free(), 48 * MIB);
+        // want below floor clamps up to the floor.
+        assert_eq!(l.create(2, 2 * MIB, u64::MAX, 0).unwrap(), 2 * MIB);
+        // want above free clamps down to what is left.
+        assert_eq!(l.create(3, 2 * MIB, u64::MAX, 500 * MIB).unwrap(), 46 * MIB);
+        assert_eq!(l.free(), 0);
+        l.audit();
+    }
+
+    #[test]
+    fn create_refuses_duplicates_and_uncovered_floors() {
+        let mut l = BudgetLedger::new(4 * MIB);
+        l.create(1, 2 * MIB, u64::MAX, 3 * MIB).unwrap();
+        assert_eq!(
+            l.create(1, MIB, u64::MAX, MIB),
+            Err(LedgerError::DuplicateTenant(1))
+        );
+        assert_eq!(
+            l.create(2, 2 * MIB, u64::MAX, 2 * MIB),
+            Err(LedgerError::InsufficientFree {
+                floor: 2 * MIB,
+                free: MIB,
+            })
+        );
+        l.audit();
+    }
+
+    #[test]
+    fn transfer_respects_floor_min_keep_and_ceiling() {
+        let mut l = BudgetLedger::new(64 * MIB);
+        l.create(1, 2 * MIB, u64::MAX, 16 * MIB).unwrap();
+        l.create(2, 2 * MIB, 20 * MIB, 16 * MIB).unwrap();
+        // min_keep above floor caps the donation.
+        assert_eq!(l.transfer(1, 2, 100 * MIB, 12 * MIB).unwrap(), 4 * MIB);
+        assert_eq!(l.get(1).unwrap().budget, 12 * MIB);
+        assert_eq!(l.get(2).unwrap().budget, 20 * MIB);
+        // Recipient at its ceiling: nothing moves.
+        assert_eq!(l.transfer(1, 2, MIB, 0).unwrap(), 0);
+        assert_eq!(l.transfer(1, 1, MIB, 0), Err(LedgerError::SelfTransfer(1)));
+        l.audit();
+    }
+
+    #[test]
+    fn drop_reclaims_every_byte() {
+        let mut l = BudgetLedger::new(64 * MIB);
+        l.create(1, 2 * MIB, u64::MAX, 16 * MIB).unwrap();
+        l.create(2, 2 * MIB, u64::MAX, 16 * MIB).unwrap();
+        l.transfer(1, 2, 8 * MIB, 0).unwrap();
+        let free_before = l.free();
+        let reclaimed = l.drop_tenant(2).unwrap();
+        assert_eq!(reclaimed, 24 * MIB, "donated bytes come back too");
+        assert_eq!(l.free(), free_before + reclaimed);
+        assert_eq!(l.drop_tenant(2), Err(LedgerError::UnknownTenant(2)));
+        l.audit();
+    }
+
+    #[test]
+    fn grant_and_withdraw_round_trip() {
+        let mut l = BudgetLedger::new(32 * MIB);
+        l.create(1, 2 * MIB, u64::MAX, 4 * MIB).unwrap();
+        assert_eq!(l.grant_free(1, 8 * MIB).unwrap(), 8 * MIB);
+        assert_eq!(l.get(1).unwrap().budget, 12 * MIB);
+        assert_eq!(l.withdraw(1, 100 * MIB, 6 * MIB).unwrap(), 6 * MIB);
+        assert_eq!(l.get(1).unwrap().budget, 6 * MIB);
+        l.audit();
+    }
+}

@@ -1,0 +1,34 @@
+//! Multi-tenant STMM: many logical databases arbitrating one
+//! machine-wide lock-memory budget.
+//!
+//! The paper's tuner moves memory between the heaps of *one* database
+//! along a greedy benefit/cost gradient. A production lock server
+//! hosts hundreds of logical databases on one machine; this crate
+//! lifts the same rebalance one level up. A [`TenantDirectory`] hosts
+//! N full [`LockService`]s — each with its own shards, tuner and
+//! MAXLOCKS curve — and a machine-wide [`BudgetLedger`] that
+//! partitions the configured budget between tenant ceilings and a
+//! free pool. A cross-tenant **arbiter** turns each tenant's pressure
+//! counters into a benefit-per-MiB score every interval and donates
+//! budget from the lowest-benefit donor to the highest-benefit
+//! recipient, under per-tenant floors and ceilings, with hysteresis,
+//! journaling every [`TenantDonation`].
+//!
+//! Budget, not memory, moves: a grant only raises a ceiling the
+//! recipient's own tuner may grow into, and a claw-back only lowers a
+//! ceiling the victim's tuner shrinks under. The ledger invariant —
+//! `free + Σ budgets == machine budget`, no tenant below floor — holds
+//! across any interleaving of donations and tenant churn, so a tenant
+//! crash, shed or drop can never leak another tenant's bytes.
+//!
+//! [`LockService`]: locktune_service::LockService
+
+mod config;
+mod directory;
+mod ledger;
+
+pub use config::{TenantsConfig, TenantsConfigError};
+pub use directory::{
+    ArbitrationOutcome, MachineRollup, TenantDirectory, TenantDonation, TenantRow, TenantsError,
+};
+pub use ledger::{BudgetLedger, LedgerError, TenantBudget};

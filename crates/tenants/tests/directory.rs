@@ -1,0 +1,219 @@
+//! Directory integration: arbitration moves budget toward the
+//! pressured tenant (free pool first, then the idle donor), floors
+//! hold, ceilings are pushed into the services, churn reclaims every
+//! byte, and the machine-wide accounting audit passes throughout.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use locktune_lockmgr::{AppId, LockMode, ResourceId, RowId, TableId};
+use locktune_service::LockService;
+use locktune_tenants::{TenantDirectory, TenantsConfig, TenantsError};
+
+const MIB: u64 = 1024 * 1024;
+
+/// A directory that only arbitrates when the test says so.
+fn manual_config(machine_mib: u64) -> TenantsConfig {
+    TenantsConfig {
+        machine_budget_bytes: machine_mib * MIB,
+        arbiter_interval: Duration::ZERO,
+        ..TenantsConfig::fast(2)
+    }
+    // fast(2): floor 2 MiB, initial grant 4 MiB, quantum 2 MiB.
+}
+
+/// Drive real lock pressure on `service`: grab X row locks across
+/// many tables until the stats show the tuner was squeezed (denials,
+/// denied sync growth or escalations), then release everything.
+fn pressure(service: &Arc<LockService>) {
+    let session = service.connect(AppId(901));
+    'outer: for t in 0..64u32 {
+        let _ = session.lock(ResourceId::Table(TableId(t)), LockMode::IX);
+        for r in 0..2048u64 {
+            let _ = session.lock(ResourceId::Row(TableId(t), RowId(r)), LockMode::X);
+            if r % 512 == 0 {
+                let s = service.stats();
+                if 8 * s.denials + 4 * s.sync_growth_denied + s.escalations >= 64 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let s = service.stats();
+    assert!(
+        s.denials + s.sync_growth_denied + s.escalations > 0,
+        "the pressure loop must squeeze the tenant: {s:?}"
+    );
+    session.unlock_all().unwrap();
+}
+
+/// With free budget available, arbitration grants it to the pressured
+/// tenant before touching anyone else's line.
+#[test]
+fn free_pool_donates_first() {
+    let dir = TenantDirectory::start(manual_config(16)).unwrap();
+    let t1 = dir.create_tenant(1).unwrap();
+    dir.create_tenant(2).unwrap();
+    assert_eq!(dir.free_budget(), 8 * MIB);
+
+    pressure(&t1);
+    let outcome = dir.arbitrate_now();
+    assert_eq!(outcome.to, Some(1), "pressured tenant is the recipient");
+    assert_eq!(outcome.from, None, "free pool donates first");
+    assert_eq!(outcome.moved_bytes, 2 * MIB, "one quantum per pass");
+    assert_eq!(dir.free_budget(), 6 * MIB);
+    assert_eq!(dir.budget(1).unwrap().budget, 6 * MIB);
+    assert_eq!(
+        t1.lock_memory_ceiling(),
+        Some(6 * MIB),
+        "the new budget is pushed into the service as its ceiling"
+    );
+    assert_eq!(
+        dir.budget(2).unwrap().budget,
+        4 * MIB,
+        "the idle tenant's line is untouched while free budget exists"
+    );
+
+    let (next, donations) = dir.donations_since(0);
+    assert_eq!(next, 1);
+    assert_eq!(donations.len(), 1);
+    assert_eq!(donations[0].from, None);
+    assert_eq!(donations[0].to, 1);
+    assert_eq!(donations[0].bytes, 2 * MIB);
+    assert!(donations[0].to_benefit > 0.0);
+
+    dir.validate();
+    dir.shutdown();
+}
+
+/// With no free budget, the lowest-benefit tenant donates — down to
+/// its floor and never below, after which arbitration is a no-op.
+#[test]
+fn idle_donor_funds_pressured_tenant_and_floors_hold() {
+    // 8 MiB machine, two tenants at 4 MiB each: the free pool is empty
+    // from the start, so budget can only move tenant-to-tenant.
+    let dir = TenantDirectory::start(manual_config(8)).unwrap();
+    let t1 = dir.create_tenant(1).unwrap();
+    let t2 = dir.create_tenant(2).unwrap();
+    assert_eq!(dir.free_budget(), 0);
+
+    pressure(&t1);
+    let outcome = dir.arbitrate_now();
+    assert_eq!(outcome.to, Some(1));
+    assert_eq!(outcome.from, Some(2), "the idle tenant is the donor");
+    assert_eq!(outcome.moved_bytes, 2 * MIB);
+    assert_eq!(dir.budget(1).unwrap().budget, 6 * MIB);
+    assert_eq!(dir.budget(2).unwrap().budget, 2 * MIB, "donor at floor");
+    assert_eq!(t1.lock_memory_ceiling(), Some(6 * MIB));
+    assert_eq!(t2.lock_memory_ceiling(), Some(2 * MIB));
+
+    // The donor sits at its floor now: further pressure cannot take
+    // another byte from it.
+    pressure(&t1);
+    let outcome = dir.arbitrate_now();
+    assert_eq!(outcome.moved_bytes, 0, "floors hold: {outcome:?}");
+    assert_eq!(dir.budget(2).unwrap().budget, 2 * MIB);
+
+    let (_, donations) = dir.donations_since(0);
+    assert_eq!(donations.len(), 1);
+    assert_eq!(donations[0].from, Some(2));
+    assert!(
+        donations[0].to_benefit > donations[0].from_benefit,
+        "donations only flow up the benefit gradient"
+    );
+
+    dir.validate();
+    dir.shutdown();
+}
+
+/// Dropping a tenant reclaims its whole budget — floor, initial grant
+/// and every donated-in byte — and the partition stays exact.
+#[test]
+fn churn_reclaims_the_full_budget() {
+    let dir = TenantDirectory::start(manual_config(8)).unwrap();
+    let t1 = dir.create_tenant(1).unwrap();
+    dir.create_tenant(2).unwrap();
+
+    pressure(&t1);
+    assert_eq!(dir.arbitrate_now().moved_bytes, 2 * MIB);
+    assert_eq!(dir.budget(1).unwrap().budget, 6 * MIB);
+    drop(t1);
+
+    let reclaimed = dir.drop_tenant(1).unwrap();
+    assert_eq!(reclaimed, 6 * MIB, "donated-in bytes come back too");
+    assert_eq!(dir.free_budget(), 6 * MIB);
+    assert_eq!(dir.tenant_ids(), vec![2]);
+    dir.validate();
+
+    // A replacement tenant can be funded from the reclaimed budget.
+    dir.create_tenant(3).unwrap();
+    assert_eq!(dir.budget(3).unwrap().budget, 4 * MIB);
+    assert_eq!(dir.free_budget(), 2 * MIB);
+
+    let reclaimed: u64 = [3, 2]
+        .into_iter()
+        .map(|id| dir.drop_tenant(id).unwrap())
+        .sum();
+    assert_eq!(reclaimed + 2 * MIB, 8 * MIB, "drain returns every byte");
+    assert_eq!(dir.free_budget(), 8 * MIB);
+    assert!(dir.is_empty());
+    dir.validate();
+    dir.shutdown();
+}
+
+/// Directory-level error paths: duplicate and unknown tenants are
+/// refused, and creation fails cleanly once the free pool cannot cover
+/// another floor.
+#[test]
+fn churn_error_paths_are_clean() {
+    let dir = TenantDirectory::start(manual_config(8)).unwrap();
+    dir.create_tenant(1).unwrap();
+    assert!(matches!(
+        dir.create_tenant(1),
+        Err(TenantsError::DuplicateTenant(1))
+    ));
+    assert!(matches!(
+        dir.drop_tenant(9),
+        Err(TenantsError::UnknownTenant(9))
+    ));
+
+    dir.create_tenant(2).unwrap();
+    // 8 MiB machine, 2 × 4 MiB granted: a third floor cannot be paid.
+    let err = dir.create_tenant(3).map(|_| ()).unwrap_err();
+    assert!(
+        matches!(err, TenantsError::Ledger(_)),
+        "creation past the machine budget is refused: {err}"
+    );
+    assert_eq!(dir.len(), 2, "the failed create left no half-tenant");
+    dir.validate();
+    dir.shutdown();
+}
+
+/// The background arbiter thread does the same job on its own timer:
+/// with a pressured tenant and a millisecond interval, budget flows
+/// without any manual pass.
+#[test]
+fn background_arbiter_moves_budget() {
+    let config = TenantsConfig {
+        machine_budget_bytes: 16 * MIB,
+        arbiter_interval: Duration::from_millis(20),
+        ..TenantsConfig::fast(2)
+    };
+    let dir = TenantDirectory::start(config).unwrap();
+    let t1 = dir.create_tenant(1).unwrap();
+    dir.create_tenant(2).unwrap();
+
+    pressure(&t1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while dir.budget(1).unwrap().budget <= 4 * MIB {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "arbiter never moved budget: {:?}",
+            dir.rollup()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(dir.arbitrations() > 0);
+    dir.validate();
+    dir.shutdown();
+}

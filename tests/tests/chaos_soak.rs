@@ -102,7 +102,7 @@ fn worker(addr: std::net::SocketAddr, seed: u64) -> WorkerReport {
                 o,
                 BatchOutcome::Done(Err(ServiceError::Timeout
                     | ServiceError::DeadlockVictim
-                    | ServiceError::Overloaded
+                    | ServiceError::Overloaded { .. }
                     | ServiceError::Lock(LockError::OutOfLockMemory)))
             )
         });
@@ -289,4 +289,140 @@ fn chaos_soak_seed_1984() {
 #[test]
 fn chaos_soak_seed_0xdb2() {
     run_chaos(0xDB2);
+}
+
+/// Tenant storm: three tenants under one machine budget, allocation
+/// faults and background-thread panics injected into every tenant's
+/// service, the heaviest tenant driven into shed pressure and then
+/// dropped mid-storm. Whatever the storm does to one tenant, the
+/// machine ledger must account for every byte — a tenant crash or
+/// shed never leaks (or steals) another tenant's budget.
+#[test]
+fn tenant_storm_never_leaks_budget() {
+    use locktune_lockmgr::AppId;
+    use locktune_tenants::{TenantDirectory, TenantsConfig};
+
+    const MIB: u64 = 1024 * 1024;
+    let faults = locktune_service::FaultPlan::new(0xDB2_7E4A)
+        .rate(FaultSite::AllocFail, 0.05)
+        .rate(FaultSite::TunerPanic, 1.0)
+        .limit(FaultSite::TunerPanic, 2)
+        .rate(FaultSite::SweeperPanic, 1.0)
+        .limit(FaultSite::SweeperPanic, 2)
+        .build();
+    assert!(faults.is_armed());
+
+    let config = TenantsConfig {
+        machine_budget_bytes: 24 * MIB,
+        arbiter_interval: Duration::from_millis(20),
+        service: ServiceConfig {
+            shed_oom_threshold: 8,
+            ..ServiceConfig::fast(2)
+        },
+        ..TenantsConfig::fast(2)
+    };
+    let floor = config.floor_bytes;
+    let dir = Arc::new(TenantDirectory::start_with_faults(config, faults.clone()).unwrap());
+    let quiet: Vec<_> = (0..2u32).map(|id| dir.create_tenant(id).unwrap()).collect();
+    let heavy = dir.create_tenant(2).unwrap();
+
+    // Two OLTP workers per quiet tenant: small transactions, every
+    // service-level abort (injected alloc failure, timeout, shed
+    // rejection) tolerated and the storm carries on.
+    let mut workers = Vec::new();
+    for (t, service) in quiet.iter().enumerate() {
+        for w in 0..2u64 {
+            let service = Arc::clone(service);
+            workers.push(std::thread::spawn(move || {
+                let session = service.connect(AppId(100 * (t as u32 + 1) + w as u32));
+                let mut rng = StdRng::seed_from_u64(w ^ 0xC0FFEE);
+                for _ in 0..200 {
+                    let table = TableId(rng.gen_range_u64(0, 4) as u32);
+                    let _ = session.lock(ResourceId::Table(table), LockMode::IX);
+                    for _ in 0..8 {
+                        let row = RowId(rng.gen_range_u64(0, 256));
+                        let _ = session.lock(ResourceId::Row(table, row), LockMode::X);
+                    }
+                    let _ = session.unlock_all();
+                }
+            }));
+        }
+    }
+    // The heavy tenant floods row locks until its tuner is squeezed —
+    // denials, denied sync growth, possibly shed mode.
+    let heavy_worker = {
+        let service = Arc::clone(&heavy);
+        std::thread::spawn(move || {
+            let session = service.connect(AppId(999));
+            for pass in 0..2u64 {
+                'tables: for t in 0..64u32 {
+                    let _ = session.lock(ResourceId::Table(TableId(t)), LockMode::IX);
+                    for r in 0..2048u64 {
+                        if session
+                            .lock(
+                                ResourceId::Row(TableId(t), RowId(pass * 4096 + r)),
+                                LockMode::X,
+                            )
+                            .is_err()
+                            && r > 64
+                        {
+                            continue 'tables;
+                        }
+                    }
+                }
+                let _ = session.unlock_all();
+            }
+            let _ = session.unlock_all();
+        })
+    };
+
+    // Mid-storm: drop the heavy tenant while its sessions are still
+    // hammering away. The ledger reclaims its entire budget line at
+    // once; the orphaned service winds down when its handles drop.
+    std::thread::sleep(Duration::from_millis(100));
+    let before = dir.rollup();
+    let heavy_budget = before
+        .tenants
+        .iter()
+        .find(|t| t.id == 2)
+        .expect("heavy tenant in rollup")
+        .budget;
+    let reclaimed = dir.drop_tenant(2).unwrap();
+    assert_eq!(reclaimed, heavy_budget, "drop returns the whole line");
+    assert!(reclaimed >= floor);
+
+    heavy_worker.join().unwrap();
+    for w in workers {
+        w.join().unwrap();
+    }
+    faults.disarm();
+
+    // The storm was real: alloc faults fired and the heavy tenant was
+    // genuinely squeezed before it went away.
+    assert!(
+        faults.injected(FaultSite::AllocFail) > 0,
+        "alloc-fault site never fired; storm too weak"
+    );
+    let heavy_stats = heavy.stats();
+    assert!(
+        heavy_stats.denials + heavy_stats.sync_growth_denied + heavy_stats.escalations > 0,
+        "heavy tenant was never squeezed: {heavy_stats:?}"
+    );
+
+    // The headline invariant: every machine byte is either a surviving
+    // tenant's budget or free, floors hold, and the per-tenant pool
+    // accounting audits exactly. A shedding or dropped tenant leaked
+    // nothing.
+    let after = dir.rollup();
+    assert_eq!(after.tenants.len(), 2);
+    let budgets: u64 = after.tenants.iter().map(|t| t.budget).sum();
+    assert_eq!(budgets + after.free_budget, after.machine_budget);
+    assert!(after.tenants.iter().all(|t| t.budget >= floor));
+    dir.validate();
+
+    drop(heavy);
+    drop(quiet);
+    Arc::try_unwrap(dir)
+        .unwrap_or_else(|_| panic!("directory still shared"))
+        .shutdown();
 }
