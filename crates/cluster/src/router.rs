@@ -1,0 +1,387 @@
+//! The routing client: one logical lock session spread across every
+//! node of a partitioned cluster.
+//!
+//! Routing is deterministic and shared with the single-node service:
+//! [`resource_slot`] over `nodes.len()` decides which node owns a
+//! resource, exactly as it decides which shard owns it in-process.
+//! A batch is grouped by owner, sent to every involved node in one
+//! fan-out (send+flush first, collect second, so the nodes execute
+//! concurrently), and the per-node outcome vectors are merged back
+//! into the caller's request order.
+//!
+//! # Failure semantics
+//!
+//! Per-node failures are promoted to cluster-level semantics rather
+//! than surfaced raw, because a partitioned transaction is only
+//! meaningful while *all* its per-node sessions are alive:
+//!
+//! * a mid-operation reconnect on any node
+//!   ([`ClientError::Reconnected`]) means that node's locks are gone —
+//!   the router releases the surviving nodes' locks too and returns
+//!   [`ClusterError::SessionLost`], so the caller restarts from a
+//!   consistently empty lock state;
+//! * an exhausted lifetime attempt budget
+//!   ([`ClientError::GaveUp`]) becomes [`ClusterError::NodeDown`]: the
+//!   node is terminally unreachable, surviving nodes are released, and
+//!   the caller decides whether to continue degraded;
+//! * service-level refusals (timeout, deadlock victim, lock errors)
+//!   pass through inside the merged outcomes or as
+//!   [`ClusterError::Node`] — the sessions are intact.
+
+use locktune_lockmgr::partition::resource_slot;
+use locktune_lockmgr::{LockMode, LockOutcome, ResourceId, UnlockReport};
+use locktune_net::wire::{StatsSnapshot, ValidateReport};
+use locktune_net::{BatchOutcome, ClientError, ReconnectConfig, ReconnectingClient};
+
+/// How to assemble a [`RoutingClient`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// One address per node. Order defines the partition map: node
+    /// `i` owns every table with `slot_of(table, nodes.len()) == i`.
+    /// **Every client and the detector must use the same order.**
+    pub nodes: Vec<String>,
+    /// Reconnect policy applied to each per-node session. The seed is
+    /// decorrelated per node so a cluster-wide refusal doesn't make
+    /// every session retry in lockstep.
+    pub reconnect: ReconnectConfig,
+    /// Cluster-global transaction id to bind on every node (and
+    /// re-bind on every reconnect). Without one, this client's waits
+    /// still feed the detector under a synthesized id, but two
+    /// sessions of the same distributed transaction cannot be
+    /// recognized as one participant.
+    pub gid: Option<u64>,
+}
+
+/// A cluster-level failure. See the module docs for how per-node
+/// errors map here.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A cluster needs at least one node.
+    EmptyCluster,
+    /// Node `node`'s session was lost and re-established mid-
+    /// operation. Every lock the transaction held — on *any* node —
+    /// has been released; restart from the top.
+    SessionLost {
+        /// Index into [`ClusterConfig::nodes`].
+        node: usize,
+    },
+    /// Node `node` is terminally unreachable (lifetime attempt budget
+    /// exhausted). Locks on surviving nodes have been released.
+    NodeDown {
+        /// Index into [`ClusterConfig::nodes`].
+        node: usize,
+        /// Connection attempts made before giving up.
+        attempts: u64,
+    },
+    /// A per-node error that does not invalidate the cluster session
+    /// (service refusal, protocol violation).
+    Node {
+        /// Index into [`ClusterConfig::nodes`].
+        node: usize,
+        /// The underlying client error.
+        error: ClientError,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::EmptyCluster => write!(f, "cluster has no nodes"),
+            ClusterError::SessionLost { node } => write!(
+                f,
+                "session lost on node {node}: all cluster locks released, restart transaction"
+            ),
+            ClusterError::NodeDown { node, attempts } => {
+                write!(f, "node {node} down after {attempts} connection attempts")
+            }
+            ClusterError::Node { node, error } => write!(f, "node {node}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Per-node connection health, for a dashboard or a degraded-mode
+/// decision.
+#[derive(Debug, Clone)]
+pub struct NodeHealth {
+    /// The node's address as configured.
+    pub addr: String,
+    /// True while a session is established.
+    pub connected: bool,
+    /// True once the node's lifetime attempt budget is exhausted.
+    pub gave_up: bool,
+    /// Total connection attempts (successful or not).
+    pub attempts: u64,
+    /// Successful mid-operation reconnects.
+    pub reconnects: u64,
+}
+
+/// One logical lock client over a partitioned cluster. See the module
+/// docs for routing and failure semantics.
+pub struct RoutingClient {
+    nodes: Vec<ReconnectingClient>,
+    addrs: Vec<String>,
+    /// Scratch, reused across batches: for each node, the original
+    /// indexes of the items routed to it this batch.
+    groups: Vec<Vec<usize>>,
+    /// Scratch: the per-node sub-batches themselves.
+    node_items: Vec<Vec<(ResourceId, LockMode)>>,
+}
+
+impl RoutingClient {
+    /// Connect to every node and bind the gid (if any) everywhere.
+    pub fn connect(config: &ClusterConfig) -> Result<RoutingClient, ClusterError> {
+        if config.nodes.is_empty() {
+            return Err(ClusterError::EmptyCluster);
+        }
+        let mut nodes = Vec::with_capacity(config.nodes.len());
+        for (i, addr) in config.nodes.iter().enumerate() {
+            let policy = ReconnectConfig {
+                seed: config
+                    .reconnect
+                    .seed
+                    .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ..config.reconnect
+            };
+            let client = ReconnectingClient::connect(addr.as_str(), policy)
+                .map_err(|e| classify_connect(i, e))?;
+            nodes.push(client);
+        }
+        let mut rc = RoutingClient {
+            groups: vec![Vec::new(); nodes.len()],
+            node_items: vec![Vec::new(); nodes.len()],
+            nodes,
+            addrs: config.nodes.clone(),
+        };
+        if let Some(gid) = config.gid {
+            rc.bind_gid(gid)?;
+        }
+        Ok(rc)
+    }
+
+    /// Number of partitions.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node that owns `res` under this cluster's partition map.
+    pub fn partition_of(&self, res: ResourceId) -> usize {
+        resource_slot(res, self.nodes.len())
+    }
+
+    /// Direct access to one node's session, for per-node operations
+    /// (stats scrapes, audits) a harness wants to address explicitly.
+    pub fn node(&mut self, i: usize) -> &mut ReconnectingClient {
+        &mut self.nodes[i]
+    }
+
+    /// Bind `gid` on every node (and re-bind on their reconnects).
+    pub fn bind_gid(&mut self, gid: u64) -> Result<(), ClusterError> {
+        for i in 0..self.nodes.len() {
+            self.nodes[i].bind_gid(gid).map_err(|e| classify(i, e))?;
+        }
+        Ok(())
+    }
+
+    /// Lock a batch across the cluster: group by owning node, fan the
+    /// sub-batches out (all involved nodes execute concurrently),
+    /// merge the outcomes back into request order. Item `k` of the
+    /// result is the outcome of item `k` of `items`, whatever node it
+    /// ran on.
+    pub fn lock_many(
+        &mut self,
+        items: &[(ResourceId, LockMode)],
+    ) -> Result<Vec<BatchOutcome>, ClusterError> {
+        let n = self.nodes.len();
+        for g in &mut self.groups {
+            g.clear();
+        }
+        for b in &mut self.node_items {
+            b.clear();
+        }
+        for (k, &(res, mode)) in items.iter().enumerate() {
+            let node = resource_slot(res, n);
+            self.groups[node].push(k);
+            self.node_items[node].push((res, mode));
+        }
+
+        // Phase 1 — send+flush to every involved node before
+        // collecting anything, so the nodes work in parallel. A send
+        // failure stops the fan-out but the collect phase below still
+        // drains every node that *was* sent to, keeping those
+        // pipelines clean.
+        let mut pending: Vec<Option<u64>> = vec![None; n];
+        let mut first_err: Option<ClusterError> = None;
+        for (node, slot) in pending.iter_mut().enumerate() {
+            if self.node_items[node].is_empty() {
+                continue;
+            }
+            match self.nodes[node].send_lock_batch(&self.node_items[node]) {
+                Ok(id) => *slot = Some(id),
+                Err(e) => {
+                    first_err = Some(classify(node, e));
+                    break;
+                }
+            }
+        }
+
+        // Phase 2 — collect, in node order (replies are correlated by
+        // request id, so collection order is free).
+        let mut merged: Vec<BatchOutcome> =
+            (0..items.len()).map(|_| BatchOutcome::Skipped).collect();
+        for node in 0..n {
+            let Some(id) = pending[node] else { continue };
+            match self.nodes[node].wait_batch_outcomes(id, self.node_items[node].len()) {
+                Ok(outcomes) => {
+                    for (j, o) in outcomes.into_iter().enumerate() {
+                        merged[self.groups[node][j]] = o;
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(classify(node, e));
+                    }
+                }
+            }
+        }
+
+        match first_err {
+            None => Ok(merged),
+            Some(err) => {
+                if err.invalidates_session() {
+                    self.release_all_best_effort();
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Lock a single resource on its owning node.
+    pub fn lock(&mut self, res: ResourceId, mode: LockMode) -> Result<LockOutcome, ClusterError> {
+        let node = resource_slot(res, self.nodes.len());
+        self.nodes[node]
+            .lock(res, mode)
+            .map_err(|e| self.fail(node, e))
+    }
+
+    /// Unlock a single resource on its owning node.
+    pub fn unlock(&mut self, res: ResourceId) -> Result<UnlockReport, ClusterError> {
+        let node = resource_slot(res, self.nodes.len());
+        self.nodes[node].unlock(res).map_err(|e| self.fail(node, e))
+    }
+
+    /// Release everything on every node, summing the reports. Session
+    /// loss and node-down on individual nodes are tolerated — their
+    /// locks are already released by the server's disconnect teardown
+    /// (or will be, when the dead socket is noticed) — so a degraded
+    /// cluster can still be drained.
+    pub fn unlock_all(&mut self) -> Result<UnlockReport, ClusterError> {
+        let mut total = UnlockReport {
+            released_locks: 0,
+            freed_slots: 0,
+        };
+        for i in 0..self.nodes.len() {
+            match self.nodes[i].unlock_all() {
+                Ok(r) => {
+                    total.released_locks += r.released_locks;
+                    total.freed_slots += r.freed_slots;
+                }
+                Err(
+                    ClientError::Reconnected
+                    | ClientError::GaveUp { .. }
+                    | ClientError::Io(_)
+                    | ClientError::Busy,
+                ) => {}
+                Err(e) => return Err(classify(i, e)),
+            }
+        }
+        Ok(total)
+    }
+
+    /// Run the accounting audit on every node. Strict: any node
+    /// failure (including an audit failure, surfaced as a protocol
+    /// error) fails the whole call.
+    pub fn validate(&mut self) -> Result<Vec<ValidateReport>, ClusterError> {
+        (0..self.nodes.len())
+            .map(|i| self.nodes[i].validate().map_err(|e| classify(i, e)))
+            .collect()
+    }
+
+    /// Per-node stats snapshots, in node order.
+    pub fn stats(&mut self) -> Result<Vec<StatsSnapshot>, ClusterError> {
+        (0..self.nodes.len())
+            .map(|i| self.nodes[i].stats_snapshot().map_err(|e| classify(i, e)))
+            .collect()
+    }
+
+    /// Per-node connection health, in node order.
+    pub fn health(&self) -> Vec<NodeHealth> {
+        self.nodes
+            .iter()
+            .zip(&self.addrs)
+            .map(|(c, addr)| NodeHealth {
+                addr: addr.clone(),
+                connected: c.is_connected(),
+                gave_up: c.gave_up(),
+                attempts: c.attempts(),
+                reconnects: c.stats().reconnects,
+            })
+            .collect()
+    }
+
+    /// Promote a per-node error and, if it invalidates the cluster
+    /// session, release the surviving nodes' locks first.
+    fn fail(&mut self, node: usize, e: ClientError) -> ClusterError {
+        let err = classify(node, e);
+        if err.invalidates_session() {
+            self.release_all_best_effort();
+        }
+        err
+    }
+
+    /// Drop every lock on every reachable node, ignoring failures —
+    /// the consistency restore after a partial session loss.
+    fn release_all_best_effort(&mut self) {
+        for c in &mut self.nodes {
+            if !c.gave_up() {
+                let _ = c.unlock_all();
+            }
+        }
+    }
+}
+
+impl ClusterError {
+    /// True when the error means the transaction's locks are (partly)
+    /// gone and the router has released the rest.
+    pub fn invalidates_session(&self) -> bool {
+        matches!(
+            self,
+            ClusterError::SessionLost { .. } | ClusterError::NodeDown { .. }
+        )
+    }
+}
+
+/// Map a per-node [`ClientError`] from a mid-operation failure to
+/// cluster semantics. I/O and Busy surface here only when the node's
+/// reconnect cycle *also* failed — the old session is dead either way
+/// (its locks released by the server's teardown), so they mean the
+/// same thing `Reconnected` does: the cluster session is gone. The
+/// node isn't terminally down yet, though — the next call retries.
+fn classify(node: usize, e: ClientError) -> ClusterError {
+    match e {
+        ClientError::Reconnected | ClientError::Io(_) | ClientError::Busy => {
+            ClusterError::SessionLost { node }
+        }
+        ClientError::GaveUp { attempts } => ClusterError::NodeDown { node, attempts },
+        error => ClusterError::Node { node, error },
+    }
+}
+
+/// Map a connect-time failure, where no session existed to lose.
+fn classify_connect(node: usize, e: ClientError) -> ClusterError {
+    match e {
+        ClientError::GaveUp { attempts } => ClusterError::NodeDown { node, attempts },
+        error => ClusterError::Node { node, error },
+    }
+}

@@ -4,6 +4,8 @@
 //! and picks victims. DB2 runs its detector on a timer; the simulation
 //! engine does the same (an event every detection interval).
 
+use std::hash::Hash;
+
 use crate::app::AppId;
 use crate::hash::{FxHashMap, FxHashSet};
 
@@ -34,54 +36,73 @@ impl DeadlockDetector {
     /// connection" heuristic), remove it from the graph, and repeat
     /// until acyclic. Returns victims in selection order.
     pub fn find_victims(&self, edges: &[(AppId, AppId)]) -> Vec<Victim> {
-        let mut adj: FxHashMap<AppId, Vec<AppId>> = FxHashMap::default();
-        for &(from, to) in edges {
-            adj.entry(from).or_default().push(to);
-            adj.entry(to).or_default();
-        }
-        for targets in adj.values_mut() {
-            targets.sort();
-            targets.dedup();
-        }
-        let mut victims = Vec::new();
-        let mut removed: FxHashSet<AppId> = FxHashSet::default();
-        while let Some(cycle) = find_cycle(&adj, &removed) {
-            let victim = *cycle.iter().max().expect("cycle is non-empty");
-            removed.insert(victim);
-            victims.push(Victim { app: victim, cycle });
-        }
-        victims
+        find_victims_in(edges)
+            .into_iter()
+            .map(|(app, cycle)| Victim { app, cycle })
+            .collect()
     }
+}
+
+/// [`DeadlockDetector::find_victims`] over any ordered id type:
+/// iteratively find a cycle, pick the **highest** id in it, remove it,
+/// repeat until acyclic. The single-node sweeper runs this over
+/// [`AppId`]s; the cluster detector runs the *same* routine over
+/// 64-bit global transaction ids, so an in-node cycle resolves to the
+/// identical victim whichever detector sees it first.
+pub fn find_victims_in<T>(edges: &[(T, T)]) -> Vec<(T, Vec<T>)>
+where
+    T: Copy + Ord + Hash + Eq,
+{
+    let mut adj: FxHashMap<T, Vec<T>> = FxHashMap::default();
+    for &(from, to) in edges {
+        adj.entry(from).or_default().push(to);
+        adj.entry(to).or_default();
+    }
+    for targets in adj.values_mut() {
+        targets.sort();
+        targets.dedup();
+    }
+    let mut victims = Vec::new();
+    let mut removed: FxHashSet<T> = FxHashSet::default();
+    while let Some(cycle) = find_cycle(&adj, &removed) {
+        let victim = *cycle.iter().max().expect("cycle is non-empty");
+        removed.insert(victim);
+        victims.push((victim, cycle));
+    }
+    victims
 }
 
 /// DFS cycle search, skipping removed nodes. Returns the first cycle
 /// found (deterministic: nodes visited in sorted order).
-fn find_cycle(
-    adj: &FxHashMap<AppId, Vec<AppId>>,
-    removed: &FxHashSet<AppId>,
-) -> Option<Vec<AppId>> {
+fn find_cycle<T>(adj: &FxHashMap<T, Vec<T>>, removed: &FxHashSet<T>) -> Option<Vec<T>>
+where
+    T: Copy + Ord + Hash + Eq,
+{
     #[derive(Clone, Copy, PartialEq)]
     enum Color {
         White,
         Gray,
         Black,
     }
-    let mut nodes: Vec<AppId> = adj
+    let mut nodes: Vec<T> = adj
         .keys()
         .copied()
         .filter(|a| !removed.contains(a))
         .collect();
     nodes.sort();
-    let mut color: FxHashMap<AppId, Color> = nodes.iter().map(|&n| (n, Color::White)).collect();
-    let mut stack: Vec<AppId> = Vec::new();
+    let mut color: FxHashMap<T, Color> = nodes.iter().map(|&n| (n, Color::White)).collect();
+    let mut stack: Vec<T> = Vec::new();
 
-    fn dfs(
-        node: AppId,
-        adj: &FxHashMap<AppId, Vec<AppId>>,
-        removed: &FxHashSet<AppId>,
-        color: &mut FxHashMap<AppId, Color>,
-        stack: &mut Vec<AppId>,
-    ) -> Option<Vec<AppId>> {
+    fn dfs<T>(
+        node: T,
+        adj: &FxHashMap<T, Vec<T>>,
+        removed: &FxHashSet<T>,
+        color: &mut FxHashMap<T, Color>,
+        stack: &mut Vec<T>,
+    ) -> Option<Vec<T>>
+    where
+        T: Copy + Ord + Hash + Eq,
+    {
         color.insert(node, Color::Gray);
         stack.push(node);
         if let Some(next) = adj.get(&node) {
@@ -209,5 +230,31 @@ mod tests {
         let v2 = d.find_victims(&edges);
         assert_eq!(v1, v2);
         assert_eq!(v1[0].app, a(7), "highest id in the cycle");
+    }
+
+    #[test]
+    fn generic_routine_agrees_with_app_id_policy() {
+        // The cluster detector runs `find_victims_in` over u64 gids;
+        // on the same graph it must choose the same victims the AppId
+        // wrapper does, or in-node cycles would resolve differently
+        // depending on which detector saw them first.
+        let edges = [(a(4), a(7)), (a(7), a(2)), (a(2), a(4)), (a(1), a(2))];
+        let app_victims: Vec<u32> = DeadlockDetector::new()
+            .find_victims(&edges)
+            .into_iter()
+            .map(|v| v.app.0)
+            .collect();
+        let gid_edges: Vec<(u64, u64)> = edges
+            .iter()
+            .map(|&(x, y)| (x.0 as u64, y.0 as u64))
+            .collect();
+        let gid_victims: Vec<u64> = find_victims_in(&gid_edges)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(
+            app_victims.iter().map(|&v| v as u64).collect::<Vec<_>>(),
+            gid_victims
+        );
     }
 }

@@ -34,13 +34,14 @@ pub mod hash;
 pub mod hooks;
 pub mod manager;
 pub mod mode;
+pub mod partition;
 pub mod resource;
 pub mod shared;
 pub mod stats;
 pub mod table;
 
 pub use app::{AppId, AppLockState};
-pub use deadlock::{DeadlockDetector, Victim};
+pub use deadlock::{find_victims_in, DeadlockDetector, Victim};
 pub use error::LockError;
 pub use hooks::{NoTuning, TuningHooks};
 pub use manager::{

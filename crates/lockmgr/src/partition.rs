@@ -1,0 +1,144 @@
+//! The table→slot hash shared by every layer that partitions the
+//! table space.
+//!
+//! Three places split work by table and must never disagree:
+//!
+//! * the service's shard router (`Session::lock_many` groups requests
+//!   by shard before taking latches);
+//! * the cluster router (`locktune-cluster` fans a batch out to the
+//!   node owning each table's partition);
+//! * the cluster deadlock detector (it reasons about which node a
+//!   resource's wait queue lives on).
+//!
+//! A client routing table T to node 1 while the server hashes it to
+//! shard-space as if it were node 0's would silently break batch
+//! ordering guarantees and the cluster accounting audit, so the hash
+//! lives here, once, with a pinning test that freezes the mapping.
+//!
+//! Rows hash by their owning table, so a row, its table, and the
+//! table's intent locks always co-locate — in one shard and on one
+//! node.
+
+use crate::resource::{ResourceId, TableId};
+
+/// Fibonacci multiplier (⌊2^64/φ⌋, odd): consecutive table ids spread
+/// across the high bits, which the shift below brings down.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Hash a table id into the 32-bit slot space. Stable forever — the
+/// wire-visible partition mapping derives from it.
+#[inline]
+pub fn table_hash(table: TableId) -> u64 {
+    (table.0 as u64).wrapping_mul(FIB) >> 32
+}
+
+/// The slot (shard or cluster partition) owning `table` out of
+/// `slots` equal static slices. Power-of-two slot counts use a mask,
+/// anything else a modulo — same reduction on every layer.
+///
+/// # Panics
+/// Panics (in debug builds) if `slots` is zero.
+#[inline]
+pub fn slot_of(table: TableId, slots: usize) -> usize {
+    debug_assert!(slots > 0, "cannot partition into zero slots");
+    let h = table_hash(table);
+    if slots.is_power_of_two() {
+        (h & (slots as u64 - 1)) as usize
+    } else {
+        (h % slots as u64) as usize
+    }
+}
+
+/// [`slot_of`] for any resource: rows route by their owning table.
+#[inline]
+pub fn resource_slot(res: ResourceId, slots: usize) -> usize {
+    slot_of(res.table(), slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::RowId;
+
+    /// The mapping is wire-visible (clients route batches with it), so
+    /// it is pinned: these exact values may never change. If this test
+    /// fails, the change breaks every deployed client/server pair.
+    #[test]
+    fn mapping_is_pinned() {
+        // (table, slots) -> slot, computed once and frozen.
+        let golden: &[(u32, usize, usize)] = &[
+            (0, 4, 0),
+            (1, 4, 1),
+            (2, 4, 2),
+            (3, 4, 0),
+            (4, 4, 1),
+            (5, 4, 3),
+            (6, 4, 0),
+            (7, 4, 2),
+            (0, 3, 0),
+            (1, 3, 0),
+            (2, 3, 2),
+            (3, 3, 0),
+            (4, 3, 2),
+            (5, 3, 2),
+            (6, 3, 2),
+            (7, 3, 2),
+            (1, 1, 0),
+            (u32::MAX, 8, 3),
+            (12345, 16, 11),
+        ];
+        for &(t, slots, want) in golden {
+            assert_eq!(
+                slot_of(TableId(t), slots),
+                want,
+                "table {t} over {slots} slots moved — the partition map is frozen"
+            );
+        }
+    }
+
+    #[test]
+    fn rows_colocate_with_their_table() {
+        for t in 0..64u32 {
+            for slots in [1usize, 2, 3, 4, 5, 8, 16] {
+                let table_slot = slot_of(TableId(t), slots);
+                assert_eq!(
+                    resource_slot(ResourceId::Table(TableId(t)), slots),
+                    table_slot
+                );
+                assert_eq!(
+                    resource_slot(ResourceId::Row(TableId(t), RowId(99)), slots),
+                    table_slot
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slots_in_range_and_all_used() {
+        for slots in [2usize, 3, 4, 7, 8] {
+            let mut seen = vec![false; slots];
+            for t in 0..1024u32 {
+                let s = slot_of(TableId(t), slots);
+                assert!(s < slots);
+                seen[s] = true;
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "some of {slots} slots never hit over 1024 tables"
+            );
+        }
+    }
+
+    #[test]
+    fn mask_and_mod_agree_for_powers_of_two() {
+        // The power-of-two fast path must be a pure optimization.
+        for t in 0..512u32 {
+            for slots in [1usize, 2, 4, 8, 64] {
+                assert_eq!(
+                    slot_of(TableId(t), slots),
+                    (table_hash(TableId(t)) % slots as u64) as usize
+                );
+            }
+        }
+    }
+}

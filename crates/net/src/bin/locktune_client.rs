@@ -733,6 +733,7 @@ fn main() {
                         base_delay: Duration::from_millis(5),
                         max_delay: Duration::from_millis(200),
                         seed: args.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        ..ReconnectConfig::default()
                     };
                     let mut rc = ReconnectingClient::connect(&args.addr, policy)
                         .map_err(|e| format!("worker {w}: connect {}: {e}", args.addr))?;

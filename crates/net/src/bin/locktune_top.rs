@@ -3,6 +3,7 @@
 //! ```text
 //! locktune-top [--addr HOST:PORT] [--interval-ms MS] [--frames N]
 //!              [--max-events N] [--once] [--tenants]
+//!              [--cluster HOST:PORT,HOST:PORT,...]
 //! ```
 //!
 //! Polls the server's METRICS endpoint every `--interval-ms` (default
@@ -22,6 +23,13 @@
 //! donation cursor is fed back on every poll, so each donation prints
 //! exactly once.
 //!
+//! `--cluster` takes a comma-separated node list and renders one row
+//! per partition: pool usage, apps, wait/grant totals and the node's
+//! remote-cancel count (cross-node deadlock victims it resolved),
+//! plus a cluster totals line. A node that stops answering is shown
+//! as DOWN and re-probed every frame instead of killing the
+//! dashboard — that is the panel you watch during a node kill.
+//!
 //! The tuning-tick cursor is fed back on every poll, so each interval
 //! crosses the wire exactly once no matter how long the dashboard
 //! runs. Exit codes: `1` usage, `2` connect/scrape failure.
@@ -39,6 +47,7 @@ struct Args {
     max_events: u32,
     once: bool,
     tenants: bool,
+    cluster: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         max_events: 64,
         once: false,
         tenants: false,
+        cluster: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -60,6 +70,16 @@ fn parse_args() -> Result<Args, String> {
             "--max-events" => args.max_events = parse(&value("--max-events")?, "--max-events")?,
             "--once" => args.once = true,
             "--tenants" => args.tenants = true,
+            "--cluster" => {
+                args.cluster = value("--cluster")?
+                    .split(',')
+                    .map(str::to_string)
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if args.cluster.is_empty() {
+                    return Err("--cluster needs at least one HOST:PORT".into());
+                }
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -78,6 +98,9 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if !args.cluster.is_empty() {
+        cluster_view(&args);
+    }
     let mut client = match Client::connect(&args.addr) {
         Ok(c) => c,
         Err(e) => {
@@ -114,6 +137,94 @@ fn main() {
         }
         std::thread::sleep(Duration::from_millis(args.interval_ms.max(1)));
     }
+}
+
+/// The `--cluster` loop: poll every node's METRICS each frame and
+/// redraw the per-partition panel. A node that fails a scrape is
+/// drawn DOWN and re-dialed next frame — kills and partitions are
+/// exactly what this panel exists to watch. Never returns.
+fn cluster_view(args: &Args) -> ! {
+    let n = args.cluster.len();
+    let mut clients: Vec<Option<Client>> = (0..n).map(|_| None).collect();
+    let mut frame = 0u64;
+    loop {
+        let snaps: Vec<Option<MetricsSnapshot>> = (0..n)
+            .map(|i| {
+                if clients[i].is_none() {
+                    clients[i] = Client::connect(&args.cluster[i]).ok();
+                }
+                let snap = clients[i].as_mut().and_then(|c| c.metrics(0, 0).ok());
+                if snap.is_none() {
+                    clients[i] = None; // re-dial next frame
+                }
+                snap
+            })
+            .collect();
+        frame += 1;
+        draw_cluster(&args.cluster, &snaps, !args.once);
+        if args.once || (args.frames != 0 && frame >= args.frames) {
+            std::process::exit(0);
+        }
+        std::thread::sleep(Duration::from_millis(args.interval_ms.max(1)));
+    }
+}
+
+fn draw_cluster(addrs: &[String], snaps: &[Option<MetricsSnapshot>], clear: bool) {
+    if clear {
+        print!("\x1b[2J\x1b[H");
+    }
+    let up = snaps.iter().flatten().count();
+    println!(
+        "locktune-top — cluster of {} partitions ({} up)",
+        addrs.len(),
+        up
+    );
+    println!(
+        "\n{:>4}  {:<21} {:>5} {:>13} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "node", "addr", "apps", "slots", "grants", "waits", "victims", "remote", "esc"
+    );
+    let mut total = MetricsSnapshot::default();
+    for (i, (addr, snap)) in addrs.iter().zip(snaps).enumerate() {
+        match snap {
+            Some(s) => {
+                println!(
+                    "{i:>4}  {addr:<21} {:>5} {:>6}/{:<6} {:>10} {:>10} {:>8} {:>8} {:>8}",
+                    s.connected_apps,
+                    s.pool_slots_used,
+                    s.pool_slots_total,
+                    s.lock_stats.grants,
+                    s.lock_stats.waits,
+                    s.counters.deadlock_victims,
+                    s.counters.remote_cancels,
+                    s.lock_stats.escalations,
+                );
+                total.connected_apps += s.connected_apps;
+                total.pool_slots_used += s.pool_slots_used;
+                total.pool_slots_total += s.pool_slots_total;
+                total.lock_stats.grants += s.lock_stats.grants;
+                total.lock_stats.waits += s.lock_stats.waits;
+                total.lock_stats.escalations += s.lock_stats.escalations;
+                total.counters.deadlock_victims += s.counters.deadlock_victims;
+                total.counters.remote_cancels += s.counters.remote_cancels;
+            }
+            None => println!("{i:>4}  {addr:<21} DOWN"),
+        }
+    }
+    println!(
+        "{:>4}  {:<21} {:>5} {:>6}/{:<6} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "sum",
+        "",
+        total.connected_apps,
+        total.pool_slots_used,
+        total.pool_slots_total,
+        total.lock_stats.grants,
+        total.lock_stats.waits,
+        total.counters.deadlock_victims,
+        total.counters.remote_cancels,
+        total.lock_stats.escalations,
+    );
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
 }
 
 /// The `--tenants` loop: poll TENANT_STATS, feed the donation cursor
@@ -317,6 +428,12 @@ fn fmt_event(e: &JournalEvent) -> String {
         }
         EventKind::FaultInjected { site, count } => {
             format!("{at}  fault injected  site {site} x{count}")
+        }
+        EventKind::RemoteCancel { app } => {
+            format!(
+                "{at}  remote cancel   app {} (cluster deadlock victim)",
+                app.0
+            )
         }
     }
 }

@@ -22,7 +22,8 @@ use locktune_obs::MetricsSnapshot;
 use locktune_service::{BatchOutcome, ServiceError};
 
 use crate::wire::{
-    self, Reply, Request, StatsSnapshot, TenantCtl, TenantStatsReply, ValidateReport, MAX_BATCH,
+    self, Reply, Request, StatsSnapshot, TenantCtl, TenantStatsReply, ValidateReport,
+    WaitGraphReply, MAX_BATCH,
 };
 
 /// A client-side failure.
@@ -50,6 +51,19 @@ pub enum ClientError {
     ///
     /// [`ReconnectingClient`]: crate::ReconnectingClient
     Reconnected,
+    /// A [`ReconnectingClient`] exhausted its lifetime connection
+    /// budget ([`ReconnectConfig::max_total_attempts`]) and is
+    /// terminally dead: this and every future call fails immediately
+    /// with the same error. A cluster router treats the node as down
+    /// rather than blocking its whole batch on one unreachable
+    /// partition.
+    ///
+    /// [`ReconnectingClient`]: crate::ReconnectingClient
+    /// [`ReconnectConfig::max_total_attempts`]: crate::ReconnectConfig::max_total_attempts
+    GaveUp {
+        /// Total connection attempts made over the client's lifetime.
+        attempts: u64,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -61,6 +75,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Busy => f.write_str("server busy: connection refused at admission"),
             ClientError::Reconnected => {
                 f.write_str("reconnected with a new session; previous locks are gone")
+            }
+            ClientError::GaveUp { attempts } => {
+                write!(f, "gave up after {attempts} connection attempts")
             }
         }
     }
@@ -215,11 +232,23 @@ impl Client {
         items: &[(ResourceId, LockMode)],
     ) -> Result<Vec<BatchOutcome>, ClientError> {
         let id = self.send_lock_batch(items)?;
+        self.wait_batch_outcomes(id, items.len())
+    }
+
+    /// Collect the [`Reply::BatchOutcomes`] for a previously queued
+    /// [`Client::send_lock_batch`] id, validating the outcome count
+    /// against `expected`. The split the cluster router uses: queue a
+    /// sub-batch on every node, then collect — the nodes execute in
+    /// parallel while the client is still fanning out.
+    pub fn wait_batch_outcomes(
+        &mut self,
+        id: u64,
+        expected: usize,
+    ) -> Result<Vec<BatchOutcome>, ClientError> {
         match self.wait(id)? {
-            Reply::BatchOutcomes(outcomes) if outcomes.len() == items.len() => Ok(outcomes),
+            Reply::BatchOutcomes(outcomes) if outcomes.len() == expected => Ok(outcomes),
             Reply::BatchOutcomes(outcomes) => Err(ClientError::Protocol(format!(
-                "batch of {} items answered with {} outcomes",
-                items.len(),
+                "batch of {expected} items answered with {} outcomes",
                 outcomes.len()
             ))),
             other => Err(unexpected("BatchOutcomes", &other)),
@@ -325,6 +354,40 @@ impl Client {
             Reply::TenantCtl(Ok(bytes)) => Ok(bytes),
             Reply::TenantCtl(Err(msg)) => Err(ClientError::Protocol(msg)),
             other => Err(unexpected("TenantCtl", &other)),
+        }
+    }
+
+    /// Export the server's local wait-for graph: (waiter, holder)
+    /// edges plus the app→gid table a cluster deadlock detector needs
+    /// to stitch per-node graphs together.
+    pub fn wait_graph(&mut self) -> Result<WaitGraphReply, ClientError> {
+        match self.call(&Request::WaitGraph)? {
+            Reply::WaitGraph(graph) => Ok(graph),
+            other => Err(unexpected("WaitGraph", &other)),
+        }
+    }
+
+    /// Bind this connection's application to cluster-global
+    /// transaction id `gid` (top bit must be clear — it is reserved
+    /// for detector-synthesized ids). A refusal surfaces as
+    /// [`ClientError::Protocol`] with the server's message.
+    pub fn bind_gid(&mut self, gid: u64) -> Result<(), ClientError> {
+        match self.call(&Request::BindGid { gid })? {
+            Reply::BindGid(Ok(())) => Ok(()),
+            Reply::BindGid(Err(msg)) => Err(ClientError::Protocol(msg)),
+            other => Err(unexpected("BindGid", &other)),
+        }
+    }
+
+    /// Cancel application `app`'s in-flight lock wait and abort it —
+    /// the cluster detector's victim kill. Returns whether the app
+    /// was still waiting (the server re-confirms under its latches;
+    /// a victim granted in the meantime is left alone and `false`
+    /// comes back).
+    pub fn cancel_wait(&mut self, app: u32) -> Result<bool, ClientError> {
+        match self.call(&Request::CancelWait { app })? {
+            Reply::CancelWait(cancelled) => Ok(cancelled),
+            other => Err(unexpected("CancelWait", &other)),
         }
     }
 

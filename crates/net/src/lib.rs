@@ -46,6 +46,7 @@ pub use locktune_tenants::{MachineRollup, TenantDonation, TenantRow};
 pub use reconnect::{ReconnectConfig, ReconnectStats, ReconnectingClient};
 pub use server::{Server, ServerConfig};
 pub use wire::{
-    Reply, Request, StatsSnapshot, TenantCtl, TenantStatsReply, ValidateReport, WireError,
-    MAX_BATCH, MAX_WIRE_DONATIONS, MAX_WIRE_EVENTS, MAX_WIRE_TENANTS, MAX_WIRE_TICKS,
+    Reply, Request, StatsSnapshot, TenantCtl, TenantStatsReply, ValidateReport, WaitGraphReply,
+    WireError, GID_RESERVED, MAX_BATCH, MAX_WIRE_DONATIONS, MAX_WIRE_EDGES, MAX_WIRE_EVENTS,
+    MAX_WIRE_GIDS, MAX_WIRE_TENANTS, MAX_WIRE_TICKS,
 };

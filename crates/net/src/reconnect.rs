@@ -43,6 +43,14 @@ pub struct ReconnectConfig {
     /// Seed for the jitter generator, so a chaos run's retry timing is
     /// as reproducible as its fault schedule.
     pub seed: u64,
+    /// Lifetime cap on connection attempts across **all** cycles.
+    /// Reaching it makes the client terminally dead: the failing call
+    /// and every call after it returns [`ClientError::GaveUp`]. The
+    /// default (`u64::MAX`) keeps the classic retry-forever behavior;
+    /// a cluster router sets a finite cap so one unreachable node
+    /// degrades to an explicit node-down state instead of stalling
+    /// every batch that routes through it.
+    pub max_total_attempts: u64,
 }
 
 impl Default for ReconnectConfig {
@@ -52,6 +60,7 @@ impl Default for ReconnectConfig {
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_secs(1),
             seed: 0,
+            max_total_attempts: u64::MAX,
         }
     }
 }
@@ -67,6 +76,10 @@ pub struct ReconnectStats {
     pub busy_refusals: u64,
     /// Individual failed connection attempts, across all cycles.
     pub failed_attempts: u64,
+    /// Every connection attempt made, successful or not — what
+    /// [`ReconnectConfig::max_total_attempts`] is charged against,
+    /// and the per-node health number a cluster router exposes.
+    pub attempts: u64,
 }
 
 /// A [`Client`] that re-establishes its connection instead of staying
@@ -77,6 +90,11 @@ pub struct ReconnectingClient {
     client: Option<Client>,
     rng: StdRng,
     stats: ReconnectStats,
+    /// Cluster-global transaction id to re-bind on every fresh
+    /// session (set by [`ReconnectingClient::bind_gid`]).
+    gid: Option<u64>,
+    /// Set when the lifetime attempt budget ran out; terminal.
+    gave_up: bool,
 }
 
 impl ReconnectingClient {
@@ -96,6 +114,8 @@ impl ReconnectingClient {
             client: None,
             rng: StdRng::seed_from_u64(config.seed),
             stats: ReconnectStats::default(),
+            gid: None,
+            gave_up: false,
         };
         c.establish()?;
         Ok(c)
@@ -109,6 +129,17 @@ impl ReconnectingClient {
     /// True while a session is established.
     pub fn is_connected(&self) -> bool {
         self.client.is_some()
+    }
+
+    /// Total connection attempts over the client's lifetime.
+    pub fn attempts(&self) -> u64 {
+        self.stats.attempts
+    }
+
+    /// True once the lifetime attempt budget is exhausted — every
+    /// further call fails with [`ClientError::GaveUp`].
+    pub fn gave_up(&self) -> bool {
+        self.gave_up
     }
 
     /// Exponential delay for attempt `n` of a cycle, with up to +50 %
@@ -132,18 +163,32 @@ impl ReconnectingClient {
     /// One connect cycle: up to `max_attempts` tries with backoff. A
     /// TCP connect that succeeds is probed with a ping so a Busy
     /// refusal (accepted, then turned away at admission) counts as a
-    /// failed attempt rather than a live session.
+    /// failed attempt rather than a live session; a session with a
+    /// bound gid re-binds it before the session counts as live, so no
+    /// caller ever runs on a gid-less reconnected session.
     fn establish(&mut self) -> Result<(), ClientError> {
+        if self.gave_up {
+            return Err(ClientError::GaveUp {
+                attempts: self.stats.attempts,
+            });
+        }
         self.client = None;
         let mut last = ClientError::Io(std::io::Error::other("no connection attempts made"));
         for attempt in 0..self.config.max_attempts.max(1) {
+            if self.stats.attempts >= self.config.max_total_attempts {
+                self.gave_up = true;
+                return Err(ClientError::GaveUp {
+                    attempts: self.stats.attempts,
+                });
+            }
             if attempt > 0 {
                 let delay = self.backoff(attempt - 1);
                 std::thread::sleep(delay);
             }
+            self.stats.attempts += 1;
             match Client::connect(self.addr) {
-                Ok(mut client) => match client.ping(Vec::new()) {
-                    Ok(_) => {
+                Ok(mut client) => match self.probe(&mut client) {
+                    Ok(()) => {
                         self.client = Some(client);
                         return Ok(());
                     }
@@ -159,6 +204,16 @@ impl ReconnectingClient {
             self.stats.failed_attempts += 1;
         }
         Err(last)
+    }
+
+    /// Admission probe for a fresh connection: ping, then re-bind the
+    /// remembered gid (if any).
+    fn probe(&mut self, client: &mut Client) -> Result<(), ClientError> {
+        client.ping(Vec::new())?;
+        if let Some(gid) = self.gid {
+            client.bind_gid(gid)?;
+        }
+        Ok(())
     }
 
     /// Run `op` on the live session. An I/O death (or a stray Busy —
@@ -186,6 +241,10 @@ impl ReconnectingClient {
                         self.stats.reconnects += 1;
                         Err(ClientError::Reconnected)
                     }
+                    // Terminal give-up outranks the triggering error:
+                    // the caller must learn the client is dead, not
+                    // just that one operation hit an I/O failure.
+                    Err(gave_up @ ClientError::GaveUp { .. }) => Err(gave_up),
                     Err(_) => Err(e),
                 }
             }
@@ -238,5 +297,47 @@ impl ReconnectingClient {
     /// [`Client::validate`] with reconnect semantics.
     pub fn validate(&mut self) -> Result<crate::wire::ValidateReport, ClientError> {
         self.run(|c| c.validate())
+    }
+
+    /// Bind `gid` as this client's cluster-global transaction id, now
+    /// and automatically on every future reconnect (a fresh session
+    /// re-binds before any operation runs on it).
+    pub fn bind_gid(&mut self, gid: u64) -> Result<(), ClientError> {
+        self.gid = Some(gid);
+        self.run(|c| c.bind_gid(gid))
+    }
+
+    /// [`Client::wait_graph`] with reconnect semantics.
+    pub fn wait_graph(&mut self) -> Result<crate::wire::WaitGraphReply, ClientError> {
+        self.run(|c| c.wait_graph())
+    }
+
+    /// [`Client::cancel_wait`] with reconnect semantics.
+    pub fn cancel_wait(&mut self, app: u32) -> Result<bool, ClientError> {
+        self.run(|c| c.cancel_wait(app))
+    }
+
+    /// Queue one `LockBatch` frame and flush it, without collecting
+    /// the reply — the router's fan-out send phase. Collect with
+    /// [`ReconnectingClient::wait_batch_outcomes`]. Reconnect
+    /// semantics match every other operation.
+    pub fn send_lock_batch(
+        &mut self,
+        items: &[(ResourceId, LockMode)],
+    ) -> Result<u64, ClientError> {
+        self.run(|c| {
+            let id = c.send_lock_batch(items)?;
+            c.flush()?;
+            Ok(id)
+        })
+    }
+
+    /// Collect a previously queued batch's outcomes by request id.
+    pub fn wait_batch_outcomes(
+        &mut self,
+        id: u64,
+        expected: usize,
+    ) -> Result<Vec<BatchOutcome>, ClientError> {
+        self.run(|c| c.wait_batch_outcomes(id, expected))
     }
 }

@@ -138,6 +138,12 @@ struct ConnTable {
     /// populated by `Hello`). Dropping a tenant shuts down exactly
     /// these connections' sockets.
     bindings: HashMap<u64, u32>,
+    /// Cluster-global transaction id each connection bound via
+    /// [`Request::BindGid`], as (app, gid). Exported wholesale in
+    /// `WaitGraph` replies so the cluster detector can translate
+    /// local app ids; removed with the rest of the connection's state
+    /// when its reader exits.
+    gids: HashMap<u64, (u32, u64)>,
     /// Reader-thread handles (each joins its own writer before
     /// exiting). Finished entries join instantly.
     handles: Vec<JoinHandle<()>>,
@@ -373,6 +379,7 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 let mut conns = shared.conns.lock().unwrap();
                 conns.streams.remove(&conn_id);
                 conns.bindings.remove(&conn_id);
+                conns.gids.remove(&conn_id);
                 drop(conns);
                 shared.conn_count.fetch_sub(1, Ordering::AcqRel);
             })
@@ -613,7 +620,83 @@ fn execute(shared: &Arc<Shared>, conn: &mut ConnCtx, req: Request) -> Option<Rep
             Reply::TenantStats(Box::new(tenant_stats(shared, donations_since)))
         }
         Request::TenantCtl(action) => Reply::TenantCtl(tenant_ctl(shared, action)),
+        Request::WaitGraph => Reply::WaitGraph(wait_graph(shared, conn)),
+        Request::BindGid { gid } => Reply::BindGid(bind_gid(shared, conn, gid)),
+        Request::CancelWait { app } => Reply::CancelWait(cancel_wait(shared, conn, app)),
     })
+}
+
+/// Bind the connection's application to a cluster-global transaction
+/// id. Re-binding (same or different gid) just overwrites: a
+/// reconnecting client binds its gid on the fresh connection while
+/// the old connection may still be blocked in a lock wait on its way
+/// out, and refusing the duplicate would strand the client.
+fn bind_gid(shared: &Arc<Shared>, conn: &ConnCtx, gid: u64) -> Result<(), String> {
+    if gid & wire::GID_RESERVED != 0 {
+        return Err("gid has the reserved detector bit set".into());
+    }
+    let Some(session) = conn.session.as_ref() else {
+        return Err("no session: bind a tenant before a gid".into());
+    };
+    shared
+        .conns
+        .lock()
+        .unwrap()
+        .gids
+        .insert(conn.conn_id, (session.app().0, gid));
+    Ok(())
+}
+
+/// Export this node's wait-for edges and app→gid table. Edges come
+/// from the connection's own service (machine-wide union for an
+/// unbound multi-tenant scrape — app ids are unique machine-wide, so
+/// the union is coherent); the gid table is always machine-wide.
+/// Both are truncated at their wire bounds — the detector treats the
+/// export as a partial snapshot regardless, since edges go stale the
+/// moment the latch drops.
+fn wait_graph(shared: &Arc<Shared>, conn: &ConnCtx) -> wire::WaitGraphReply {
+    let raw = match (&conn.service, &shared.backend) {
+        (Some(service), _) => service.wait_edges(),
+        (None, Backend::Single(service)) => service.wait_edges(),
+        (None, Backend::Tenants(dir)) => {
+            let mut all = Vec::new();
+            for id in dir.tenant_ids() {
+                if let Some(service) = dir.tenant(id) {
+                    all.extend(service.wait_edges());
+                }
+            }
+            all
+        }
+    };
+    let mut edges: Vec<(u32, u32)> = raw.into_iter().map(|(w, h)| (w.0, h.0)).collect();
+    edges.truncate(wire::MAX_WIRE_EDGES);
+    let mut gids: Vec<(u32, u64)> = shared
+        .conns
+        .lock()
+        .unwrap()
+        .gids
+        .values()
+        .copied()
+        .collect();
+    gids.sort_unstable();
+    gids.truncate(wire::MAX_WIRE_GIDS);
+    wire::WaitGraphReply { edges, gids }
+}
+
+/// Cancel `app`'s wait on behalf of the cluster detector, routed
+/// through the same confirm-then-abort path as the local sweeper. An
+/// unbound multi-tenant connection probes every tenant (app ids are
+/// unique machine-wide, so at most one can confirm).
+fn cancel_wait(shared: &Arc<Shared>, conn: &ConnCtx, app: u32) -> bool {
+    match (&conn.service, &shared.backend) {
+        (Some(service), _) => service.cancel_waiter(AppId(app)),
+        (None, Backend::Single(service)) => service.cancel_waiter(AppId(app)),
+        (None, Backend::Tenants(dir)) => dir
+            .tenant_ids()
+            .into_iter()
+            .filter_map(|id| dir.tenant(id))
+            .any(|service| service.cancel_waiter(AppId(app))),
+    }
 }
 
 /// Bind the connection to `tenant`. Single-tenant servers accept only

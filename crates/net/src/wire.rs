@@ -79,6 +79,24 @@ pub const MAX_WIRE_TENANTS: usize = 256;
 /// may carry (records are 49 bytes each; see [`MAX_WIRE_TENANTS`]).
 pub const MAX_WIRE_DONATIONS: usize = 512;
 
+/// Largest number of wait-for edges a [`Reply::WaitGraph`] frame may
+/// carry (edges are 8 bytes each; with [`MAX_WIRE_GIDS`] the
+/// worst-case frame is `9 + 4 + 4096×8 + 4 + 2048×12 + 8 = 57 361`
+/// bytes, inside [`MAX_PAYLOAD`]). The cluster detector treats a
+/// truncated export as a partial view — it simply finds the cycle on
+/// a later pull.
+pub const MAX_WIRE_EDGES: usize = 4096;
+
+/// Largest number of app→gid bindings a [`Reply::WaitGraph`] frame
+/// may carry (12 bytes each; see [`MAX_WIRE_EDGES`]).
+pub const MAX_WIRE_GIDS: usize = 2048;
+
+/// Reserved top bit of a cluster-global transaction id. Clients must
+/// bind gids with this bit clear; the cluster detector synthesizes
+/// ids in the reserved space for apps that never bound one, so the
+/// two can never collide.
+pub const GID_RESERVED: u64 = 1 << 63;
+
 // Request opcodes.
 const OP_LOCK: u8 = 0x01;
 const OP_UNLOCK: u8 = 0x02;
@@ -91,6 +109,9 @@ const OP_METRICS: u8 = 0x08;
 const OP_HELLO: u8 = 0x09;
 const OP_TENANT_STATS: u8 = 0x0A;
 const OP_TENANT_CTL: u8 = 0x0B;
+const OP_WAIT_GRAPH: u8 = 0x0C;
+const OP_BIND_GID: u8 = 0x0D;
+const OP_CANCEL_WAIT: u8 = 0x0E;
 
 // Reply opcodes (request opcode | 0x80).
 const OP_LOCK_REPLY: u8 = 0x81;
@@ -104,6 +125,9 @@ const OP_METRICS_REPLY: u8 = 0x88;
 const OP_HELLO_REPLY: u8 = 0x89;
 const OP_TENANT_STATS_REPLY: u8 = 0x8A;
 const OP_TENANT_CTL_REPLY: u8 = 0x8B;
+const OP_WAIT_GRAPH_REPLY: u8 = 0x8C;
+const OP_BIND_GID_REPLY: u8 = 0x8D;
+const OP_CANCEL_WAIT_REPLY: u8 = 0x8E;
 // Server-initiated (no matching request opcode; sent with id 0 when
 // the connection is refused at admission).
 const OP_BUSY: u8 = 0x90;
@@ -171,6 +195,31 @@ pub enum Request {
     },
     /// Administrative tenant churn: create or drop a tenant mid-run.
     TenantCtl(TenantCtl),
+    /// Export this node's local wait-for graph for a cluster deadlock
+    /// detector: every (waiter, holder) edge across the shards plus
+    /// the app→gid bindings the detector needs to translate local app
+    /// ids into cluster-global transaction ids.
+    WaitGraph,
+    /// Bind this connection's application to cluster-global
+    /// transaction id `gid`. A routed client binds the same gid on
+    /// every node it talks to, which is what lets the cluster
+    /// detector recognize one transaction waiting on node A and
+    /// holding on node B. The top bit is reserved for
+    /// detector-synthesized ids and must be clear.
+    BindGid {
+        /// Cluster-global transaction id (top bit must be 0).
+        gid: u64,
+    },
+    /// Cancel application `app`'s in-flight wait and abort it — the
+    /// cluster detector's victim kill. Goes through the same
+    /// confirm-then-abort path as the local sweeper, so a victim that
+    /// was granted in the meantime is left alone (the reply carries
+    /// `false`).
+    CancelWait {
+        /// The server-local application id to cancel (from the
+        /// [`Reply::WaitGraph`] gid table).
+        app: u32,
+    },
 }
 
 /// The action carried by a [`Request::TenantCtl`] frame.
@@ -227,11 +276,45 @@ pub enum Reply {
     /// Outcome of a [`Request::TenantCtl`]: the granted budget
     /// (create) or reclaimed bytes (drop), or the refusal message.
     TenantCtl(Result<u64, String>),
+    /// Outcome of a [`Request::WaitGraph`]: this node's local
+    /// wait-for edges and app→gid table.
+    WaitGraph(WaitGraphReply),
+    /// Outcome of a [`Request::BindGid`]: `Ok` binds, `Err` carries
+    /// the refusal (reserved bit set, or no session to bind — a
+    /// multi-tenant connection must say Hello first). Re-binding is
+    /// allowed: a reconnecting client binds the same gid on its fresh
+    /// connection while the old one may still be tearing down.
+    BindGid(Result<(), String>),
+    /// Outcome of a [`Request::CancelWait`]: `true` if the app was
+    /// still waiting and has been aborted, `false` if there was
+    /// nothing to cancel (already granted, gone, or unknown).
+    CancelWait(bool),
     /// The server refused the connection at admission: its
     /// `max_connections` cap is reached. Sent with request id 0 (the
     /// refusal precedes any request) and immediately followed by a
     /// shutdown of the socket. Retryable after a backoff.
     Busy,
+}
+
+/// Body of a [`Reply::WaitGraph`] frame: one node's slice of the
+/// cluster wait-for graph, frozen at export time.
+///
+/// The export is advisory — edges may be stale by the time the
+/// detector acts, which is why victim kills go through the
+/// confirm-then-abort [`Request::CancelWait`] path rather than
+/// trusting the snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WaitGraphReply {
+    /// Local wait-for edges as (waiter app, holder app) pairs, the
+    /// union across shards (at most [`MAX_WIRE_EDGES`]; the server
+    /// truncates beyond that and the detector catches the rest on a
+    /// later pull).
+    pub edges: Vec<(u32, u32)>,
+    /// App→gid bindings for every connection that sent
+    /// [`Request::BindGid`] (at most [`MAX_WIRE_GIDS`]). Apps absent
+    /// here are local-only transactions; the detector synthesizes
+    /// per-node ids for them.
+    pub gids: Vec<(u32, u64)>,
 }
 
 /// Body of a [`Reply::TenantStats`] frame.
@@ -863,6 +946,10 @@ fn put_event(out: &mut Vec<u8>, e: &JournalEvent) {
             out.push(site);
             put_u64(out, count);
         }
+        EventKind::RemoteCancel { app } => {
+            out.push(10);
+            put_u32(out, app.0);
+        }
     }
 }
 
@@ -906,6 +993,9 @@ fn get_event(r: &mut Reader<'_>) -> Result<JournalEvent, WireError> {
         9 => EventKind::FaultInjected {
             site: r.u8()?,
             count: r.u64()?,
+        },
+        10 => EventKind::RemoteCancel {
+            app: AppId(r.u32()?),
         },
         tag => return Err(WireError::BadTag { what: "event", tag }),
     };
@@ -980,6 +1070,7 @@ fn put_obs_counters(out: &mut Vec<u8>, c: &ObsCounters) {
         c.shed_released,
         c.shed_rejected,
         c.faults_injected,
+        c.remote_cancels,
     ] {
         put_u64(out, v);
     }
@@ -1003,6 +1094,7 @@ fn get_obs_counters(r: &mut Reader<'_>) -> Result<ObsCounters, WireError> {
         shed_released: r.u64()?,
         shed_rejected: r.u64()?,
         faults_injected: r.u64()?,
+        remote_cancels: r.u64()?,
     })
 }
 
@@ -1260,6 +1352,51 @@ fn get_tenant_stats(r: &mut Reader<'_>) -> Result<TenantStatsReply, WireError> {
     })
 }
 
+fn put_wait_graph(out: &mut Vec<u8>, g: &WaitGraphReply) {
+    debug_assert!(g.edges.len() <= MAX_WIRE_EDGES, "edges exceed wire bound");
+    debug_assert!(g.gids.len() <= MAX_WIRE_GIDS, "gids exceed wire bound");
+    put_u32(out, g.edges.len() as u32);
+    for &(waiter, holder) in &g.edges {
+        put_u32(out, waiter);
+        put_u32(out, holder);
+    }
+    put_u32(out, g.gids.len() as u32);
+    for &(app, gid) in &g.gids {
+        put_u32(out, app);
+        put_u64(out, gid);
+    }
+}
+
+fn get_wait_graph(r: &mut Reader<'_>) -> Result<WaitGraphReply, WireError> {
+    let n_edges = r.u32()? as usize;
+    if n_edges > MAX_WIRE_EDGES {
+        return Err(WireError::TooMany {
+            what: "wait edges",
+            n: n_edges,
+        });
+    }
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let waiter = r.u32()?;
+        let holder = r.u32()?;
+        edges.push((waiter, holder));
+    }
+    let n_gids = r.u32()? as usize;
+    if n_gids > MAX_WIRE_GIDS {
+        return Err(WireError::TooMany {
+            what: "gid bindings",
+            n: n_gids,
+        });
+    }
+    let mut gids = Vec::with_capacity(n_gids);
+    for _ in 0..n_gids {
+        let app = r.u32()?;
+        let gid = r.u64()?;
+        gids.push((app, gid));
+    }
+    Ok(WaitGraphReply { edges, gids })
+}
+
 /// String-error result: `0` + nothing, or `1` + length-prefixed
 /// message (Hello binds, TenantCtl refusals).
 fn put_string_result<T>(
@@ -1351,6 +1488,11 @@ pub fn encode_request_into(out: &mut Vec<u8>, id: u64, req: &Request) {
                 put_u32(out, *tenant);
             }
         }),
+        Request::WaitGraph => frame_into(out, OP_WAIT_GRAPH, id, |_| {}),
+        Request::BindGid { gid } => frame_into(out, OP_BIND_GID, id, |out| put_u64(out, *gid)),
+        Request::CancelWait { app } => {
+            frame_into(out, OP_CANCEL_WAIT, id, |out| put_u32(out, *app))
+        }
     }
 }
 
@@ -1433,6 +1575,9 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
                 })
             }
         }),
+        OP_WAIT_GRAPH => Request::WaitGraph,
+        OP_BIND_GID => Request::BindGid { gid: r.u64()? },
+        OP_CANCEL_WAIT => Request::CancelWait { app: r.u32()? },
         tag => {
             return Err(WireError::BadTag {
                 what: "request opcode",
@@ -1508,6 +1653,15 @@ pub fn encode_reply_into(out: &mut Vec<u8>, id: u64, reply: &Reply) {
         Reply::TenantCtl(res) => frame_into(out, OP_TENANT_CTL_REPLY, id, |out| {
             put_string_result(out, res, |out, bytes| put_u64(out, *bytes))
         }),
+        Reply::WaitGraph(g) => {
+            frame_into(out, OP_WAIT_GRAPH_REPLY, id, |out| put_wait_graph(out, g))
+        }
+        Reply::BindGid(res) => frame_into(out, OP_BIND_GID_REPLY, id, |out| {
+            put_string_result(out, res, |_, ()| {})
+        }),
+        Reply::CancelWait(cancelled) => frame_into(out, OP_CANCEL_WAIT_REPLY, id, |out| {
+            out.push(*cancelled as u8)
+        }),
         Reply::Busy => frame_into(out, OP_BUSY, id, |_| {}),
     }
 }
@@ -1556,6 +1710,9 @@ pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), WireError> {
         OP_HELLO_REPLY => Reply::Hello(get_string_result(&mut r, |_| Ok(()))?),
         OP_TENANT_STATS_REPLY => Reply::TenantStats(Box::new(get_tenant_stats(&mut r)?)),
         OP_TENANT_CTL_REPLY => Reply::TenantCtl(get_string_result(&mut r, |r| r.u64())?),
+        OP_WAIT_GRAPH_REPLY => Reply::WaitGraph(get_wait_graph(&mut r)?),
+        OP_BIND_GID_REPLY => Reply::BindGid(get_string_result(&mut r, |_| Ok(()))?),
+        OP_CANCEL_WAIT_REPLY => Reply::CancelWait(get_bool(&mut r)?),
         OP_BUSY => Reply::Busy,
         tag => {
             return Err(WireError::BadTag {

@@ -409,6 +409,7 @@ fn reconnecting_client_backs_off_through_busy_refusals() {
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(50),
             seed: 42,
+            ..ReconnectConfig::default()
         },
     )
     .expect("reconnecting client admitted once the slot frees");

@@ -11,8 +11,9 @@ use locktune_metrics::{HistogramSnapshot, BUCKETS};
 use locktune_net::wire::{
     decode_lock_batch_into, decode_reply, decode_request, encode_lock_batch_into, encode_reply,
     encode_request, Reply, Request, StatsSnapshot, TenantCtl, TenantStatsReply, ValidateReport,
-    WireError, HEADER_LEN, MAX_BATCH, MAX_PAYLOAD, MAX_WIRE_DONATIONS, MAX_WIRE_EVENTS,
-    MAX_WIRE_TENANTS, MAX_WIRE_TICKS,
+    WaitGraphReply, WireError, GID_RESERVED, HEADER_LEN, MAX_BATCH, MAX_PAYLOAD,
+    MAX_WIRE_DONATIONS, MAX_WIRE_EDGES, MAX_WIRE_EVENTS, MAX_WIRE_GIDS, MAX_WIRE_TENANTS,
+    MAX_WIRE_TICKS,
 };
 use locktune_net::{MachineRollup, TenantDonation, TenantRow};
 use locktune_obs::{EventKind, JournalEvent, MetricsSnapshot, ObsCounters, ThreadRole, TuningTick};
@@ -93,8 +94,20 @@ fn request() -> BoxedStrategy<Request> {
         any::<u64>().prop_map(|donations_since| Request::TenantStats { donations_since }),
         any::<u32>().prop_map(|tenant| Request::TenantCtl(TenantCtl::Create { tenant })),
         any::<u32>().prop_map(|tenant| Request::TenantCtl(TenantCtl::Drop { tenant })),
+        Just(Request::WaitGraph),
+        any::<u64>().prop_map(|gid| Request::BindGid { gid }),
+        any::<u32>().prop_map(|app| Request::CancelWait { app }),
     ]
     .boxed()
+}
+
+fn wait_graph_reply() -> BoxedStrategy<WaitGraphReply> {
+    (
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..12),
+        proptest::collection::vec((any::<u32>(), any::<u64>()), 0..12),
+    )
+        .prop_map(|(edges, gids)| WaitGraphReply { edges, gids })
+        .boxed()
 }
 
 fn tenant_row() -> BoxedStrategy<TenantRow> {
@@ -259,6 +272,7 @@ fn event() -> BoxedStrategy<JournalEvent> {
         any::<u64>().prop_map(|ooms| EventKind::ShedEngaged { ooms }),
         Just(EventKind::ShedReleased),
         (0u8..6, any::<u64>()).prop_map(|(site, count)| EventKind::FaultInjected { site, count }),
+        any::<u32>().prop_map(|a| EventKind::RemoteCancel { app: AppId(a) }),
     ];
     (any::<u64>(), any::<u64>(), kind)
         .prop_map(|(seq, at_ms, kind)| JournalEvent { seq, at_ms, kind })
@@ -376,6 +390,11 @@ fn reply() -> BoxedStrategy<Reply> {
         proptest::collection::vec(97u8..123, 1..64)
             .prop_map(|msg| Reply::TenantCtl(Err(String::from_utf8(msg).unwrap()))),
         Just(Reply::Busy),
+        wait_graph_reply().prop_map(Reply::WaitGraph),
+        Just(Reply::BindGid(Ok(()))),
+        proptest::collection::vec(97u8..123, 1..64)
+            .prop_map(|msg| Reply::BindGid(Err(String::from_utf8(msg).unwrap()))),
+        any::<bool>().prop_map(Reply::CancelWait),
     ]
     .boxed()
 }
@@ -735,6 +754,57 @@ fn forged_tenant_stats_counts_rejected() {
     );
 }
 
+/// The worst-case WaitGraph reply — edge list and gid table both at
+/// their wire bounds, every field at its widest — fits one frame.
+/// This is the derivation behind `MAX_WIRE_EDGES`/`MAX_WIRE_GIDS`.
+#[test]
+fn max_wait_graph_reply_fits_one_frame() {
+    let reply = WaitGraphReply {
+        edges: (0..MAX_WIRE_EDGES as u32)
+            .map(|i| (i, u32::MAX - i))
+            .collect(),
+        gids: (0..MAX_WIRE_GIDS as u32)
+            .map(|i| (i, GID_RESERVED | u64::from(i)))
+            .collect(),
+    };
+    let frame = encode_reply(8, &Reply::WaitGraph(reply.clone()));
+    assert!(
+        frame.len() - 4 <= MAX_PAYLOAD,
+        "wait graph payload {}",
+        frame.len() - 4
+    );
+    assert_eq!(decode_reply(&frame[4..]), Ok((8, Reply::WaitGraph(reply))));
+}
+
+/// A forged edge or gid count past the wire bound is rejected before
+/// any allocation happens.
+#[test]
+fn forged_wait_graph_counts_rejected() {
+    let frame = encode_reply(2, &Reply::WaitGraph(WaitGraphReply::default()));
+    // Payload layout: header (9) + u32 edge count + (empty) edges +
+    // u32 gid count.
+    let edges_at = 4 + HEADER_LEN;
+    let mut forged = frame.clone();
+    forged[edges_at..edges_at + 4].copy_from_slice(&(MAX_WIRE_EDGES as u32 + 1).to_le_bytes());
+    assert_eq!(
+        decode_reply(&forged[4..]),
+        Err(WireError::TooMany {
+            what: "wait edges",
+            n: MAX_WIRE_EDGES + 1,
+        })
+    );
+    let gids_at = edges_at + 4;
+    let mut forged = frame;
+    forged[gids_at..gids_at + 4].copy_from_slice(&(MAX_WIRE_GIDS as u32 + 1).to_le_bytes());
+    assert_eq!(
+        decode_reply(&forged[4..]),
+        Err(WireError::TooMany {
+            what: "gid bindings",
+            n: MAX_WIRE_GIDS + 1,
+        })
+    );
+}
+
 /// Forged Metrics frames are rejected structurally: an event count
 /// above the wire bound, and a histogram with a duplicate (or
 /// non-ascending) bucket index, both fail before any allocation
@@ -746,10 +816,10 @@ fn forged_metrics_counts_rejected() {
 
     // The default snapshot encodes its four empty histograms as
     // (0 nonzero, sum, max) = 17 bytes each; the event count sits
-    // right after the fixed block of the header, 43 u64-width fields
-    // (uptime + 14 lock stats + 16 obs counters + 4 pool gauges +
+    // right after the fixed block of the header, 44 u64-width fields
+    // (uptime + 14 lock stats + 17 obs counters + 4 pool gauges +
     // 4 f64s + 4 tuning counters) and the 4 histograms.
-    let events_at = HEADER_LEN + 43 * 8 + 4 * 17;
+    let events_at = HEADER_LEN + 44 * 8 + 4 * 17;
     assert_eq!(
         &payload[events_at..events_at + 4],
         &0u32.to_le_bytes(),
@@ -766,7 +836,7 @@ fn forged_metrics_counts_rejected() {
     );
 
     // Duplicate bucket index: claim 2 nonzero buckets, both index 0.
-    let hist_at = HEADER_LEN + 43 * 8;
+    let hist_at = HEADER_LEN + 44 * 8;
     let mut forged = Vec::new();
     forged.extend_from_slice(&payload[..hist_at]);
     forged.push(2); // n_nonzero

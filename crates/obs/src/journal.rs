@@ -97,6 +97,12 @@ pub enum EventKind {
         /// Injections since the last event for this site.
         count: u64,
     },
+    /// A cluster deadlock detector cancelled this application's wait
+    /// remotely (cross-node cycle victim) and it was aborted.
+    RemoteCancel {
+        /// The aborted application.
+        app: AppId,
+    },
 }
 
 /// Background thread named by a [`EventKind::WatchdogRestart`].
@@ -131,6 +137,7 @@ const TAG_CLIENT_EVICTED: u64 = 6;
 const TAG_SHED_ENGAGED: u64 = 7;
 const TAG_SHED_RELEASED: u64 = 8;
 const TAG_FAULT_INJECTED: u64 = 9;
+const TAG_REMOTE_CANCEL: u64 = 10;
 
 fn pack(kind: EventKind) -> (u64, u64, u64) {
     match kind {
@@ -162,6 +169,7 @@ fn pack(kind: EventKind) -> (u64, u64, u64) {
         EventKind::ShedEngaged { ooms } => (TAG_SHED_ENGAGED, ooms, 0),
         EventKind::ShedReleased => (TAG_SHED_RELEASED, 0, 0),
         EventKind::FaultInjected { site, count } => (TAG_FAULT_INJECTED, site as u64, count),
+        EventKind::RemoteCancel { app } => (TAG_REMOTE_CANCEL, app.0 as u64, 0),
     }
 }
 
@@ -195,6 +203,9 @@ fn unpack(tag: u64, w2: u64, w3: u64) -> EventKind {
         TAG_FAULT_INJECTED => EventKind::FaultInjected {
             site: w2 as u8,
             count: w3,
+        },
+        TAG_REMOTE_CANCEL => EventKind::RemoteCancel {
+            app: AppId(w2 as u32),
         },
         // Tags only ever come from `pack`, so anything else is
         // unreachable; map it to the least information-bearing kind
@@ -388,6 +399,7 @@ mod tests {
             EventKind::ShedEngaged { ooms: 17 },
             EventKind::ShedReleased,
             EventKind::FaultInjected { site: 4, count: 2 },
+            EventKind::RemoteCancel { app: AppId(77) },
         ];
         for kind in kinds {
             let (tag, w2, w3) = pack(kind);

@@ -88,6 +88,9 @@ pub struct Obs {
     /// Absolute injected-fault total, mirrored from the fault injector
     /// at tuning time (like the depot reclaim mirror).
     faults_injected: AtomicU64,
+    /// Waits cancelled (and applications aborted) on behalf of a
+    /// remote cluster deadlock detector.
+    remote_cancels: AtomicU64,
 }
 
 impl Obs {
@@ -119,6 +122,7 @@ impl Obs {
             shed_released: AtomicU64::new(0),
             shed_rejected: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
+            remote_cancels: AtomicU64::new(0),
         }
     }
 
@@ -186,6 +190,14 @@ impl Obs {
         self.deadlock_victims.fetch_add(1, Ordering::Relaxed);
         self.journal
             .record(self.now_ms(), EventKind::DeadlockVictim { app });
+    }
+
+    /// A remote cluster deadlock detector cancelled `app`'s wait and
+    /// it was aborted (the cross-node twin of [`Obs::record_victim`]).
+    pub fn record_remote_cancel(&self, app: AppId) {
+        self.remote_cancels.fetch_add(1, Ordering::Relaxed);
+        self.journal
+            .record(self.now_ms(), EventKind::RemoteCancel { app });
     }
 
     /// A synchronous-growth attempt stalled its request for `micros`
@@ -303,6 +315,7 @@ impl Obs {
             shed_released: self.shed_released.load(Ordering::Relaxed),
             shed_rejected: self.shed_rejected.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            remote_cancels: self.remote_cancels.load(Ordering::Relaxed),
         }
     }
 
@@ -381,6 +394,7 @@ mod tests {
         obs.record_shed_released();
         obs.note_faults_injected(0, 3);
         obs.note_faults_injected(2, 0); // zero delta → no event
+        obs.record_remote_cancel(AppId(7));
 
         let c = obs.counters();
         assert_eq!(c.timeouts, 1);
@@ -397,13 +411,15 @@ mod tests {
         assert_eq!(c.shed_released, 1);
         assert_eq!(c.shed_rejected, 2);
         assert_eq!(c.faults_injected, 3);
+        assert_eq!(c.remote_cancels, 1);
         // victim + sync growth + escalation + resize + reclaim
-        // + restart + eviction + shed engage/release + fault = 10.
-        assert_eq!(c.journal_recorded, 10);
+        // + restart + eviction + shed engage/release + fault
+        // + remote cancel = 11.
+        assert_eq!(c.journal_recorded, 11);
 
         let mut events = Vec::new();
         obs.journal().drain(&mut events, 100);
-        assert_eq!(events.len(), 10);
+        assert_eq!(events.len(), 11);
         assert!(matches!(
             events[4].kind,
             EventKind::DepotReclaim { slots: 48 }
@@ -417,6 +433,10 @@ mod tests {
         assert!(matches!(
             events[9].kind,
             EventKind::FaultInjected { site: 0, count: 3 }
+        ));
+        assert!(matches!(
+            events[10].kind,
+            EventKind::RemoteCancel { app: AppId(7) }
         ));
         assert_eq!(obs.batch_size().quantile(1.0), 20);
         assert_eq!(obs.sync_stall_micros().count(), 2);

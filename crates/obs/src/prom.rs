@@ -245,6 +245,12 @@ pub fn render(snap: &MetricsSnapshot) -> String {
     );
     counter(
         &mut out,
+        "locktune_remote_cancels_total",
+        "Waits cancelled for a remote cluster deadlock detector.",
+        c.remote_cancels,
+    );
+    counter(
+        &mut out,
         "locktune_journal_events_total",
         "Events recorded into the journal.",
         c.journal_recorded,
@@ -320,6 +326,7 @@ mod tests {
             "locktune_shed_released_total",
             "locktune_shed_rejected_total",
             "locktune_faults_injected_total",
+            "locktune_remote_cancels_total",
         ] {
             assert!(page.contains(name), "missing {name}");
         }

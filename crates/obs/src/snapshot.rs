@@ -46,6 +46,10 @@ pub struct ObsCounters {
     /// Faults deliberately injected across all sites (`faults`
     /// feature only; zero in production builds).
     pub faults_injected: u64,
+    /// Waits cancelled (and applications aborted) on behalf of a
+    /// remote cluster deadlock detector — cross-node victims resolved
+    /// on this node.
+    pub remote_cancels: u64,
 }
 
 impl ObsCounters {
@@ -72,6 +76,7 @@ impl ObsCounters {
             shed_released,
             shed_rejected,
             faults_injected,
+            remote_cancels,
         } = other;
         self.timeouts += timeouts;
         self.batches += batches;
@@ -89,6 +94,7 @@ impl ObsCounters {
         self.shed_released += shed_released;
         self.shed_rejected += shed_rejected;
         self.faults_injected += faults_injected;
+        self.remote_cancels += remote_cancels;
     }
 }
 

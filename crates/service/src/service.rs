@@ -28,8 +28,8 @@ use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use locktune_core::TunerParams;
 use locktune_faults::{FaultInjector, FaultSite, SITE_COUNT};
 use locktune_lockmgr::{
-    AppId, DeadlockDetector, GrantNotice, LockError, LockManager, LockMode, LockOutcome, LockStats,
-    ResourceId, UnlockReport,
+    partition, AppId, DeadlockDetector, GrantNotice, LockError, LockManager, LockMode, LockOutcome,
+    LockStats, ResourceId, UnlockReport,
 };
 use locktune_memalloc::{LockMemoryPool, PoolBackend, PoolConfig, PoolStats, SharedLockMemoryPool};
 use locktune_memory::{DatabaseMemory, HeapKind, IntervalReport, PerfHeap, Stmm};
@@ -314,9 +314,6 @@ struct ThreadTable {
 struct ServiceInner {
     config: ServiceConfig,
     shards: Vec<Shard>,
-    /// `shards.len() - 1` when the shard count is a power of two: the
-    /// router then masks instead of dividing on every operation.
-    shard_mask: Option<u64>,
     pool: SharedLockMemoryPool,
     tuning: TuningShared,
     registry: Mutex<HashMap<AppId, Sender<WakeMessage>>>,
@@ -362,13 +359,10 @@ impl ServiceInner {
     /// The shard owning `res`: rows hash by their table, so a row and
     /// its table always co-locate.
     fn shard_index(&self, res: ResourceId) -> usize {
-        let t = res.table().0 as u64;
-        // Fibonacci hashing spreads consecutive table ids.
-        let h = t.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        match self.shard_mask {
-            Some(mask) => (h & mask) as usize,
-            None => (h % self.shards.len() as u64) as usize,
-        }
+        // The shared partition hash: the cluster router uses the same
+        // function to pick a node, so client-side routing and
+        // server-side sharding can never disagree about a table.
+        partition::resource_slot(res, self.shards.len())
     }
 
     /// Tuning hooks for service-internal paths (no session counter).
@@ -428,39 +422,57 @@ impl ServiceInner {
         }
         let victims = DeadlockDetector::new().find_victims(&edges);
         for v in victims {
-            let mut still_waiting = false;
-            for shard in &self.shards {
-                let (cancelled, notices) = {
-                    let mut m = shard.lock();
-                    (m.cancel_wait(v.app), m.take_notifications())
-                };
-                self.deliver(notices);
-                still_waiting |= cancelled;
-            }
-            if !still_waiting {
-                // Granted (or timed out / disconnected) between the
-                // edge capture and now: not a victim.
-                continue;
-            }
-            if OBS_ENABLED {
-                // Confirmed: exactly one counter tick and one journal
-                // event per aborted application (the per-shard
-                // `deadlock_aborts` stat below counts shards visited).
-                self.obs.record_victim(v.app);
-            }
-            // The victim is out of every wait queue and parked on its
-            // channel; nothing can grant it until the Aborted message
-            // below wakes it, so releasing its locks is safe.
-            let mut notices = Vec::new();
-            for shard in &self.shards {
-                let mut hooks = self.hooks();
-                let mut m = shard.lock();
-                m.abort(v.app, &mut hooks);
-                notices.append(&mut m.take_notifications());
-            }
-            self.deliver(notices);
-            self.send(v.app, WakeMessage::Aborted);
+            self.abort_confirmed_waiter(v.app, false);
         }
+    }
+
+    /// Confirm `app` is still parked in some wait queue, and if so
+    /// abort it: cancel its wait everywhere, release all its locks and
+    /// wake it with `Aborted`. Returns whether the abort happened.
+    ///
+    /// This is the single victim-abort path — the local sweeper and
+    /// the cluster detector's remote `cancel_wait` both land here, so
+    /// the grant-race confirmation and the release ordering cannot
+    /// diverge between them. `remote` only selects which journal
+    /// event records the abort.
+    fn abort_confirmed_waiter(&self, app: AppId, remote: bool) -> bool {
+        let mut still_waiting = false;
+        for shard in &self.shards {
+            let (cancelled, notices) = {
+                let mut m = shard.lock();
+                (m.cancel_wait(app), m.take_notifications())
+            };
+            self.deliver(notices);
+            still_waiting |= cancelled;
+        }
+        if !still_waiting {
+            // Granted (or timed out / disconnected) between the
+            // edge capture and now: not a victim.
+            return false;
+        }
+        if OBS_ENABLED {
+            // Confirmed: exactly one counter tick and one journal
+            // event per aborted application (the per-shard
+            // `deadlock_aborts` stat below counts shards visited).
+            if remote {
+                self.obs.record_remote_cancel(app);
+            } else {
+                self.obs.record_victim(app);
+            }
+        }
+        // The victim is out of every wait queue and parked on its
+        // channel; nothing can grant it until the Aborted message
+        // below wakes it, so releasing its locks is safe.
+        let mut notices = Vec::new();
+        for shard in &self.shards {
+            let mut hooks = self.hooks();
+            let mut m = shard.lock();
+            m.abort(app, &mut hooks);
+            notices.append(&mut m.take_notifications());
+        }
+        self.deliver(notices);
+        self.send(app, WakeMessage::Aborted);
+        true
     }
 
     /// Kill the calling background thread if the fault plan says so.
@@ -723,17 +735,12 @@ impl LockService {
             pool.total_bytes(),
         );
 
-        let shard_mask = config
-            .shards
-            .is_power_of_two()
-            .then(|| config.shards as u64 - 1);
         let inner = Arc::new(ServiceInner {
             tuning: TuningShared::new(stmm, mem),
             reports: Mutex::new(ReportLog::new(config.tuning_log_capacity)),
             obs: Obs::new(config.shards),
             config,
             shards,
-            shard_mask,
             pool,
             registry: Mutex::new(HashMap::new()),
             tuning_intervals: AtomicU64::new(0),
@@ -1050,6 +1057,35 @@ impl LockService {
     /// Run one deadlock sweep synchronously.
     pub fn sweep_deadlocks_now(&self) {
         self.inner.sweep_deadlocks()
+    }
+
+    /// The current wait-for edges, unioned across shards — the same
+    /// snapshot the deadlock sweeper starts from. A cluster deadlock
+    /// detector exports these over the wire (`WaitGraph` frame) and
+    /// chases cycles that span nodes, which no single node's sweeper
+    /// can see. Edges are captured one shard latch at a time, so they
+    /// may be stale by the time a caller acts on them; the remote
+    /// cancel path re-confirms every victim exactly as the local
+    /// sweeper does.
+    pub fn wait_edges(&self) -> Vec<(AppId, AppId)> {
+        let mut edges = Vec::new();
+        for shard in &self.inner.shards {
+            edges.extend(shard.lock().wait_edges());
+        }
+        edges
+    }
+
+    /// Abort `app` if (and only if) it is still parked in a wait
+    /// queue: the remote twin of the sweeper's victim abort, exposed
+    /// for cross-node deadlock resolution via the wire's `CancelWait`
+    /// frame. Returns `true` if the wait was cancelled and the
+    /// application aborted (it observes [`ServiceError::DeadlockVictim`]
+    /// exactly as a local victim would); `false` if the wait had
+    /// already resolved — a grant that raced the remote detector wins,
+    /// same as it does against the local sweeper, so a running
+    /// transaction's locks are never released out from under it.
+    pub fn cancel_waiter(&self, app: AppId) -> bool {
+        self.inner.abort_confirmed_waiter(app, true)
     }
 
     /// Cross-shard invariant check: every shard validates and the sum

@@ -71,6 +71,7 @@ fn worker(addr: std::net::SocketAddr, seed: u64) -> WorkerReport {
         base_delay: Duration::from_millis(2),
         max_delay: Duration::from_millis(100),
         seed,
+        ..ReconnectConfig::default()
     };
     let mut rc = ReconnectingClient::connect(addr, policy).expect("worker connect");
     let mut rng = StdRng::seed_from_u64(seed);
