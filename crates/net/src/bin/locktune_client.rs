@@ -7,7 +7,25 @@
 //!                 [--dss-percent P] [--seed S] [--min-intervals N]
 //!                 [--skip-kill] [--batch] [--scrape] [--chaos]
 //!                 [--tenant ID] [--tenants N --tenant-mode MODE]
+//!                 [--connections N [--duration-ms MS] [--rate R]
+//!                  [--zipf-theta T] [--bench-out PATH]]
 //! ```
+//!
+//! `--connections N` switches to the **open-loop scaling bench**: one
+//! event-loop thread (built on the same epoll wrapper the server's
+//! evented core uses) holds N nonblocking connections and fires
+//! transaction bursts at a fixed global `--rate` (bursts/second),
+//! assigning each burst to a connection by a Zipf(`--zipf-theta`) draw
+//! over connection rank — a few hot sessions and a long idle-ish tail,
+//! the 10k-connection shape the evented server core exists for. Each
+//! burst is one pipelined `LockBatch` (intent + `--oltp-rows` rows on
+//! a connection-private range) plus `UnlockAll` in a single flush;
+//! burst latency is send-to-last-reply. The run ends with the usual
+//! drain poll and accounting audit, then writes a machine-readable
+//! summary (throughput, latency percentiles, per-shard I/O counters
+//! scraped from the server) to `--bench-out` (default
+//! `BENCH_net_scaling.json`). Offered load is independent of N, so
+//! threaded-at-64 and evented-at-4096 runs are directly comparable.
 //!
 //! Each worker thread owns one TCP connection and runs the same two
 //! transaction footprints the in-process stress driver uses: OLTP (IX
@@ -71,7 +89,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use locktune_lockmgr::{LockError, LockMode, LockOutcome, ResourceId, RowId, TableId};
-use locktune_net::wire::Request;
+use locktune_net::wire::{self, Request};
 use locktune_net::{
     BatchOutcome, Client, ClientError, ReconnectConfig, ReconnectStats, ReconnectingClient, Reply,
 };
@@ -98,6 +116,11 @@ struct Args {
     tenant: Option<u32>,
     tenants: usize,
     tenant_mode: String,
+    connections: usize,
+    duration_ms: u64,
+    rate: u64,
+    zipf_theta: f64,
+    bench_out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -119,6 +142,11 @@ fn parse_args() -> Result<Args, String> {
         tenant: None,
         tenants: 0,
         tenant_mode: "noisy".into(),
+        connections: 0,
+        duration_ms: 10_000,
+        rate: 1_000,
+        zipf_theta: 1.0,
+        bench_out: "BENCH_net_scaling.json".into(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -143,6 +171,11 @@ fn parse_args() -> Result<Args, String> {
             "--tenant" => args.tenant = Some(parse(&value("--tenant")?, "--tenant")?),
             "--tenants" => args.tenants = parse(&value("--tenants")?, "--tenants")?,
             "--tenant-mode" => args.tenant_mode = value("--tenant-mode")?,
+            "--connections" => args.connections = parse(&value("--connections")?, "--connections")?,
+            "--duration-ms" => args.duration_ms = parse(&value("--duration-ms")?, "--duration-ms")?,
+            "--rate" => args.rate = parse(&value("--rate")?, "--rate")?,
+            "--zipf-theta" => args.zipf_theta = parse(&value("--zipf-theta")?, "--zipf-theta")?,
+            "--bench-out" => args.bench_out = value("--bench-out")?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -168,6 +201,14 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.tenants == 1 && args.tenant_mode == "noisy" {
         return Err("--tenant-mode noisy needs --tenants >= 2 (a neighbor to be noisy at)".into());
+    }
+    if args.connections > 0 {
+        if args.chaos || args.tenant.is_some() || args.tenants > 0 {
+            return Err("--connections cannot combine with --chaos/--tenant/--tenants".into());
+        }
+        if args.rate == 0 {
+            return Err("--rate must be >= 1 bursts/second".into());
+        }
     }
     Ok(args)
 }
@@ -698,6 +739,433 @@ fn run_tenant_stress(args: &Args) -> ! {
     std::process::exit(exit);
 }
 
+/// Zipf sampler over connection ranks: weight of rank `r` is
+/// `1/(r+1)^theta`, so rank 0 is the hottest session and the tail is
+/// near-idle. Sampling is a binary search over the cumulative weights.
+struct Zipf {
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, theta: f64) -> Zipf {
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(theta);
+            cum.push(total);
+        }
+        Zipf { cum }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        // 53 uniform bits -> [0, 1).
+        let u = rng.gen_range_u64(0, 1 << 53) as f64 / (1u64 << 53) as f64;
+        let target = u * self.cum.last().copied().unwrap_or(1.0);
+        self.cum
+            .partition_point(|&c| c <= target)
+            .min(self.cum.len() - 1)
+    }
+}
+
+/// One open-loop connection: a nonblocking socket plus the read
+/// accumulator and pending-write buffer that make partial reads and
+/// writes at arbitrary byte boundaries safe (the client-side mirror of
+/// the server's evented buffer state machines).
+struct OpenConn {
+    stream: std::net::TcpStream,
+    accum: wire::FrameAccum,
+    out: Vec<u8>,
+    out_off: usize,
+    /// Replies outstanding for the current burst (2: batch + unlock).
+    inflight: u8,
+    burst_start: Instant,
+    next_id: u64,
+    /// True when EPOLLOUT is armed because the last flush hit
+    /// `WouldBlock` with bytes still queued.
+    want_out: bool,
+    table: TableId,
+    row_base: u64,
+}
+
+impl OpenConn {
+    /// Write queued bytes until drained or the socket pushes back.
+    fn flush(&mut self) -> std::io::Result<()> {
+        use std::io::Write;
+        while self.out_off < self.out.len() {
+            match (&self.stream).write(&self.out[self.out_off..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket closed mid-frame",
+                    ))
+                }
+                Ok(n) => self.out_off += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.out_off = 0;
+        Ok(())
+    }
+}
+
+/// Aggregate results of the open-loop run.
+#[derive(Default)]
+struct BenchTally {
+    bursts: u64,
+    skipped_busy: u64,
+    lock_failures: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The open-loop scaling bench (`--connections N`). Never returns.
+///
+/// A single thread owns every connection via the shared epoll wrapper:
+/// bursts fire on a global pacer (`--rate`), land on a Zipf-ranked
+/// connection, and travel as one pipelined `LockBatch` + `UnlockAll`
+/// flush. Lock footprints are connection-private (distinct row ranges,
+/// tables reused only across intent-compatible IX holders), so the
+/// bench measures the network core, not lock contention.
+fn run_open_loop(args: &Args) -> ! {
+    use locktune_net::poll::{PollEvent, Poller, EPOLLIN, EPOLLOUT};
+    use std::os::fd::AsRawFd;
+
+    let n = args.connections;
+    let rows = args.oltp_rows.max(1);
+    println!(
+        "locktune-client: open loop — {n} connections, {} bursts/s target, zipf theta {}, {} ms",
+        args.rate, args.zipf_theta, args.duration_ms,
+    );
+
+    let poller = Poller::new().unwrap_or_else(|e| {
+        eprintln!("locktune-client: epoll create: {e}");
+        std::process::exit(1);
+    });
+    let mut conns = Vec::with_capacity(n);
+    for i in 0..n {
+        let stream = match std::net::TcpStream::connect(&args.addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!(
+                    "locktune-client: connect {} ({} of {n} open): {e} \
+                     (raise ulimit -n / server --max-conns?)",
+                    args.addr, i,
+                );
+                std::process::exit(1);
+            }
+        };
+        stream.set_nodelay(true).ok();
+        stream.set_nonblocking(true).expect("set_nonblocking");
+        poller
+            .add(stream.as_raw_fd(), EPOLLIN, i as u64)
+            .expect("epoll add connection");
+        conns.push(OpenConn {
+            stream,
+            accum: wire::FrameAccum::new(),
+            out: Vec::new(),
+            out_off: 0,
+            inflight: 0,
+            burst_start: Instant::now(),
+            next_id: 1,
+            want_out: false,
+            // 997 tables keep intent holders spread out; the row range
+            // is globally private to this connection.
+            table: TableId((i % 997) as u32),
+            row_base: i as u64 * 4096,
+        });
+    }
+    println!("locktune-client: {n} connections established");
+
+    let zipf = Zipf::new(n, args.zipf_theta);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut tally = BenchTally::default();
+    let mut items: Vec<(ResourceId, LockMode)> = Vec::with_capacity(rows as usize + 1);
+    // The encode helpers clear their output buffer, so each frame is
+    // built here and appended — two frames must coexist in `c.out` for
+    // the pipelined flush.
+    let mut scratch: Vec<u8> = Vec::with_capacity(512);
+    let mut events: Vec<PollEvent> = Vec::new();
+
+    let interval = Duration::from_nanos(1_000_000_000 / args.rate);
+    let start = Instant::now();
+    let end = start + Duration::from_millis(args.duration_ms);
+    let mut next_fire = start;
+    // After `end`, keep polling until every in-flight burst resolves
+    // (bounded by a grace period) so the tally only counts completed
+    // round trips.
+    let grace = end + Duration::from_secs(10);
+
+    loop {
+        let now = Instant::now();
+
+        // Fire due bursts (open loop: the pacer does not wait for
+        // completions; a fully-busy target set counts a skip instead).
+        while now >= next_fire && now < end {
+            let rank = zipf.sample(&mut rng);
+            // The sampled session may still be mid-burst; probe forward
+            // so the arrival lands on the next idle session of nearby
+            // rank rather than silently vanishing.
+            let pick = (0..n.min(64))
+                .map(|off| (rank + off) % n)
+                .find(|&i| conns[i].inflight == 0 && !conns[i].want_out);
+            match pick {
+                Some(i) => {
+                    let c = &mut conns[i];
+                    items.clear();
+                    items.push((ResourceId::Table(c.table), LockMode::IX));
+                    for r in 0..rows {
+                        items.push((ResourceId::Row(c.table, RowId(c.row_base + r)), LockMode::X));
+                    }
+                    let id = c.next_id;
+                    c.next_id += 2;
+                    wire::encode_lock_batch_into(&mut scratch, id, &items);
+                    c.out.extend_from_slice(&scratch);
+                    wire::encode_request_into(&mut scratch, id + 1, &Request::UnlockAll);
+                    c.out.extend_from_slice(&scratch);
+                    c.inflight = 2;
+                    c.burst_start = Instant::now();
+                    if let Err(e) = c.flush() {
+                        eprintln!("locktune-client: conn {i} write: {e}");
+                        std::process::exit(1);
+                    }
+                    if !c.out.is_empty() && !c.want_out {
+                        c.want_out = true;
+                        poller
+                            .modify(c.stream.as_raw_fd(), EPOLLIN | EPOLLOUT, i as u64)
+                            .expect("epoll modify");
+                    }
+                }
+                None => tally.skipped_busy += 1,
+            }
+            next_fire += interval;
+        }
+
+        let inflight_total: usize = conns.iter().filter(|c| c.inflight > 0).count();
+        if now >= end && inflight_total == 0 {
+            break;
+        }
+        if now >= grace {
+            eprintln!("locktune-client: {inflight_total} bursts still unresolved after grace");
+            std::process::exit(1);
+        }
+
+        let timeout = if now < end {
+            next_fire.saturating_duration_since(now)
+        } else {
+            Duration::from_millis(50)
+        };
+        poller
+            .wait(&mut events, Some(timeout.min(Duration::from_millis(100))))
+            .expect("epoll wait");
+
+        for ev in &events {
+            let i = ev.token as usize;
+            let c = &mut conns[i];
+            if ev.closed() {
+                eprintln!("locktune-client: conn {i} closed by server mid-run");
+                std::process::exit(1);
+            }
+            if ev.writable() && c.want_out {
+                if let Err(e) = c.flush() {
+                    eprintln!("locktune-client: conn {i} write: {e}");
+                    std::process::exit(1);
+                }
+                if c.out.is_empty() {
+                    c.want_out = false;
+                    poller
+                        .modify(c.stream.as_raw_fd(), EPOLLIN, i as u64)
+                        .expect("epoll modify");
+                }
+            }
+            if !ev.readable() {
+                continue;
+            }
+            // Drain the socket into the accumulator, then consume
+            // every complete reply frame it now holds.
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                use std::io::Read;
+                match (&c.stream).read(&mut buf) {
+                    Ok(0) => {
+                        eprintln!("locktune-client: conn {i} EOF mid-run");
+                        std::process::exit(1);
+                    }
+                    Ok(got) => {
+                        c.accum.extend(&buf[..got]);
+                        if got < buf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        eprintln!("locktune-client: conn {i} read: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            loop {
+                let reply = match c.accum.next_payload() {
+                    Ok(None) => break,
+                    Ok(Some(payload)) => match wire::decode_reply(payload) {
+                        Ok((_, reply)) => reply,
+                        Err(e) => {
+                            eprintln!("locktune-client: conn {i} bad reply frame: {e}");
+                            std::process::exit(1);
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("locktune-client: conn {i} corrupt stream: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                if std::env::var_os("LOCKTUNE_BENCH_DEBUG").is_some() {
+                    eprintln!("conn {i} <- {reply:?}");
+                }
+                match reply {
+                    Reply::BatchOutcomes(outcomes) => {
+                        if outcomes
+                            .iter()
+                            .any(|o| !matches!(o, BatchOutcome::Done(Ok(_))))
+                        {
+                            tally.lock_failures += 1;
+                        }
+                        c.inflight = c.inflight.saturating_sub(1);
+                    }
+                    Reply::UnlockAll(_) => {
+                        c.inflight = c.inflight.saturating_sub(1);
+                        if c.inflight == 0 {
+                            tally.bursts += 1;
+                            tally
+                                .latencies_us
+                                .push(c.burst_start.elapsed().as_micros() as u64);
+                        }
+                    }
+                    Reply::Busy => {
+                        eprintln!(
+                            "locktune-client: server refused conn {i} (Busy) — \
+                             raise server --max-conns above {n}"
+                        );
+                        std::process::exit(1);
+                    }
+                    other => {
+                        eprintln!("locktune-client: conn {i} unexpected reply: {other:?}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    // Teardown: close every bench socket, then audit the server from a
+    // fresh control connection — the drain poll is the leak check (the
+    // server must reap all N sessions).
+    drop(conns);
+    let mut control = loop {
+        match Client::connect(&args.addr) {
+            Ok(c) => break c,
+            Err(e) => {
+                eprintln!("locktune-client: control connect retry: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    let mut exit = 0;
+    drain_and_validate(&mut control, &mut exit);
+    let snap = control.metrics(0, 0).unwrap_or_else(|e| {
+        eprintln!("locktune-client: metrics scrape: {e}");
+        std::process::exit(1);
+    });
+    let io_model = if snap.io_shards.is_empty() {
+        "threaded"
+    } else {
+        "evented"
+    };
+
+    tally.latencies_us.sort_unstable();
+    let (p50, p90, p99) = (
+        percentile(&tally.latencies_us, 0.50),
+        percentile(&tally.latencies_us, 0.90),
+        percentile(&tally.latencies_us, 0.99),
+    );
+    let max_us = tally.latencies_us.last().copied().unwrap_or(0);
+    let throughput = if wall > 0.0 {
+        tally.bursts as f64 / wall
+    } else {
+        0.0
+    };
+
+    println!("--- net_scaling report ---");
+    println!("io model:          {io_model}");
+    println!("connections:       {n}");
+    println!(
+        "bursts:            {} completed, {} skipped (all probed conns busy), {} with lock failures",
+        tally.bursts, tally.skipped_busy, tally.lock_failures,
+    );
+    println!(
+        "throughput:        {throughput:.0} bursts/s ({:.0} locks/s)",
+        throughput * (rows + 1) as f64,
+    );
+    println!("burst latency:     p50 {p50} us, p90 {p90} us, p99 {p99} us, max {max_us} us");
+    for s in &snap.io_shards {
+        println!(
+            "io shard {:>2}:       {} conns, {} wakeups, {} writev ({} frames), write hwm {} B",
+            s.shard, s.connections, s.wakeups, s.writev_calls, s.writev_frames, s.write_buf_hwm,
+        );
+    }
+
+    // Machine-readable summary for EXPERIMENTS.md and CI.
+    let shards_json: Vec<String> = snap
+        .io_shards
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"shard\":{},\"connections\":{},\"wakeups\":{},\"writev_calls\":{},\
+                 \"writev_frames\":{},\"write_buf_hwm\":{}}}",
+                s.shard, s.connections, s.wakeups, s.writev_calls, s.writev_frames, s.write_buf_hwm
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"net_scaling\",\"io_model\":\"{io_model}\",\"connections\":{n},\
+         \"rate_target\":{},\"duration_ms\":{},\"locks_per_burst\":{},\
+         \"bursts_completed\":{},\"bursts_skipped_busy\":{},\"lock_failures\":{},\
+         \"throughput_bursts_per_s\":{throughput:.1},\
+         \"latency_us\":{{\"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"max\":{max_us}}},\
+         \"io_shards\":[{}]}}",
+        args.rate,
+        args.duration_ms,
+        rows + 1,
+        tally.bursts,
+        tally.skipped_busy,
+        tally.lock_failures,
+        shards_json.join(","),
+    );
+    if let Err(e) = std::fs::write(&args.bench_out, format!("{json}\n")) {
+        eprintln!("locktune-client: write {}: {e}", args.bench_out);
+        exit = 1;
+    } else {
+        println!("bench summary:     {}", args.bench_out);
+    }
+
+    if tally.bursts == 0 {
+        eprintln!("locktune-client: no burst completed — bench is vacuous");
+        exit = 1;
+    }
+    std::process::exit(exit);
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -709,6 +1177,9 @@ fn main() {
 
     if args.tenants > 0 {
         run_tenant_stress(&args);
+    }
+    if args.connections > 0 {
+        run_open_loop(&args);
     }
 
     let counters = Arc::new(Counters::default());

@@ -5,9 +5,18 @@
 //!                 [--deadlock-ms MS] [--timeout-ms MS] [--log-capacity N]
 //!                 [--initial-kb KB] [--reply-queue N] [--max-conns N]
 //!                 [--shed-threshold N] [--fault-seed SEED]
+//!                 [--io-model threaded|evented] [--io-shards N]
+//!                 [--write-hwm-kb KB]
 //!                 [--tenants N] [--machine-mb MB] [--arbiter-ms MS]
 //!                 [--quantum-kb KB] [--floor-kb KB] [--initial-grant-mb MB]
 //! ```
+//!
+//! `--io-model evented` swaps the thread-per-connection core for the
+//! epoll I/O shard core (`--io-shards` event-loop threads multiplexing
+//! every connection; see `DESIGN.md` §14) — the model for 10k+
+//! connection experiments. `--write-hwm-kb` sets the per-connection
+//! write-backlog high-water mark that arms the eviction deadline in
+//! that model.
 //!
 //! Defaults mirror `ServiceConfig::fast(8)` — millisecond tuning so a
 //! short remote stress burst sees live grow/shrink decisions.
@@ -35,7 +44,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use locktune_net::{Server, ServerConfig};
+use locktune_net::{IoModel, Server, ServerConfig};
 use locktune_service::{FaultInjector, FaultPlan, FaultSite, LockService, ServiceConfig};
 use locktune_tenants::{TenantDirectory, TenantsConfig};
 
@@ -51,6 +60,9 @@ struct Args {
     max_conns: usize,
     shed_threshold: u32,
     fault_seed: Option<u64>,
+    io_model: IoModel,
+    io_shards: usize,
+    write_hwm_kb: usize,
     tenants: usize,
     machine_mb: u64,
     arbiter_ms: u64,
@@ -90,6 +102,9 @@ fn parse_args() -> Result<Args, String> {
         max_conns: ServerConfig::default().max_connections,
         shed_threshold: 0,
         fault_seed: None,
+        io_model: ServerConfig::default().io_model,
+        io_shards: ServerConfig::default().io_shards,
+        write_hwm_kb: ServerConfig::default().write_hwm_bytes / 1024,
         tenants: 0,
         machine_mb: 64,
         arbiter_ms: 100,
@@ -117,6 +132,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--fault-seed" => {
                 args.fault_seed = Some(parse(&value("--fault-seed")?, "--fault-seed")?)
+            }
+            "--io-model" => {
+                args.io_model = match value("--io-model")?.as_str() {
+                    "threaded" => IoModel::Threaded,
+                    "evented" => IoModel::Evented,
+                    other => {
+                        return Err(format!(
+                            "bad value {other:?} for --io-model (expected threaded or evented)"
+                        ))
+                    }
+                }
+            }
+            "--io-shards" => args.io_shards = parse(&value("--io-shards")?, "--io-shards")?,
+            "--write-hwm-kb" => {
+                args.write_hwm_kb = parse(&value("--write-hwm-kb")?, "--write-hwm-kb")?
             }
             "--tenants" => args.tenants = parse(&value("--tenants")?, "--tenants")?,
             "--machine-mb" => args.machine_mb = parse(&value("--machine-mb")?, "--machine-mb")?,
@@ -176,6 +206,9 @@ fn main() {
         reply_queue_capacity: args.reply_queue,
         max_connections: args.max_conns,
         faults: faults.clone(),
+        io_model: args.io_model,
+        io_shards: args.io_shards,
+        write_hwm_bytes: args.write_hwm_kb * 1024,
         ..ServerConfig::default()
     };
 
@@ -199,11 +232,15 @@ fn main() {
         }
     };
     println!(
-        "locktune-server listening on {} ({} shards, tuning every {:?}, LOCKTIMEOUT {:?})",
+        "locktune-server listening on {} ({} shards, tuning every {:?}, LOCKTIMEOUT {:?}, {})",
         server.local_addr(),
         service.shard_count(),
         service.config().tuning_interval,
         service.config().lock_wait_timeout,
+        match args.io_model {
+            IoModel::Threaded => "threaded io".to_string(),
+            IoModel::Evented => format!("evented io x{}", args.io_shards),
+        },
     );
     if let Some(seed) = args.fault_seed {
         println!("locktune-server: chaos profile armed (seed {seed})");

@@ -525,6 +525,23 @@ fn draw(addr: &str, snap: &MetricsSnapshot, prev: Option<&MetricsSnapshot>) {
         c.faults_injected,
     );
 
+    // Present only when the server runs the evented I/O core: one row
+    // per epoll shard thread.
+    if !snap.io_shards.is_empty() {
+        println!("\nio shards    ({} event loops)", snap.io_shards.len());
+        for sh in &snap.io_shards {
+            let coalesce = if sh.writev_calls == 0 {
+                0.0
+            } else {
+                sh.writev_frames as f64 / sh.writev_calls as f64
+            };
+            println!(
+                "  shard {:>2}   conns {:>6}   wakeups {:>9}   writev {:>9} ({:.2} frames/call)   write hwm {:>8} B",
+                sh.shard, sh.connections, sh.wakeups, sh.writev_calls, coalesce, sh.write_buf_hwm,
+            );
+        }
+    }
+
     if !snap.ticks.is_empty() {
         println!("\nrecent tuning ticks");
         for t in snap.ticks.iter().rev().take(4) {

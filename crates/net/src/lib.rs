@@ -14,12 +14,17 @@
 //!   replies) with explicit request-id correlation so clients can
 //!   pipeline, and `encode_*_into`/`read_payload_into` twins so the
 //!   hot path encodes and decodes without heap allocation;
-//! * [`server`] — a threaded TCP server owning a
-//!   [`LockService`](locktune_service::LockService): each accepted
-//!   connection gets a server-allocated `AppId` and a reader/writer
-//!   thread pair over a blocking
-//!   [`Session`](locktune_service::Session); disconnect (EOF, protocol
-//!   error, or a killed client) always releases the connection's locks;
+//! * [`server`] — a TCP server owning a
+//!   [`LockService`](locktune_service::LockService), with two I/O
+//!   models behind [`ServerConfig::io_model`]: the **threaded** model
+//!   gives each accepted connection a reader/writer thread pair over a
+//!   blocking [`Session`](locktune_service::Session); the **evented**
+//!   model ([`evented`], built on the hand-rolled epoll bindings in
+//!   [`poll`]) multiplexes thousands of nonblocking connections onto N
+//!   I/O shard threads with run-to-completion dispatch, vectored
+//!   writes and eventfd grant wakeups. Either way, disconnect (EOF,
+//!   protocol error, or a killed client) always releases the
+//!   connection's locks;
 //! * [`client`] — a synchronous client library with an explicit
 //!   pipelining API, used by the `locktune-client` remote load
 //!   generator and `locktune-top` dashboard binaries;
@@ -35,6 +40,8 @@
 //! turns it into a Prometheus text page.
 
 pub mod client;
+pub mod evented;
+pub mod poll;
 pub mod reconnect;
 pub mod server;
 pub mod wire;
@@ -44,9 +51,9 @@ pub use locktune_obs::MetricsSnapshot;
 pub use locktune_service::BatchOutcome;
 pub use locktune_tenants::{MachineRollup, TenantDonation, TenantRow};
 pub use reconnect::{ReconnectConfig, ReconnectStats, ReconnectingClient};
-pub use server::{Server, ServerConfig};
+pub use server::{IoModel, Server, ServerConfig};
 pub use wire::{
     Reply, Request, StatsSnapshot, TenantCtl, TenantStatsReply, ValidateReport, WaitGraphReply,
     WireError, GID_RESERVED, MAX_BATCH, MAX_WIRE_DONATIONS, MAX_WIRE_EDGES, MAX_WIRE_EVENTS,
-    MAX_WIRE_GIDS, MAX_WIRE_TENANTS, MAX_WIRE_TICKS,
+    MAX_WIRE_GIDS, MAX_WIRE_IO_SHARDS, MAX_WIRE_TENANTS, MAX_WIRE_TICKS,
 };

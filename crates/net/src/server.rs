@@ -40,12 +40,30 @@ use std::time::Duration;
 use crossbeam::channel::{self, Receiver, SendTimeoutError, TryRecvError};
 use locktune_faults::{FaultInjector, FaultSite};
 use locktune_lockmgr::{AppId, LockMode, ResourceId};
-use locktune_service::{BatchOutcome, LockService, Session};
+use locktune_service::{BatchOutcome, EventSink, LockService, Session};
 use locktune_tenants::{MachineRollup, TenantDirectory};
 
 use crate::wire::{
     self, Reply, Request, StatsSnapshot, TenantCtl, TenantStatsReply, ValidateReport,
 };
+
+/// Which I/O architecture serves connections. Same wire protocol,
+/// same semantics (disconnect teardown, Busy admission, eviction,
+/// tenant binding, fault sites) either way — the A/B comparison in
+/// EXPERIMENTS.md's `net_scaling` holds everything else fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// One reader + one writer thread per connection, blocking I/O.
+    /// Simple and fast at small connection counts; two threads per
+    /// connection is fatal at thousands.
+    #[default]
+    Threaded,
+    /// N I/O shard threads (see [`ServerConfig::io_shards`]), each
+    /// multiplexing many nonblocking connections via epoll with
+    /// run-to-completion dispatch, vectored writes and eventfd grant
+    /// wakeups. Scales to 10k+ connections.
+    Evented,
+}
 
 /// Tunables for the TCP front-end (the lock service itself is
 /// configured separately via `ServiceConfig`).
@@ -67,13 +85,34 @@ pub struct ServerConfig {
     /// the client can distinguish "overloaded, retry after backoff"
     /// from a crash.
     pub max_connections: usize,
-    /// How long a connection's reader waits on the **full** reply
-    /// queue before declaring the client too slow and evicting it
-    /// (socket shutdown, locks released via session drop). Ordinary
-    /// backpressure stalls are far shorter than this; a queue that
-    /// stays full past the deadline means the client stopped reading
-    /// entirely while two server threads sit pinned on it.
+    /// The slow-client **eviction deadline** — one contract, enforced
+    /// per io model at the point where an unread reply first blocks
+    /// server resources. Threaded: how long a connection's reader
+    /// waits on the **full** reply queue before evicting the client
+    /// (socket shutdown, locks released via session drop). Evented:
+    /// how long a connection may stay above
+    /// [`ServerConfig::write_hwm_bytes`] of buffered unsent replies
+    /// before the same eviction fires. Ordinary backpressure stalls
+    /// are far shorter than this; pressure sustained past the deadline
+    /// means the client stopped reading entirely while server memory
+    /// (and, threaded, two threads) sits pinned on it. Both paths
+    /// journal the identical `ClientEvicted` event.
     pub eviction_deadline: Duration,
+    /// Which I/O architecture serves connections.
+    pub io_model: IoModel,
+    /// Number of I/O shard threads in the evented model (ignored when
+    /// threaded). Each shard owns its connections exclusively — no
+    /// cross-shard locking on the data path — so this is the evented
+    /// server's parallelism knob; size it to cores, not connections.
+    /// Clamped to `1..=`[`wire::MAX_WIRE_IO_SHARDS`].
+    pub io_shards: usize,
+    /// Evented model only: per-connection write-buffer high-water
+    /// mark, in bytes. Above it the shard stops reading from the
+    /// connection (backpressure) and starts the
+    /// [`ServerConfig::eviction_deadline`] clock; draining below it
+    /// clears both. The threaded twin of this bound is the reply
+    /// queue's `reply_queue_capacity` (frames, not bytes).
+    pub write_hwm_bytes: usize,
     /// Wire-level fault injection (torn frames, stalls, disconnects on
     /// the writer path). Inert by default and compiled to nothing
     /// without the `faults` feature; chaos harnesses pass an armed
@@ -91,6 +130,14 @@ impl Default for ServerConfig {
             reply_queue_capacity: 128,
             max_connections: 1024,
             eviction_deadline: Duration::from_secs(5),
+            io_model: IoModel::Threaded,
+            // Two shards: enough to prove cross-shard ownership even
+            // on small machines; servers pin this to core count.
+            io_shards: 2,
+            // A few max-size frames of backlog: far above any
+            // well-behaved client's in-flight window, small enough to
+            // cap per-connection memory.
+            write_hwm_bytes: 256 * 1024,
             faults: FaultInjector::disabled(),
         }
     }
@@ -98,7 +145,7 @@ impl Default for ServerConfig {
 
 /// What the front-end serves: one database, or a whole tenant
 /// directory with per-connection routing.
-enum Backend {
+pub(crate) enum Backend {
     /// Classic single-database server: every connection gets a session
     /// at admission, `Hello { tenant: 0 }` is an accepted no-op.
     Single(Arc<LockService>),
@@ -108,45 +155,47 @@ enum Backend {
     Tenants(Arc<TenantDirectory>),
 }
 
-struct Shared {
-    backend: Backend,
-    config: ServerConfig,
-    shutdown: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) backend: Backend,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
     /// Next server-allocated application id. Network sessions never
     /// reuse a live id because the counter only moves forward; if an
     /// in-process session happens to own the next id, allocation skips
     /// past it.
-    next_app: AtomicU32,
-    next_conn: AtomicU64,
+    pub(crate) next_app: AtomicU32,
+    pub(crate) next_conn: AtomicU64,
     /// Connections currently admitted (incremented at admission,
     /// decremented when the reader exits). Gate for
     /// [`ServerConfig::max_connections`].
-    conn_count: AtomicUsize,
-    conns: Mutex<ConnTable>,
+    pub(crate) conn_count: AtomicUsize,
+    pub(crate) conns: Mutex<ConnTable>,
     /// High-water mark across all connections' reply queues, in
-    /// frames. Sampled by each reader after queueing a reply; a value
-    /// near `reply_queue_capacity` means some client stopped draining
-    /// and backpressured its own reader.
-    reply_hwm: AtomicU64,
+    /// frames. Threaded: sampled by each reader after queueing a reply.
+    /// Evented: sampled at write-queue enqueue. Either way a value near
+    /// the queue bound means some client stopped draining.
+    pub(crate) reply_hwm: AtomicU64,
 }
 
 #[derive(Default)]
-struct ConnTable {
+pub(crate) struct ConnTable {
     /// Read-half clones, kept so shutdown can unblock parked readers.
-    streams: HashMap<u64, TcpStream>,
+    pub(crate) streams: HashMap<u64, TcpStream>,
     /// Which tenant each connection is bound to (multi-tenant mode;
     /// populated by `Hello`). Dropping a tenant shuts down exactly
     /// these connections' sockets.
-    bindings: HashMap<u64, u32>,
+    pub(crate) bindings: HashMap<u64, u32>,
     /// Cluster-global transaction id each connection bound via
     /// [`Request::BindGid`], as (app, gid). Exported wholesale in
     /// `WaitGraph` replies so the cluster detector can translate
     /// local app ids; removed with the rest of the connection's state
     /// when its reader exits.
-    gids: HashMap<u64, (u32, u64)>,
+    pub(crate) gids: HashMap<u64, (u32, u64)>,
     /// Reader-thread handles (each joins its own writer before
-    /// exiting). Finished entries join instantly.
-    handles: Vec<JoinHandle<()>>,
+    /// exiting). Finished entries join instantly. Unused by the
+    /// evented model, whose shard threads are joined by the accept
+    /// thread.
+    pub(crate) handles: Vec<JoinHandle<()>>,
 }
 
 /// The TCP server. Dropping (or [`Server::shutdown`]) stops the accept
@@ -208,6 +257,8 @@ impl Server {
             config: ServerConfig {
                 reply_queue_capacity: config.reply_queue_capacity.max(1),
                 max_connections: config.max_connections.max(1),
+                io_shards: config.io_shards.clamp(1, wire::MAX_WIRE_IO_SHARDS),
+                write_hwm_bytes: config.write_hwm_bytes.max(wire::MAX_PAYLOAD),
                 ..config
             },
             shutdown: AtomicBool::new(false),
@@ -217,11 +268,15 @@ impl Server {
             conns: Mutex::new(ConnTable::default()),
             reply_hwm: AtomicU64::new(0),
         });
+        let io_model = shared.config.io_model;
         let accept_thread = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("locktune-accept".into())
-                .spawn(move || accept_loop(&shared, listener))?
+                .spawn(move || match io_model {
+                    IoModel::Threaded => accept_loop(&shared, listener),
+                    IoModel::Evented => crate::evented::accept_loop(&shared, listener),
+                })?
         };
         Ok(Server {
             shared,
@@ -291,10 +346,28 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 /// enough; the loop covers collision with an in-process session
 /// connected directly to the same service. The counter is shared
 /// across tenants, so an app id is unique machine-wide.
-fn allocate_session(shared: &Shared, service: &Arc<LockService>) -> Option<Session> {
+pub(crate) fn allocate_session(shared: &Shared, service: &Arc<LockService>) -> Option<Session> {
     for _ in 0..u16::MAX {
         let id = shared.next_app.fetch_add(1, Ordering::Relaxed);
         if let Ok(session) = service.try_connect(AppId(id)) {
+            return Some(session);
+        }
+    }
+    None
+}
+
+/// [`allocate_session`] for the evented model: grants and aborts are
+/// delivered to the owning I/O shard's [`EventSink`] (channel send +
+/// eventfd wake) instead of a private blocking channel, because nothing
+/// ever parks on an evented session.
+pub(crate) fn allocate_session_with_sink(
+    shared: &Shared,
+    service: &Arc<LockService>,
+    sink: &EventSink,
+) -> Option<Session> {
+    for _ in 0..u16::MAX {
+        let id = shared.next_app.fetch_add(1, Ordering::Relaxed);
+        if let Ok(session) = service.try_connect_with_sink(AppId(id), sink) {
             return Some(session);
         }
     }
@@ -397,11 +470,11 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
 /// Per-connection routing state. In single mode the session and
 /// service are fixed at admission; in multi-tenant mode both appear
 /// when the connection's `Hello` binds it to a tenant.
-struct ConnCtx {
-    session: Option<Session>,
-    service: Option<Arc<LockService>>,
-    tenant: Option<u32>,
-    conn_id: u64,
+pub(crate) struct ConnCtx {
+    pub(crate) session: Option<Session>,
+    pub(crate) service: Option<Arc<LockService>>,
+    pub(crate) tenant: Option<u32>,
+    pub(crate) conn_id: u64,
 }
 
 /// Spent reply frames the writer hands back to the reader for reuse.
@@ -412,7 +485,7 @@ type Freelist = Arc<Mutex<Vec<Vec<u8>>>>;
 /// Largest frame capacity worth keeping on the freelist. Lock and
 /// batch replies are far below this; only oversized Pong echoes ever
 /// exceed it.
-const RECYCLE_MAX_BYTES: usize = 16 * 1024;
+pub(crate) const RECYCLE_MAX_BYTES: usize = 16 * 1024;
 
 /// The reader loop: decode → execute on the blocking session → queue
 /// the encoded reply for the writer. Returns when the connection dies
@@ -599,7 +672,12 @@ fn writer_loop(
 /// Execute one decoded request. `None` is a protocol violation the
 /// reader answers by dropping the connection — the only such case is
 /// lock traffic on a multi-tenant connection that never said Hello.
-fn execute(shared: &Arc<Shared>, conn: &mut ConnCtx, req: Request) -> Option<Reply> {
+///
+/// Shared by both io models; the evented dispatcher intercepts the
+/// requests that would block (`Lock`, `LockBatch` — routed through
+/// `BatchMachine`) and `Hello` (session allocation needs the shard's
+/// sink) before falling through to this.
+pub(crate) fn execute(shared: &Arc<Shared>, conn: &mut ConnCtx, req: Request) -> Option<Reply> {
     Some(match req {
         Request::Lock { res, mode } => Reply::Lock(conn.session.as_ref()?.lock(res, mode)),
         Request::Unlock { res } => Reply::Unlock(conn.session.as_ref()?.unlock(res)),
@@ -703,6 +781,19 @@ fn cancel_wait(shared: &Arc<Shared>, conn: &ConnCtx, app: u32) -> bool {
 /// the conventional `tenant 0` no-op, so a client can say Hello
 /// unconditionally.
 fn hello(shared: &Arc<Shared>, conn: &mut ConnCtx, tenant: u32) -> Result<(), String> {
+    hello_with(shared, conn, tenant, &allocate_session)
+}
+
+/// [`hello`] with the session allocator abstracted out, so the evented
+/// dispatcher binds tenants through [`allocate_session_with_sink`]
+/// while sharing every other rule (single-tenant no-op, double-bind
+/// rejection, binding registration).
+pub(crate) fn hello_with(
+    shared: &Arc<Shared>,
+    conn: &mut ConnCtx,
+    tenant: u32,
+    alloc: &dyn Fn(&Shared, &Arc<LockService>) -> Option<Session>,
+) -> Result<(), String> {
     match &shared.backend {
         Backend::Single(_) => {
             if tenant == 0 {
@@ -720,7 +811,7 @@ fn hello(shared: &Arc<Shared>, conn: &mut ConnCtx, tenant: u32) -> Result<(), St
             let Some(service) = dir.tenant(tenant) else {
                 return Err(format!("tenant {tenant} does not exist"));
             };
-            let Some(session) = allocate_session(shared, &service) else {
+            let Some(session) = alloc(shared, &service) else {
                 return Err("application id space exhausted".into());
             };
             conn.session = Some(session);

@@ -40,7 +40,9 @@ use locktune_core::TuningReason;
 use locktune_lockmgr::{AppId, LockError, LockMode, LockOutcome, ResourceId, RowId, TableId};
 use locktune_lockmgr::{LockStats, UnlockReport};
 use locktune_metrics::{HistogramSnapshot, BUCKETS};
-use locktune_obs::{EventKind, JournalEvent, MetricsSnapshot, ObsCounters, ThreadRole, TuningTick};
+use locktune_obs::{
+    EventKind, IoShardStats, JournalEvent, MetricsSnapshot, ObsCounters, ThreadRole, TuningTick,
+};
 use locktune_service::{BatchOutcome, ServiceError};
 use locktune_tenants::{MachineRollup, TenantDonation, TenantRow};
 
@@ -90,6 +92,13 @@ pub const MAX_WIRE_EDGES: usize = 4096;
 /// Largest number of app→gid bindings a [`Reply::WaitGraph`] frame
 /// may carry (12 bytes each; see [`MAX_WIRE_EDGES`]).
 pub const MAX_WIRE_GIDS: usize = 2048;
+
+/// Largest number of per-I/O-shard counter rows a [`Reply::Metrics`]
+/// frame may carry (rows are 44 bytes each — worst case 2 820 bytes on
+/// top of the event/tick budget, still inside [`MAX_PAYLOAD`]; see the
+/// `max_metrics_reply_fits_one_frame` test). Far above any sane shard
+/// count — shards are I/O threads, sized to cores.
+pub const MAX_WIRE_IO_SHARDS: usize = 64;
 
 /// Reserved top bit of a cluster-global transaction id. Clients must
 /// bind gids with this bit clear; the cluster detector synthesizes
@@ -1133,6 +1142,19 @@ fn put_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
         put_tick(out, t);
     }
     put_u64(out, m.next_tick_seq);
+    debug_assert!(
+        m.io_shards.len() <= MAX_WIRE_IO_SHARDS,
+        "io shards exceed wire bound"
+    );
+    put_u32(out, m.io_shards.len() as u32);
+    for s in &m.io_shards {
+        put_u32(out, s.shard);
+        put_u64(out, s.connections);
+        put_u64(out, s.wakeups);
+        put_u64(out, s.writev_calls);
+        put_u64(out, s.writev_frames);
+        put_u64(out, s.write_buf_hwm);
+    }
 }
 
 fn get_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
@@ -1179,6 +1201,24 @@ fn get_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
         ticks.push(get_tick(r)?);
     }
     let next_tick_seq = r.u64()?;
+    let n_shards = r.u32()? as usize;
+    if n_shards > MAX_WIRE_IO_SHARDS {
+        return Err(WireError::TooMany {
+            what: "io shards",
+            n: n_shards,
+        });
+    }
+    let mut io_shards = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        io_shards.push(IoShardStats {
+            shard: r.u32()?,
+            connections: r.u64()?,
+            wakeups: r.u64()?,
+            writev_calls: r.u64()?,
+            writev_frames: r.u64()?,
+            write_buf_hwm: r.u64()?,
+        });
+    }
     Ok(MetricsSnapshot {
         uptime_ms,
         lock_stats,
@@ -1203,6 +1243,7 @@ fn get_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
         next_event_seq,
         ticks,
         next_tick_seq,
+        io_shards,
     })
 }
 
@@ -1769,6 +1810,85 @@ pub fn read_payload_into(r: &mut impl std::io::Read, buf: &mut Vec<u8>) -> std::
 fn read_payload(r: &mut impl std::io::Read) -> std::io::Result<Option<Vec<u8>>> {
     let mut payload = Vec::new();
     Ok(read_payload_into(r, &mut payload)?.then_some(payload))
+}
+
+// ---------------------------------------------------------------------
+// Nonblocking framed input
+// ---------------------------------------------------------------------
+
+/// Incremental frame accumulator for nonblocking sockets: the evented
+/// server's per-connection read buffer. Bytes arrive in arbitrary
+/// slices ([`FrameAccum::extend`]); complete payloads come out one at
+/// a time ([`FrameAccum::next_payload`]) with the same validation the
+/// blocking [`read_payload_into`] applies — a length prefix outside
+/// `HEADER_LEN..=MAX_PAYLOAD` is rejected before any of the payload
+/// is buffered, so a hostile prefix cannot balloon memory.
+///
+/// Consumed bytes compact lazily: the buffer shifts only when the
+/// unread tail is small or the buffer has grown past its high-water
+/// mark, so a burst of pipelined frames parses with no per-frame
+/// `memmove`.
+#[derive(Debug, Default)]
+pub struct FrameAccum {
+    buf: Vec<u8>,
+    /// Start of unconsumed bytes in `buf`.
+    start: usize,
+}
+
+impl FrameAccum {
+    /// An empty accumulator.
+    pub fn new() -> FrameAccum {
+        FrameAccum::default()
+    }
+
+    /// Append bytes read from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact_if_worthwhile();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Buffered bytes not yet consumed by [`FrameAccum::next_payload`].
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// The next complete payload (opcode + id + body, prefix already
+    /// stripped and validated), or `Ok(None)` if more bytes are
+    /// needed. Errors on a corrupt length prefix, matching
+    /// [`read_payload_into`]'s `InvalidData`.
+    pub fn next_payload(&mut self) -> std::io::Result<Option<&[u8]>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes checked")) as usize;
+        if !(HEADER_LEN..=MAX_PAYLOAD).contains(&len) {
+            return Err(wire_to_io(WireError::BadLength(len)));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame_start = self.start + 4;
+        self.start += 4 + len;
+        Ok(Some(&self.buf[frame_start..frame_start + len]))
+    }
+
+    /// Shift consumed bytes out when the copy is cheap (small tail) or
+    /// overdue (buffer past 4× the max frame).
+    fn compact_if_worthwhile(&mut self) {
+        if self.start == 0 {
+            return;
+        }
+        let tail = self.pending();
+        if tail == 0 {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= 4 * MAX_PAYLOAD || tail <= 4096 {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(tail);
+            self.start = 0;
+        }
+    }
 }
 
 /// Write one encoded request frame (no flush; callers batch-flush to

@@ -2,31 +2,45 @@
 //! [`Client`] connections, real threads. The headline property is the
 //! ISSUE's disconnect guarantee — a client force-killed mid-transaction
 //! must not strand a single lock.
+//!
+//! Every test runs under BOTH I/O models (threaded and evented): the
+//! bodies take an [`IoModel`] parameter and the `io_model_matrix!`
+//! macro at the bottom expands one `#[test]` per model per body, so
+//! the two server cores are held to identical observable semantics.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use locktune_lockmgr::{LockError, LockMode, LockOutcome, ResourceId, RowId, TableId};
-use locktune_net::wire::Request;
+use locktune_net::wire::{self, Request};
 use locktune_net::{
-    BatchOutcome, Client, ClientError, ReconnectConfig, ReconnectingClient, Reply, Server,
+    BatchOutcome, Client, ClientError, IoModel, ReconnectConfig, ReconnectingClient, Reply, Server,
     ServerConfig,
 };
 use locktune_service::{LockService, ServiceConfig, ServiceError};
 
-fn server(timeout: Option<Duration>) -> (Server, String) {
+/// Base server config for the model under test.
+fn net_config(model: IoModel) -> ServerConfig {
+    ServerConfig {
+        io_model: model,
+        ..ServerConfig::default()
+    }
+}
+
+fn server(model: IoModel, timeout: Option<Duration>) -> (Server, String) {
     let config = ServiceConfig {
         lock_wait_timeout: timeout,
         ..ServiceConfig::fast(4)
     };
     let service = Arc::new(LockService::start(config).expect("service start"));
-    let server = Server::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let server =
+        Server::bind_with_config(service, "127.0.0.1:0", net_config(model)).expect("bind loopback");
     let addr = server.local_addr().to_string();
     (server, addr)
 }
 
 /// Poll server stats until every pool slot is free (disconnect cleanup
-/// runs on the server's reader threads, asynchronously to us).
+/// runs on the server's I/O threads, asynchronously to us).
 fn wait_for_drain(control: &mut Client) {
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
@@ -43,9 +57,8 @@ fn wait_for_drain(control: &mut Client) {
     }
 }
 
-#[test]
-fn basic_lock_unlock_over_the_wire() {
-    let (server, addr) = server(None);
+fn basic_lock_unlock_over_the_wire(model: IoModel) {
+    let (server, addr) = server(model, None);
     let mut client = Client::connect(&addr).unwrap();
 
     let table = ResourceId::Table(TableId(1));
@@ -83,11 +96,10 @@ fn basic_lock_unlock_over_the_wire() {
     server.shutdown();
 }
 
-#[test]
-fn killed_client_releases_its_locks() {
+fn killed_client_releases_its_locks(model: IoModel) {
     // A generous timeout: if the kill cleanup did NOT run, client B
     // would time out and the assertion below would catch it.
-    let (server, addr) = server(Some(Duration::from_secs(3)));
+    let (server, addr) = server(model, Some(Duration::from_secs(3)));
 
     let table = TableId(7);
     let mut victim = Client::connect(&addr).unwrap();
@@ -126,9 +138,8 @@ fn killed_client_releases_its_locks() {
     server.shutdown();
 }
 
-#[test]
-fn clean_disconnect_releases_locks_too() {
-    let (server, addr) = server(None);
+fn clean_disconnect_releases_locks_too(model: IoModel) {
+    let (server, addr) = server(model, None);
     {
         let mut client = Client::connect(&addr).unwrap();
         client
@@ -141,9 +152,8 @@ fn clean_disconnect_releases_locks_too() {
     server.shutdown();
 }
 
-#[test]
-fn pipelined_batch_correlates_by_id_and_executes_in_order() {
-    let (server, addr) = server(None);
+fn pipelined_batch_correlates_by_id_and_executes_in_order(model: IoModel) {
+    let (server, addr) = server(model, None);
     let mut client = Client::connect(&addr).unwrap();
 
     // Intent + 32 rows in one flush. In-order server execution means
@@ -176,9 +186,62 @@ fn pipelined_batch_correlates_by_id_and_executes_in_order() {
     server.shutdown();
 }
 
-#[test]
-fn lock_batch_round_trip_with_request_scoped_error() {
-    let (server, addr) = server(None);
+/// The scaling bench's hot path: a `LockBatch` and an `UnlockAll`
+/// pipelined in ONE socket write, so both frames sit in the server's
+/// accumulator together before either executes. The batch must run
+/// (and reply) before the release — a dispatcher that skips or defers
+/// the first buffered frame would answer the release with zero locks.
+fn pipelined_lock_batch_and_unlock_all_in_one_flush(model: IoModel) {
+    use std::io::Write;
+    let (server, addr) = server(model, None);
+
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    let table = TableId(3);
+    let mut items = vec![(ResourceId::Table(table), LockMode::IX)];
+    for r in 0..8 {
+        items.push((ResourceId::Row(table, RowId(r)), LockMode::X));
+    }
+    let mut burst = Vec::new();
+    let mut frame = Vec::new();
+    wire::encode_lock_batch_into(&mut frame, 1, &items);
+    burst.extend_from_slice(&frame);
+    wire::encode_request_into(&mut frame, 2, &Request::UnlockAll);
+    burst.extend_from_slice(&frame);
+    stream.write_all(&burst).unwrap();
+
+    let (id, reply) = wire::read_reply(&mut stream).unwrap().expect("batch reply");
+    assert_eq!(id, 1, "batch reply comes back first");
+    match reply {
+        Reply::BatchOutcomes(outcomes) => {
+            assert_eq!(outcomes.len(), items.len());
+            assert!(
+                outcomes
+                    .iter()
+                    .all(|o| matches!(o, BatchOutcome::Done(Ok(LockOutcome::Granted)))),
+                "every batch item granted: {outcomes:?}"
+            );
+        }
+        other => panic!("expected BatchOutcomes first, got {other:?}"),
+    }
+    let (id, reply) = wire::read_reply(&mut stream)
+        .unwrap()
+        .expect("unlock reply");
+    assert_eq!(id, 2, "release reply comes back second");
+    match reply {
+        Reply::UnlockAll(Ok(report)) => {
+            assert_eq!(report.released_locks, items.len() as u64);
+        }
+        other => panic!("expected UnlockAll second, got {other:?}"),
+    }
+
+    drop(stream);
+    let mut control = Client::connect(&addr).unwrap();
+    wait_for_drain(&mut control);
+    server.shutdown();
+}
+
+fn lock_batch_round_trip_with_request_scoped_error(model: IoModel) {
+    let (server, addr) = server(model, None);
     let mut client = Client::connect(&addr).unwrap();
 
     // One frame carries intent + rows; the third item asks for a row
@@ -220,9 +283,8 @@ fn lock_batch_round_trip_with_request_scoped_error() {
     server.shutdown();
 }
 
-#[test]
-fn client_killed_mid_batch_releases_granted_prefix() {
-    let (server, addr) = server(Some(Duration::from_secs(3)));
+fn client_killed_mid_batch_releases_granted_prefix(model: IoModel) {
+    let (server, addr) = server(model, Some(Duration::from_secs(3)));
     let table = TableId(4);
 
     // A holder pins row 5 so the victim's batch blocks mid-way with a
@@ -241,7 +303,7 @@ fn client_killed_mid_batch_releases_granted_prefix() {
     victim.send_lock_batch(&items).unwrap();
     victim.flush().unwrap();
     // Give the server time to execute into the blocking row, then
-    // hard-kill the socket while lock_many is parked on row 5.
+    // hard-kill the socket while the batch is parked on row 5.
     std::thread::sleep(Duration::from_millis(150));
     victim.kill();
 
@@ -267,12 +329,13 @@ fn client_killed_mid_batch_releases_granted_prefix() {
     server.shutdown();
 }
 
-#[test]
-fn stalled_reader_backpressures_itself_not_the_server() {
-    // A deliberately tiny reply queue: with the old unbounded channel a
-    // client that stops reading let replies pile up in server memory;
-    // now the writer blocks on the socket, the two-slot queue fills,
-    // and that connection's reader stops consuming requests.
+fn stalled_reader_backpressures_itself_not_the_server(model: IoModel) {
+    // A deliberately tiny reply budget: with an unbounded queue a
+    // client that stops reading lets replies pile up in server memory.
+    // Threaded: the writer blocks on the socket, the two-slot queue
+    // fills, and that connection's reader stops consuming requests.
+    // Evented: the write backlog crosses the high-water mark and the
+    // shard parks EPOLLIN for that connection until the backlog drains.
     let config = ServiceConfig::fast(4);
     let service = Arc::new(LockService::start(config).expect("service start"));
     let server = Server::bind_with_config(
@@ -280,7 +343,7 @@ fn stalled_reader_backpressures_itself_not_the_server() {
         "127.0.0.1:0",
         ServerConfig {
             reply_queue_capacity: 2,
-            ..ServerConfig::default()
+            ..net_config(model)
         },
     )
     .expect("bind loopback");
@@ -333,15 +396,14 @@ fn stalled_reader_backpressures_itself_not_the_server() {
     server.shutdown();
 }
 
-#[test]
-fn connection_cap_refuses_with_busy_then_recovers() {
+fn connection_cap_refuses_with_busy_then_recovers(model: IoModel) {
     let service = Arc::new(LockService::start(ServiceConfig::fast(2)).expect("service start"));
     let server = Server::bind_with_config(
         service,
         "127.0.0.1:0",
         ServerConfig {
             max_connections: 1,
-            ..ServerConfig::default()
+            ..net_config(model)
         },
     )
     .expect("bind loopback");
@@ -358,7 +420,7 @@ fn connection_cap_refuses_with_busy_then_recovers() {
         other => panic!("expected Busy at the connection cap, got {other:?}"),
     }
 
-    // Capacity frees once the first client leaves (its reader thread
+    // Capacity frees once the first client leaves (its I/O thread
     // releases the slot asynchronously, so poll).
     drop(first);
     let deadline = Instant::now() + Duration::from_secs(5);
@@ -379,15 +441,14 @@ fn connection_cap_refuses_with_busy_then_recovers() {
     server.shutdown();
 }
 
-#[test]
-fn reconnecting_client_backs_off_through_busy_refusals() {
+fn reconnecting_client_backs_off_through_busy_refusals(model: IoModel) {
     let service = Arc::new(LockService::start(ServiceConfig::fast(2)).expect("service start"));
     let server = Server::bind_with_config(
         service,
         "127.0.0.1:0",
         ServerConfig {
             max_connections: 1,
-            ..ServerConfig::default()
+            ..net_config(model)
         },
     )
     .expect("bind loopback");
@@ -425,8 +486,7 @@ fn reconnecting_client_backs_off_through_busy_refusals() {
     server.shutdown();
 }
 
-#[test]
-fn slow_client_is_evicted_and_its_locks_freed() {
+fn slow_client_is_evicted_and_its_locks_freed(model: IoModel) {
     let config = ServiceConfig {
         // Long enough that the survivor's grant can only come from the
         // eviction teardown, not from a lock timeout.
@@ -440,7 +500,8 @@ fn slow_client_is_evicted_and_its_locks_freed() {
         ServerConfig {
             reply_queue_capacity: 2,
             eviction_deadline: Duration::from_millis(300),
-            ..ServerConfig::default()
+            write_hwm_bytes: 64 * 1024,
+            ..net_config(model)
         },
     )
     .expect("bind loopback");
@@ -451,10 +512,12 @@ fn slow_client_is_evicted_and_its_locks_freed() {
     let (locked_tx, locked_rx) = std::sync::mpsc::channel();
 
     // The zombie takes a lock, then floods pings without ever reading
-    // a reply. Big echoes fill the reply-direction TCP buffers, the
-    // writer blocks, the two-slot queue fills, and the reader sits in
-    // its deadline send. Crucially the socket stays open the whole
-    // time — only the server's eviction may end this connection.
+    // a reply. Big echoes fill the reply-direction TCP buffers; in the
+    // threaded model the writer blocks, the two-slot queue fills, and
+    // the reader sits in its deadline send; in the evented model the
+    // write backlog crosses the high-water mark and the pressure timer
+    // arms. Crucially the socket stays open the whole time — only the
+    // server's eviction may end this connection.
     let zombie = {
         let addr = addr.clone();
         let stop = Arc::clone(&stop);
@@ -504,9 +567,8 @@ fn slow_client_is_evicted_and_its_locks_freed() {
     server.shutdown();
 }
 
-#[test]
-fn two_clients_contend_and_block_until_release() {
-    let (server, addr) = server(None);
+fn two_clients_contend_and_block_until_release(model: IoModel) {
+    let (server, addr) = server(model, None);
     let res = ResourceId::Table(TableId(11));
 
     let mut holder = Client::connect(&addr).unwrap();
@@ -534,9 +596,8 @@ fn two_clients_contend_and_block_until_release() {
     server.shutdown();
 }
 
-#[test]
-fn ping_and_stats_round_trip() {
-    let (server, addr) = server(None);
+fn ping_and_stats_round_trip(model: IoModel) {
+    let (server, addr) = server(model, None);
     let mut client = Client::connect(&addr).unwrap();
     let echo: Vec<u8> = (0u16..2048).map(|i| (i % 256) as u8).collect();
     assert_eq!(client.ping(echo.clone()).unwrap(), echo);
@@ -547,9 +608,8 @@ fn ping_and_stats_round_trip() {
     server.shutdown();
 }
 
-#[test]
-fn server_shutdown_disconnects_clients() {
-    let (server, addr) = server(None);
+fn server_shutdown_disconnects_clients(model: IoModel) {
+    let (server, addr) = server(model, None);
     let mut client = Client::connect(&addr).unwrap();
     client
         .lock(ResourceId::Table(TableId(2)), LockMode::S)
@@ -565,9 +625,8 @@ fn server_shutdown_disconnects_clients() {
 /// The METRICS endpoint over a real socket: histogram/stat invariants
 /// hold end-to-end, the tick cursor advances, and batch counters plus
 /// the reply-queue high-water mark ride the extended Stats reply.
-#[test]
-fn metrics_scrape_over_the_wire() {
-    let (server, addr) = server(None);
+fn metrics_scrape_over_the_wire(model: IoModel) {
+    let (server, addr) = server(model, None);
     let mut worker = Client::connect(&addr).unwrap();
     let mut scraper = Client::connect(&addr).unwrap();
 
@@ -609,6 +668,19 @@ fn metrics_scrape_over_the_wire() {
     assert!(snap.pool_bytes > 0);
     assert!(snap.free_fraction > 0.0);
 
+    // The evented core reports per-shard I/O counters in the Metrics
+    // frame; the threaded core reports none.
+    match model {
+        IoModel::Threaded => assert!(snap.io_shards.is_empty()),
+        IoModel::Evented => {
+            assert!(!snap.io_shards.is_empty(), "evented metrics carry shards");
+            let owned: u64 = snap.io_shards.iter().map(|s| s.connections).sum();
+            assert!(owned >= 2, "worker + scraper are owned by shards: {owned}");
+            let frames: u64 = snap.io_shards.iter().map(|s| s.writev_frames).sum();
+            assert!(frames >= 1, "replies went out via writev");
+        }
+    }
+
     // The extended Stats reply carries the same batch counters and a
     // live reply-queue high-water mark.
     let stats = scraper.stats().unwrap();
@@ -628,4 +700,43 @@ fn metrics_scrape_over_the_wire() {
         assert!(first.seq >= snap.next_tick_seq, "no tick delivered twice");
     }
     server.shutdown();
+}
+
+/// Expand every body once per I/O model. One list, two `#[test]`
+/// matrices — the models cannot drift apart without a test noticing.
+macro_rules! io_model_matrix {
+    ($($name:ident),* $(,)?) => {
+        mod threaded {
+            $(#[test]
+            fn $name() {
+                super::super::$name(locktune_net::IoModel::Threaded);
+            })*
+        }
+        mod evented {
+            $(#[test]
+            fn $name() {
+                super::super::$name(locktune_net::IoModel::Evented);
+            })*
+        }
+    };
+}
+
+mod matrix {
+    io_model_matrix!(
+        basic_lock_unlock_over_the_wire,
+        killed_client_releases_its_locks,
+        clean_disconnect_releases_locks_too,
+        pipelined_batch_correlates_by_id_and_executes_in_order,
+        pipelined_lock_batch_and_unlock_all_in_one_flush,
+        lock_batch_round_trip_with_request_scoped_error,
+        client_killed_mid_batch_releases_granted_prefix,
+        stalled_reader_backpressures_itself_not_the_server,
+        connection_cap_refuses_with_busy_then_recovers,
+        reconnecting_client_backs_off_through_busy_refusals,
+        slow_client_is_evicted_and_its_locks_freed,
+        two_clients_contend_and_block_until_release,
+        ping_and_stats_round_trip,
+        server_shutdown_disconnects_clients,
+        metrics_scrape_over_the_wire,
+    );
 }

@@ -12,11 +12,13 @@ use locktune_net::wire::{
     decode_lock_batch_into, decode_reply, decode_request, encode_lock_batch_into, encode_reply,
     encode_request, Reply, Request, StatsSnapshot, TenantCtl, TenantStatsReply, ValidateReport,
     WaitGraphReply, WireError, GID_RESERVED, HEADER_LEN, MAX_BATCH, MAX_PAYLOAD,
-    MAX_WIRE_DONATIONS, MAX_WIRE_EDGES, MAX_WIRE_EVENTS, MAX_WIRE_GIDS, MAX_WIRE_TENANTS,
-    MAX_WIRE_TICKS,
+    MAX_WIRE_DONATIONS, MAX_WIRE_EDGES, MAX_WIRE_EVENTS, MAX_WIRE_GIDS, MAX_WIRE_IO_SHARDS,
+    MAX_WIRE_TENANTS, MAX_WIRE_TICKS,
 };
 use locktune_net::{MachineRollup, TenantDonation, TenantRow};
-use locktune_obs::{EventKind, JournalEvent, MetricsSnapshot, ObsCounters, ThreadRole, TuningTick};
+use locktune_obs::{
+    EventKind, IoShardStats, JournalEvent, MetricsSnapshot, ObsCounters, ThreadRole, TuningTick,
+};
 use locktune_service::{BatchOutcome, ServiceError};
 use proptest::prelude::*;
 
@@ -305,6 +307,30 @@ fn tick() -> BoxedStrategy<TuningTick> {
         .boxed()
 }
 
+fn shard_row() -> BoxedStrategy<IoShardStats> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(shard, connections, wakeups, writev_calls, writev_frames, write_buf_hwm)| {
+                IoShardStats {
+                    shard,
+                    connections,
+                    wakeups,
+                    writev_calls,
+                    writev_frames,
+                    write_buf_hwm,
+                }
+            },
+        )
+        .boxed()
+}
+
 fn metrics() -> BoxedStrategy<MetricsSnapshot> {
     (
         (
@@ -319,9 +345,10 @@ fn metrics() -> BoxedStrategy<MetricsSnapshot> {
         any::<u64>(),
         proptest::collection::vec(tick(), 0..6),
         any::<u64>(),
+        proptest::collection::vec(shard_row(), 0..4),
     )
         .prop_map(
-            |(fixed, hists, events, next_event_seq, ticks, next_tick_seq)| {
+            |(fixed, hists, events, next_event_seq, ticks, next_tick_seq, io_shards)| {
                 let (uptime_ms, s, pool, fracs, t) = fixed;
                 MetricsSnapshot {
                     uptime_ms,
@@ -359,6 +386,7 @@ fn metrics() -> BoxedStrategy<MetricsSnapshot> {
                     next_event_seq,
                     ticks,
                     next_tick_seq,
+                    io_shards,
                 }
             },
         )
@@ -437,6 +465,49 @@ proptest! {
         // leaves the buffer untouched for the generic fallback path.
         let other = encode_request(id, &Request::UnlockAll);
         prop_assert_eq!(decode_lock_batch_into(&other[4..], &mut fast), Ok(None));
+    }
+
+    /// Torn I/O: the evented decoder (`FrameAccum`) fed a stream of
+    /// frames sliced at arbitrary byte boundaries — the worst case a
+    /// nonblocking socket can produce — yields exactly the payload
+    /// sequence the blocking reader (`read_payload_into`) sees, with
+    /// each frame surfacing only once its last byte arrives.
+    #[test]
+    fn frame_accum_survives_arbitrary_read_boundaries(
+        frames in proptest::collection::vec((any::<u64>(), request()), 1..8),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut stream = Vec::new();
+        let mut expected: Vec<Vec<u8>> = Vec::new();
+        for (id, req) in &frames {
+            let frame = encode_request(*id, req);
+            expected.push(frame[4..].to_vec());
+            stream.extend_from_slice(&frame);
+        }
+
+        let mut accum = locktune_net::wire::FrameAccum::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut pos = 0usize;
+        let mut seed = cut_seed;
+        while pos < stream.len() {
+            // Deterministic pseudo-random chunk length in 1..=17.
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let n = (1 + (seed >> 33) % 17) as usize;
+            let end = (pos + n).min(stream.len());
+            accum.extend(&stream[pos..end]);
+            pos = end;
+            while let Some(p) = accum.next_payload().unwrap() {
+                got.push(p.to_vec());
+            }
+            // Anything already complete must have surfaced: at most a
+            // partial frame's bytes stay pending.
+            prop_assert!(accum.pending() < 4 + MAX_PAYLOAD);
+        }
+        prop_assert_eq!(&got, &expected);
+        // And each payload decodes to the original request.
+        for (payload, (id, req)) in got.iter().zip(&frames) {
+            prop_assert_eq!(decode_request(payload), Ok((*id, req.clone())));
+        }
     }
 
     /// Same for replies.
@@ -644,6 +715,16 @@ fn max_metrics_reply_fits_one_frame() {
                 funded_bytes: u64::MAX,
                 released_bytes: u64::MAX,
                 app_percent: 100.0,
+            })
+            .collect(),
+        io_shards: (0..MAX_WIRE_IO_SHARDS as u32)
+            .map(|i| IoShardStats {
+                shard: i,
+                connections: u64::MAX,
+                wakeups: u64::MAX,
+                writev_calls: u64::MAX,
+                writev_frames: u64::MAX,
+                write_buf_hwm: u64::MAX,
             })
             .collect(),
         ..MetricsSnapshot::default()

@@ -34,7 +34,7 @@ pub mod prom;
 pub mod snapshot;
 
 pub use journal::{EventJournal, EventKind, JournalEvent, ThreadRole, DEFAULT_JOURNAL_CAPACITY};
-pub use snapshot::{MetricsSnapshot, ObsCounters, TuningTick};
+pub use snapshot::{IoShardStats, MetricsSnapshot, ObsCounters, TuningTick};
 
 use locktune_lockmgr::{AppId, TableId};
 

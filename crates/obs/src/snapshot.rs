@@ -138,6 +138,29 @@ impl TuningTick {
     }
 }
 
+/// One evented I/O shard's counters, as surfaced in the Metrics frame
+/// and `locktune-top`. Empty for in-process scrapes and the threaded
+/// server (which has no I/O shards); the evented TCP server patches a
+/// row per shard into [`MetricsSnapshot::io_shards`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoShardStats {
+    /// Shard index (0-based).
+    pub shard: u32,
+    /// Connections this shard currently owns.
+    pub connections: u64,
+    /// eventfd doorbell wakeups delivered (grant/abort crossings from
+    /// service threads plus new-connection handoffs).
+    pub wakeups: u64,
+    /// `writev` syscalls issued.
+    pub writev_calls: u64,
+    /// Reply frames those calls carried — `writev_frames /
+    /// writev_calls` is the coalescing ratio.
+    pub writev_frames: u64,
+    /// High-water mark of any one connection's write-buffer backlog,
+    /// in bytes (the slow-client eviction trigger).
+    pub write_buf_hwm: u64,
+}
+
 /// Everything `LockService::observe` returns and opcode `0x88`
 /// carries: counters, gauges, merged histograms, the drained journal
 /// tail and the new tuning ticks since the caller's cursor.
@@ -199,6 +222,9 @@ pub struct MetricsSnapshot {
     pub ticks: Vec<TuningTick>,
     /// Cursor to pass as `reports_since` on the next scrape.
     pub next_tick_seq: u64,
+    /// Per-I/O-shard counters (evented TCP server only; empty
+    /// elsewhere, exactly like `reply_queue_hwm` is zero).
+    pub io_shards: Vec<IoShardStats>,
 }
 
 impl MetricsSnapshot {

@@ -29,13 +29,15 @@
 
 pub mod config;
 pub mod service;
+pub mod step;
 pub mod stress;
 mod tuning;
 
 pub use config::{ConfigError, ServiceConfig};
 pub use locktune_faults::{FaultInjector, FaultPlan, FaultSite};
 pub use service::{
-    BatchOutcome, LockService, ServiceError, Session, ShutdownReport, ThreadExit, ThreadHealth,
-    TuningCounters,
+    BatchOutcome, EventSink, LockService, ServiceError, Session, SessionEvent, ShutdownReport,
+    ThreadExit, ThreadHealth, TuningCounters,
 };
+pub use step::{BatchMachine, Step};
 pub use stress::{run_stress, StressConfig, StressReport};

@@ -47,7 +47,7 @@ use crate::tuning::{ServiceHooks, TuningShared};
 /// bench in `locktune-bench` holds this gate to its <2 % budget.
 pub(crate) const OBS_ENABLED: bool = cfg!(feature = "obs");
 
-type Shard = Mutex<LockManager<SharedLockMemoryPool>>;
+pub(crate) type Shard = Mutex<LockManager<SharedLockMemoryPool>>;
 
 /// Errors surfaced to service clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,11 +148,57 @@ impl BatchOutcome {
 
 /// Message waking a parked application.
 #[derive(Debug, Clone, Copy)]
-enum WakeMessage {
+pub(crate) enum WakeMessage {
     /// A queued request was granted.
     Granted(GrantNotice),
     /// The application was aborted as a deadlock victim.
     Aborted,
+}
+
+/// How a queued lock wait resolved, as delivered to an external event
+/// sink (see [`LockService::try_connect_with_sink`]). The evented
+/// network core resumes a parked [`crate::step::BatchMachine`] with
+/// one of these instead of unparking a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// The queued request was granted.
+    Granted,
+    /// The application was aborted as a deadlock victim; all its locks
+    /// are gone.
+    Aborted,
+}
+
+/// Where a session's grant/abort notifications go: a private parked
+/// channel (threaded sessions block on it) or a shared event sink
+/// owned by an I/O shard (evented sessions are resumed by it).
+pub(crate) enum WakeSink {
+    Private(Sender<WakeMessage>),
+    Shared {
+        tx: Sender<(AppId, SessionEvent)>,
+        wake: Arc<dyn Fn() + Send + Sync>,
+    },
+}
+
+/// An external destination for session wait events, registered via
+/// [`LockService::try_connect_with_sink`]. One sink is typically
+/// shared by every session an I/O shard owns: events for all of them
+/// funnel into `tx` tagged with the [`AppId`], and `wake` is invoked
+/// after each send so the (possibly sleeping) shard notices — an
+/// eventfd write in the evented server.
+#[derive(Clone)]
+pub struct EventSink {
+    tx: Sender<(AppId, SessionEvent)>,
+    wake: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl EventSink {
+    /// Build a sink from the shared event channel and a wake callback.
+    /// `wake` must be cheap, non-blocking and safe to call from any
+    /// service thread (grant delivery happens under no shard latch,
+    /// but inside lock/unlock/sweeper paths).
+    pub fn new(tx: Sender<(AppId, SessionEvent)>, wake: Arc<dyn Fn() + Send + Sync>) -> EventSink {
+        EventSink { tx, wake }
+    }
 }
 
 /// Monotonic totals of the tuning thread's work. The decision *log*
@@ -311,17 +357,17 @@ struct ThreadTable {
     sweeper: ThreadSlot,
 }
 
-struct ServiceInner {
-    config: ServiceConfig,
-    shards: Vec<Shard>,
+pub(crate) struct ServiceInner {
+    pub(crate) config: ServiceConfig,
+    pub(crate) shards: Vec<Shard>,
     pool: SharedLockMemoryPool,
     tuning: TuningShared,
-    registry: Mutex<HashMap<AppId, Sender<WakeMessage>>>,
+    registry: Mutex<HashMap<AppId, WakeSink>>,
     reports: Mutex<ReportLog>,
     /// Instrumentation root. Always present; with the `obs` feature
     /// off the recording call sites compile away and everything in
     /// here scrapes empty/zero.
-    obs: Obs,
+    pub(crate) obs: Obs,
     tuning_intervals: AtomicU64,
     grow_decisions: AtomicU64,
     shrink_decisions: AtomicU64,
@@ -358,7 +404,7 @@ struct ServiceInner {
 impl ServiceInner {
     /// The shard owning `res`: rows hash by their table, so a row and
     /// its table always co-locate.
-    fn shard_index(&self, res: ResourceId) -> usize {
+    pub(crate) fn shard_index(&self, res: ResourceId) -> usize {
         // The shared partition hash: the cluster router uses the same
         // function to pick a node, so client-side routing and
         // server-side sharding can never disagree about a table.
@@ -376,25 +422,43 @@ impl ServiceInner {
         }
     }
 
-    /// Forward grant notifications to the waiters' channels. Call with
-    /// no shard latch held.
-    fn deliver(&self, notices: Vec<GrantNotice>) {
+    /// Forward grant notifications to the waiters' channels (or event
+    /// sinks). Call with no shard latch held.
+    pub(crate) fn deliver(&self, notices: Vec<GrantNotice>) {
         if notices.is_empty() {
             return;
         }
         let registry = self.registry.lock();
         for n in notices {
-            if let Some(tx) = registry.get(&n.app) {
+            match registry.get(&n.app) {
                 // A send can only fail if the session dropped; its
                 // locks are being torn down anyway.
-                let _ = tx.send(WakeMessage::Granted(n));
+                Some(WakeSink::Private(tx)) => {
+                    let _ = tx.send(WakeMessage::Granted(n));
+                }
+                Some(WakeSink::Shared { tx, wake }) => {
+                    let _ = tx.send((n.app, SessionEvent::Granted));
+                    wake();
+                }
+                None => {}
             }
         }
     }
 
     fn send(&self, app: AppId, msg: WakeMessage) {
-        if let Some(tx) = self.registry.lock().get(&app) {
-            let _ = tx.send(msg);
+        match self.registry.lock().get(&app) {
+            Some(WakeSink::Private(tx)) => {
+                let _ = tx.send(msg);
+            }
+            Some(WakeSink::Shared { tx, wake }) => {
+                let event = match msg {
+                    WakeMessage::Granted(_) => SessionEvent::Granted,
+                    WakeMessage::Aborted => SessionEvent::Aborted,
+                };
+                let _ = tx.send((app, event));
+                wake();
+            }
+            None => {}
         }
     }
 
@@ -488,13 +552,13 @@ impl ServiceInner {
     /// threshold check keeps the disabled (default) configuration to
     /// one branch on an immediate — no atomic load.
     #[inline]
-    fn shed_active(&self) -> bool {
+    pub(crate) fn shed_active(&self) -> bool {
         self.config.shed_oom_threshold != 0 && self.shed.load(Ordering::Relaxed)
     }
 
     /// Record an `OutOfLockMemory` denial that surfaced to a session;
     /// engage shed mode once the window crosses the threshold.
-    fn note_oom_denial(&self) {
+    pub(crate) fn note_oom_denial(&self) {
         let threshold = self.config.shed_oom_threshold;
         if threshold == 0 {
             return;
@@ -851,12 +915,41 @@ impl LockService {
     /// resolves duplicates by allocating fresh ids instead.
     pub fn try_connect(&self, app: AppId) -> Result<Session, ServiceError> {
         let (tx, rx) = channel::unbounded();
+        self.register(app, WakeSink::Private(tx), Some(rx))
+    }
+
+    /// Register an application whose wait events go to a shared
+    /// [`EventSink`] instead of a private parked channel. The returned
+    /// session must never call a blocking wait path — drive queued
+    /// requests through a [`crate::step::BatchMachine`], which returns
+    /// [`crate::step::Step::Waiting`] and is resumed by the
+    /// [`SessionEvent`]s the sink delivers. Everything else
+    /// (`unlock`, `unlock_all`, drop-teardown, stats accounting) is
+    /// identical to [`LockService::try_connect`].
+    pub fn try_connect_with_sink(
+        &self,
+        app: AppId,
+        sink: &EventSink,
+    ) -> Result<Session, ServiceError> {
+        let wake = WakeSink::Shared {
+            tx: sink.tx.clone(),
+            wake: Arc::clone(&sink.wake),
+        };
+        self.register(app, wake, None)
+    }
+
+    fn register(
+        &self,
+        app: AppId,
+        sink: WakeSink,
+        rx: Option<Receiver<WakeMessage>>,
+    ) -> Result<Session, ServiceError> {
         {
             let mut registry = self.inner.registry.lock();
             if registry.contains_key(&app) {
                 return Err(ServiceError::AlreadyConnected(app));
             }
-            registry.insert(app, tx);
+            registry.insert(app, sink);
         }
         self.inner
             .tuning
@@ -865,7 +958,7 @@ impl LockService {
         Ok(Session {
             inner: Arc::clone(&self.inner),
             app,
-            rx: Some(rx),
+            rx,
             ever_waited: std::cell::Cell::new(false),
             requests: std::cell::Cell::new(1),
             touched_shards: std::cell::Cell::new(0),
@@ -1045,6 +1138,7 @@ impl LockService {
             next_event_seq: inner.obs.journal().recorded(),
             ticks,
             next_tick_seq,
+            io_shards: Vec::new(),
         }
     }
 
@@ -1178,7 +1272,7 @@ impl Drop for LockService {
 /// One application's handle to the service. Lock requests that queue
 /// park on this session's channel until granted, timed out, or aborted.
 pub struct Session {
-    inner: Arc<ServiceInner>,
+    pub(crate) inner: Arc<ServiceInner>,
     app: AppId,
     rx: Option<Receiver<WakeMessage>>,
     /// Whether this session has ever parked on the channel. A session
@@ -1209,7 +1303,7 @@ impl Session {
     }
 
     /// Tuning hooks carrying this session's request counter.
-    fn session_hooks(&self) -> ServiceHooks<'_> {
+    pub(crate) fn session_hooks(&self) -> ServiceHooks<'_> {
         ServiceHooks {
             shared: &self.inner.tuning,
             requests: Some(&self.requests),
@@ -1224,7 +1318,7 @@ impl Session {
     /// shard latch; pair with [`Session::finish_latch`] after dropping
     /// it. Compiles to nothing in the obs-off build.
     #[inline]
-    fn latch_timer(&self) -> Option<Instant> {
+    pub(crate) fn latch_timer(&self) -> Option<Instant> {
         if !OBS_ENABLED {
             return None;
         }
@@ -1235,7 +1329,7 @@ impl Session {
 
     /// Record a sampled latch hold on shard `idx`.
     #[inline]
-    fn finish_latch(&self, idx: usize, t0: Option<Instant>) {
+    pub(crate) fn finish_latch(&self, idx: usize, t0: Option<Instant>) {
         if let Some(t0) = t0 {
             self.inner
                 .obs
@@ -1547,7 +1641,7 @@ impl Session {
 
     /// Record that shard `idx` has (or may have) state for this
     /// session. Lossy above 64 shards: the mask saturates to all-ones.
-    fn mark_touched(&self, idx: usize) {
+    pub(crate) fn mark_touched(&self, idx: usize) {
         if self.inner.shards.len() > 64 {
             self.touched_shards.set(u64::MAX);
         } else {

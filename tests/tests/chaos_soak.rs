@@ -22,7 +22,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use locktune_lockmgr::{LockError, LockMode, ResourceId, RowId, TableId};
-use locktune_net::{ClientError, ReconnectConfig, ReconnectingClient, Server, ServerConfig};
+use locktune_net::{
+    ClientError, IoModel, ReconnectConfig, ReconnectingClient, Server, ServerConfig,
+};
 use locktune_obs::EventKind;
 use locktune_service::{
     BatchOutcome, FaultInjector, FaultPlan, FaultSite, LockService, ServiceConfig, ServiceError,
@@ -138,7 +140,7 @@ fn eventually(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
     }
 }
 
-fn run_chaos(seed: u64) {
+fn run_chaos(seed: u64, model: IoModel) {
     let faults = plan(seed);
     assert!(faults.is_armed(), "plan must arm the injector");
 
@@ -156,6 +158,8 @@ fn run_chaos(seed: u64) {
             max_connections: 16,
             eviction_deadline: Duration::from_secs(2),
             faults: faults.clone(),
+            io_model: model,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");
@@ -279,17 +283,36 @@ fn run_chaos(seed: u64) {
 
 #[test]
 fn chaos_soak_seed_7() {
-    run_chaos(7);
+    run_chaos(7, IoModel::Threaded);
 }
 
 #[test]
 fn chaos_soak_seed_1984() {
-    run_chaos(1984);
+    run_chaos(1984, IoModel::Threaded);
 }
 
 #[test]
 fn chaos_soak_seed_0xdb2() {
-    run_chaos(0xDB2);
+    run_chaos(0xDB2, IoModel::Threaded);
+}
+
+// The same storms against the evented core: injected wire faults land
+// inside the shard loop (the stall blocks its event loop briefly, torn
+// frames and disconnects kill the connection mid-reply) and the run
+// must still end with zero leaked slots and exact accounting.
+#[test]
+fn chaos_soak_seed_7_evented() {
+    run_chaos(7, IoModel::Evented);
+}
+
+#[test]
+fn chaos_soak_seed_1984_evented() {
+    run_chaos(1984, IoModel::Evented);
+}
+
+#[test]
+fn chaos_soak_seed_0xdb2_evented() {
+    run_chaos(0xDB2, IoModel::Evented);
 }
 
 /// Tenant storm: three tenants under one machine budget, allocation
