@@ -26,7 +26,10 @@
 use std::process::exit;
 use std::time::{Duration, Instant};
 
-use locktune_cluster::{ClusterConfig, ClusterDetector, ClusterError, RoutingClient};
+use locktune_cluster::{
+    BreakerConfig, ClusterConfig, ClusterDetector, ClusterError, ClusterSupervisor, MapHandle,
+    RoutedOutcome, RoutingClient, SupervisorConfig,
+};
 use locktune_lockmgr::{LockError, LockMode, ResourceId, RowId, TableId};
 use locktune_net::{ClientError, ReconnectConfig, ReconnectingClient};
 use locktune_service::{BatchOutcome, ServiceError};
@@ -45,6 +48,8 @@ struct Args {
     pace_ms: u64,
     detector_interval_ms: u64,
     expect_node_loss: bool,
+    supervise: bool,
+    probe_interval_ms: u64,
 }
 
 impl Default for Args {
@@ -60,6 +65,8 @@ impl Default for Args {
             pace_ms: 0,
             detector_interval_ms: 25,
             expect_node_loss: false,
+            supervise: false,
+            probe_interval_ms: 50,
         }
     }
 }
@@ -76,7 +83,12 @@ const USAGE: &str = "usage: locktune-cluster-client --nodes HOST:PORT,HOST:PORT,
   --detector-interval-ms N   edge-chasing interval; 0 disables the detector (default 25)
   --expect-node-loss         a node will be killed mid-storm: require explicit
                              session-loss/node-down events and tolerate one
-                             unreachable node at audit time";
+                             unreachable node at audit time
+  --supervise                run a failover supervisor: probe every node, fence
+                             and reassign dead partitions, route workers by the
+                             live epoch map with degraded batches (affected
+                             sub-batches retry instead of failing the storm)
+  --probe-interval-ms N      supervisor probe interval (default 50)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -102,6 +114,10 @@ fn parse_args() -> Result<Args, String> {
                 args.detector_interval_ms = parse_num(&value("--detector-interval-ms")?)?
             }
             "--expect-node-loss" => args.expect_node_loss = true,
+            "--supervise" => args.supervise = true,
+            "--probe-interval-ms" => {
+                args.probe_interval_ms = parse_num(&value("--probe-interval-ms")?)?
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -128,6 +144,8 @@ struct WorkerReport {
     aborted: u64,
     sessions_lost: u64,
     node_down: u64,
+    unavailable: u64,
+    stale_epochs: u64,
 }
 
 /// The per-worker reconnect policy: few in-cycle attempts, a finite
@@ -143,14 +161,19 @@ fn reconnect_policy(seed: u64) -> ReconnectConfig {
     }
 }
 
-fn worker(args: &Args, w: u64) -> WorkerReport {
+fn worker(args: &Args, w: u64, map: Option<MapHandle>) -> WorkerReport {
     let seed = args.seed ^ (w + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let config = ClusterConfig {
         nodes: args.nodes.clone(),
         reconnect: reconnect_policy(seed),
         gid: Some(w + 1),
+        breaker: BreakerConfig::default(),
     };
-    let mut rc = match RoutingClient::connect(&config) {
+    let connected = match map {
+        Some(map) => RoutingClient::connect_with_map(&config, map),
+        None => RoutingClient::connect(&config),
+    };
+    let mut rc = match connected {
         Ok(rc) => rc,
         Err(e) => {
             eprintln!("worker {w}: connect: {e}");
@@ -171,32 +194,65 @@ fn worker(args: &Args, w: u64) -> WorkerReport {
                 locks.push((ResourceId::Row(table, row), LockMode::X));
             }
         }
-        let outcomes = match rc.lock_many(&locks) {
-            Ok(o) => o,
-            Err(ClusterError::SessionLost { .. }) => {
-                // The router already released every surviving node's
-                // locks; restart from an empty state.
-                report.sessions_lost += 1;
-                continue;
-            }
-            Err(ClusterError::NodeDown { .. }) => {
-                report.node_down += 1;
-                continue;
-            }
-            Err(e) => {
-                eprintln!("worker {w}: lock_many: {e}");
-                exit(2);
-            }
+        let failed = if args.supervise {
+            // Degraded contract: dead partitions come back retryable,
+            // live partitions commit through the failover.
+            let outcomes = match rc.lock_many_degraded(&locks) {
+                Ok(o) => o,
+                Err(ClusterError::StaleEpoch { .. }) => {
+                    // The map moved under the transaction; everything
+                    // reachable was released. Restart.
+                    report.stale_epochs += 1;
+                    continue;
+                }
+                Err(e) => {
+                    eprintln!("worker {w}: lock_many_degraded: {e}");
+                    exit(2);
+                }
+            };
+            let unavailable = outcomes
+                .iter()
+                .filter(|o| matches!(o, RoutedOutcome::Unavailable { .. }))
+                .count() as u64;
+            report.unavailable += unavailable;
+            unavailable > 0
+                || outcomes.iter().any(|o| {
+                    matches!(
+                        o,
+                        RoutedOutcome::Done(BatchOutcome::Done(Err(ServiceError::Timeout
+                            | ServiceError::DeadlockVictim
+                            | ServiceError::Overloaded { .. }
+                            | ServiceError::Lock(LockError::OutOfLockMemory))))
+                    )
+                })
+        } else {
+            let outcomes = match rc.lock_many(&locks) {
+                Ok(o) => o,
+                Err(ClusterError::SessionLost { .. }) => {
+                    // The router already released every surviving node's
+                    // locks; restart from an empty state.
+                    report.sessions_lost += 1;
+                    continue;
+                }
+                Err(ClusterError::NodeDown { .. }) => {
+                    report.node_down += 1;
+                    continue;
+                }
+                Err(e) => {
+                    eprintln!("worker {w}: lock_many: {e}");
+                    exit(2);
+                }
+            };
+            outcomes.iter().any(|o| {
+                matches!(
+                    o,
+                    BatchOutcome::Done(Err(ServiceError::Timeout
+                        | ServiceError::DeadlockVictim
+                        | ServiceError::Overloaded { .. }
+                        | ServiceError::Lock(LockError::OutOfLockMemory)))
+                )
+            })
         };
-        let failed = outcomes.iter().any(|o| {
-            matches!(
-                o,
-                BatchOutcome::Done(Err(ServiceError::Timeout
-                    | ServiceError::DeadlockVictim
-                    | ServiceError::Overloaded { .. }
-                    | ServiceError::Lock(LockError::OutOfLockMemory)))
-            )
-        });
         match rc.unlock_all() {
             Ok(_) => {
                 if failed {
@@ -287,6 +343,7 @@ fn main() {
             nodes: args.nodes.clone(),
             reconnect: reconnect_policy(args.seed ^ 0xD1B5_4A32_D192_ED03),
             gid: None,
+            breaker: BreakerConfig::default(),
         });
         match d {
             Ok(d) => Some(d.spawn(Duration::from_millis(args.detector_interval_ms))),
@@ -299,11 +356,31 @@ fn main() {
         None
     };
 
+    let supervisor = if args.supervise {
+        let sup = ClusterSupervisor::spawn(
+            args.nodes.clone(),
+            SupervisorConfig {
+                probe_interval: Duration::from_millis(args.probe_interval_ms.max(1)),
+                ..SupervisorConfig::default()
+            },
+        );
+        match sup {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("supervisor spawn: {e}");
+                exit(2);
+            }
+        }
+    } else {
+        None
+    };
+
     let start = Instant::now();
     let workers: Vec<_> = (0..args.workers)
         .map(|w| {
             let args = args.clone();
-            std::thread::spawn(move || worker(&args, w))
+            let map = supervisor.as_ref().map(|s| s.map());
+            std::thread::spawn(move || worker(&args, w, map))
         })
         .collect();
     let mut total = WorkerReport::default();
@@ -313,6 +390,8 @@ fn main() {
         total.aborted += r.aborted;
         total.sessions_lost += r.sessions_lost;
         total.node_down += r.node_down;
+        total.unavailable += r.unavailable;
+        total.stale_epochs += r.stale_epochs;
     }
     let elapsed = start.elapsed();
     let detector_victims = detector.map(|d| d.stop().1);
@@ -322,6 +401,10 @@ fn main() {
     println!("aborted:          {}", total.aborted);
     println!("sessions lost:    {}", total.sessions_lost);
     println!("node-down events: {}", total.node_down);
+    if args.supervise {
+        println!("unavailable:      {} sub-batch items", total.unavailable);
+        println!("stale epochs:     {}", total.stale_epochs);
+    }
     if let Some(v) = detector_victims {
         println!("detector victims: {v}");
     }
@@ -331,8 +414,22 @@ fn main() {
         elapsed.as_secs_f64()
     );
 
+    if let Some(sup) = &supervisor {
+        let map = sup.map().snapshot();
+        println!("--- failover report ---");
+        println!("final epoch:      {}", map.epoch);
+        println!("final owners:     {:?}", map.owners());
+        for t in sup.transitions() {
+            println!(
+                "  +{:>6} ms  node {}  -> {:?}  (epoch {})",
+                t.at_ms, t.node, t.state, t.epoch
+            );
+        }
+    }
+
     // Per-node health from one fresh routed session, then the audits.
-    let losses = total.sessions_lost + total.node_down;
+    let losses =
+        total.sessions_lost + total.node_down + u64::from(args.supervise && total.unavailable > 0);
     let mut exit_code = 0;
     let mut dead_nodes = 0;
     println!("--- node audit ---");

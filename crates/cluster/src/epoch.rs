@@ -1,0 +1,251 @@
+//! The epoch-versioned partition map: who owns which slot, at which
+//! map version, under which membership states.
+//!
+//! A cluster of N nodes has N **home slots** — slot `i` is home to
+//! node `i`, exactly the static map [`resource_slot`] computes — but
+//! ownership can move: when a node is marked [`NodeState::Down`] its
+//! slot is deterministically reassigned to a surviving node, and every
+//! change bumps the map's **epoch**. Servers fence lock traffic bound
+//! to an older epoch (`WrongEpoch`), which closes the double-grant
+//! window: a client routing by a stale map cannot be granted a lock a
+//! newer map has moved elsewhere, because the new epoch was pushed to
+//! every reachable server *before* the new map was published.
+//!
+//! Ownership is a **pure function of the membership states** — no
+//! history, no tie-breaking on the order failures happened in. That
+//! makes it provable that rejoin restores the original map
+//! bit-for-bit: same states in, same owners out.
+//!
+//! [`resource_slot`]: locktune_lockmgr::partition::resource_slot
+
+use std::sync::{Arc, RwLock};
+
+use locktune_lockmgr::partition::resource_slot;
+use locktune_lockmgr::ResourceId;
+
+/// Fibonacci multiplier (⌊2^64/φ⌋, odd) — the same mixer the
+/// table-hash uses, reused to pick which survivor inherits an
+/// orphaned slot.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One node's membership state, as the supervisor's failure detector
+/// sees it (Chandra–Toueg style: consecutive missed probes escalate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Healthy: answering probes, serving its home slot.
+    Up,
+    /// Missed enough probes to be suspicious, but not enough to act
+    /// on. Still owns its slot — suspicion alone never moves
+    /// ownership, so a transient stall costs nothing.
+    Suspect,
+    /// Declared dead. Its home slot is reassigned to a survivor.
+    Down,
+    /// Answering probes again after Down, but not yet serving: its
+    /// slot stays with the survivor until the handed-over sessions
+    /// drain (two-phase rejoin).
+    Rejoining,
+}
+
+impl NodeState {
+    /// True when the node currently serves lock traffic (owns slots).
+    pub fn serving(self) -> bool {
+        matches!(self, NodeState::Up | NodeState::Suspect)
+    }
+}
+
+/// An immutable snapshot of the partition map at one epoch. Derive a
+/// successor with [`EpochMap::with_state`]; every derivation bumps
+/// the epoch by exactly one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochMap {
+    /// Map version. Starts at 1 so epoch 0 can mean "never fenced"
+    /// on the server side.
+    pub epoch: u64,
+    /// Per-node membership state, indexed like `addrs`.
+    pub states: Vec<NodeState>,
+    /// Per-node address. A node that respawns on a new port
+    /// re-registers here ([`EpochMap::with_addr`]).
+    pub addrs: Vec<String>,
+}
+
+impl EpochMap {
+    /// The initial map: every node Up, epoch 1.
+    pub fn new(addrs: Vec<String>) -> EpochMap {
+        assert!(!addrs.is_empty(), "cluster needs at least one node");
+        EpochMap {
+            epoch: 1,
+            states: vec![NodeState::Up; addrs.len()],
+            addrs,
+        }
+    }
+
+    /// Number of nodes (and home slots).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True for a single-node "cluster".
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Derive the successor map with `node` in `state`, epoch bumped
+    /// by one. Ownership is recomputed from the new states alone.
+    pub fn with_state(&self, node: usize, state: NodeState) -> EpochMap {
+        let mut next = self.clone();
+        next.states[node] = state;
+        next.epoch = self.epoch + 1;
+        next
+    }
+
+    /// Derive the successor map with `node` re-registered at `addr`
+    /// (a respawned process rarely gets its old port back). Bumps the
+    /// epoch like any other map change.
+    pub fn with_addr(&self, node: usize, addr: String) -> EpochMap {
+        let mut next = self.clone();
+        next.addrs[node] = addr;
+        next.epoch = self.epoch + 1;
+        next
+    }
+
+    /// The node currently owning home slot `slot`: the home node
+    /// while it serves, otherwise a survivor picked by hashing the
+    /// slot over the survivor list. Pure in the states — two maps
+    /// with identical states agree on every owner, whatever path of
+    /// failures and rejoins produced them.
+    ///
+    /// # Panics
+    /// Panics if no node is serving (the cluster is entirely down —
+    /// there is no meaningful owner to return).
+    pub fn owner_of_slot(&self, slot: usize) -> usize {
+        if self.states[slot].serving() {
+            return slot;
+        }
+        let survivors: Vec<usize> = (0..self.len())
+            .filter(|&i| self.states[i].serving())
+            .collect();
+        assert!(!survivors.is_empty(), "no serving node in the cluster");
+        let h = (slot as u64).wrapping_mul(FIB) >> 32;
+        survivors[(h % survivors.len() as u64) as usize]
+    }
+
+    /// The full slot→owner table.
+    pub fn owners(&self) -> Vec<usize> {
+        (0..self.len()).map(|s| self.owner_of_slot(s)).collect()
+    }
+
+    /// The node owning `res` under this map.
+    pub fn owner_of(&self, res: ResourceId) -> usize {
+        self.owner_of_slot(resource_slot(res, self.len()))
+    }
+
+    /// True while any node is not Up — the cluster-wide degraded
+    /// flag probes disseminate.
+    pub fn degraded(&self) -> bool {
+        self.states.iter().any(|s| *s != NodeState::Up)
+    }
+}
+
+/// Shared handle on the latest published [`EpochMap`]: the supervisor
+/// publishes, routing clients snapshot. Publishing is
+/// last-writer-wins on epoch — a stale publish (lower epoch) is
+/// ignored, so racing supervisors cannot roll the map back.
+#[derive(Clone)]
+pub struct MapHandle {
+    inner: Arc<RwLock<Arc<EpochMap>>>,
+}
+
+impl MapHandle {
+    /// A handle seeded with `map`.
+    pub fn new(map: EpochMap) -> MapHandle {
+        MapHandle {
+            inner: Arc::new(RwLock::new(Arc::new(map))),
+        }
+    }
+
+    /// The latest published map (cheap: clones an `Arc`).
+    pub fn snapshot(&self) -> Arc<EpochMap> {
+        self.inner.read().unwrap().clone()
+    }
+
+    /// Publish `map` if it is newer than what is already published.
+    /// Returns whether it was accepted.
+    pub fn publish(&self, map: EpochMap) -> bool {
+        let mut slot = self.inner.write().unwrap();
+        if map.epoch < slot.epoch || (map.epoch == slot.epoch && map != **slot) {
+            return false;
+        }
+        *slot = Arc::new(map);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn fresh_map_is_identity() {
+        let map = EpochMap::new(addrs(4));
+        assert_eq!(map.epoch, 1);
+        assert_eq!(map.owners(), vec![0, 1, 2, 3]);
+        assert!(!map.degraded());
+    }
+
+    #[test]
+    fn down_moves_only_the_dead_nodes_slot() {
+        let map = EpochMap::new(addrs(4));
+        let down = map.with_state(1, NodeState::Down);
+        assert_eq!(down.epoch, 2);
+        assert!(down.degraded());
+        let owners = down.owners();
+        for slot in [0, 2, 3] {
+            assert_eq!(owners[slot], slot, "surviving slot moved");
+        }
+        assert_ne!(owners[1], 1, "dead node still owns its slot");
+        assert!(down.states[owners[1]].serving());
+    }
+
+    #[test]
+    fn suspect_keeps_ownership() {
+        let map = EpochMap::new(addrs(3)).with_state(2, NodeState::Suspect);
+        assert_eq!(map.owners(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rejoining_routes_like_down() {
+        let map = EpochMap::new(addrs(3));
+        let down = map.with_state(0, NodeState::Down);
+        let rejoining = down.with_state(0, NodeState::Rejoining);
+        assert_eq!(down.owners(), rejoining.owners());
+    }
+
+    #[test]
+    fn rejoin_restores_identity_map() {
+        let map = EpochMap::new(addrs(5));
+        let back = map
+            .with_state(3, NodeState::Suspect)
+            .with_state(3, NodeState::Down)
+            .with_state(3, NodeState::Rejoining)
+            .with_state(3, NodeState::Up);
+        assert_eq!(back.epoch, 5);
+        assert_eq!(back.owners(), map.owners());
+        assert_eq!(back.states, map.states);
+    }
+
+    #[test]
+    fn handle_refuses_stale_publish() {
+        let handle = MapHandle::new(EpochMap::new(addrs(2)));
+        let newer = handle.snapshot().with_state(1, NodeState::Down);
+        assert!(handle.publish(newer.clone()));
+        assert_eq!(handle.snapshot().epoch, 2);
+        // Re-publishing the original (epoch 1) must be refused.
+        assert!(!handle.publish(EpochMap::new(addrs(2))));
+        assert_eq!(handle.snapshot().epoch, 2);
+        assert_eq!(*handle.snapshot(), newer);
+    }
+}

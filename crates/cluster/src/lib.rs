@@ -42,10 +42,16 @@
 //! in detection without colliding with client-chosen ids.
 
 pub mod detector;
+pub mod epoch;
 pub mod router;
+pub mod supervisor;
 
 pub use detector::{
     plan_cancels, CancelPlan, ClusterDetector, DetectionReport, DetectorHandle, NodeGraph,
     VictimReport,
 };
-pub use router::{ClusterConfig, ClusterError, NodeHealth, RoutingClient};
+pub use epoch::{EpochMap, MapHandle, NodeState};
+pub use router::{
+    BreakerConfig, ClusterConfig, ClusterError, NodeHealth, RoutedOutcome, RoutingClient,
+};
+pub use supervisor::{ClusterSupervisor, SupervisorConfig, SupervisorHandle, Transition};

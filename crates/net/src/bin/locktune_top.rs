@@ -435,6 +435,12 @@ fn fmt_event(e: &JournalEvent) -> String {
                 app.0
             )
         }
+        EventKind::EpochBump { epoch } => {
+            format!("{at}  epoch bump      fence raised to {epoch}")
+        }
+        EventKind::RequestFenced { epoch } => {
+            format!("{at}  request fenced  stale epoch {epoch}")
+        }
     }
 }
 
@@ -523,6 +529,10 @@ fn draw(addr: &str, snap: &MetricsSnapshot, prev: Option<&MetricsSnapshot>) {
         c.shed_released,
         c.shed_rejected,
         c.faults_injected,
+    );
+    println!(
+        "failover     epoch {}   probes {}   bumps {}   fenced {}   degraded batches {}",
+        snap.fence_epoch, c.failover_probes, c.epoch_bumps, c.fenced_requests, c.degraded_batches,
     );
 
     // Present only when the server runs the evented I/O core: one row

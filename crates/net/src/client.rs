@@ -64,6 +64,16 @@ pub enum ClientError {
         /// Total connection attempts made over the client's lifetime.
         attempts: u64,
     },
+    /// The server fenced the request: this connection is bound to a
+    /// partition-map epoch older than the server's fence
+    /// ([`Reply::WrongEpoch`]). The cluster map changed under the
+    /// caller — locks acquired under the stale epoch must be treated
+    /// as lost. Refresh the map, re-bind at `current` (or later), and
+    /// restart the transaction.
+    StaleEpoch {
+        /// The server's current fence epoch.
+        current: u64,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -78,6 +88,9 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::GaveUp { attempts } => {
                 write!(f, "gave up after {attempts} connection attempts")
+            }
+            ClientError::StaleEpoch { current } => {
+                write!(f, "request fenced: stale epoch (server is at {current})")
             }
         }
     }
@@ -215,6 +228,7 @@ impl Client {
         match self.call(&Request::Lock { res, mode })? {
             Reply::Lock(Ok(outcome)) => Ok(outcome),
             Reply::Lock(Err(e)) => Err(ClientError::Service(e)),
+            Reply::WrongEpoch { current } => Err(ClientError::StaleEpoch { current }),
             other => Err(unexpected("Lock", &other)),
         }
     }
@@ -251,6 +265,7 @@ impl Client {
                 "batch of {expected} items answered with {} outcomes",
                 outcomes.len()
             ))),
+            Reply::WrongEpoch { current } => Err(ClientError::StaleEpoch { current }),
             other => Err(unexpected("BatchOutcomes", &other)),
         }
     }
@@ -388,6 +403,35 @@ impl Client {
         match self.call(&Request::CancelWait { app })? {
             Reply::CancelWait(cancelled) => Ok(cancelled),
             other => Err(unexpected("CancelWait", &other)),
+        }
+    }
+
+    /// Supervisor health probe: disseminate `epoch` (the server's
+    /// fence only ever rises) and the cluster's degraded flag, and
+    /// collect the server's current fence plus how many of its
+    /// connections are still bound to an older epoch (the rejoin
+    /// drain signal). Never fenced itself, so it works on any
+    /// connection regardless of epoch.
+    pub fn probe(&mut self, epoch: u64, degraded: bool) -> Result<(u64, u64), ClientError> {
+        match self.call(&Request::Probe { epoch, degraded })? {
+            Reply::ProbeAck {
+                epoch,
+                stale_sessions,
+            } => Ok((epoch, stale_sessions)),
+            other => Err(unexpected("ProbeAck", &other)),
+        }
+    }
+
+    /// Bind this connection to partition-map `epoch`. Lock traffic on
+    /// a bound connection is fenced once the server's epoch advances
+    /// past the binding ([`ClientError::StaleEpoch`]); unbound
+    /// connections are never fenced. Binding below the server's
+    /// current fence is itself refused with `StaleEpoch`.
+    pub fn bind_epoch(&mut self, epoch: u64) -> Result<(), ClientError> {
+        match self.call(&Request::BindEpoch { epoch })? {
+            Reply::BindEpoch => Ok(()),
+            Reply::WrongEpoch { current } => Err(ClientError::StaleEpoch { current }),
+            other => Err(unexpected("BindEpoch", &other)),
         }
     }
 

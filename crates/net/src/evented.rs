@@ -173,6 +173,7 @@ pub(crate) fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
                     service: Some(Arc::clone(service)),
                     tenant: None,
                     conn_id: 0,
+                    epoch: None,
                 }
             }
             Backend::Tenants(_) => ConnCtx {
@@ -180,6 +181,7 @@ pub(crate) fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
                 service: None,
                 tenant: None,
                 conn_id: 0,
+                epoch: None,
             },
         };
         let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
@@ -460,6 +462,7 @@ impl Shard {
             conns.streams.remove(&conn.ctx.conn_id);
             conns.bindings.remove(&conn.ctx.conn_id);
             conns.gids.remove(&conn.ctx.conn_id);
+            conns.epochs.remove(&conn.ctx.conn_id);
         }
         self.shared.conn_count.fetch_sub(1, Ordering::AcqRel);
         self.stat().connections.fetch_sub(1, Ordering::Relaxed);
@@ -624,10 +627,17 @@ impl Shard {
     fn dispatch(&mut self, conn: &mut Conn) {
         match wire::decode_lock_batch_into(&self.payload, &mut self.batch_items) {
             Ok(Some(id)) => {
-                let Some(session) = conn.ctx.session.as_ref() else {
+                if conn.ctx.session.is_none() {
                     conn.closing = true; // lock traffic before Hello
                     return;
-                };
+                }
+                // Fence check mirrors the threaded zero-copy batch path.
+                if let Some(fenced) = server::fence_stale(&self.shared, &conn.ctx) {
+                    self.send_reply(conn, id, &fenced);
+                    return;
+                }
+                server::note_degraded_batch(&self.shared, &conn.ctx);
+                let session = conn.ctx.session.as_ref().expect("checked above");
                 let pending = std::mem::take(&mut conn.aborted);
                 let step = conn
                     .machine
@@ -647,10 +657,15 @@ impl Shard {
             // The two requests that can park route through the
             // resumable machine instead of the blocking session call.
             Request::Lock { res, mode } => {
-                let Some(session) = conn.ctx.session.as_ref() else {
+                if conn.ctx.session.is_none() {
                     conn.closing = true;
                     return;
-                };
+                }
+                if let Some(fenced) = server::fence_stale(&self.shared, &conn.ctx) {
+                    self.send_reply(conn, id, &fenced);
+                    return;
+                }
+                let session = conn.ctx.session.as_ref().expect("checked above");
                 let pending = std::mem::take(&mut conn.aborted);
                 let step = conn.machine.start(session, &[(res, mode)], false, pending);
                 self.settle(conn, id, true, step);
@@ -660,10 +675,16 @@ impl Shard {
                 // zero-copy path in `dispatch`; route the generic
                 // decode through the machine too — the blocking
                 // `lock_many` must never run on an evented session.
-                let Some(session) = conn.ctx.session.as_ref() else {
+                if conn.ctx.session.is_none() {
                     conn.closing = true;
                     return;
-                };
+                }
+                if let Some(fenced) = server::fence_stale(&self.shared, &conn.ctx) {
+                    self.send_reply(conn, id, &fenced);
+                    return;
+                }
+                server::note_degraded_batch(&self.shared, &conn.ctx);
+                let session = conn.ctx.session.as_ref().expect("checked above");
                 let pending = std::mem::take(&mut conn.aborted);
                 let step = conn.machine.start(session, &items, true, pending);
                 self.settle(conn, id, false, step);

@@ -50,7 +50,7 @@ pub use client::{Client, ClientError};
 pub use locktune_obs::MetricsSnapshot;
 pub use locktune_service::BatchOutcome;
 pub use locktune_tenants::{MachineRollup, TenantDonation, TenantRow};
-pub use reconnect::{ReconnectConfig, ReconnectStats, ReconnectingClient};
+pub use reconnect::{ReconnectConfig, ReconnectStats, ReconnectingClient, StopSignal};
 pub use server::{IoModel, Server, ServerConfig};
 pub use wire::{
     Reply, Request, StatsSnapshot, TenantCtl, TenantStatsReply, ValidateReport, WaitGraphReply,

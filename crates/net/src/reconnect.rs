@@ -18,7 +18,8 @@
 //! [`Reply::Busy`]: crate::wire::Reply::Busy
 
 use std::net::{SocketAddr, ToSocketAddrs};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use locktune_lockmgr::{LockMode, LockOutcome, ResourceId, UnlockReport};
 use locktune_obs::MetricsSnapshot;
@@ -65,6 +66,58 @@ impl Default for ReconnectConfig {
     }
 }
 
+/// Cooperative shutdown flag shared between a [`ReconnectingClient`]
+/// and whoever wants it to stop promptly. The client's connect
+/// backoff sleeps on the signal's condvar instead of
+/// `thread::sleep`, so [`StopSignal::stop`] from another thread cuts
+/// a multi-second backoff short immediately — without it, shutting
+/// down a client stuck reconnecting to a dead node blocks for the
+/// remainder of whatever delay it is sleeping through.
+#[derive(Clone, Default)]
+pub struct StopSignal {
+    inner: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl StopSignal {
+    /// A fresh, un-raised signal.
+    pub fn new() -> StopSignal {
+        StopSignal::default()
+    }
+
+    /// Raise the flag and wake every backoff sleep immediately. Safe
+    /// to call from any thread, any number of times.
+    pub fn stop(&self) {
+        let (flag, cvar) = &*self.inner;
+        *flag.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+
+    /// True once [`StopSignal::stop`] has been called.
+    pub fn is_stopped(&self) -> bool {
+        *self.inner.0.lock().unwrap()
+    }
+
+    /// Sleep up to `dur`, returning early with `true` the moment the
+    /// signal is raised (`false` = slept the full duration). Public
+    /// so any loop pacing itself against a stop request (the cluster
+    /// supervisor's probe loop, a bin's main loop) can share one
+    /// interruptible primitive.
+    pub fn sleep(&self, dur: Duration) -> bool {
+        let (flag, cvar) = &*self.inner;
+        let deadline = Instant::now() + dur;
+        let mut stopped = flag.lock().unwrap();
+        while !*stopped {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = cvar.wait_timeout(stopped, deadline - now).unwrap();
+            stopped = guard;
+        }
+        true
+    }
+}
+
 /// Counters a harness reads after a run to pair every disconnect with
 /// its recovery.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -93,8 +146,13 @@ pub struct ReconnectingClient {
     /// Cluster-global transaction id to re-bind on every fresh
     /// session (set by [`ReconnectingClient::bind_gid`]).
     gid: Option<u64>,
+    /// Partition-map epoch to re-bind on every fresh session (set by
+    /// [`ReconnectingClient::bind_epoch`]).
+    epoch: Option<u64>,
     /// Set when the lifetime attempt budget ran out; terminal.
     gave_up: bool,
+    /// Cuts backoff sleeps short when raised.
+    stop: StopSignal,
 }
 
 impl ReconnectingClient {
@@ -103,6 +161,18 @@ impl ReconnectingClient {
     pub fn connect(
         addr: impl ToSocketAddrs,
         config: ReconnectConfig,
+    ) -> Result<ReconnectingClient, ClientError> {
+        Self::connect_with_stop(addr, config, StopSignal::new())
+    }
+
+    /// [`ReconnectingClient::connect`] with a caller-supplied
+    /// [`StopSignal`], so even the *initial* connect cycle (which can
+    /// spend the whole attempt budget backing off against a dead
+    /// node) can be interrupted from another thread.
+    pub fn connect_with_stop(
+        addr: impl ToSocketAddrs,
+        config: ReconnectConfig,
+        stop: StopSignal,
     ) -> Result<ReconnectingClient, ClientError> {
         let addr = addr
             .to_socket_addrs()?
@@ -115,10 +185,26 @@ impl ReconnectingClient {
             rng: StdRng::seed_from_u64(config.seed),
             stats: ReconnectStats::default(),
             gid: None,
+            epoch: None,
             gave_up: false,
+            stop,
         };
         c.establish()?;
         Ok(c)
+    }
+
+    /// Handle on this client's stop signal; clone it into whatever
+    /// thread needs to interrupt a backoff sleep.
+    pub fn stop_signal(&self) -> StopSignal {
+        self.stop.clone()
+    }
+
+    /// Raise the stop signal: any in-progress backoff sleep returns
+    /// immediately and the interrupted cycle fails with an
+    /// [`ErrorKind::Interrupted`](std::io::ErrorKind::Interrupted)
+    /// I/O error.
+    pub fn stop(&self) {
+        self.stop.stop();
     }
 
     /// Recovery counters so far.
@@ -183,7 +269,11 @@ impl ReconnectingClient {
             }
             if attempt > 0 {
                 let delay = self.backoff(attempt - 1);
-                std::thread::sleep(delay);
+                if self.stop.sleep(delay) {
+                    return Err(stop_error());
+                }
+            } else if self.stop.is_stopped() {
+                return Err(stop_error());
             }
             self.stats.attempts += 1;
             match Client::connect(self.addr) {
@@ -207,11 +297,15 @@ impl ReconnectingClient {
     }
 
     /// Admission probe for a fresh connection: ping, then re-bind the
-    /// remembered gid (if any).
+    /// remembered gid and epoch (if any), so no caller ever runs on a
+    /// reconnected session that lost either binding.
     fn probe(&mut self, client: &mut Client) -> Result<(), ClientError> {
         client.ping(Vec::new())?;
         if let Some(gid) = self.gid {
             client.bind_gid(gid)?;
+        }
+        if let Some(epoch) = self.epoch {
+            client.bind_epoch(epoch)?;
         }
         Ok(())
     }
@@ -307,6 +401,20 @@ impl ReconnectingClient {
         self.run(|c| c.bind_gid(gid))
     }
 
+    /// Bind `epoch` as this client's partition-map epoch, now and
+    /// automatically on every future reconnect — a session that dies
+    /// and comes back can never silently run unfenced.
+    pub fn bind_epoch(&mut self, epoch: u64) -> Result<(), ClientError> {
+        self.epoch = Some(epoch);
+        self.run(|c| c.bind_epoch(epoch))
+    }
+
+    /// [`Client::probe`] with reconnect semantics (the supervisor's
+    /// health check; also disseminates `epoch` and the degraded flag).
+    pub fn probe_node(&mut self, epoch: u64, degraded: bool) -> Result<(u64, u64), ClientError> {
+        self.run(|c| c.probe(epoch, degraded))
+    }
+
     /// [`Client::wait_graph`] with reconnect semantics.
     pub fn wait_graph(&mut self) -> Result<crate::wire::WaitGraphReply, ClientError> {
         self.run(|c| c.wait_graph())
@@ -339,5 +447,81 @@ impl ReconnectingClient {
         expected: usize,
     ) -> Result<Vec<BatchOutcome>, ClientError> {
         self.run(|c| c.wait_batch_outcomes(id, expected))
+    }
+}
+
+fn stop_error() -> ClientError {
+    ClientError::Io(std::io::Error::new(
+        std::io::ErrorKind::Interrupted,
+        "stop requested during connect backoff",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stop raised mid-backoff interrupts the sleep immediately:
+    /// against a dead address whose cycle would otherwise back off
+    /// for many seconds, the connect call returns within a fraction
+    /// of that.
+    #[test]
+    fn stop_interrupts_connect_backoff() {
+        // Grab a port nothing listens on (bind, read the addr, drop):
+        // connects fail fast with ECONNREFUSED, so the cycle's elapsed
+        // time is all backoff sleep.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let config = ReconnectConfig {
+            max_attempts: 6,
+            base_delay: Duration::from_secs(2),
+            max_delay: Duration::from_secs(2),
+            ..ReconnectConfig::default()
+        };
+        let stop = StopSignal::new();
+        let stopper = stop.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            stopper.stop();
+        });
+        let start = Instant::now();
+        let err = match ReconnectingClient::connect_with_stop(addr, config, stop) {
+            Err(e) => e,
+            Ok(_) => panic!("connect to a dead port succeeded"),
+        };
+        t.join().unwrap();
+        assert!(
+            matches!(&err, ClientError::Io(e) if e.kind() == std::io::ErrorKind::Interrupted),
+            "expected interrupted stop error, got {err}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "stop did not interrupt the backoff sleep: took {:?}",
+            start.elapsed()
+        );
+    }
+
+    /// A signal raised before the cycle starts fails fast without a
+    /// single connection attempt.
+    #[test]
+    fn pre_raised_stop_fails_fast() {
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let stop = StopSignal::new();
+        stop.stop();
+        assert!(stop.is_stopped());
+        let err =
+            match ReconnectingClient::connect_with_stop(addr, ReconnectConfig::default(), stop) {
+                Err(e) => e,
+                Ok(_) => panic!("connect with a raised stop signal succeeded"),
+            };
+        assert!(
+            matches!(&err, ClientError::Io(e) if e.kind() == std::io::ErrorKind::Interrupted),
+            "expected interrupted stop error, got {err}"
+        );
     }
 }

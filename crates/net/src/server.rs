@@ -175,6 +175,17 @@ pub(crate) struct Shared {
     /// Evented: sampled at write-queue enqueue. Either way a value near
     /// the queue bound means some client stopped draining.
     pub(crate) reply_hwm: AtomicU64,
+    /// The node's partition-map fence epoch, advanced monotonically by
+    /// supervisor [`Request::Probe`] frames. Lock traffic on a
+    /// connection bound (via [`Request::BindEpoch`]) to an older epoch
+    /// is answered with [`Reply::WrongEpoch`] instead of a grant —
+    /// never-bound connections are unfenced (single-node clients
+    /// predate epochs). Zero until the first probe.
+    pub(crate) fence_epoch: AtomicU64,
+    /// True while the supervisor says this node serves slots
+    /// reassigned from a dead peer (drives the degraded-batch
+    /// counter; no behavioral effect).
+    pub(crate) degraded: AtomicBool,
 }
 
 #[derive(Default)]
@@ -191,6 +202,12 @@ pub(crate) struct ConnTable {
     /// local app ids; removed with the rest of the connection's state
     /// when its reader exits.
     pub(crate) gids: HashMap<u64, (u32, u64)>,
+    /// Partition-map epoch each connection bound via
+    /// [`Request::BindEpoch`]. The supervisor's probe reply counts the
+    /// entries below the fence (`stale_sessions`) to know when
+    /// survivors have drained handed-over traffic before a rejoin
+    /// handback.
+    pub(crate) epochs: HashMap<u64, u64>,
     /// Reader-thread handles (each joins its own writer before
     /// exiting). Finished entries join instantly. Unused by the
     /// evented model, whose shard threads are joined by the accept
@@ -267,6 +284,8 @@ impl Server {
             conn_count: AtomicUsize::new(0),
             conns: Mutex::new(ConnTable::default()),
             reply_hwm: AtomicU64::new(0),
+            fence_epoch: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
         });
         let io_model = shared.config.io_model;
         let accept_thread = {
@@ -420,6 +439,7 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 service: Some(Arc::clone(service)),
                 tenant: None,
                 conn_id: 0,
+                epoch: None,
             }
         }
         Backend::Tenants(_) => ConnCtx {
@@ -427,6 +447,7 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
             service: None,
             tenant: None,
             conn_id: 0,
+            epoch: None,
         },
     };
     stream.set_nodelay(true).ok();
@@ -453,6 +474,7 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 conns.streams.remove(&conn_id);
                 conns.bindings.remove(&conn_id);
                 conns.gids.remove(&conn_id);
+                conns.epochs.remove(&conn_id);
                 drop(conns);
                 shared.conn_count.fetch_sub(1, Ordering::AcqRel);
             })
@@ -475,6 +497,9 @@ pub(crate) struct ConnCtx {
     pub(crate) service: Option<Arc<LockService>>,
     pub(crate) tenant: Option<u32>,
     pub(crate) conn_id: u64,
+    /// Partition-map epoch bound via [`Request::BindEpoch`]; `None`
+    /// means the connection never bound one and is unfenced.
+    pub(crate) epoch: Option<u64>,
 }
 
 /// Spent reply frames the writer hands back to the reader for reuse.
@@ -548,8 +573,13 @@ fn serve_connection(
         let encoded = match wire::decode_lock_batch_into(&payload, &mut batch_items) {
             Ok(Some(id)) => match conn.session.as_ref() {
                 Some(session) => {
-                    session.lock_many_into(&batch_items, &mut outcomes);
-                    wire::encode_batch_outcomes_into(&mut frame, id, &outcomes);
+                    if let Some(fenced) = fence_stale(shared, &conn) {
+                        wire::encode_reply_into(&mut frame, id, &fenced);
+                    } else {
+                        note_degraded_batch(shared, &conn);
+                        session.lock_many_into(&batch_items, &mut outcomes);
+                        wire::encode_batch_outcomes_into(&mut frame, id, &outcomes);
+                    }
                     true
                 }
                 None => false,
@@ -679,13 +709,22 @@ fn writer_loop(
 /// sink) before falling through to this.
 pub(crate) fn execute(shared: &Arc<Shared>, conn: &mut ConnCtx, req: Request) -> Option<Reply> {
     Some(match req {
-        Request::Lock { res, mode } => Reply::Lock(conn.session.as_ref()?.lock(res, mode)),
+        Request::Lock { res, mode } => match fence_stale(shared, conn) {
+            Some(fenced) => fenced,
+            None => Reply::Lock(conn.session.as_ref()?.lock(res, mode)),
+        },
         Request::Unlock { res } => Reply::Unlock(conn.session.as_ref()?.unlock(res)),
         Request::UnlockAll => Reply::UnlockAll(conn.session.as_ref()?.unlock_all()),
         // Decoded generically only when the zero-alloc path in
         // `serve_connection` was bypassed (tests feeding frames
         // through `decode_request`).
-        Request::LockBatch(items) => Reply::BatchOutcomes(conn.session.as_ref()?.lock_many(&items)),
+        Request::LockBatch(items) => match fence_stale(shared, conn) {
+            Some(fenced) => fenced,
+            None => {
+                note_degraded_batch(shared, conn);
+                Reply::BatchOutcomes(conn.session.as_ref()?.lock_many(&items))
+            }
+        },
         Request::Stats => Reply::Stats(snapshot(shared, conn)),
         Request::Ping(echo) => Reply::Pong(echo),
         Request::Validate => Reply::Validate(validate(shared, conn)),
@@ -701,7 +740,98 @@ pub(crate) fn execute(shared: &Arc<Shared>, conn: &mut ConnCtx, req: Request) ->
         Request::WaitGraph => Reply::WaitGraph(wait_graph(shared, conn)),
         Request::BindGid { gid } => Reply::BindGid(bind_gid(shared, conn, gid)),
         Request::CancelWait { app } => Reply::CancelWait(cancel_wait(shared, conn, app)),
+        Request::Probe { epoch, degraded } => probe(shared, conn, epoch, degraded),
+        Request::BindEpoch { epoch } => bind_epoch(shared, conn, epoch),
     })
+}
+
+/// The service whose instrumentation failover events land in: the
+/// connection's own, or the single backend for an unbound connection.
+/// Multi-tenant servers have no machine-wide journal, so unbound
+/// failover traffic there records nothing (the cluster runs
+/// single-tenant nodes).
+fn obs_service<'a>(shared: &'a Shared, conn: &'a ConnCtx) -> Option<&'a Arc<LockService>> {
+    conn.service.as_ref().or(match &shared.backend {
+        Backend::Single(service) => Some(service),
+        Backend::Tenants(_) => None,
+    })
+}
+
+/// Fence check applied at every Lock/LockBatch entry point (threaded
+/// inline + generic paths, and the evented dispatcher's two): a
+/// connection bound to an epoch older than the node's fence gets
+/// [`Reply::WrongEpoch`] — never a grant — so a client routing by a
+/// stale partition map cannot double-grant a slot that moved.
+/// Releases, stats and validation are deliberately unfenced: survivors
+/// must be able to drain stale sessions' locks during handback.
+pub(crate) fn fence_stale(shared: &Shared, conn: &ConnCtx) -> Option<Reply> {
+    let bound = conn.epoch?;
+    let fence = shared.fence_epoch.load(Ordering::Acquire);
+    if bound >= fence {
+        return None;
+    }
+    if let Some(service) = obs_service(shared, conn) {
+        service.note_request_fenced(bound);
+    }
+    Some(Reply::WrongEpoch { current: fence })
+}
+
+/// Count a batch served while the supervisor flagged this node
+/// degraded (holding slots reassigned from a dead peer).
+pub(crate) fn note_degraded_batch(shared: &Shared, conn: &ConnCtx) {
+    if shared.degraded.load(Ordering::Relaxed) {
+        if let Some(service) = obs_service(shared, conn) {
+            service.note_degraded_batch();
+        }
+    }
+}
+
+/// Answer a supervisor health probe: raise the fence to the probe's
+/// epoch (monotonic — a stale supervisor frame can never lower it),
+/// adopt the degraded flag, and report the fence plus how many
+/// epoch-bound connections still carry an older epoch.
+fn probe(shared: &Arc<Shared>, conn: &ConnCtx, epoch: u64, degraded: bool) -> Reply {
+    let prev = shared.fence_epoch.fetch_max(epoch, Ordering::AcqRel);
+    shared.degraded.store(degraded, Ordering::Relaxed);
+    if let Some(service) = obs_service(shared, conn) {
+        service.note_failover_probe();
+        if epoch > prev {
+            service.note_epoch_bump(epoch);
+        }
+    }
+    let fence = shared.fence_epoch.load(Ordering::Acquire);
+    let stale_sessions = shared
+        .conns
+        .lock()
+        .unwrap()
+        .epochs
+        .values()
+        .filter(|&&e| e < fence)
+        .count() as u64;
+    Reply::ProbeAck {
+        epoch: fence,
+        stale_sessions,
+    }
+}
+
+/// Bind the connection to a partition-map epoch. A stale bind is
+/// refused with [`Reply::WrongEpoch`] so a client holding an old map
+/// learns the current epoch before it can send any fenced traffic.
+/// Re-binding (a client that refreshed its map mid-connection) just
+/// overwrites, like `bind_gid`.
+fn bind_epoch(shared: &Arc<Shared>, conn: &mut ConnCtx, epoch: u64) -> Reply {
+    let fence = shared.fence_epoch.load(Ordering::Acquire);
+    if epoch < fence {
+        return Reply::WrongEpoch { current: fence };
+    }
+    conn.epoch = Some(epoch);
+    shared
+        .conns
+        .lock()
+        .unwrap()
+        .epochs
+        .insert(conn.conn_id, epoch);
+    Reply::BindEpoch
 }
 
 /// Bind the connection's application to a cluster-global transaction
@@ -989,6 +1119,7 @@ fn metrics(
                 grow_decisions: stats.grow_decisions,
                 shrink_decisions: stats.shrink_decisions,
                 reply_queue_hwm: stats.reply_queue_hwm,
+                fence_epoch: shared.fence_epoch.load(Ordering::Relaxed),
                 ..locktune_obs::MetricsSnapshot::default()
             };
         }
@@ -1002,6 +1133,7 @@ fn metrics(
         snap.ticks.drain(..excess);
     }
     snap.reply_queue_hwm = shared.reply_hwm.load(Ordering::Relaxed);
+    snap.fence_epoch = shared.fence_epoch.load(Ordering::Relaxed);
     snap
 }
 

@@ -121,6 +121,10 @@ const OP_TENANT_CTL: u8 = 0x0B;
 const OP_WAIT_GRAPH: u8 = 0x0C;
 const OP_BIND_GID: u8 = 0x0D;
 const OP_CANCEL_WAIT: u8 = 0x0E;
+const OP_PROBE: u8 = 0x0F;
+// 0x10 is unusable as a request opcode: its reply alias 0x10 | 0x80 =
+// 0x90 collides with OP_BUSY, so the request space skips to 0x11.
+const OP_BIND_EPOCH: u8 = 0x11;
 
 // Reply opcodes (request opcode | 0x80).
 const OP_LOCK_REPLY: u8 = 0x81;
@@ -137,9 +141,15 @@ const OP_TENANT_CTL_REPLY: u8 = 0x8B;
 const OP_WAIT_GRAPH_REPLY: u8 = 0x8C;
 const OP_BIND_GID_REPLY: u8 = 0x8D;
 const OP_CANCEL_WAIT_REPLY: u8 = 0x8E;
+const OP_PROBE_ACK: u8 = 0x8F;
 // Server-initiated (no matching request opcode; sent with id 0 when
 // the connection is refused at admission).
 const OP_BUSY: u8 = 0x90;
+const OP_BIND_EPOCH_REPLY: u8 = 0x91;
+// Fencing reply: answers a Lock/LockBatch/BindEpoch whose connection
+// carries an epoch older than the server's fence (correlated by the
+// request id, like any other reply).
+const OP_WRONG_EPOCH: u8 = 0x92;
 
 /// A decoded client→server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -229,6 +239,30 @@ pub enum Request {
         /// [`Reply::WaitGraph`] gid table).
         app: u32,
     },
+    /// Supervisor health probe doubling as epoch dissemination: the
+    /// supervisor's current partition-map epoch and this node's
+    /// degraded flag ride along, so every probe round both checks
+    /// liveness and advances the server's fence. The server raises its
+    /// fence to `epoch` (never lowers it) and answers with a
+    /// [`Reply::ProbeAck`].
+    Probe {
+        /// The supervisor's current partition-map epoch.
+        epoch: u64,
+        /// True while this node serves slots reassigned from a dead
+        /// peer (drives the degraded-batch counter).
+        degraded: bool,
+    },
+    /// Bind this connection to partition-map epoch `epoch`. A routed
+    /// client binds its map's epoch on every node connection; when the
+    /// supervisor bumps the map, lock traffic still carrying the old
+    /// epoch is fenced with [`Reply::WrongEpoch`] instead of granted.
+    /// Connections that never bind are unfenced (single-node clients
+    /// predate epochs). Binding an epoch older than the server's fence
+    /// is refused with [`Reply::WrongEpoch`].
+    BindEpoch {
+        /// The partition-map epoch this connection routes by.
+        epoch: u64,
+    },
 }
 
 /// The action carried by a [`Request::TenantCtl`] frame.
@@ -303,6 +337,28 @@ pub enum Reply {
     /// refusal precedes any request) and immediately followed by a
     /// shutdown of the socket. Retryable after a backoff.
     Busy,
+    /// Outcome of a [`Request::Probe`]: the server's fence epoch after
+    /// applying the probe's, plus how many of its epoch-bound
+    /// connections still carry an older epoch (the supervisor drains
+    /// this to zero before handing slots back on rejoin).
+    ProbeAck {
+        /// The server's fence epoch (≥ the probe's epoch).
+        epoch: u64,
+        /// Epoch-bound connections whose epoch is below the fence.
+        stale_sessions: u64,
+    },
+    /// Outcome of a [`Request::BindEpoch`]: the connection now routes
+    /// by the bound epoch. A stale bind gets [`Reply::WrongEpoch`]
+    /// instead.
+    BindEpoch,
+    /// Fencing refusal for a [`Request::Lock`], [`Request::LockBatch`]
+    /// or [`Request::BindEpoch`] carrying an epoch older than the
+    /// server's fence. Never a grant: the client must refresh its map,
+    /// release everything and restart the transaction.
+    WrongEpoch {
+        /// The server's current fence epoch.
+        current: u64,
+    },
 }
 
 /// Body of a [`Reply::WaitGraph`] frame: one node's slice of the
@@ -959,6 +1015,14 @@ fn put_event(out: &mut Vec<u8>, e: &JournalEvent) {
             out.push(10);
             put_u32(out, app.0);
         }
+        EventKind::EpochBump { epoch } => {
+            out.push(11);
+            put_u64(out, epoch);
+        }
+        EventKind::RequestFenced { epoch } => {
+            out.push(12);
+            put_u64(out, epoch);
+        }
     }
 }
 
@@ -1006,6 +1070,8 @@ fn get_event(r: &mut Reader<'_>) -> Result<JournalEvent, WireError> {
         10 => EventKind::RemoteCancel {
             app: AppId(r.u32()?),
         },
+        11 => EventKind::EpochBump { epoch: r.u64()? },
+        12 => EventKind::RequestFenced { epoch: r.u64()? },
         tag => return Err(WireError::BadTag { what: "event", tag }),
     };
     Ok(JournalEvent { seq, at_ms, kind })
@@ -1080,6 +1146,10 @@ fn put_obs_counters(out: &mut Vec<u8>, c: &ObsCounters) {
         c.shed_rejected,
         c.faults_injected,
         c.remote_cancels,
+        c.failover_probes,
+        c.epoch_bumps,
+        c.fenced_requests,
+        c.degraded_batches,
     ] {
         put_u64(out, v);
     }
@@ -1104,6 +1174,10 @@ fn get_obs_counters(r: &mut Reader<'_>) -> Result<ObsCounters, WireError> {
         shed_rejected: r.u64()?,
         faults_injected: r.u64()?,
         remote_cancels: r.u64()?,
+        failover_probes: r.u64()?,
+        epoch_bumps: r.u64()?,
+        fenced_requests: r.u64()?,
+        degraded_batches: r.u64()?,
     })
 }
 
@@ -1128,6 +1202,7 @@ fn put_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
     put_u64(out, m.grow_decisions);
     put_u64(out, m.shrink_decisions);
     put_u64(out, m.reply_queue_hwm);
+    put_u64(out, m.fence_epoch);
     put_histogram(out, &m.lock_wait_micros);
     put_histogram(out, &m.latch_hold_nanos);
     put_histogram(out, &m.batch_size);
@@ -1173,6 +1248,7 @@ fn get_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
     let grow_decisions = r.u64()?;
     let shrink_decisions = r.u64()?;
     let reply_queue_hwm = r.u64()?;
+    let fence_epoch = r.u64()?;
     let lock_wait_micros = get_histogram(r)?;
     let latch_hold_nanos = get_histogram(r)?;
     let batch_size = get_histogram(r)?;
@@ -1235,6 +1311,7 @@ fn get_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
         grow_decisions,
         shrink_decisions,
         reply_queue_hwm,
+        fence_epoch,
         lock_wait_micros,
         latch_hold_nanos,
         batch_size,
@@ -1534,6 +1611,13 @@ pub fn encode_request_into(out: &mut Vec<u8>, id: u64, req: &Request) {
         Request::CancelWait { app } => {
             frame_into(out, OP_CANCEL_WAIT, id, |out| put_u32(out, *app))
         }
+        Request::Probe { epoch, degraded } => frame_into(out, OP_PROBE, id, |out| {
+            put_u64(out, *epoch);
+            out.push(*degraded as u8);
+        }),
+        Request::BindEpoch { epoch } => {
+            frame_into(out, OP_BIND_EPOCH, id, |out| put_u64(out, *epoch))
+        }
     }
 }
 
@@ -1619,6 +1703,11 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
         OP_WAIT_GRAPH => Request::WaitGraph,
         OP_BIND_GID => Request::BindGid { gid: r.u64()? },
         OP_CANCEL_WAIT => Request::CancelWait { app: r.u32()? },
+        OP_PROBE => Request::Probe {
+            epoch: r.u64()?,
+            degraded: get_bool(&mut r)?,
+        },
+        OP_BIND_EPOCH => Request::BindEpoch { epoch: r.u64()? },
         tag => {
             return Err(WireError::BadTag {
                 what: "request opcode",
@@ -1704,6 +1793,17 @@ pub fn encode_reply_into(out: &mut Vec<u8>, id: u64, reply: &Reply) {
             out.push(*cancelled as u8)
         }),
         Reply::Busy => frame_into(out, OP_BUSY, id, |_| {}),
+        Reply::ProbeAck {
+            epoch,
+            stale_sessions,
+        } => frame_into(out, OP_PROBE_ACK, id, |out| {
+            put_u64(out, *epoch);
+            put_u64(out, *stale_sessions);
+        }),
+        Reply::BindEpoch => frame_into(out, OP_BIND_EPOCH_REPLY, id, |_| {}),
+        Reply::WrongEpoch { current } => {
+            frame_into(out, OP_WRONG_EPOCH, id, |out| put_u64(out, *current))
+        }
     }
 }
 
@@ -1755,6 +1855,12 @@ pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), WireError> {
         OP_BIND_GID_REPLY => Reply::BindGid(get_string_result(&mut r, |_| Ok(()))?),
         OP_CANCEL_WAIT_REPLY => Reply::CancelWait(get_bool(&mut r)?),
         OP_BUSY => Reply::Busy,
+        OP_PROBE_ACK => Reply::ProbeAck {
+            epoch: r.u64()?,
+            stale_sessions: r.u64()?,
+        },
+        OP_BIND_EPOCH_REPLY => Reply::BindEpoch,
+        OP_WRONG_EPOCH => Reply::WrongEpoch { current: r.u64()? },
         tag => {
             return Err(WireError::BadTag {
                 what: "reply opcode",
@@ -1959,6 +2065,41 @@ mod tests {
         let over = encode_request(99, &Request::Ping(vec![0; max_echo + 1]));
         let err = read_request(&mut &over[..]).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn failover_ops_roundtrip() {
+        let reqs = [
+            Request::Probe {
+                epoch: 7,
+                degraded: true,
+            },
+            Request::Probe {
+                epoch: 0,
+                degraded: false,
+            },
+            Request::BindEpoch { epoch: u64::MAX },
+        ];
+        for (i, req) in reqs.iter().enumerate() {
+            let f = encode_request(i as u64, req);
+            let (id, back) = decode_request(&f[4..]).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(&back, req);
+        }
+        let replies = [
+            Reply::ProbeAck {
+                epoch: 3,
+                stale_sessions: 2,
+            },
+            Reply::BindEpoch,
+            Reply::WrongEpoch { current: 4 },
+        ];
+        for (i, reply) in replies.iter().enumerate() {
+            let f = encode_reply(i as u64, reply);
+            let (id, back) = decode_reply(&f[4..]).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(&back, reply);
+        }
     }
 
     #[test]

@@ -99,6 +99,9 @@ fn request() -> BoxedStrategy<Request> {
         Just(Request::WaitGraph),
         any::<u64>().prop_map(|gid| Request::BindGid { gid }),
         any::<u32>().prop_map(|app| Request::CancelWait { app }),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(epoch, degraded)| Request::Probe { epoch, degraded }),
+        any::<u64>().prop_map(|epoch| Request::BindEpoch { epoch }),
     ]
     .boxed()
 }
@@ -364,6 +367,10 @@ fn metrics() -> BoxedStrategy<MetricsSnapshot> {
                         batches: s.1 ^ s.2,
                         deadlock_victims: s.2 ^ s.3,
                         journal_recorded: s.0 ^ s.3,
+                        failover_probes: s.1 ^ s.3,
+                        epoch_bumps: s.0 ^ s.2,
+                        fenced_requests: s.2 ^ s.1,
+                        degraded_batches: s.3 ^ s.0,
                         ..ObsCounters::default()
                     },
                     pool_bytes: pool.0,
@@ -378,6 +385,7 @@ fn metrics() -> BoxedStrategy<MetricsSnapshot> {
                     grow_decisions: t.1,
                     shrink_decisions: t.2,
                     reply_queue_hwm: t.3,
+                    fence_epoch: t.0 ^ t.3,
                     lock_wait_micros: hists.0,
                     latch_hold_nanos: hists.1,
                     batch_size: hists.2,
@@ -423,6 +431,12 @@ fn reply() -> BoxedStrategy<Reply> {
         proptest::collection::vec(97u8..123, 1..64)
             .prop_map(|msg| Reply::BindGid(Err(String::from_utf8(msg).unwrap()))),
         any::<bool>().prop_map(Reply::CancelWait),
+        (any::<u64>(), any::<u64>()).prop_map(|(epoch, stale_sessions)| Reply::ProbeAck {
+            epoch,
+            stale_sessions
+        }),
+        Just(Reply::BindEpoch),
+        any::<u64>().prop_map(|current| Reply::WrongEpoch { current }),
     ]
     .boxed()
 }
@@ -897,10 +911,10 @@ fn forged_metrics_counts_rejected() {
 
     // The default snapshot encodes its four empty histograms as
     // (0 nonzero, sum, max) = 17 bytes each; the event count sits
-    // right after the fixed block of the header, 44 u64-width fields
-    // (uptime + 14 lock stats + 17 obs counters + 4 pool gauges +
-    // 4 f64s + 4 tuning counters) and the 4 histograms.
-    let events_at = HEADER_LEN + 44 * 8 + 4 * 17;
+    // right after the fixed block of the header, 49 u64-width fields
+    // (uptime + 14 lock stats + 21 obs counters + 4 pool gauges +
+    // 4 f64s + 4 tuning counters + fence epoch) and the 4 histograms.
+    let events_at = HEADER_LEN + 49 * 8 + 4 * 17;
     assert_eq!(
         &payload[events_at..events_at + 4],
         &0u32.to_le_bytes(),
@@ -917,7 +931,7 @@ fn forged_metrics_counts_rejected() {
     );
 
     // Duplicate bucket index: claim 2 nonzero buckets, both index 0.
-    let hist_at = HEADER_LEN + 44 * 8;
+    let hist_at = HEADER_LEN + 49 * 8;
     let mut forged = Vec::new();
     forged.extend_from_slice(&payload[..hist_at]);
     forged.push(2); // n_nonzero

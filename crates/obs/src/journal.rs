@@ -103,6 +103,18 @@ pub enum EventKind {
         /// The aborted application.
         app: AppId,
     },
+    /// The cluster supervisor advanced this node's fence epoch (the
+    /// partition map changed: a peer died, or a rejoin completed).
+    EpochBump {
+        /// The fence epoch after the bump.
+        epoch: u64,
+    },
+    /// A lock request carrying a stale partition-map epoch was fenced
+    /// with `WrongEpoch` instead of granted.
+    RequestFenced {
+        /// The stale epoch the request carried.
+        epoch: u64,
+    },
 }
 
 /// Background thread named by a [`EventKind::WatchdogRestart`].
@@ -138,6 +150,8 @@ const TAG_SHED_ENGAGED: u64 = 7;
 const TAG_SHED_RELEASED: u64 = 8;
 const TAG_FAULT_INJECTED: u64 = 9;
 const TAG_REMOTE_CANCEL: u64 = 10;
+const TAG_EPOCH_BUMP: u64 = 11;
+const TAG_REQUEST_FENCED: u64 = 12;
 
 fn pack(kind: EventKind) -> (u64, u64, u64) {
     match kind {
@@ -170,6 +184,8 @@ fn pack(kind: EventKind) -> (u64, u64, u64) {
         EventKind::ShedReleased => (TAG_SHED_RELEASED, 0, 0),
         EventKind::FaultInjected { site, count } => (TAG_FAULT_INJECTED, site as u64, count),
         EventKind::RemoteCancel { app } => (TAG_REMOTE_CANCEL, app.0 as u64, 0),
+        EventKind::EpochBump { epoch } => (TAG_EPOCH_BUMP, epoch, 0),
+        EventKind::RequestFenced { epoch } => (TAG_REQUEST_FENCED, epoch, 0),
     }
 }
 
@@ -207,6 +223,8 @@ fn unpack(tag: u64, w2: u64, w3: u64) -> EventKind {
         TAG_REMOTE_CANCEL => EventKind::RemoteCancel {
             app: AppId(w2 as u32),
         },
+        TAG_EPOCH_BUMP => EventKind::EpochBump { epoch: w2 },
+        TAG_REQUEST_FENCED => EventKind::RequestFenced { epoch: w2 },
         // Tags only ever come from `pack`, so anything else is
         // unreachable; map it to the least information-bearing kind
         // rather than panicking on a diagnostics path.
@@ -400,6 +418,8 @@ mod tests {
             EventKind::ShedReleased,
             EventKind::FaultInjected { site: 4, count: 2 },
             EventKind::RemoteCancel { app: AppId(77) },
+            EventKind::EpochBump { epoch: u64::MAX },
+            EventKind::RequestFenced { epoch: 5 },
         ];
         for kind in kinds {
             let (tag, w2, w3) = pack(kind);

@@ -91,6 +91,14 @@ pub struct Obs {
     /// Waits cancelled (and applications aborted) on behalf of a
     /// remote cluster deadlock detector.
     remote_cancels: AtomicU64,
+    /// Supervisor health probes answered.
+    failover_probes: AtomicU64,
+    /// Fence-epoch advances disseminated by the cluster supervisor.
+    epoch_bumps: AtomicU64,
+    /// Lock requests fenced with `WrongEpoch` for a stale epoch.
+    fenced_requests: AtomicU64,
+    /// Batches served while holding slots reassigned from a dead peer.
+    degraded_batches: AtomicU64,
 }
 
 impl Obs {
@@ -123,6 +131,10 @@ impl Obs {
             shed_rejected: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             remote_cancels: AtomicU64::new(0),
+            failover_probes: AtomicU64::new(0),
+            epoch_bumps: AtomicU64::new(0),
+            fenced_requests: AtomicU64::new(0),
+            degraded_batches: AtomicU64::new(0),
         }
     }
 
@@ -289,6 +301,33 @@ impl Obs {
         );
     }
 
+    /// A cluster-supervisor health probe was answered.
+    #[inline]
+    pub fn record_failover_probe(&self) {
+        self.failover_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The supervisor advanced this node's fence epoch to `epoch`.
+    pub fn record_epoch_bump(&self, epoch: u64) {
+        self.epoch_bumps.fetch_add(1, Ordering::Relaxed);
+        self.journal
+            .record(self.now_ms(), EventKind::EpochBump { epoch });
+    }
+
+    /// A lock request carrying stale `epoch` was fenced with
+    /// `WrongEpoch` instead of granted.
+    pub fn record_request_fenced(&self, epoch: u64) {
+        self.fenced_requests.fetch_add(1, Ordering::Relaxed);
+        self.journal
+            .record(self.now_ms(), EventKind::RequestFenced { epoch });
+    }
+
+    /// A lock batch was served while this node held reassigned slots.
+    #[inline]
+    pub fn record_degraded_batch(&self) {
+        self.degraded_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
     // -- scrape-time reads -----------------------------------------------
 
     /// The event journal (drain with [`EventJournal::drain`]).
@@ -316,6 +355,10 @@ impl Obs {
             shed_rejected: self.shed_rejected.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             remote_cancels: self.remote_cancels.load(Ordering::Relaxed),
+            failover_probes: self.failover_probes.load(Ordering::Relaxed),
+            epoch_bumps: self.epoch_bumps.load(Ordering::Relaxed),
+            fenced_requests: self.fenced_requests.load(Ordering::Relaxed),
+            degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
         }
     }
 
@@ -395,6 +438,10 @@ mod tests {
         obs.note_faults_injected(0, 3);
         obs.note_faults_injected(2, 0); // zero delta → no event
         obs.record_remote_cancel(AppId(7));
+        obs.record_failover_probe();
+        obs.record_epoch_bump(2);
+        obs.record_request_fenced(1);
+        obs.record_degraded_batch();
 
         let c = obs.counters();
         assert_eq!(c.timeouts, 1);
@@ -412,14 +459,18 @@ mod tests {
         assert_eq!(c.shed_rejected, 2);
         assert_eq!(c.faults_injected, 3);
         assert_eq!(c.remote_cancels, 1);
+        assert_eq!(c.failover_probes, 1);
+        assert_eq!(c.epoch_bumps, 1);
+        assert_eq!(c.fenced_requests, 1);
+        assert_eq!(c.degraded_batches, 1);
         // victim + sync growth + escalation + resize + reclaim
         // + restart + eviction + shed engage/release + fault
-        // + remote cancel = 11.
-        assert_eq!(c.journal_recorded, 11);
+        // + remote cancel + epoch bump + request fenced = 13.
+        assert_eq!(c.journal_recorded, 13);
 
         let mut events = Vec::new();
         obs.journal().drain(&mut events, 100);
-        assert_eq!(events.len(), 11);
+        assert_eq!(events.len(), 13);
         assert!(matches!(
             events[4].kind,
             EventKind::DepotReclaim { slots: 48 }
@@ -437,6 +488,11 @@ mod tests {
         assert!(matches!(
             events[10].kind,
             EventKind::RemoteCancel { app: AppId(7) }
+        ));
+        assert!(matches!(events[11].kind, EventKind::EpochBump { epoch: 2 }));
+        assert!(matches!(
+            events[12].kind,
+            EventKind::RequestFenced { epoch: 1 }
         ));
         assert_eq!(obs.batch_size().quantile(1.0), 20);
         assert_eq!(obs.sync_stall_micros().count(), 2);

@@ -98,6 +98,12 @@ pub fn render(snap: &MetricsSnapshot) -> String {
         "High-water mark of the server reply queues, in frames.",
         snap.reply_queue_hwm as f64,
     );
+    gauge(
+        &mut out,
+        "locktune_fence_epoch",
+        "Current partition-map fence epoch (0 = not under a supervisor).",
+        snap.fence_epoch as f64,
+    );
 
     counter(
         &mut out,
@@ -251,6 +257,30 @@ pub fn render(snap: &MetricsSnapshot) -> String {
     );
     counter(
         &mut out,
+        "locktune_failover_probes_total",
+        "Cluster-supervisor health probes answered.",
+        c.failover_probes,
+    );
+    counter(
+        &mut out,
+        "locktune_epoch_bumps_total",
+        "Fence-epoch advances (partition-map changes applied).",
+        c.epoch_bumps,
+    );
+    counter(
+        &mut out,
+        "locktune_fenced_requests_total",
+        "Lock requests fenced with WrongEpoch for a stale epoch.",
+        c.fenced_requests,
+    );
+    counter(
+        &mut out,
+        "locktune_degraded_batches_total",
+        "Batches served while holding slots reassigned from a dead peer.",
+        c.degraded_batches,
+    );
+    counter(
+        &mut out,
         "locktune_journal_events_total",
         "Events recorded into the journal.",
         c.journal_recorded,
@@ -327,6 +357,11 @@ mod tests {
             "locktune_shed_rejected_total",
             "locktune_faults_injected_total",
             "locktune_remote_cancels_total",
+            "locktune_fence_epoch",
+            "locktune_failover_probes_total",
+            "locktune_epoch_bumps_total",
+            "locktune_fenced_requests_total",
+            "locktune_degraded_batches_total",
         ] {
             assert!(page.contains(name), "missing {name}");
         }

@@ -50,6 +50,17 @@ pub struct ObsCounters {
     /// remote cluster deadlock detector — cross-node victims resolved
     /// on this node.
     pub remote_cancels: u64,
+    /// Supervisor health probes this node answered.
+    pub failover_probes: u64,
+    /// Times the node's fence epoch advanced (partition-map changes
+    /// disseminated by the cluster supervisor).
+    pub epoch_bumps: u64,
+    /// Lock requests fenced with `WrongEpoch` for carrying a stale
+    /// partition-map epoch.
+    pub fenced_requests: u64,
+    /// Lock batches served while this node held slots reassigned from
+    /// a dead peer (degraded mode).
+    pub degraded_batches: u64,
 }
 
 impl ObsCounters {
@@ -77,6 +88,10 @@ impl ObsCounters {
             shed_rejected,
             faults_injected,
             remote_cancels,
+            failover_probes,
+            epoch_bumps,
+            fenced_requests,
+            degraded_batches,
         } = other;
         self.timeouts += timeouts;
         self.batches += batches;
@@ -95,6 +110,10 @@ impl ObsCounters {
         self.shed_rejected += shed_rejected;
         self.faults_injected += faults_injected;
         self.remote_cancels += remote_cancels;
+        self.failover_probes += failover_probes;
+        self.epoch_bumps += epoch_bumps;
+        self.fenced_requests += fenced_requests;
+        self.degraded_batches += degraded_batches;
     }
 }
 
@@ -203,6 +222,10 @@ pub struct MetricsSnapshot {
     /// High-water mark of the server's reply queues, in frames (zero
     /// for in-process scrapes; filled in by the TCP server).
     pub reply_queue_hwm: u64,
+    /// The node's current partition-map fence epoch (zero for
+    /// in-process scrapes and servers not under a cluster supervisor;
+    /// filled in by the TCP server like `reply_queue_hwm`).
+    pub fence_epoch: u64,
     /// Time from queueing to resolution of blocked lock requests (µs).
     pub lock_wait_micros: HistogramSnapshot,
     /// Shard latch hold times, sampled 1-in-64 (ns).

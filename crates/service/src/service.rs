@@ -1130,6 +1130,7 @@ impl LockService {
             grow_decisions: tuning.grow_decisions,
             shrink_decisions: tuning.shrink_decisions,
             reply_queue_hwm: 0,
+            fence_epoch: 0,
             lock_wait_micros: inner.obs.lock_wait_micros(),
             latch_hold_nanos: inner.obs.latch_hold_nanos(),
             batch_size: inner.obs.batch_size(),
@@ -1235,6 +1236,40 @@ impl LockService {
     pub fn note_client_evicted(&self, app: AppId) {
         if OBS_ENABLED {
             self.inner.obs.record_client_evicted(app);
+        }
+    }
+
+    /// Record an answered cluster-supervisor health probe. Called by
+    /// the TCP front-end on every `Probe` frame, like
+    /// [`LockService::note_client_evicted`]. No-op without `obs`.
+    pub fn note_failover_probe(&self) {
+        if OBS_ENABLED {
+            self.inner.obs.record_failover_probe();
+        }
+    }
+
+    /// Record a fence-epoch advance to `epoch` (counter + journal
+    /// event). Called by the TCP front-end when a probe raises its
+    /// fence. No-op without `obs`.
+    pub fn note_epoch_bump(&self, epoch: u64) {
+        if OBS_ENABLED {
+            self.inner.obs.record_epoch_bump(epoch);
+        }
+    }
+
+    /// Record a lock request fenced with `WrongEpoch`; `epoch` is the
+    /// stale epoch the request carried. No-op without `obs`.
+    pub fn note_request_fenced(&self, epoch: u64) {
+        if OBS_ENABLED {
+            self.inner.obs.record_request_fenced(epoch);
+        }
+    }
+
+    /// Record a batch served while this node held slots reassigned
+    /// from a dead peer. No-op without `obs`.
+    pub fn note_degraded_batch(&self) {
+        if OBS_ENABLED {
+            self.inner.obs.record_degraded_batch();
         }
     }
 

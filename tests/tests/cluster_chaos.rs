@@ -23,7 +23,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use locktune_cluster::{ClusterConfig, ClusterDetector, ClusterError, RoutingClient};
+use locktune_cluster::{
+    BreakerConfig, ClusterConfig, ClusterDetector, ClusterError, RoutingClient,
+};
 use locktune_lockmgr::{LockError, LockMode, ResourceId, RowId, TableId};
 use locktune_net::{ReconnectConfig, Server, ServerConfig};
 use locktune_service::{
@@ -60,6 +62,7 @@ fn worker(addrs: Vec<String>, seed: u64, gid: u64, progress: Arc<AtomicU64>) -> 
             max_total_attempts: 60,
         },
         gid: Some(gid),
+        breaker: BreakerConfig::default(),
     };
     let mut rc = match RoutingClient::connect(&config) {
         Ok(rc) => rc,
@@ -185,6 +188,7 @@ fn run_chaos(seed: u64) {
             max_total_attempts: 50,
         },
         gid: None,
+        breaker: BreakerConfig::default(),
     })
     .expect("detector");
     let detector = detector.spawn(Duration::from_millis(10));

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use locktune_cluster::{ClusterConfig, ClusterDetector, RoutingClient};
+use locktune_cluster::{BreakerConfig, ClusterConfig, ClusterDetector, RoutingClient};
 use locktune_lockmgr::partition::slot_of;
 use locktune_lockmgr::{LockMode, LockOutcome, ResourceId, RowId, TableId};
 use locktune_net::{Client, ClientError, ReconnectConfig, Server};
@@ -36,6 +36,7 @@ fn cluster(n: usize, timeout: Duration) -> (Vec<Server>, Vec<Arc<LockService>>, 
         nodes: addrs,
         reconnect: ReconnectConfig::default(),
         gid: None,
+        breaker: BreakerConfig::default(),
     };
     (servers, services, config)
 }
